@@ -1,0 +1,47 @@
+//! E-F3 companion bench: LDG and LOOM ingest time under the different stream
+//! orderings the paper discusses (§3.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loom_bench::scenarios;
+use loom_core::{LoomConfig, LoomPartitioner};
+use loom_graph::ordering::StreamOrder;
+use loom_graph::GraphStream;
+use loom_motif::mining::MotifMiner;
+use loom_partition::ldg::{LdgConfig, LdgPartitioner};
+use loom_partition::traits::partition_stream;
+use std::hint::black_box;
+
+fn bench_orderings(c: &mut Criterion) {
+    let (graph, workload) = scenarios::motif_scenario(3_000, 150, 9);
+    let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+    let orderings = [
+        ("random", StreamOrder::Random { seed: 1 }),
+        ("bfs", StreamOrder::Bfs),
+        ("adversarial", StreamOrder::Adversarial),
+    ];
+    let mut group = c.benchmark_group("ordering_sensitivity");
+    group.sample_size(10);
+    for (name, order) in orderings {
+        let stream = GraphStream::from_graph(&graph, &order);
+        group.bench_with_input(BenchmarkId::new("ldg", name), &stream, |b, stream| {
+            b.iter(|| {
+                let mut p = LdgPartitioner::new(LdgConfig::new(8, graph.vertex_count()))
+                    .expect("valid");
+                black_box(partition_stream(&mut p, stream).expect("ok"))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("loom", name), &stream, |b, stream| {
+            b.iter(|| {
+                let config = LoomConfig::new(8, graph.vertex_count())
+                    .with_window_size(256)
+                    .with_motif_threshold(0.3);
+                let mut p = LoomPartitioner::new(config, &tpstry).expect("valid");
+                black_box(partition_stream(&mut p, stream).expect("ok"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orderings);
+criterion_main!(benches);

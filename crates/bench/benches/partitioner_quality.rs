@@ -1,0 +1,43 @@
+//! E-T1 companion bench: partition + evaluate quality on the community graph.
+//!
+//! The table itself is produced by the `experiments` binary; this bench times
+//! the partition-and-evaluate loop so regressions in either phase show up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loom_bench::scenarios;
+use loom_graph::ordering::StreamOrder;
+use loom_graph::GraphStream;
+use loom_partition::ldg::{LdgConfig, LdgPartitioner};
+use loom_partition::metrics::evaluate;
+use loom_partition::offline::{MultilevelConfig, MultilevelPartitioner};
+use loom_partition::traits::partition_stream;
+use std::hint::black_box;
+
+fn bench_quality(c: &mut Criterion) {
+    let graph = scenarios::community(5_000, 3);
+    let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
+    let mut group = c.benchmark_group("partitioner_quality");
+    group.sample_size(10);
+
+    for k in [4u32, 16] {
+        group.bench_with_input(BenchmarkId::new("ldg_evaluate", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut p =
+                    LdgPartitioner::new(LdgConfig::new(k, graph.vertex_count())).expect("valid");
+                let partitioning = partition_stream(&mut p, &stream).expect("ok");
+                black_box(evaluate(&graph, &partitioning))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("offline_evaluate", k), &k, |b, &k| {
+            b.iter(|| {
+                let p = MultilevelPartitioner::new(MultilevelConfig::new(k)).expect("valid");
+                let partitioning = p.partition(&graph).expect("ok");
+                black_box(evaluate(&graph, &partitioning))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quality);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E-F4 companion bench: streaming-partitioner ingest throughput.
+//!
+//! Times a full pass of a 10k-vertex Barabási–Albert stream through each
+//! streaming partitioner (and the offline multilevel partitioner for
+//! reference).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loom_bench::scenarios;
+use loom_core::{LoomConfig, LoomPartitioner};
+use loom_graph::ordering::StreamOrder;
+use loom_graph::GraphStream;
+use loom_motif::mining::MotifMiner;
+use loom_partition::fennel::{FennelConfig, FennelPartitioner};
+use loom_partition::hash::HashPartitioner;
+use loom_partition::ldg::{LdgConfig, LdgPartitioner};
+use loom_partition::offline::{MultilevelConfig, MultilevelPartitioner};
+use loom_partition::traits::partition_stream;
+use std::hint::black_box;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let graph = scenarios::social_graph(10_000, 7);
+    let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 1 });
+    let workload = scenarios::motif_workload();
+    let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+    let n = graph.vertex_count();
+    let m = graph.edge_count();
+
+    let mut group = c.benchmark_group("partitioner_throughput");
+    group.sample_size(10);
+
+    group.bench_with_input(BenchmarkId::new("hash", n), &stream, |b, stream| {
+        b.iter(|| {
+            let mut p = HashPartitioner::new(8, n).expect("valid");
+            black_box(partition_stream(&mut p, stream).expect("ok"))
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("ldg", n), &stream, |b, stream| {
+        b.iter(|| {
+            let mut p = LdgPartitioner::new(LdgConfig::new(8, n)).expect("valid");
+            black_box(partition_stream(&mut p, stream).expect("ok"))
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("fennel", n), &stream, |b, stream| {
+        b.iter(|| {
+            let mut p = FennelPartitioner::new(FennelConfig::new(8, n, m)).expect("valid");
+            black_box(partition_stream(&mut p, stream).expect("ok"))
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("loom", n), &stream, |b, stream| {
+        b.iter(|| {
+            let config = LoomConfig::new(8, n).with_window_size(256).with_motif_threshold(0.3);
+            let mut p = LoomPartitioner::new(config, &tpstry).expect("valid");
+            black_box(partition_stream(&mut p, stream).expect("ok"))
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("offline", n), &graph, |b, graph| {
+        b.iter(|| {
+            let p = MultilevelPartitioner::new(MultilevelConfig::new(8)).expect("valid");
+            black_box(p.partition(graph).expect("ok"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Micro-bench of the number-theoretic signature operations on the matcher's
+//! hot path: full computation, incremental extension, and divisibility.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loom_graph::generators::regular::{cycle_graph, path_graph};
+use loom_graph::Label;
+use loom_motif::signature::{PrimeTable, Signature};
+use std::hint::black_box;
+
+fn l(x: u32) -> Label {
+    Label::new(x)
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let table = PrimeTable::new(8);
+    let small = path_graph(4, &[l(0), l(1), l(2), l(3)]);
+    let larger = cycle_graph(8, &[l(0), l(1), l(2), l(3)]);
+    let small_sig = table.signature_of(&small).expect("fits alphabet");
+    let larger_sig = table.signature_of(&larger).expect("fits alphabet");
+
+    c.bench_function("signature/compute_path4", |b| {
+        b.iter(|| black_box(table.signature_of(&small).expect("ok")))
+    });
+    c.bench_function("signature/compute_cycle8", |b| {
+        b.iter(|| black_box(table.signature_of(&larger).expect("ok")))
+    });
+    c.bench_function("signature/incremental_edge", |b| {
+        b.iter(|| {
+            let mut s = small_sig.clone();
+            s.multiply(table.edge_factor(l(1), l(2)).expect("ok"));
+            black_box(s)
+        })
+    });
+    c.bench_function("signature/divides", |b| {
+        b.iter(|| black_box(small_sig.divides(&larger_sig)))
+    });
+    c.bench_function("signature/single_vertex", |b| {
+        b.iter(|| black_box(Signature::single_vertex(&table, l(2)).expect("ok")))
+    });
+}
+
+criterion_group!(benches, bench_signatures);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E-F6 companion bench: TPSTry++ construction (Algorithm 1) cost as the
+//! workload grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loom_bench::scenarios;
+use loom_motif::mining::MotifMiner;
+use std::hint::black_box;
+
+fn bench_tpstry_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpstry_build");
+    group.sample_size(10);
+    for query_count in [10usize, 50, 100, 250] {
+        let workload = scenarios::generated_workload(query_count, 1.0, 3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(query_count),
+            &workload,
+            |b, workload| {
+                let miner = MotifMiner::default();
+                b.iter(|| black_box(miner.mine(workload).expect("mining succeeds")))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tpstry_build);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E-F1 companion bench: LOOM ingest time as the stream window grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loom_bench::scenarios;
+use loom_core::{LoomConfig, LoomPartitioner};
+use loom_graph::ordering::StreamOrder;
+use loom_graph::GraphStream;
+use loom_motif::mining::MotifMiner;
+use loom_partition::traits::partition_stream;
+use std::hint::black_box;
+
+fn bench_window_sweep(c: &mut Criterion) {
+    let (graph, workload) = scenarios::motif_scenario(3_000, 150, 13);
+    let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+    let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 3 });
+    let mut group = c.benchmark_group("window_sweep");
+    group.sample_size(10);
+    for window in [16usize, 64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &window| {
+            b.iter(|| {
+                let config = LoomConfig::new(8, graph.vertex_count())
+                    .with_window_size(window)
+                    .with_motif_threshold(0.3);
+                let mut p = LoomPartitioner::new(config, &tpstry).expect("valid");
+                black_box(partition_stream(&mut p, &stream).expect("ok"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_window_sweep);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E-T2 companion bench: executing the pattern-matching workload against a
+//! partitioned store (the inter-partition traversal measurement itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loom_bench::scenarios;
+use loom_core::{LoomConfig, LoomPartitioner};
+use loom_graph::ordering::StreamOrder;
+use loom_graph::GraphStream;
+use loom_motif::mining::MotifMiner;
+use loom_partition::ldg::{LdgConfig, LdgPartitioner};
+use loom_partition::traits::partition_stream;
+use loom_sim::executor::QueryExecutor;
+use loom_sim::store::PartitionedStore;
+use std::hint::black_box;
+
+fn bench_execution(c: &mut Criterion) {
+    let (graph, workload) = scenarios::motif_scenario(3_000, 150, 5);
+    let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+    let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 3 });
+
+    let ldg_store = {
+        let mut p =
+            LdgPartitioner::new(LdgConfig::new(8, graph.vertex_count())).expect("valid");
+        let partitioning = partition_stream(&mut p, &stream).expect("ok");
+        PartitionedStore::new(graph.clone(), partitioning)
+    };
+    let loom_store = {
+        let config = LoomConfig::new(8, graph.vertex_count())
+            .with_window_size(256)
+            .with_motif_threshold(0.3);
+        let mut p = LoomPartitioner::new(config, &tpstry).expect("valid");
+        let partitioning = partition_stream(&mut p, &stream).expect("ok");
+        PartitionedStore::new(graph.clone(), partitioning)
+    };
+
+    let executor = QueryExecutor::default().with_match_limit(2_000);
+    let mut group = c.benchmark_group("workload_ipt");
+    group.sample_size(10);
+    for (name, store) in [("ldg", &ldg_store), ("loom", &loom_store)] {
+        group.bench_with_input(BenchmarkId::new("execute_workload", name), store, |b, store| {
+            b.iter(|| black_box(executor.execute_workload(store, &workload, 50, 11)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_execution);
+criterion_main!(benches);

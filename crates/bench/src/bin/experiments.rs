@@ -1,0 +1,87 @@
+//! Regenerate the experiment tables of DESIGN.md §6 / EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p loom-bench --bin experiments              # all, full scale
+//! cargo run --release -p loom-bench --bin experiments -- --quick   # all, reduced scale
+//! cargo run --release -p loom-bench --bin experiments -- --table t2
+//! cargo run --release -p loom-bench --bin experiments -- --table f3 --quick --csv
+//! ```
+
+use loom_bench::{run_experiment, ExperimentId, Scale};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut csv = false;
+    let mut selected: Vec<ExperimentId> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--csv" => csv = true,
+            "--table" | "-t" => {
+                let Some(name) = iter.next() else {
+                    eprintln!("--table requires an experiment id (e.g. t1, f3, fig2)");
+                    return ExitCode::FAILURE;
+                };
+                match ExperimentId::parse(name) {
+                    Some(id) => selected.push(id),
+                    None => {
+                        eprintln!(
+                            "unknown experiment {name:?}; known: {}",
+                            ExperimentId::all()
+                                .iter()
+                                .map(|i| i.name())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--quick|--full] [--csv] [--table <id>]...\n\
+                     experiments: {}",
+                    ExperimentId::all()
+                        .iter()
+                        .map(|i| i.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if selected.is_empty() {
+        selected = ExperimentId::all();
+    }
+
+    println!(
+        "LOOM experiment suite — scale: {}\n",
+        if scale == Scale::Quick { "quick" } else { "full" }
+    );
+    for id in selected {
+        let started = std::time::Instant::now();
+        let tables = run_experiment(id, scale);
+        for table in &tables {
+            if csv {
+                println!("# {}\n{}", table.title(), table.to_csv());
+            } else {
+                println!("{}", table.render());
+            }
+        }
+        eprintln!(
+            "[{}] completed in {:.1}s",
+            id.name(),
+            started.elapsed().as_secs_f64()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,18 @@
+//! # loom-bench
+//!
+//! Experiment definitions and benchmark harness for the LOOM reproduction.
+//!
+//! The paper (a work-in-progress workshop paper) contains no result tables;
+//! DESIGN.md §6 defines the experiment suite this crate regenerates — one
+//! function per experiment, each returning renderable [`Table`]s. The
+//! `experiments` binary is a thin CLI over [`experiments`]; the Criterion
+//! benches in `benches/` time the hot paths the experiments rely on.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod scenarios;
+
+pub use experiments::{run_experiment, ExperimentId, Scale};
+pub use loom_sim::report::Table;

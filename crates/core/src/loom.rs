@@ -1,0 +1,633 @@
+//! The LOOM workload-aware streaming partitioner (paper §4).
+//!
+//! [`LoomPartitioner`] glues the pieces together:
+//!
+//! * a [`StreamWindow`] buffers the most recent `window_size` vertices and
+//!   their edges;
+//! * a [`StreamMotifMatcher`] keeps track of window sub-graphs matching
+//!   frequent workload motifs;
+//! * when the window overflows (or the stream ends) the oldest vertex is
+//!   evicted: if it belongs to a motif match, the *whole* match — plus any
+//!   overlapping matches — is assigned to one partition chosen by an LDG
+//!   score summed over the cluster; otherwise the vertex is assigned alone
+//!   with plain LDG.
+//!
+//! Clusters larger than `max_cluster_size` are split back into single-vertex
+//! assignments to protect balance (the failure mode the paper's §4.4 flags as
+//! an open problem).
+
+use crate::config::LoomConfig;
+use crate::index::FrequentMotifIndex;
+use crate::matcher::StreamMotifMatcher;
+use crate::stats::LoomStats;
+use loom_graph::fxhash::FxHashSet;
+use loom_graph::{StreamElement, VertexId};
+use loom_motif::tpstry::Tpstry;
+use loom_partition::error::Result;
+use loom_partition::ldg::LdgPartitioner;
+use loom_partition::partition::{PartitionId, Partitioning};
+use loom_partition::traits::StreamingPartitioner;
+use loom_partition::window::{EdgePlacement, StreamWindow};
+
+/// The LOOM partitioner.
+#[derive(Debug, Clone)]
+pub struct LoomPartitioner {
+    config: LoomConfig,
+    partitioning: Partitioning,
+    window: StreamWindow,
+    matcher: StreamMotifMatcher,
+    stats: LoomStats,
+}
+
+impl LoomPartitioner {
+    /// Create a LOOM partitioner for a workload summarised by `tpstry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error if `config` is invalid.
+    pub fn new(config: LoomConfig, tpstry: &Tpstry) -> Result<Self> {
+        config.validate()?;
+        let index = FrequentMotifIndex::new(tpstry, config.motif_threshold);
+        Self::with_index(config, index)
+    }
+
+    /// Create a LOOM partitioner from a pre-built frequent motif index
+    /// (useful when the same workload summary is shared across runs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error if `config` is invalid.
+    pub fn with_index(config: LoomConfig, index: FrequentMotifIndex) -> Result<Self> {
+        config.validate()?;
+        let partitioning =
+            Partitioning::with_slack(config.k, config.expected_vertices, config.slack)?;
+        Ok(Self {
+            partitioning,
+            window: StreamWindow::new(config.window_size),
+            matcher: StreamMotifMatcher::new(index).with_verification(config.verify_matches),
+            stats: LoomStats::default(),
+            config,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LoomConfig {
+        &self.config
+    }
+
+    /// Runtime counters accumulated so far.
+    pub fn stats(&self) -> LoomStats {
+        let counters = self.matcher.counters();
+        LoomStats {
+            signatures_computed: counters.signatures_computed,
+            motif_matches_found: counters.matches_found,
+            verifications: counters.verifications,
+            false_positive_matches: counters.false_positives,
+            ..self.stats
+        }
+    }
+
+    /// The partitioning built so far (not including buffered vertices).
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// Number of vertices currently buffered in the window.
+    pub fn buffered(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Evict the oldest vertex and assign it (and possibly its whole motif
+    /// cluster).
+    fn evict_and_assign(&mut self) -> Result<()> {
+        let Some(oldest) = self.window.oldest() else {
+            return Ok(());
+        };
+
+        // Work out the motif cluster anchored at the evicted vertex.
+        let cluster: FxHashSet<VertexId> = if self.config.motif_clustering {
+            self.matcher
+                .cluster_for(oldest, self.config.merge_overlapping)
+        } else {
+            FxHashSet::default()
+        };
+
+        if cluster.len() >= 2 && cluster.len() <= self.config.max_cluster_size {
+            self.assign_cluster(&cluster)?;
+        } else if cluster.len() > self.config.max_cluster_size {
+            // The pathology the paper's §4.4 flags: a merged cluster too large
+            // to place as a unit without wrecking balance.
+            self.stats.clusters_split_for_balance += 1;
+            if self.config.split_oversized_clusters {
+                let chunk = self.connected_chunk(&cluster, oldest);
+                if chunk.len() >= 2 {
+                    self.assign_cluster(&chunk)?;
+                } else {
+                    self.assign_single(oldest)?;
+                }
+            } else {
+                self.assign_single(oldest)?;
+            }
+        } else {
+            self.assign_single(oldest)?;
+        }
+        Ok(())
+    }
+
+    /// A connected chunk of `cluster` containing `anchor`, grown breadth-first
+    /// along window edges and capped at `max_cluster_size` vertices. This is
+    /// the simple local partitioning of oversized matches the paper leaves as
+    /// future work: the chunk is still placed as a unit, the remainder of the
+    /// cluster stays buffered and is assigned later.
+    fn connected_chunk(
+        &self,
+        cluster: &FxHashSet<VertexId>,
+        anchor: VertexId,
+    ) -> FxHashSet<VertexId> {
+        let mut chunk: FxHashSet<VertexId> = FxHashSet::default();
+        if !cluster.contains(&anchor) {
+            return chunk;
+        }
+        let mut queue = std::collections::VecDeque::new();
+        chunk.insert(anchor);
+        queue.push_back(anchor);
+        while let Some(v) = queue.pop_front() {
+            if chunk.len() >= self.config.max_cluster_size {
+                break;
+            }
+            let mut neighbours: Vec<VertexId> = self
+                .window
+                .window_neighbours(v)
+                .iter()
+                .copied()
+                .filter(|n| cluster.contains(n) && !chunk.contains(n))
+                .collect();
+            neighbours.sort_unstable();
+            for n in neighbours {
+                if chunk.len() >= self.config.max_cluster_size {
+                    break;
+                }
+                chunk.insert(n);
+                queue.push_back(n);
+            }
+        }
+        chunk
+    }
+
+    /// Assign a whole motif cluster to the partition maximising the summed
+    /// LDG score, then remove its vertices from the window and matcher.
+    fn assign_cluster(&mut self, cluster: &FxHashSet<VertexId>) -> Result<()> {
+        // External (already assigned) neighbours of the cluster determine the
+        // LDG affinity; neighbours inside the cluster are irrelevant because
+        // they will land in the same partition by construction.
+        let mut external: Vec<VertexId> = Vec::new();
+        for &v in cluster {
+            for &n in self.window.external_neighbours(v) {
+                if self.partitioning.is_assigned(n) {
+                    external.push(n);
+                }
+            }
+            // Window neighbours outside the cluster are not assigned yet and
+            // therefore carry no signal.
+        }
+
+        let target = self.choose_partition_for(&external, cluster.len());
+
+        // Deterministic assignment order.
+        let mut members: Vec<VertexId> = cluster.iter().copied().collect();
+        members.sort_unstable();
+        for &v in &members {
+            // Remove from the window first so adjacency bookkeeping stays
+            // consistent for the remaining buffered vertices.
+            self.window.remove(v);
+            self.partitioning.assign(v, target)?;
+        }
+        self.matcher.remove_vertices(cluster);
+
+        self.stats.clusters_assigned += 1;
+        self.stats.cluster_vertices_assigned += members.len();
+        self.stats.largest_cluster = self.stats.largest_cluster.max(members.len());
+        Ok(())
+    }
+
+    /// Assign a single vertex with plain LDG.
+    fn assign_single(&mut self, vertex: VertexId) -> Result<()> {
+        let Some(evicted) = self.window.remove(vertex) else {
+            return Ok(());
+        };
+        let assigned_neighbours: Vec<VertexId> = evicted
+            .external_neighbours
+            .iter()
+            .copied()
+            .filter(|n| self.partitioning.is_assigned(*n))
+            .collect();
+        let target = self.choose_partition_for(&assigned_neighbours, 1);
+        self.partitioning.assign(vertex, target)?;
+        let removed: FxHashSet<VertexId> = [vertex].into_iter().collect();
+        self.matcher.remove_vertices(&removed);
+        self.stats.single_vertices_assigned += 1;
+        Ok(())
+    }
+
+    /// LDG partition choice for a set of assigned neighbours, placing
+    /// `incoming` new vertices at once. Honour the capacity-penalty ablation
+    /// switch and prefer partitions that still have room for the whole group.
+    fn choose_partition_for(&self, neighbours: &[VertexId], incoming: usize) -> PartitionId {
+        if self.config.capacity_penalty {
+            // Prefer a partition with room for the whole group; if none has
+            // room, fall back to the plain LDG choice.
+            let mut best: Option<(PartitionId, f64)> = None;
+            for p in self.partitioning.partitions() {
+                if !self.partitioning.has_room_for(p, incoming) {
+                    continue;
+                }
+                let in_p = neighbours
+                    .iter()
+                    .filter(|&&n| self.partitioning.partition_of(n) == Some(p))
+                    .count() as f64;
+                let score = in_p * self.partitioning.capacity_penalty(p);
+                let better = match best {
+                    None => true,
+                    Some((bp, bs)) => {
+                        score > bs + 1e-12
+                            || ((score - bs).abs() <= 1e-12
+                                && self.partitioning.size(p) < self.partitioning.size(bp))
+                    }
+                };
+                if better {
+                    best = Some((p, score));
+                }
+            }
+            best.map(|(p, _)| p)
+                .unwrap_or_else(|| LdgPartitioner::choose_partition(&self.partitioning, neighbours))
+        } else {
+            // Ablation: pure neighbour-majority greedy, ties to the emptier
+            // partition.
+            let mut best = self.partitioning.least_loaded();
+            let mut best_count = 0usize;
+            for p in self.partitioning.partitions() {
+                let count = neighbours
+                    .iter()
+                    .filter(|&&n| self.partitioning.partition_of(n) == Some(p))
+                    .count();
+                if count > best_count
+                    || (count == best_count
+                        && self.partitioning.size(p) < self.partitioning.size(best))
+                {
+                    best = p;
+                    best_count = count;
+                }
+            }
+            best
+        }
+    }
+}
+
+impl StreamingPartitioner for LoomPartitioner {
+    fn name(&self) -> &'static str {
+        "loom"
+    }
+
+    fn ingest(&mut self, element: &StreamElement) -> Result<()> {
+        match *element {
+            StreamElement::AddVertex { id, label } => {
+                self.stats.vertices_ingested += 1;
+                while self.window.is_full() {
+                    self.evict_and_assign()?;
+                }
+                self.window.push_vertex(id, label);
+            }
+            StreamElement::AddEdge { source, target } => {
+                self.stats.edges_ingested += 1;
+                match self.window.push_edge(source, target) {
+                    EdgePlacement::BothInWindow => {
+                        self.stats.window_edges += 1;
+                        if self.config.motif_clustering {
+                            self.matcher.on_window_edge(&self.window, source, target);
+                        }
+                    }
+                    EdgePlacement::OneInWindow { .. } | EdgePlacement::NeitherInWindow => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<Partitioning> {
+        while !self.window.is_empty() {
+            self.evict_and_assign()?;
+        }
+        Ok(self.partitioning.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_graph::generators::regular::path_graph;
+    use loom_graph::generators::{motif_planted_graph, MotifPlantConfig};
+    use loom_graph::ordering::StreamOrder;
+    use loom_graph::prelude::Label;
+    use loom_graph::GraphStream;
+    use loom_motif::fixtures::{paper_example_graph, paper_example_workload};
+    use loom_motif::mining::MotifMiner;
+    use loom_motif::query::{PatternQuery, QueryId};
+    use loom_motif::workload::Workload;
+    use loom_partition::metrics::evaluate;
+    use loom_partition::traits::partition_stream;
+
+    fn l(x: u32) -> Label {
+        Label::new(x)
+    }
+
+    fn abc_tpstry() -> Tpstry {
+        let q = PatternQuery::path(QueryId::new(0), &[l(0), l(1), l(2)]).unwrap();
+        let w = Workload::uniform(vec![q]).unwrap();
+        MotifMiner::default().mine(&w).unwrap()
+    }
+
+    #[test]
+    fn partitions_the_paper_example_completely() {
+        let graph = paper_example_graph();
+        let tpstry = MotifMiner::default()
+            .mine(&paper_example_workload())
+            .unwrap();
+        let config = LoomConfig::new(2, graph.vertex_count()).with_window_size(4);
+        let mut loom = LoomPartitioner::new(config, &tpstry).unwrap();
+        let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
+        let part = partition_stream(&mut loom, &stream).unwrap();
+        assert_eq!(part.assigned_count(), graph.vertex_count());
+        assert_eq!(loom.name(), "loom");
+        assert!(loom.buffered() == 0);
+    }
+
+    #[test]
+    fn motif_instances_stay_within_one_partition() {
+        // Plant abc paths in a background graph; with the abc workload LOOM
+        // should keep the vast majority of planted instances un-split.
+        let motif = path_graph(3, &[l(0), l(1), l(2)]);
+        let (graph, instances) = motif_planted_graph(
+            &MotifPlantConfig {
+                background_vertices: 400,
+                background_edges: 800,
+                instances_per_motif: 60,
+                attachment_edges: 1,
+                label_count: 4,
+                seed: 3,
+            },
+            &[motif],
+        )
+        .unwrap();
+        let tpstry = abc_tpstry();
+        let config = LoomConfig::new(4, graph.vertex_count())
+            .with_window_size(64)
+            .with_motif_threshold(0.5);
+        let mut loom = LoomPartitioner::new(config, &tpstry).unwrap();
+        let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
+        let part = partition_stream(&mut loom, &stream).unwrap();
+        assert_eq!(part.assigned_count(), graph.vertex_count());
+
+        let intact = instances
+            .iter()
+            .filter(|inst| {
+                let first = part.partition_of(inst.vertices[0]);
+                inst.vertices
+                    .iter()
+                    .all(|v| part.partition_of(*v) == first)
+            })
+            .count();
+        let fraction = intact as f64 / instances.len() as f64;
+        assert!(
+            fraction > 0.8,
+            "only {intact}/{} planted motifs kept intact",
+            instances.len()
+        );
+        assert!(loom.stats().clusters_assigned > 0);
+        assert!(loom.stats().motif_matches_found > 0);
+    }
+
+    #[test]
+    fn keeps_more_motifs_intact_than_plain_ldg() {
+        let motif = path_graph(3, &[l(0), l(1), l(2)]);
+        let (graph, instances) = motif_planted_graph(
+            &MotifPlantConfig {
+                background_vertices: 600,
+                background_edges: 1_500,
+                instances_per_motif: 80,
+                attachment_edges: 2,
+                label_count: 4,
+                seed: 7,
+            },
+            &[motif],
+        )
+        .unwrap();
+        let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 11 });
+
+        let intact_fraction = |part: &Partitioning| {
+            instances
+                .iter()
+                .filter(|inst| {
+                    let first = part.partition_of(inst.vertices[0]);
+                    inst.vertices
+                        .iter()
+                        .all(|v| part.partition_of(*v) == first)
+                })
+                .count() as f64
+                / instances.len() as f64
+        };
+
+        let loom_part = {
+            let config = LoomConfig::new(8, graph.vertex_count()).with_window_size(128);
+            let mut loom = LoomPartitioner::new(config, &abc_tpstry()).unwrap();
+            partition_stream(&mut loom, &stream).unwrap()
+        };
+        let ldg_part = {
+            let mut ldg = loom_partition::ldg::LdgPartitioner::new(
+                loom_partition::ldg::LdgConfig::new(8, graph.vertex_count()),
+            )
+            .unwrap();
+            partition_stream(&mut ldg, &stream).unwrap()
+        };
+        assert!(
+            intact_fraction(&loom_part) > intact_fraction(&ldg_part),
+            "LOOM ({:.3}) should keep more motifs intact than LDG ({:.3})",
+            intact_fraction(&loom_part),
+            intact_fraction(&ldg_part)
+        );
+    }
+
+    #[test]
+    fn balance_stays_within_slack() {
+        let motif = path_graph(3, &[l(0), l(1), l(2)]);
+        let (graph, _) = motif_planted_graph(
+            &MotifPlantConfig {
+                background_vertices: 500,
+                background_edges: 1_000,
+                instances_per_motif: 50,
+                attachment_edges: 1,
+                label_count: 4,
+                seed: 5,
+            },
+            &[motif],
+        )
+        .unwrap();
+        let config = LoomConfig::new(4, graph.vertex_count())
+            .with_window_size(64)
+            .with_slack(1.2);
+        let mut loom = LoomPartitioner::new(config, &abc_tpstry()).unwrap();
+        let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
+        let part = partition_stream(&mut loom, &stream).unwrap();
+        for p in part.partitions() {
+            assert!(
+                part.size(p) <= part.capacity() + config_headroom(),
+                "partition {p} exceeded capacity: {} > {}",
+                part.size(p),
+                part.capacity()
+            );
+        }
+        assert!(part.imbalance() < 1.35, "imbalance {}", part.imbalance());
+    }
+
+    /// Clusters may overflow the soft capacity by at most one cluster's worth
+    /// of vertices in pathological cases; keep a small allowance.
+    fn config_headroom() -> usize {
+        4
+    }
+
+    #[test]
+    fn without_motif_clustering_behaves_like_windowed_ldg() {
+        let graph = paper_example_graph();
+        let tpstry = MotifMiner::default()
+            .mine(&paper_example_workload())
+            .unwrap();
+        let config = LoomConfig::new(2, graph.vertex_count())
+            .with_window_size(4)
+            .without_motif_clustering();
+        let mut loom = LoomPartitioner::new(config, &tpstry).unwrap();
+        let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
+        let part = partition_stream(&mut loom, &stream).unwrap();
+        assert_eq!(part.assigned_count(), graph.vertex_count());
+        let stats = loom.stats();
+        assert_eq!(stats.clusters_assigned, 0);
+        assert_eq!(stats.cluster_vertices_assigned, 0);
+        assert_eq!(stats.single_vertices_assigned, graph.vertex_count());
+    }
+
+    #[test]
+    fn oversized_clusters_are_split_for_balance() {
+        // A long chain of overlapping ab edges forms one giant cluster; with
+        // a tiny max_cluster_size it must be split, and everything must still
+        // be assigned.
+        let q = PatternQuery::path(QueryId::new(0), &[l(0), l(1)]).unwrap();
+        let w = Workload::uniform(vec![q]).unwrap();
+        let tpstry = MotifMiner::default().mine(&w).unwrap();
+        let chain = path_graph(40, &[l(0), l(1)]);
+        let config = LoomConfig::new(2, chain.vertex_count())
+            .with_window_size(40)
+            .with_max_cluster_size(4);
+        let mut loom = LoomPartitioner::new(config, &tpstry).unwrap();
+        let stream = GraphStream::from_graph(&chain, &StreamOrder::Bfs);
+        let part = partition_stream(&mut loom, &stream).unwrap();
+        assert_eq!(part.assigned_count(), 40);
+        // The giant merged cluster exceeds max_cluster_size, so splits happen.
+        assert!(loom.stats().clusters_split_for_balance > 0 || loom.stats().largest_cluster <= 4);
+    }
+
+    #[test]
+    fn oversized_clusters_are_assigned_in_connected_chunks() {
+        // A long ab chain forms one giant merged cluster. With chunked
+        // splitting enabled the chain is assigned in connected pieces of at
+        // most max_cluster_size vertices, so the number of chunks is bounded
+        // below by len / max_cluster_size and every chunk stays connected in
+        // the final placement (low cut).
+        let q = PatternQuery::path(QueryId::new(0), &[l(0), l(1)]).unwrap();
+        let w = Workload::uniform(vec![q]).unwrap();
+        let tpstry = MotifMiner::default().mine(&w).unwrap();
+        let chain = path_graph(64, &[l(0), l(1)]);
+        let stream = GraphStream::from_graph(&chain, &StreamOrder::Bfs);
+
+        let run = |split: bool| {
+            let mut config = LoomConfig::new(4, chain.vertex_count())
+                .with_window_size(64)
+                .with_max_cluster_size(8)
+                .with_slack(1.3);
+            if !split {
+                config = config.without_cluster_splitting();
+            }
+            let mut loom = LoomPartitioner::new(config, &tpstry).unwrap();
+            let part = partition_stream(&mut loom, &stream).unwrap();
+            (part, loom.stats())
+        };
+
+        let (chunked_part, chunked_stats) = run(true);
+        let (single_part, single_stats) = run(false);
+        assert_eq!(chunked_part.assigned_count(), 64);
+        assert_eq!(single_part.assigned_count(), 64);
+        assert!(chunked_stats.clusters_split_for_balance > 0);
+        assert!(single_stats.clusters_split_for_balance > 0);
+        // Chunked splitting places multi-vertex groups; the no-split ablation
+        // places the oversized cluster vertex by vertex.
+        assert!(chunked_stats.clusters_assigned > 0);
+        assert!(chunked_stats.largest_cluster <= 8);
+        assert!(chunked_stats.cluster_vertices_assigned > single_stats.cluster_vertices_assigned);
+        // Keeping chain pieces together should not cut more edges than the
+        // vertex-by-vertex fallback.
+        let chunked_cut = evaluate(&chain, &chunked_part).cut_edges;
+        let single_cut = evaluate(&chain, &single_part).cut_edges;
+        assert!(
+            chunked_cut <= single_cut + 2,
+            "chunked {chunked_cut} vs single {single_cut}"
+        );
+    }
+
+    #[test]
+    fn verification_mode_reports_counts_and_still_partitions() {
+        let motif = path_graph(3, &[l(0), l(1), l(2)]);
+        let (graph, _) = motif_planted_graph(
+            &MotifPlantConfig {
+                background_vertices: 200,
+                background_edges: 400,
+                instances_per_motif: 30,
+                attachment_edges: 1,
+                label_count: 4,
+                seed: 13,
+            },
+            &[motif],
+        )
+        .unwrap();
+        let config = LoomConfig::new(4, graph.vertex_count())
+            .with_window_size(64)
+            .with_verification();
+        let mut loom = LoomPartitioner::new(config, &abc_tpstry()).unwrap();
+        let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
+        let part = partition_stream(&mut loom, &stream).unwrap();
+        assert_eq!(part.assigned_count(), graph.vertex_count());
+        let stats = loom.stats();
+        assert!(stats.verifications > 0);
+        // With label-distinct path motifs the signature is effectively exact,
+        // so no collisions are expected.
+        assert_eq!(stats.false_positive_matches, 0);
+    }
+
+    #[test]
+    fn quality_report_is_produced() {
+        let graph = paper_example_graph();
+        let tpstry = MotifMiner::default()
+            .mine(&paper_example_workload())
+            .unwrap();
+        let config = LoomConfig::new(2, graph.vertex_count()).with_window_size(8);
+        let mut loom = LoomPartitioner::new(config, &tpstry).unwrap();
+        let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
+        let part = partition_stream(&mut loom, &stream).unwrap();
+        let report = evaluate(&graph, &part);
+        assert_eq!(report.total_edges, graph.edge_count());
+        assert!(report.cut_ratio <= 1.0);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let tpstry = abc_tpstry();
+        let bad = LoomConfig::new(0, 100);
+        assert!(LoomPartitioner::new(bad, &tpstry).is_err());
+    }
+}

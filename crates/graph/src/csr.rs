@@ -1,0 +1,203 @@
+//! Immutable Compressed Sparse Row (CSR) snapshot of a labelled graph.
+//!
+//! The streaming partitioners never need global structure, but the *offline*
+//! multilevel partitioner and several quality metrics do, and iterating
+//! hash-map adjacency for those is needlessly slow. [`CsrGraph`] is a compact
+//! frozen snapshot with O(1) neighbour-slice access and dense `0..n` internal
+//! indices, plus the mapping back to the original [`VertexId`]s.
+
+use crate::fxhash::FxHashMap;
+use crate::graph::LabelledGraph;
+use crate::ids::{Label, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// A frozen CSR representation of a [`LabelledGraph`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CsrGraph {
+    /// `offsets[i]..offsets[i+1]` is the neighbour range of dense vertex `i`.
+    offsets: Vec<usize>,
+    /// Concatenated neighbour lists (dense indices).
+    targets: Vec<u32>,
+    /// Label per dense vertex.
+    labels: Vec<Label>,
+    /// Dense index → original id.
+    ids: Vec<VertexId>,
+    /// Original id → dense index.
+    index_of: FxHashMap<VertexId, u32>,
+    /// Number of undirected edges.
+    edge_count: usize,
+}
+
+impl CsrGraph {
+    /// Build a CSR snapshot from a mutable graph. Vertices are assigned dense
+    /// indices in ascending `VertexId` order so the mapping is deterministic.
+    pub fn from_graph(graph: &LabelledGraph) -> Self {
+        let ids = graph.vertices_sorted();
+        let index_of: FxHashMap<VertexId, u32> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let n = ids.len();
+        let mut degrees = vec![0usize; n];
+        for (i, &v) in ids.iter().enumerate() {
+            degrees[i] = graph.degree(v);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for d in &degrees {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut targets = vec![0u32; *offsets.last().unwrap()];
+        let mut cursor = offsets.clone();
+        for (i, &v) in ids.iter().enumerate() {
+            let mut neighbours: Vec<u32> = graph
+                .neighbors(v)
+                .iter()
+                .map(|n| index_of[n])
+                .collect();
+            neighbours.sort_unstable();
+            let start = cursor[i];
+            targets[start..start + neighbours.len()].copy_from_slice(&neighbours);
+            cursor[i] += neighbours.len();
+        }
+        let labels = ids
+            .iter()
+            .map(|&v| graph.label(v).expect("vertex present in snapshot"))
+            .collect();
+        CsrGraph {
+            offsets,
+            targets,
+            labels,
+            ids,
+            index_of,
+            edge_count: graph.edge_count(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Neighbours (dense indices) of dense vertex `i`.
+    #[inline]
+    pub fn neighbors(&self, i: u32) -> &[u32] {
+        let i = i as usize;
+        &self.targets[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Degree of dense vertex `i`.
+    #[inline]
+    pub fn degree(&self, i: u32) -> usize {
+        let i = i as usize;
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Label of dense vertex `i`.
+    #[inline]
+    pub fn label(&self, i: u32) -> Label {
+        self.labels[i as usize]
+    }
+
+    /// Original [`VertexId`] of dense vertex `i`.
+    #[inline]
+    pub fn original_id(&self, i: u32) -> VertexId {
+        self.ids[i as usize]
+    }
+
+    /// Dense index of an original vertex id, if present.
+    #[inline]
+    pub fn dense_index(&self, v: VertexId) -> Option<u32> {
+        self.index_of.get(&v).copied()
+    }
+
+    /// Iterate over all dense vertex indices.
+    pub fn dense_vertices(&self) -> impl Iterator<Item = u32> {
+        0..self.ids.len() as u32
+    }
+
+    /// Iterate over every undirected edge once, as dense index pairs `(u, v)`
+    /// with `u < v`.
+    pub fn dense_edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.dense_vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> LabelledGraph {
+        let mut g = LabelledGraph::new();
+        let a = g.add_vertex(Label::new(0));
+        let b = g.add_vertex(Label::new(1));
+        let c = g.add_vertex(Label::new(2));
+        let d = g.add_vertex(Label::new(0));
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(c, a).unwrap();
+        g.add_edge(c, d).unwrap();
+        g
+    }
+
+    #[test]
+    fn csr_preserves_counts_and_degrees() {
+        let g = triangle_plus_tail();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.vertex_count(), 4);
+        assert_eq!(csr.edge_count(), 4);
+        // Vertex 2 (c) has degree 3; others accordingly.
+        let c = csr.dense_index(VertexId::new(2)).unwrap();
+        assert_eq!(csr.degree(c), 3);
+        assert_eq!(csr.label(c), Label::new(2));
+        assert_eq!(csr.original_id(c), VertexId::new(2));
+    }
+
+    #[test]
+    fn dense_edges_enumerates_each_edge_once() {
+        let g = triangle_plus_tail();
+        let csr = CsrGraph::from_graph(&g);
+        let edges: Vec<_> = csr.dense_edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.iter().all(|&(u, v)| u < v));
+    }
+
+    #[test]
+    fn neighbour_slices_are_sorted() {
+        let g = triangle_plus_tail();
+        let csr = CsrGraph::from_graph(&g);
+        for v in csr.dense_vertices() {
+            let ns = csr.neighbors(v);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn missing_vertex_has_no_dense_index() {
+        let g = triangle_plus_tail();
+        let csr = CsrGraph::from_graph(&g);
+        assert!(csr.dense_index(VertexId::new(42)).is_none());
+    }
+
+    #[test]
+    fn empty_graph_snapshot() {
+        let csr = CsrGraph::from_graph(&LabelledGraph::new());
+        assert_eq!(csr.vertex_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+        assert_eq!(csr.dense_edges().count(), 0);
+    }
+}

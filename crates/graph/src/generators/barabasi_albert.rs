@@ -1,0 +1,132 @@
+//! Barabási–Albert preferential-attachment graphs.
+//!
+//! Social and web graphs — the motivating domains in the paper's introduction
+//! — have heavy-tailed degree distributions. The BA model reproduces that
+//! skew: each new vertex attaches to `m` existing vertices chosen with
+//! probability proportional to their current degree.
+
+use super::{rng_for, GeneratorConfig};
+use crate::error::{GraphError, Result};
+use crate::graph::LabelledGraph;
+use crate::ids::Label;
+use rand::RngExt;
+
+/// Generate a Barabási–Albert graph: start from a small clique of `m + 1`
+/// vertices, then attach each subsequent vertex to `m` distinct existing
+/// vertices with degree-proportional probability.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidGeneratorConfig`] if `m == 0` or
+/// `config.vertices <= m`.
+pub fn barabasi_albert(config: GeneratorConfig, m: usize) -> Result<LabelledGraph> {
+    let n = config.vertices;
+    if m == 0 {
+        return Err(GraphError::InvalidGeneratorConfig(
+            "attachment parameter m must be positive".into(),
+        ));
+    }
+    if n <= m {
+        return Err(GraphError::InvalidGeneratorConfig(format!(
+            "need more than m = {m} vertices, got {n}"
+        )));
+    }
+    let mut rng = rng_for(config.seed);
+    let label_count = config.label_count.max(1);
+    let mut graph = LabelledGraph::with_capacity(n, n * m);
+
+    // `targets` is the degree-weighted urn: every endpoint of every edge is
+    // pushed once, so sampling uniformly from it is degree-proportional
+    // sampling — the standard O(1)-per-draw BA implementation.
+    let mut urn = Vec::with_capacity(2 * n * m);
+
+    // Seed clique of m + 1 vertices.
+    let seed_count = m + 1;
+    let mut vertices = Vec::with_capacity(n);
+    for _ in 0..seed_count {
+        vertices.push(graph.add_vertex(Label::new(rng.random_range(0..label_count))));
+    }
+    for i in 0..seed_count {
+        for j in (i + 1)..seed_count {
+            graph.add_edge(vertices[i], vertices[j])?;
+            urn.push(vertices[i]);
+            urn.push(vertices[j]);
+        }
+    }
+
+    for _ in seed_count..n {
+        let v = graph.add_vertex(Label::new(rng.random_range(0..label_count)));
+        let mut chosen = Vec::with_capacity(m);
+        // Draw m distinct degree-proportional targets via rejection.
+        let mut guard = 0usize;
+        while chosen.len() < m {
+            guard += 1;
+            let candidate = if guard > 50 * m {
+                // Extremely unlikely fallback: pick any vertex not yet chosen.
+                *vertices
+                    .iter()
+                    .find(|u| !chosen.contains(*u))
+                    .expect("more existing vertices than m")
+            } else {
+                urn[rng.random_range(0..urn.len())]
+            };
+            if !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+        }
+        for &target in &chosen {
+            graph.add_edge(v, target)?;
+            urn.push(v);
+            urn.push(target);
+        }
+        vertices.push(v);
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_and_edge_counts_match_model() {
+        let n = 500;
+        let m = 3;
+        let g = barabasi_albert(GeneratorConfig::new(n, 4, 11), m).unwrap();
+        assert_eq!(g.vertex_count(), n);
+        // seed clique edges + m per additional vertex
+        let expected = m * (m + 1) / 2 + (n - (m + 1)) * m;
+        assert_eq!(g.edge_count(), expected);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = barabasi_albert(GeneratorConfig::new(2_000, 4, 5), 2).unwrap();
+        let max = g.max_degree();
+        let avg = g.average_degree();
+        // Preferential attachment produces hubs far above the average degree.
+        assert!(
+            max as f64 > 5.0 * avg,
+            "expected a hub: max={max}, avg={avg}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = barabasi_albert(GeneratorConfig::new(200, 4, 1), 2).unwrap();
+        let b = barabasi_albert(GeneratorConfig::new(200, 4, 1), 2).unwrap();
+        assert_eq!(a.edges_sorted(), b.edges_sorted());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(barabasi_albert(GeneratorConfig::new(10, 4, 0), 0).is_err());
+        assert!(barabasi_albert(GeneratorConfig::new(3, 4, 0), 3).is_err());
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        let g = barabasi_albert(GeneratorConfig::new(300, 4, 2), 2).unwrap();
+        assert!(crate::traversal::is_connected(&g));
+    }
+}

@@ -1,0 +1,69 @@
+//! 2-D grid graphs.
+//!
+//! Grids have a known optimal cut (straight lines), which makes them a useful
+//! sanity check for partition quality: a good k-way partitioner should get
+//! close to the `O(sqrt(|V|))` cut of a block decomposition.
+
+use super::rng_for;
+use crate::error::Result;
+use crate::graph::LabelledGraph;
+use crate::ids::{Label, VertexId};
+use rand::RngExt;
+
+/// Generate a `rows x cols` 4-neighbour grid. Labels are drawn uniformly from
+/// `0..label_count` with the given seed.
+pub fn grid_graph(rows: usize, cols: usize, label_count: u32, seed: u64) -> Result<LabelledGraph> {
+    let mut rng = rng_for(seed);
+    let label_count = label_count.max(1);
+    let mut graph = LabelledGraph::with_capacity(rows * cols, 2 * rows * cols);
+    let mut ids = vec![VertexId::new(0); rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            ids[r * cols + c] = graph.add_vertex(Label::new(rng.random_range(0..label_count)));
+        }
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = ids[r * cols + c];
+            if c + 1 < cols {
+                graph.add_edge(v, ids[r * cols + c + 1])?;
+            }
+            if r + 1 < rows {
+                graph.add_edge(v, ids[(r + 1) * cols + c])?;
+            }
+        }
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn grid_counts() {
+        let g = grid_graph(10, 8, 3, 1).unwrap();
+        assert_eq!(g.vertex_count(), 80);
+        // Horizontal edges: 10 * 7, vertical: 9 * 8.
+        assert_eq!(g.edge_count(), 70 + 72);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        let line = grid_graph(1, 5, 2, 0).unwrap();
+        assert_eq!(line.edge_count(), 4);
+        let single = grid_graph(1, 1, 2, 0).unwrap();
+        assert_eq!(single.vertex_count(), 1);
+        assert_eq!(single.edge_count(), 0);
+        let empty = grid_graph(0, 5, 2, 0).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn interior_degree_is_four() {
+        let g = grid_graph(5, 5, 2, 0).unwrap();
+        assert_eq!(g.max_degree(), 4);
+    }
+}

@@ -1,0 +1,474 @@
+//! The mutable labelled graph used throughout LOOM.
+//!
+//! [`LabelledGraph`] matches the paper's Definition of a labelled graph
+//! `G = (V, E, L_V, f_l)`: a vertex set, an undirected edge set, and a
+//! surjective mapping of vertices to labels. It is an adjacency-list
+//! structure optimised for the operations the streaming partitioner and the
+//! motif matcher need: add vertex/edge, neighbourhood iteration, degree and
+//! label lookups, and induced sub-graph extraction.
+
+use crate::error::{GraphError, Result};
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::ids::{EdgeKey, Label, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// An undirected, vertex-labelled graph.
+///
+/// Self-loops and parallel edges are rejected: the partitioning model in the
+/// paper treats edges as unordered vertex pairs and a self-loop can never be
+/// cut, so neither contributes anything to the problem.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LabelledGraph {
+    labels: FxHashMap<VertexId, Label>,
+    adjacency: FxHashMap<VertexId, Vec<VertexId>>,
+    edges: FxHashSet<EdgeKey>,
+    next_id: u64,
+}
+
+impl LabelledGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty graph with capacity reserved for roughly
+    /// `vertices` vertices and `edges` edges.
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        Self {
+            labels: FxHashMap::with_capacity_and_hasher(vertices, Default::default()),
+            adjacency: FxHashMap::with_capacity_and_hasher(vertices, Default::default()),
+            edges: FxHashSet::with_capacity_and_hasher(edges, Default::default()),
+            next_id: 0,
+        }
+    }
+
+    /// Add a new vertex with the given label, returning its freshly allocated
+    /// id (ids allocated this way are dense and increasing).
+    pub fn add_vertex(&mut self, label: Label) -> VertexId {
+        let id = VertexId::new(self.next_id);
+        self.next_id += 1;
+        self.labels.insert(id, label);
+        self.adjacency.entry(id).or_default();
+        id
+    }
+
+    /// Insert a vertex with an explicit id (e.g. when replaying a stream or
+    /// loading a file). Returns `true` if the vertex was new, `false` if the
+    /// vertex already existed (in which case its label is updated).
+    pub fn insert_vertex(&mut self, id: VertexId, label: Label) -> bool {
+        self.next_id = self.next_id.max(id.raw() + 1);
+        self.adjacency.entry(id).or_default();
+        self.labels.insert(id, label).is_none()
+    }
+
+    /// Add an undirected edge between two existing vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingVertex`] if either endpoint is absent,
+    /// [`GraphError::SelfLoop`] for `a == b`, and
+    /// [`GraphError::DuplicateEdge`] if the edge already exists.
+    pub fn add_edge(&mut self, a: VertexId, b: VertexId) -> Result<EdgeKey> {
+        if a == b {
+            return Err(GraphError::SelfLoop(a));
+        }
+        if !self.labels.contains_key(&a) {
+            return Err(GraphError::MissingVertex(a));
+        }
+        if !self.labels.contains_key(&b) {
+            return Err(GraphError::MissingVertex(b));
+        }
+        let key = EdgeKey::new(a, b);
+        if !self.edges.insert(key) {
+            return Err(GraphError::DuplicateEdge(a, b));
+        }
+        self.adjacency.entry(a).or_default().push(b);
+        self.adjacency.entry(b).or_default().push(a);
+        Ok(key)
+    }
+
+    /// Add an edge if it is not already present, ignoring duplicates.
+    /// Returns `true` if the edge was inserted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same endpoint errors as [`LabelledGraph::add_edge`].
+    pub fn add_edge_idempotent(&mut self, a: VertexId, b: VertexId) -> Result<bool> {
+        match self.add_edge(a, b) {
+            Ok(_) => Ok(true),
+            Err(GraphError::DuplicateEdge(_, _)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Remove an edge. Returns `true` if it was present.
+    pub fn remove_edge(&mut self, a: VertexId, b: VertexId) -> bool {
+        let key = EdgeKey::new(a, b);
+        if !self.edges.remove(&key) {
+            return false;
+        }
+        if let Some(list) = self.adjacency.get_mut(&a) {
+            list.retain(|&v| v != b);
+        }
+        if let Some(list) = self.adjacency.get_mut(&b) {
+            list.retain(|&v| v != a);
+        }
+        true
+    }
+
+    /// Remove a vertex and all of its incident edges.
+    /// Returns `true` if the vertex was present.
+    pub fn remove_vertex(&mut self, v: VertexId) -> bool {
+        if self.labels.remove(&v).is_none() {
+            return false;
+        }
+        let neighbours = self.adjacency.remove(&v).unwrap_or_default();
+        for n in neighbours {
+            self.edges.remove(&EdgeKey::new(v, n));
+            if let Some(list) = self.adjacency.get_mut(&n) {
+                list.retain(|&u| u != v);
+            }
+        }
+        true
+    }
+
+    /// Whether the vertex exists.
+    #[inline]
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        self.labels.contains_key(&v)
+    }
+
+    /// Whether the undirected edge exists.
+    #[inline]
+    pub fn contains_edge(&self, a: VertexId, b: VertexId) -> bool {
+        self.edges.contains(&EdgeKey::new(a, b))
+    }
+
+    /// The label of a vertex.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Option<Label> {
+        self.labels.get(&v).copied()
+    }
+
+    /// Change the label of an existing vertex. Returns the previous label.
+    pub fn set_label(&mut self, v: VertexId, label: Label) -> Result<Label> {
+        match self.labels.get_mut(&v) {
+            Some(slot) => Ok(std::mem::replace(slot, label)),
+            None => Err(GraphError::MissingVertex(v)),
+        }
+    }
+
+    /// The neighbours of a vertex (empty slice if the vertex is absent).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.adjacency.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The degree of a vertex (0 if absent).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adjacency.get(&v).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterate over all vertex ids (arbitrary order).
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.labels.keys().copied()
+    }
+
+    /// All vertex ids, sorted ascending. Useful for deterministic iteration.
+    pub fn vertices_sorted(&self) -> Vec<VertexId> {
+        let mut ids: Vec<_> = self.labels.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Iterate over all undirected edges (arbitrary order).
+    pub fn edges(&self) -> impl Iterator<Item = EdgeKey> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// All edges, sorted lexicographically. Useful for deterministic iteration.
+    pub fn edges_sorted(&self) -> Vec<EdgeKey> {
+        let mut edges: Vec<_> = self.edges.iter().copied().collect();
+        edges.sort_unstable();
+        edges
+    }
+
+    /// Iterate over `(VertexId, Label)` pairs (arbitrary order).
+    pub fn labelled_vertices(&self) -> impl Iterator<Item = (VertexId, Label)> + '_ {
+        self.labels.iter().map(|(&v, &l)| (v, l))
+    }
+
+    /// The maximum degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The average degree `2|E| / |V|` (0.0 for an empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edges.len() as f64 / self.labels.len() as f64
+        }
+    }
+
+    /// Histogram of labels → number of vertices carrying that label.
+    pub fn label_histogram(&self) -> FxHashMap<Label, usize> {
+        let mut hist = FxHashMap::default();
+        for &label in self.labels.values() {
+            *hist.entry(label).or_insert(0) += 1;
+        }
+        hist
+    }
+
+    /// The set of distinct labels present in the graph.
+    pub fn distinct_labels(&self) -> Vec<Label> {
+        let mut labels: Vec<Label> = self
+            .labels
+            .values()
+            .copied()
+            .collect::<FxHashSet<_>>()
+            .into_iter()
+            .collect();
+        labels.sort_unstable();
+        labels
+    }
+
+    /// Copy every vertex and edge of `other` into `self`, keeping ids.
+    /// Existing vertices keep their current label; duplicate edges are ignored.
+    pub fn absorb(&mut self, other: &LabelledGraph) {
+        for (v, l) in other.labelled_vertices() {
+            if !self.contains_vertex(v) {
+                self.insert_vertex(v, l);
+            }
+        }
+        for e in other.edges() {
+            let _ = self.add_edge_idempotent(e.lo, e.hi);
+        }
+    }
+
+    /// Number of edges between `v` and vertices in `set`.
+    pub fn edges_into_set(&self, v: VertexId, set: &FxHashSet<VertexId>) -> usize {
+        self.neighbors(v).iter().filter(|n| set.contains(n)).count()
+    }
+
+    /// Total memory-light summary used in logs and reports.
+    pub fn summary(&self) -> GraphSummary {
+        GraphSummary {
+            vertices: self.vertex_count(),
+            edges: self.edge_count(),
+            max_degree: self.max_degree(),
+            avg_degree: self.average_degree(),
+            labels: self.distinct_labels().len(),
+        }
+    }
+}
+
+/// A compact statistical summary of a graph, used in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraphSummary {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Maximum vertex degree.
+    pub max_degree: usize,
+    /// Average vertex degree.
+    pub avg_degree: f64,
+    /// Number of distinct labels.
+    pub labels: usize,
+}
+
+impl std::fmt::Display for GraphSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} max_deg={} avg_deg={:.2} labels={}",
+            self.vertices, self.edges, self.max_degree, self.avg_degree, self.labels
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_vertex_graph() -> (LabelledGraph, VertexId, VertexId) {
+        let mut g = LabelledGraph::new();
+        let a = g.add_vertex(Label::new(0));
+        let b = g.add_vertex(Label::new(1));
+        (g, a, b)
+    }
+
+    #[test]
+    fn add_vertex_allocates_dense_ids() {
+        let mut g = LabelledGraph::new();
+        let a = g.add_vertex(Label::new(0));
+        let b = g.add_vertex(Label::new(1));
+        assert_eq!(a.raw(), 0);
+        assert_eq!(b.raw(), 1);
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.label(a), Some(Label::new(0)));
+        assert_eq!(g.label(b), Some(Label::new(1)));
+    }
+
+    #[test]
+    fn insert_vertex_respects_explicit_ids() {
+        let mut g = LabelledGraph::new();
+        assert!(g.insert_vertex(VertexId::new(10), Label::new(2)));
+        // Fresh ids continue after the largest explicit id.
+        let next = g.add_vertex(Label::new(0));
+        assert_eq!(next.raw(), 11);
+        // Re-inserting updates the label and reports "not new".
+        assert!(!g.insert_vertex(VertexId::new(10), Label::new(3)));
+        assert_eq!(g.label(VertexId::new(10)), Some(Label::new(3)));
+    }
+
+    #[test]
+    fn add_edge_updates_adjacency_both_ways() {
+        let (mut g, a, b) = two_vertex_graph();
+        g.add_edge(a, b).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.neighbors(a), &[b]);
+        assert_eq!(g.neighbors(b), &[a]);
+        assert!(g.contains_edge(a, b));
+        assert!(g.contains_edge(b, a));
+        assert_eq!(g.degree(a), 1);
+    }
+
+    #[test]
+    fn add_edge_rejects_self_loops_and_duplicates_and_missing() {
+        let (mut g, a, b) = two_vertex_graph();
+        assert_eq!(g.add_edge(a, a), Err(GraphError::SelfLoop(a)));
+        g.add_edge(a, b).unwrap();
+        assert!(matches!(
+            g.add_edge(b, a),
+            Err(GraphError::DuplicateEdge(_, _))
+        ));
+        let ghost = VertexId::new(99);
+        assert_eq!(g.add_edge(a, ghost), Err(GraphError::MissingVertex(ghost)));
+        assert_eq!(g.add_edge(ghost, a), Err(GraphError::MissingVertex(ghost)));
+    }
+
+    #[test]
+    fn idempotent_edge_insertion() {
+        let (mut g, a, b) = two_vertex_graph();
+        assert!(g.add_edge_idempotent(a, b).unwrap());
+        assert!(!g.add_edge_idempotent(a, b).unwrap());
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn remove_edge_and_vertex() {
+        let mut g = LabelledGraph::new();
+        let a = g.add_vertex(Label::new(0));
+        let b = g.add_vertex(Label::new(1));
+        let c = g.add_vertex(Label::new(2));
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+
+        assert!(g.remove_edge(a, b));
+        assert!(!g.remove_edge(a, b));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(a), 0);
+
+        assert!(g.remove_vertex(b));
+        assert!(!g.remove_vertex(b));
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(c), 0);
+    }
+
+    #[test]
+    fn set_label_replaces_and_errors_on_missing() {
+        let (mut g, a, _) = two_vertex_graph();
+        assert_eq!(g.set_label(a, Label::new(5)).unwrap(), Label::new(0));
+        assert_eq!(g.label(a), Some(Label::new(5)));
+        assert!(g.set_label(VertexId::new(77), Label::new(0)).is_err());
+    }
+
+    #[test]
+    fn statistics_and_histograms() {
+        let mut g = LabelledGraph::new();
+        let a = g.add_vertex(Label::new(0));
+        let b = g.add_vertex(Label::new(0));
+        let c = g.add_vertex(Label::new(1));
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.average_degree() - 4.0 / 3.0).abs() < 1e-9);
+        let hist = g.label_histogram();
+        assert_eq!(hist[&Label::new(0)], 2);
+        assert_eq!(hist[&Label::new(1)], 1);
+        assert_eq!(g.distinct_labels(), vec![Label::new(0), Label::new(1)]);
+        let summary = g.summary();
+        assert_eq!(summary.vertices, 3);
+        assert_eq!(summary.edges, 2);
+        assert_eq!(summary.labels, 2);
+        assert!(summary.to_string().contains("|V|=3"));
+    }
+
+    #[test]
+    fn absorb_merges_graphs() {
+        let mut g1 = LabelledGraph::new();
+        let a = g1.add_vertex(Label::new(0));
+        let b = g1.add_vertex(Label::new(1));
+        g1.add_edge(a, b).unwrap();
+
+        let mut g2 = LabelledGraph::new();
+        g2.insert_vertex(b, Label::new(1));
+        g2.insert_vertex(VertexId::new(5), Label::new(2));
+        g2.add_edge(b, VertexId::new(5)).unwrap();
+
+        g1.absorb(&g2);
+        assert_eq!(g1.vertex_count(), 3);
+        assert_eq!(g1.edge_count(), 2);
+        assert!(g1.contains_edge(b, VertexId::new(5)));
+    }
+
+    #[test]
+    fn sorted_accessors_are_deterministic() {
+        let mut g = LabelledGraph::new();
+        for i in 0..10 {
+            g.insert_vertex(VertexId::new(9 - i), Label::new(0));
+        }
+        let sorted = g.vertices_sorted();
+        assert_eq!(sorted.len(), 10);
+        assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn edges_into_set_counts_correctly() {
+        let mut g = LabelledGraph::new();
+        let a = g.add_vertex(Label::new(0));
+        let b = g.add_vertex(Label::new(0));
+        let c = g.add_vertex(Label::new(0));
+        let d = g.add_vertex(Label::new(0));
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(a, d).unwrap();
+        let mut set = FxHashSet::default();
+        set.insert(b);
+        set.insert(c);
+        assert_eq!(g.edges_into_set(a, &set), 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! Structural graph statistics.
+//!
+//! The experiment reports describe their input graphs with the usual summary
+//! statistics: degree distribution percentiles, global clustering
+//! coefficient, and degree histogram. Nothing here is needed on the streaming
+//! hot path; these are offline descriptive tools.
+
+use crate::fxhash::FxHashSet;
+use crate::graph::LabelledGraph;
+use serde::{Deserialize, Serialize};
+
+/// Summary of a graph's degree distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+    /// 90th percentile degree.
+    pub p90: usize,
+    /// 99th percentile degree.
+    pub p99: usize,
+}
+
+/// Compute degree distribution statistics (all zeros for an empty graph).
+pub fn degree_stats(graph: &LabelledGraph) -> DegreeStats {
+    let mut degrees: Vec<usize> = graph.vertices().map(|v| graph.degree(v)).collect();
+    if degrees.is_empty() {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            median: 0,
+            p90: 0,
+            p99: 0,
+        };
+    }
+    degrees.sort_unstable();
+    let percentile = |p: f64| -> usize {
+        let index = ((degrees.len() as f64 - 1.0) * p).round() as usize;
+        degrees[index.min(degrees.len() - 1)]
+    };
+    DegreeStats {
+        min: degrees[0],
+        max: *degrees.last().expect("non-empty"),
+        mean: degrees.iter().sum::<usize>() as f64 / degrees.len() as f64,
+        median: percentile(0.5),
+        p90: percentile(0.9),
+        p99: percentile(0.99),
+    }
+}
+
+/// Histogram of degrees: `histogram[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(graph: &LabelledGraph) -> Vec<usize> {
+    let mut histogram = vec![0usize; graph.max_degree() + 1];
+    for v in graph.vertices() {
+        histogram[graph.degree(v)] += 1;
+    }
+    histogram
+}
+
+/// Exact global clustering coefficient: `3 · triangles / open-or-closed
+/// triplets` (0.0 when the graph has no wedge).
+///
+/// Exact triangle counting is `O(Σ deg(v)²)`, which is fine for the graph
+/// sizes used in the experiments; do not call this on multi-million-edge
+/// graphs.
+pub fn clustering_coefficient(graph: &LabelledGraph) -> f64 {
+    let mut triangles = 0usize;
+    let mut wedges = 0usize;
+    for v in graph.vertices() {
+        let neighbours = graph.neighbors(v);
+        let d = neighbours.len();
+        if d < 2 {
+            continue;
+        }
+        wedges += d * (d - 1) / 2;
+        let set: FxHashSet<_> = neighbours.iter().copied().collect();
+        for (i, &a) in neighbours.iter().enumerate() {
+            for &b in &neighbours[i + 1..] {
+                if set.contains(&b) && graph.contains_edge(a, b) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if wedges == 0 {
+        0.0
+    } else {
+        triangles as f64 / wedges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::regular::{clique, path_graph, star_graph};
+    use crate::generators::{barabasi_albert, GeneratorConfig};
+    use crate::ids::Label;
+
+    #[test]
+    fn degree_stats_on_simple_shapes() {
+        let path = path_graph(5, &[Label::new(0)]);
+        let stats = degree_stats(&path);
+        assert_eq!(stats.min, 1);
+        assert_eq!(stats.max, 2);
+        assert!((stats.mean - 1.6).abs() < 1e-12);
+        assert_eq!(stats.median, 2);
+
+        let star = star_graph(9, &[Label::new(0)]);
+        let stats = degree_stats(&star);
+        assert_eq!(stats.max, 9);
+        assert_eq!(stats.min, 1);
+        assert_eq!(stats.p99, 9);
+
+        let empty = degree_stats(&LabelledGraph::new());
+        assert_eq!(empty.max, 0);
+        assert_eq!(empty.mean, 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_every_vertex() {
+        let star = star_graph(4, &[Label::new(0)]);
+        let histogram = degree_histogram(&star);
+        assert_eq!(histogram.iter().sum::<usize>(), 5);
+        assert_eq!(histogram[1], 4);
+        assert_eq!(histogram[4], 1);
+    }
+
+    #[test]
+    fn clustering_coefficient_bounds() {
+        // A clique is fully clustered, a path has no triangles.
+        let k5 = clique(5, &[Label::new(0)]);
+        assert!((clustering_coefficient(&k5) - 1.0).abs() < 1e-12);
+        let path = path_graph(10, &[Label::new(0)]);
+        assert_eq!(clustering_coefficient(&path), 0.0);
+        assert_eq!(clustering_coefficient(&LabelledGraph::new()), 0.0);
+        // BA graphs have some clustering, strictly between the two extremes.
+        let ba = barabasi_albert(GeneratorConfig::new(500, 2, 3), 3).unwrap();
+        let c = clustering_coefficient(&ba);
+        assert!(c > 0.0 && c < 1.0, "clustering {c}");
+    }
+
+    #[test]
+    fn heavy_tail_is_visible_in_percentiles() {
+        let ba = barabasi_albert(GeneratorConfig::new(2_000, 2, 9), 2).unwrap();
+        let stats = degree_stats(&ba);
+        assert!(stats.p99 > stats.median * 2);
+        assert!(stats.max >= stats.p99);
+    }
+}

@@ -1,0 +1,257 @@
+//! The graph-stream abstraction.
+//!
+//! A graph-stream is "an ordering over the elements of a dynamic, growing
+//! graph" (paper §1). We model it as a sequence of [`StreamElement`]s:
+//! vertex additions carrying the vertex label, and edge additions between
+//! vertices that have already appeared. Streaming partitioners consume the
+//! elements strictly in order and exactly once.
+
+use crate::graph::LabelledGraph;
+use crate::ids::{Label, VertexId};
+use crate::ordering::StreamOrder;
+use serde::{Deserialize, Serialize};
+
+/// One element of a graph stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamElement {
+    /// A new vertex arriving with its label.
+    AddVertex {
+        /// The vertex id.
+        id: VertexId,
+        /// The vertex label.
+        label: Label,
+    },
+    /// A new edge arriving between two previously seen vertices.
+    AddEdge {
+        /// First endpoint (already streamed).
+        source: VertexId,
+        /// Second endpoint (already streamed).
+        target: VertexId,
+    },
+}
+
+impl StreamElement {
+    /// Whether this element is a vertex addition.
+    pub fn is_vertex(&self) -> bool {
+        matches!(self, StreamElement::AddVertex { .. })
+    }
+
+    /// Whether this element is an edge addition.
+    pub fn is_edge(&self) -> bool {
+        matches!(self, StreamElement::AddEdge { .. })
+    }
+}
+
+/// An ordered sequence of graph elements, replayable any number of times.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GraphStream {
+    elements: Vec<StreamElement>,
+    vertex_count: usize,
+    edge_count: usize,
+}
+
+impl GraphStream {
+    /// An empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a stream from an explicit element sequence.
+    ///
+    /// The sequence is taken as-is; callers are responsible for ensuring edges
+    /// only reference previously streamed vertices (use
+    /// [`GraphStream::from_graph`] for the common case).
+    pub fn from_elements(elements: Vec<StreamElement>) -> Self {
+        let vertex_count = elements.iter().filter(|e| e.is_vertex()).count();
+        let edge_count = elements.len() - vertex_count;
+        Self {
+            elements,
+            vertex_count,
+            edge_count,
+        }
+    }
+
+    /// Turn a static graph into a stream under the given vertex ordering.
+    ///
+    /// Each vertex is emitted in order; immediately after a vertex arrives,
+    /// every edge between it and an *earlier* vertex is emitted. This matches
+    /// the model used by Stanton & Kliot and Fennel, where a vertex arrives
+    /// "with its adjacency list restricted to already-seen vertices".
+    pub fn from_graph(graph: &LabelledGraph, order: &StreamOrder) -> Self {
+        let vertex_order = order.order(graph);
+        Self::from_vertex_order(graph, &vertex_order)
+    }
+
+    /// Like [`GraphStream::from_graph`] but with an explicit vertex order.
+    pub fn from_vertex_order(graph: &LabelledGraph, vertex_order: &[VertexId]) -> Self {
+        let mut seen = crate::fxhash::FxHashSet::default();
+        let mut elements =
+            Vec::with_capacity(graph.vertex_count() + graph.edge_count());
+        for &v in vertex_order {
+            let label = graph
+                .label(v)
+                .expect("vertex order must reference graph vertices");
+            elements.push(StreamElement::AddVertex { id: v, label });
+            seen.insert(v);
+            let mut earlier: Vec<VertexId> = graph
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|n| seen.contains(n) && *n != v)
+                .collect();
+            earlier.sort_unstable();
+            for n in earlier {
+                elements.push(StreamElement::AddEdge {
+                    source: v,
+                    target: n,
+                });
+            }
+        }
+        Self::from_elements(elements)
+    }
+
+    /// The elements in order.
+    pub fn elements(&self) -> &[StreamElement] {
+        &self.elements
+    }
+
+    /// Iterate over the elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &StreamElement> + '_ {
+        self.elements.iter()
+    }
+
+    /// Number of elements (vertices + edges).
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the stream has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Number of vertex additions in the stream.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_count
+    }
+
+    /// Number of edge additions in the stream.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Append an element (used by tests and by incremental/dynamic scenarios).
+    pub fn push(&mut self, element: StreamElement) {
+        if element.is_vertex() {
+            self.vertex_count += 1;
+        } else {
+            self.edge_count += 1;
+        }
+        self.elements.push(element);
+    }
+
+    /// Replay the stream into a [`LabelledGraph`]; useful for checking that a
+    /// stream faithfully reconstructs its source graph.
+    pub fn materialise(&self) -> LabelledGraph {
+        let mut graph = LabelledGraph::with_capacity(self.vertex_count, self.edge_count);
+        for element in &self.elements {
+            match *element {
+                StreamElement::AddVertex { id, label } => {
+                    graph.insert_vertex(id, label);
+                }
+                StreamElement::AddEdge { source, target } => {
+                    let _ = graph.add_edge_idempotent(source, target);
+                }
+            }
+        }
+        graph
+    }
+}
+
+impl<'a> IntoIterator for &'a GraphStream {
+    type Item = &'a StreamElement;
+    type IntoIter = std::slice::Iter<'a, StreamElement>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.elements.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barabasi_albert, GeneratorConfig};
+
+    #[test]
+    fn stream_from_graph_reconstructs_graph() {
+        let g = barabasi_albert(GeneratorConfig::new(200, 4, 3), 2).unwrap();
+        for order in [
+            StreamOrder::Random { seed: 1 },
+            StreamOrder::Bfs,
+            StreamOrder::Adversarial,
+        ] {
+            let stream = GraphStream::from_graph(&g, &order);
+            assert_eq!(stream.vertex_count(), g.vertex_count());
+            assert_eq!(stream.edge_count(), g.edge_count());
+            let rebuilt = stream.materialise();
+            assert_eq!(rebuilt.vertex_count(), g.vertex_count());
+            assert_eq!(rebuilt.edge_count(), g.edge_count());
+            assert_eq!(rebuilt.edges_sorted(), g.edges_sorted());
+        }
+    }
+
+    #[test]
+    fn edges_always_follow_both_endpoints() {
+        let g = barabasi_albert(GeneratorConfig::new(100, 4, 9), 2).unwrap();
+        let stream = GraphStream::from_graph(&g, &StreamOrder::Random { seed: 2 });
+        let mut seen = crate::fxhash::FxHashSet::default();
+        for element in &stream {
+            match *element {
+                StreamElement::AddVertex { id, .. } => {
+                    seen.insert(id);
+                }
+                StreamElement::AddEdge { source, target } => {
+                    assert!(seen.contains(&source));
+                    assert!(seen.contains(&target));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn push_updates_counters() {
+        let mut s = GraphStream::new();
+        assert!(s.is_empty());
+        s.push(StreamElement::AddVertex {
+            id: VertexId::new(0),
+            label: Label::new(0),
+        });
+        s.push(StreamElement::AddVertex {
+            id: VertexId::new(1),
+            label: Label::new(1),
+        });
+        s.push(StreamElement::AddEdge {
+            source: VertexId::new(1),
+            target: VertexId::new(0),
+        });
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.vertex_count(), 2);
+        assert_eq!(s.edge_count(), 1);
+        let g = s.materialise();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn element_kind_predicates() {
+        let v = StreamElement::AddVertex {
+            id: VertexId::new(0),
+            label: Label::new(0),
+        };
+        let e = StreamElement::AddEdge {
+            source: VertexId::new(0),
+            target: VertexId::new(1),
+        };
+        assert!(v.is_vertex() && !v.is_edge());
+        assert!(e.is_edge() && !e.is_vertex());
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for workload capture and motif mining.
+
+use std::fmt;
+
+/// Errors produced while building queries, mining motifs or constructing the
+/// TPSTry++.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MotifError {
+    /// A query graph was empty or disconnected — the paper only considers
+    /// connected pattern queries.
+    InvalidQuery(String),
+    /// A workload was constructed with no queries or non-positive frequencies.
+    InvalidWorkload(String),
+    /// The motif miner was configured with impossible limits.
+    InvalidConfig(String),
+    /// The label alphabet exceeded the configured prime table capacity.
+    PrimeTableExhausted {
+        /// Number of labels the table was built for.
+        capacity: u32,
+        /// The offending label value.
+        label: u32,
+    },
+    /// An underlying graph operation failed.
+    Graph(loom_graph::GraphError),
+}
+
+impl fmt::Display for MotifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MotifError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            MotifError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            MotifError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            MotifError::PrimeTableExhausted { capacity, label } => write!(
+                f,
+                "prime table built for {capacity} labels cannot encode label {label}"
+            ),
+            MotifError::Graph(err) => write!(f, "graph error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for MotifError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MotifError::Graph(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<loom_graph::GraphError> for MotifError {
+    fn from(err: loom_graph::GraphError) -> Self {
+        MotifError::Graph(err)
+    }
+}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, MotifError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_graph::{GraphError, VertexId};
+
+    #[test]
+    fn display_is_informative() {
+        assert!(MotifError::InvalidQuery("empty".into())
+            .to_string()
+            .contains("empty"));
+        assert!(MotifError::PrimeTableExhausted {
+            capacity: 4,
+            label: 9
+        }
+        .to_string()
+        .contains("label 9"));
+    }
+
+    #[test]
+    fn graph_errors_convert_and_chain() {
+        let err: MotifError = GraphError::MissingVertex(VertexId::new(1)).into();
+        assert!(matches!(err, MotifError::Graph(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

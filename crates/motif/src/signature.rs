@@ -1,0 +1,319 @@
+//! Number-theoretic graph signatures (after Song et al., VLDB 2015).
+//!
+//! A signature encodes a small labelled graph as a product of prime factors:
+//! one factor per vertex (determined by its label) and one per edge
+//! (determined by the unordered pair of endpoint labels). Two properties make
+//! this useful for streaming motif matching (paper §4.2–4.3):
+//!
+//! * **Incrementality** — adding a vertex or an edge to a sub-graph multiplies
+//!   its signature by a single factor, so the signature of a growing window
+//!   sub-graph is maintained in O(1) per update.
+//! * **Divisibility ⇒ containment (of the factor multiset)** — if a window
+//!   sub-graph's signature is not divisible by a motif's signature, the
+//!   sub-graph cannot contain a match for the motif. The converse does not
+//!   hold (the check is *non-authoritative*), exactly as in the paper; callers
+//!   that need certainty verify with [`crate::isomorphism`].
+//!
+//! Rather than multiplying into an unbounded big integer, a [`Signature`]
+//! stores the **sorted multiset of prime factors** plus a 128-bit wrapping
+//! product used as a cheap hash. Divisibility is multiset inclusion, which is
+//! exact with respect to the factor model and never overflows.
+
+use crate::error::{MotifError, Result};
+use crate::primes::LabelPrimes;
+use loom_graph::{Label, LabelledGraph};
+use serde::{Deserialize, Serialize};
+
+/// Mapping from labels / label pairs to prime factors, shared by every
+/// signature in a pipeline. Wraps [`LabelPrimes`] with error reporting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrimeTable {
+    primes: LabelPrimes,
+}
+
+impl PrimeTable {
+    /// Build a table for a label alphabet of `label_count` labels.
+    pub fn new(label_count: u32) -> Self {
+        Self {
+            primes: LabelPrimes::new(label_count),
+        }
+    }
+
+    /// The alphabet size.
+    pub fn label_count(&self) -> u32 {
+        self.primes.label_count()
+    }
+
+    /// Factor contributed by a vertex with the given label.
+    pub fn vertex_factor(&self, label: Label) -> Result<u64> {
+        self.primes
+            .vertex_prime(label.raw())
+            .ok_or(MotifError::PrimeTableExhausted {
+                capacity: self.primes.label_count(),
+                label: label.raw(),
+            })
+    }
+
+    /// Factor contributed by an edge between vertices labelled `a` and `b`.
+    pub fn edge_factor(&self, a: Label, b: Label) -> Result<u64> {
+        self.primes
+            .pair_prime(a.raw(), b.raw())
+            .ok_or(MotifError::PrimeTableExhausted {
+                capacity: self.primes.label_count(),
+                label: a.raw().max(b.raw()),
+            })
+    }
+
+    /// Compute the signature of a whole graph from scratch.
+    pub fn signature_of(&self, graph: &LabelledGraph) -> Result<Signature> {
+        let mut signature = Signature::empty();
+        for (_, label) in graph.labelled_vertices() {
+            signature.multiply(self.vertex_factor(label)?);
+        }
+        for e in graph.edges() {
+            let la = graph.label(e.lo).expect("edge endpoint exists");
+            let lb = graph.label(e.hi).expect("edge endpoint exists");
+            signature.multiply(self.edge_factor(la, lb)?);
+        }
+        Ok(signature)
+    }
+}
+
+/// A multiplicative graph signature: a sorted multiset of prime factors plus
+/// a 128-bit wrapping product used for fast equality short-circuiting.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Signature {
+    /// Sorted prime factors with multiplicity.
+    factors: Vec<u64>,
+    /// Wrapping product of the factors (hash only — not unique).
+    product: u128,
+}
+
+impl Signature {
+    /// The signature of the empty graph (multiplicative identity).
+    pub fn empty() -> Self {
+        Self {
+            factors: Vec::new(),
+            product: 1,
+        }
+    }
+
+    /// The signature of a single vertex with the given label.
+    pub fn single_vertex(table: &PrimeTable, label: Label) -> Result<Self> {
+        let mut s = Self::empty();
+        s.multiply(table.vertex_factor(label)?);
+        Ok(s)
+    }
+
+    /// Multiply a raw factor into the signature (keeps factors sorted).
+    pub fn multiply(&mut self, factor: u64) {
+        let position = self.factors.partition_point(|&f| f < factor);
+        self.factors.insert(position, factor);
+        self.product = self.product.wrapping_mul(u128::from(factor));
+    }
+
+    /// Return a copy with the vertex factor for `label` multiplied in.
+    pub fn with_vertex(&self, table: &PrimeTable, label: Label) -> Result<Self> {
+        let mut next = self.clone();
+        next.multiply(table.vertex_factor(label)?);
+        Ok(next)
+    }
+
+    /// Return a copy with the edge factor for `(a, b)` multiplied in.
+    pub fn with_edge(&self, table: &PrimeTable, a: Label, b: Label) -> Result<Self> {
+        let mut next = self.clone();
+        next.multiply(table.edge_factor(a, b)?);
+        Ok(next)
+    }
+
+    /// Number of prime factors (vertices + edges encoded).
+    pub fn factor_count(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Whether this is the empty (identity) signature.
+    pub fn is_empty(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// The wrapping 128-bit product (a cheap hash, not unique).
+    pub fn product_hash(&self) -> u128 {
+        self.product
+    }
+
+    /// The sorted factor multiset.
+    pub fn factors(&self) -> &[u64] {
+        &self.factors
+    }
+
+    /// Whether `self` divides `other`, i.e. every factor of `self` appears in
+    /// `other` with at least the same multiplicity. A sub-graph's signature
+    /// always divides its super-graph's signature.
+    pub fn divides(&self, other: &Signature) -> bool {
+        if self.factors.len() > other.factors.len() {
+            return false;
+        }
+        // Both factor lists are sorted: a single merge pass suffices.
+        let mut oi = 0usize;
+        for &f in &self.factors {
+            loop {
+                if oi >= other.factors.len() {
+                    return false;
+                }
+                match other.factors[oi].cmp(&f) {
+                    std::cmp::Ordering::Less => oi += 1,
+                    std::cmp::Ordering::Equal => {
+                        oi += 1;
+                        break;
+                    }
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether `other` divides `self`.
+    pub fn is_divisible_by(&self, other: &Signature) -> bool {
+        other.divides(self)
+    }
+}
+
+impl std::fmt::Display for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sig[{} factors, hash={:x}]", self.factors.len(), self.product)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_graph::generators::regular::{cycle_graph, path_graph};
+
+    fn l(x: u32) -> Label {
+        Label::new(x)
+    }
+
+    #[test]
+    fn empty_signature_is_identity() {
+        let s = Signature::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.product_hash(), 1);
+        let other = Signature::empty();
+        assert!(s.divides(&other));
+        assert!(other.divides(&s));
+    }
+
+    #[test]
+    fn signature_is_order_independent() {
+        let table = PrimeTable::new(4);
+        // Build a-b-c two ways: batch and incrementally in different orders.
+        let graph = path_graph(3, &[l(0), l(1), l(2)]);
+        let batch = table.signature_of(&graph).unwrap();
+
+        let mut incremental = Signature::empty();
+        incremental.multiply(table.edge_factor(l(1), l(2)).unwrap());
+        incremental.multiply(table.vertex_factor(l(2)).unwrap());
+        incremental.multiply(table.vertex_factor(l(0)).unwrap());
+        incremental.multiply(table.edge_factor(l(0), l(1)).unwrap());
+        incremental.multiply(table.vertex_factor(l(1)).unwrap());
+
+        assert_eq!(batch, incremental);
+        assert_eq!(batch.product_hash(), incremental.product_hash());
+    }
+
+    #[test]
+    fn subgraph_signature_divides_supergraph() {
+        let table = PrimeTable::new(4);
+        let ab = path_graph(2, &[l(0), l(1)]);
+        let abc = path_graph(3, &[l(0), l(1), l(2)]);
+        let abcd = path_graph(4, &[l(0), l(1), l(2), l(3)]);
+        let s_ab = table.signature_of(&ab).unwrap();
+        let s_abc = table.signature_of(&abc).unwrap();
+        let s_abcd = table.signature_of(&abcd).unwrap();
+        assert!(s_ab.divides(&s_abc));
+        assert!(s_ab.divides(&s_abcd));
+        assert!(s_abc.divides(&s_abcd));
+        assert!(!s_abcd.divides(&s_abc));
+        assert!(s_abcd.is_divisible_by(&s_abc));
+    }
+
+    #[test]
+    fn different_topologies_with_same_labels_can_differ() {
+        let table = PrimeTable::new(2);
+        let path = path_graph(4, &[l(0), l(1), l(0), l(1)]);
+        let cycle = cycle_graph(4, &[l(0), l(1), l(0), l(1)]);
+        let s_path = table.signature_of(&path).unwrap();
+        let s_cycle = table.signature_of(&cycle).unwrap();
+        // The cycle has one more edge, so the path divides the cycle but not
+        // vice versa, and the signatures differ.
+        assert_ne!(s_path, s_cycle);
+        assert!(s_path.divides(&s_cycle));
+        assert!(!s_cycle.divides(&s_path));
+    }
+
+    #[test]
+    fn disjoint_label_sets_do_not_divide() {
+        let table = PrimeTable::new(6);
+        let ab = path_graph(2, &[l(0), l(1)]);
+        let cd = path_graph(2, &[l(2), l(3)]);
+        let s_ab = table.signature_of(&ab).unwrap();
+        let s_cd = table.signature_of(&cd).unwrap();
+        assert!(!s_ab.divides(&s_cd));
+        assert!(!s_cd.divides(&s_ab));
+    }
+
+    #[test]
+    fn with_vertex_and_with_edge_are_incremental() {
+        let table = PrimeTable::new(3);
+        let single = Signature::single_vertex(&table, l(0)).unwrap();
+        let extended = single
+            .with_vertex(&table, l(1))
+            .unwrap()
+            .with_edge(&table, l(0), l(1))
+            .unwrap();
+        let direct = table
+            .signature_of(&path_graph(2, &[l(0), l(1)]))
+            .unwrap();
+        assert_eq!(extended, direct);
+    }
+
+    #[test]
+    fn exceeding_the_alphabet_is_an_error() {
+        let table = PrimeTable::new(2);
+        assert!(table.vertex_factor(l(5)).is_err());
+        assert!(table.edge_factor(l(0), l(5)).is_err());
+        let mut g = LabelledGraph::new();
+        g.add_vertex(l(9));
+        assert!(table.signature_of(&g).is_err());
+    }
+
+    #[test]
+    fn display_mentions_factor_count() {
+        let table = PrimeTable::new(2);
+        let s = table
+            .signature_of(&path_graph(2, &[l(0), l(1)]))
+            .unwrap();
+        assert!(s.to_string().contains("3 factors"));
+    }
+
+    #[test]
+    fn multiplicity_matters_for_divisibility() {
+        let table = PrimeTable::new(2);
+        // a-a single edge vs a-a-a path (two a-a edges, three a vertices).
+        let aa = path_graph(2, &[l(0), l(0)]);
+        let aaa = path_graph(3, &[l(0), l(0), l(0)]);
+        let s_aa = table.signature_of(&aa).unwrap();
+        let s_aaa = table.signature_of(&aaa).unwrap();
+        assert!(s_aa.divides(&s_aaa));
+        // Two disjoint a-a edges require factor multiplicity 2 for the edge
+        // prime, which a single a-a edge does not have.
+        let mut two_edges = Signature::empty();
+        two_edges.multiply(table.edge_factor(l(0), l(0)).unwrap());
+        two_edges.multiply(table.edge_factor(l(0), l(0)).unwrap());
+        let mut one_edge = Signature::empty();
+        one_edge.multiply(table.edge_factor(l(0), l(0)).unwrap());
+        assert!(one_edge.divides(&two_edges));
+        assert!(!two_edges.divides(&one_edge));
+    }
+}

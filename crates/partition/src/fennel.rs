@@ -1,0 +1,275 @@
+//! Fennel streaming partitioning (Tsourakakis et al., WSDM 2014).
+//!
+//! Fennel replaces LDG's multiplicative capacity discount with an additive,
+//! degree-based cost: a new vertex `v` goes to the partition maximising
+//!
+//! ```text
+//! |N(v) ∩ V_i| − α · γ · |V_i|^(γ − 1)
+//! ```
+//!
+//! subject to a hard balance cap `|V_i| ≤ ν · n / k`. With the paper's
+//! recommended parameters `γ = 1.5` and `α = √k · m / n^{3/2}` the objective
+//! interpolates between edge-cut minimisation and balance.
+//!
+//! The streaming model (one pending vertex, decided when the next vertex
+//! arrives) is identical to [`crate::ldg`].
+
+use crate::error::{PartitionError, Result};
+use crate::partition::{PartitionId, Partitioning};
+use crate::traits::StreamingPartitioner;
+use loom_graph::{StreamElement, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`FennelPartitioner`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FennelConfig {
+    /// Number of partitions.
+    pub k: u32,
+    /// Expected number of vertices (used for α and the balance cap).
+    pub expected_vertices: usize,
+    /// Expected number of edges (used for α).
+    pub expected_edges: usize,
+    /// Balance cap multiplier ν (≥ 1.0); partitions never exceed
+    /// `ν · n / k` vertices.
+    pub balance_cap: f64,
+    /// The γ exponent of the cost term (the paper recommends 1.5).
+    pub gamma: f64,
+}
+
+impl FennelConfig {
+    /// Recommended defaults for a graph of the given expected size.
+    pub fn new(k: u32, expected_vertices: usize, expected_edges: usize) -> Self {
+        Self {
+            k,
+            expected_vertices,
+            expected_edges,
+            balance_cap: 1.1,
+            gamma: 1.5,
+        }
+    }
+
+    /// The α load-cost coefficient: `√k · m / n^{3/2}` for γ = 1.5, and the
+    /// general form `m · k^{γ-1} / n^γ` otherwise.
+    pub fn alpha(&self) -> f64 {
+        let n = self.expected_vertices.max(1) as f64;
+        let m = self.expected_edges.max(1) as f64;
+        let k = f64::from(self.k.max(1));
+        m * k.powf(self.gamma - 1.0) / n.powf(self.gamma)
+    }
+}
+
+/// The Fennel streaming partitioner.
+#[derive(Debug, Clone)]
+pub struct FennelPartitioner {
+    config: FennelConfig,
+    alpha: f64,
+    hard_cap: usize,
+    partitioning: Partitioning,
+    pending: Option<PendingVertex>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingVertex {
+    id: VertexId,
+    assigned_neighbours: Vec<VertexId>,
+}
+
+impl FennelPartitioner {
+    /// Create a Fennel partitioner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::InvalidConfig`] for degenerate parameters.
+    pub fn new(config: FennelConfig) -> Result<Self> {
+        if config.gamma <= 1.0 {
+            return Err(PartitionError::InvalidConfig(format!(
+                "gamma must exceed 1.0, got {}",
+                config.gamma
+            )));
+        }
+        if config.balance_cap < 1.0 {
+            return Err(PartitionError::InvalidConfig(format!(
+                "balance_cap must be >= 1.0, got {}",
+                config.balance_cap
+            )));
+        }
+        let ideal = config.expected_vertices as f64 / config.k.max(1) as f64;
+        let hard_cap = ((ideal * config.balance_cap).ceil() as usize).max(1);
+        let partitioning = Partitioning::new(config.k, hard_cap)?;
+        Ok(Self {
+            alpha: config.alpha(),
+            hard_cap,
+            config,
+            partitioning,
+            pending: None,
+        })
+    }
+
+    /// Read-only access to the partitioning built so far.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// The hard per-partition vertex cap `ν · n / k`.
+    pub fn hard_cap(&self) -> usize {
+        self.hard_cap
+    }
+
+    fn marginal_cost(&self, size: usize) -> f64 {
+        self.alpha * self.config.gamma * (size as f64).powf(self.config.gamma - 1.0)
+    }
+
+    fn choose_partition(&self, neighbours: &[VertexId]) -> PartitionId {
+        let mut best: Option<(PartitionId, f64)> = None;
+        for p in self.partitioning.partitions() {
+            let size = self.partitioning.size(p);
+            if size >= self.hard_cap {
+                continue;
+            }
+            let in_p = neighbours
+                .iter()
+                .filter(|&&n| self.partitioning.partition_of(n) == Some(p))
+                .count() as f64;
+            let score = in_p - self.marginal_cost(size);
+            let better = match best {
+                None => true,
+                Some((bp, bs)) => {
+                    score > bs + 1e-12
+                        || ((score - bs).abs() <= 1e-12
+                            && self.partitioning.size(p) < self.partitioning.size(bp))
+                }
+            };
+            if better {
+                best = Some((p, score));
+            }
+        }
+        // If every partition hit the hard cap (only possible when the stream
+        // exceeds the expected size), fall back to the least loaded one.
+        best.map(|(p, _)| p)
+            .unwrap_or_else(|| self.partitioning.least_loaded())
+    }
+
+    fn flush_pending(&mut self) -> Result<()> {
+        if let Some(pending) = self.pending.take() {
+            let target = self.choose_partition(&pending.assigned_neighbours);
+            self.partitioning.assign(pending.id, target)?;
+        }
+        Ok(())
+    }
+}
+
+impl StreamingPartitioner for FennelPartitioner {
+    fn name(&self) -> &'static str {
+        "fennel"
+    }
+
+    fn ingest(&mut self, element: &StreamElement) -> Result<()> {
+        match *element {
+            StreamElement::AddVertex { id, .. } => {
+                self.flush_pending()?;
+                self.pending = Some(PendingVertex {
+                    id,
+                    assigned_neighbours: Vec::new(),
+                });
+            }
+            StreamElement::AddEdge { source, target } => {
+                if let Some(pending) = self.pending.as_mut() {
+                    let other = if source == pending.id {
+                        Some(target)
+                    } else if target == pending.id {
+                        Some(source)
+                    } else {
+                        None
+                    };
+                    if let Some(other) = other {
+                        if self.partitioning.is_assigned(other) {
+                            pending.assigned_neighbours.push(other);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<Partitioning> {
+        self.flush_pending()?;
+        Ok(self.partitioning.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::evaluate;
+    use crate::traits::partition_stream;
+    use loom_graph::generators::{barabasi_albert, GeneratorConfig};
+    use loom_graph::ordering::StreamOrder;
+    use loom_graph::GraphStream;
+
+    #[test]
+    fn config_validation_and_alpha() {
+        assert!(FennelPartitioner::new(FennelConfig {
+            gamma: 1.0,
+            ..FennelConfig::new(4, 100, 300)
+        })
+        .is_err());
+        assert!(FennelPartitioner::new(FennelConfig {
+            balance_cap: 0.9,
+            ..FennelConfig::new(4, 100, 300)
+        })
+        .is_err());
+        let config = FennelConfig::new(4, 10_000, 30_000);
+        let expected = (4.0f64).sqrt() * 30_000.0 / (10_000.0f64).powf(1.5);
+        assert!((config.alpha() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_the_hard_balance_cap() {
+        let g = barabasi_albert(GeneratorConfig::new(2_000, 4, 3), 2).unwrap();
+        let stream = GraphStream::from_graph(&g, &StreamOrder::Bfs);
+        let mut partitioner =
+            FennelPartitioner::new(FennelConfig::new(4, g.vertex_count(), g.edge_count()))
+                .unwrap();
+        let cap = partitioner.hard_cap();
+        let part = partition_stream(&mut partitioner, &stream).unwrap();
+        assert_eq!(part.assigned_count(), 2_000);
+        for p in part.partitions() {
+            assert!(part.size(p) <= cap, "partition over hard cap");
+        }
+    }
+
+    #[test]
+    fn beats_hash_on_cut_ratio() {
+        let g = barabasi_albert(GeneratorConfig::new(3_000, 4, 1), 2).unwrap();
+        let stream = GraphStream::from_graph(&g, &StreamOrder::Random { seed: 4 });
+        let fennel = {
+            let mut p =
+                FennelPartitioner::new(FennelConfig::new(4, g.vertex_count(), g.edge_count()))
+                    .unwrap();
+            partition_stream(&mut p, &stream).unwrap()
+        };
+        let hash = {
+            let mut p = crate::hash::HashPartitioner::new(4, g.vertex_count()).unwrap();
+            partition_stream(&mut p, &stream).unwrap()
+        };
+        assert!(evaluate(&g, &fennel).cut_ratio < evaluate(&g, &hash).cut_ratio);
+    }
+
+    #[test]
+    fn overflow_beyond_expected_size_still_assigns() {
+        // Expect 10 vertices but stream 40: the hard cap fills up and the
+        // fallback path must still place everything.
+        let g = barabasi_albert(GeneratorConfig::new(40, 2, 2), 1).unwrap();
+        let stream = GraphStream::from_graph(&g, &StreamOrder::Bfs);
+        let mut partitioner = FennelPartitioner::new(FennelConfig::new(2, 10, 10)).unwrap();
+        let part = partition_stream(&mut partitioner, &stream).unwrap();
+        assert_eq!(part.assigned_count(), 40);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        let p = FennelPartitioner::new(FennelConfig::new(2, 10, 10)).unwrap();
+        assert_eq!(p.name(), "fennel");
+    }
+}

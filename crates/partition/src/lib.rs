@@ -1,0 +1,57 @@
+//! # loom-partition
+//!
+//! Graph partitioners and partition-quality metrics for the LOOM stack
+//! (Firth & Missier, GraphQ@EDBT 2016).
+//!
+//! The crate provides the *workload-agnostic* baselines the paper builds on
+//! and compares against, plus the shared machinery the workload-aware LOOM
+//! partitioner (in `loom-core`) reuses:
+//!
+//! * [`partition`] — partition identifiers, the assignment table
+//!   ([`Partitioning`]) and capacity accounting;
+//! * [`metrics`] — edge cut, cut ratio, balance/imbalance, communication
+//!   volume and ground-truth community agreement;
+//! * [`traits`] — the [`StreamingPartitioner`] contract plus a driver that
+//!   feeds a [`loom_graph::GraphStream`] through any implementation;
+//! * [`hash`] — hash partitioning (the default placement strategy of
+//!   distributed graph stores, the paper's strawman);
+//! * [`ldg`] — Linear Deterministic Greedy (Stanton & Kliot, KDD 2012), the
+//!   heuristic LOOM extends;
+//! * [`fennel`] — Fennel (Tsourakakis et al., WSDM 2014);
+//! * [`window`] — a sliding buffer over a graph stream, shared by LOOM and
+//!   by windowed variants of the baselines;
+//! * [`offline`] — a multilevel (METIS-like) offline partitioner used as the
+//!   quality reference point.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod fennel;
+pub mod hash;
+pub mod ldg;
+pub mod metrics;
+pub mod offline;
+pub mod partition;
+pub mod traits;
+pub mod window;
+
+pub use error::PartitionError;
+pub use fennel::FennelPartitioner;
+pub use hash::HashPartitioner;
+pub use ldg::LdgPartitioner;
+pub use partition::{PartitionId, Partitioning};
+pub use traits::{partition_stream, StreamingPartitioner};
+
+/// Convenient re-exports for downstream crates and examples.
+pub mod prelude {
+    pub use crate::error::PartitionError;
+    pub use crate::fennel::{FennelConfig, FennelPartitioner};
+    pub use crate::hash::HashPartitioner;
+    pub use crate::ldg::{LdgConfig, LdgPartitioner};
+    pub use crate::metrics::{PartitionQuality, QualityReport};
+    pub use crate::offline::{MultilevelConfig, MultilevelPartitioner};
+    pub use crate::partition::{PartitionId, Partitioning};
+    pub use crate::traits::{partition_stream, StreamingPartitioner};
+    pub use crate::window::StreamWindow;
+}

@@ -1,0 +1,357 @@
+//! Partition identifiers and the vertex → partition assignment table.
+//!
+//! A k-balanced graph partitioning (paper §2) is a disjoint family of vertex
+//! sets. [`Partitioning`] is the mutable assignment table every partitioner
+//! in this workspace produces: it tracks which partition each vertex lives
+//! in, per-partition sizes, and the capacity constraint `C` that the LDG
+//! penalty term is computed against.
+
+use crate::error::{PartitionError, Result};
+use loom_graph::fxhash::FxHashMap;
+use loom_graph::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a partition (`0..k`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[repr(transparent)]
+pub struct PartitionId(pub u32);
+
+impl PartitionId {
+    /// Create a partition id.
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A (possibly partial) assignment of vertices to `k` partitions with a
+/// per-partition capacity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Partitioning {
+    k: u32,
+    capacity: usize,
+    assignment: FxHashMap<VertexId, PartitionId>,
+    sizes: Vec<usize>,
+}
+
+impl Partitioning {
+    /// Create an empty partitioning with `k` partitions, each with capacity
+    /// `capacity` (the `C` of the LDG weighting term).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::InvalidConfig`] for `k == 0` or
+    /// `capacity == 0`.
+    pub fn new(k: u32, capacity: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(PartitionError::InvalidConfig(
+                "need at least one partition".into(),
+            ));
+        }
+        if capacity == 0 {
+            return Err(PartitionError::InvalidConfig(
+                "capacity must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            k,
+            capacity,
+            assignment: FxHashMap::default(),
+            sizes: vec![0; k as usize],
+        })
+    }
+
+    /// Create a partitioning sized for a graph of `expected_vertices`
+    /// vertices with a multiplicative balance `slack` (e.g. `1.1` allows each
+    /// partition to exceed the ideal size `n / k` by 10%).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Partitioning::new`]; additionally rejects
+    /// non-finite or sub-unit slack.
+    pub fn with_slack(k: u32, expected_vertices: usize, slack: f64) -> Result<Self> {
+        if !slack.is_finite() || slack < 1.0 {
+            return Err(PartitionError::InvalidConfig(format!(
+                "slack must be >= 1.0, got {slack}"
+            )));
+        }
+        let ideal = (expected_vertices as f64 / k.max(1) as f64).ceil();
+        let capacity = ((ideal * slack).ceil() as usize).max(1);
+        Self::new(k, capacity)
+    }
+
+    /// Number of partitions.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The per-partition capacity `C`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of assigned vertices.
+    pub fn assigned_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Whether no vertex has been assigned yet.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// The partition a vertex was assigned to, if any.
+    #[inline]
+    pub fn partition_of(&self, v: VertexId) -> Option<PartitionId> {
+        self.assignment.get(&v).copied()
+    }
+
+    /// Whether the vertex has been assigned.
+    #[inline]
+    pub fn is_assigned(&self, v: VertexId) -> bool {
+        self.assignment.contains_key(&v)
+    }
+
+    /// Current size (vertex count) of a partition.
+    #[inline]
+    pub fn size(&self, p: PartitionId) -> usize {
+        self.sizes.get(p.index()).copied().unwrap_or(0)
+    }
+
+    /// Sizes of all partitions, indexed by partition id.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Remaining capacity of a partition (0 if full or unknown).
+    #[inline]
+    pub fn free_capacity(&self, p: PartitionId) -> usize {
+        self.capacity.saturating_sub(self.size(p))
+    }
+
+    /// The LDG capacity penalty `1 - |V_i| / C` for a partition, clamped to
+    /// `[0, 1]`.
+    #[inline]
+    pub fn capacity_penalty(&self, p: PartitionId) -> f64 {
+        (1.0 - self.size(p) as f64 / self.capacity as f64).clamp(0.0, 1.0)
+    }
+
+    /// Whether a partition still has room for `count` more vertices.
+    #[inline]
+    pub fn has_room_for(&self, p: PartitionId, count: usize) -> bool {
+        self.size(p) + count <= self.capacity
+    }
+
+    /// Iterate over partition ids `0..k`.
+    pub fn partitions(&self) -> impl Iterator<Item = PartitionId> {
+        (0..self.k).map(PartitionId::new)
+    }
+
+    /// Assign a vertex to a partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::AlreadyAssigned`] if the vertex has already
+    /// been placed and [`PartitionError::UnknownPartition`] for out-of-range
+    /// partitions. Capacity is *not* enforced here: streaming heuristics may
+    /// overflow the soft capacity when every partition is full, exactly as in
+    /// the original LDG formulation.
+    pub fn assign(&mut self, v: VertexId, p: PartitionId) -> Result<()> {
+        if p.0 >= self.k {
+            return Err(PartitionError::UnknownPartition {
+                partition: p.0,
+                k: self.k,
+            });
+        }
+        if self.assignment.contains_key(&v) {
+            return Err(PartitionError::AlreadyAssigned(v));
+        }
+        self.assignment.insert(v, p);
+        self.sizes[p.index()] += 1;
+        Ok(())
+    }
+
+    /// Move an already assigned vertex to a different partition (used by the
+    /// offline refinement passes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::NotAssigned`] if the vertex has no current
+    /// assignment and [`PartitionError::UnknownPartition`] for out-of-range
+    /// targets.
+    pub fn move_vertex(&mut self, v: VertexId, to: PartitionId) -> Result<()> {
+        if to.0 >= self.k {
+            return Err(PartitionError::UnknownPartition {
+                partition: to.0,
+                k: self.k,
+            });
+        }
+        let Some(current) = self.assignment.get_mut(&v) else {
+            return Err(PartitionError::NotAssigned(v));
+        };
+        let from = *current;
+        if from == to {
+            return Ok(());
+        }
+        *current = to;
+        self.sizes[from.index()] -= 1;
+        self.sizes[to.index()] += 1;
+        Ok(())
+    }
+
+    /// Iterate over all `(vertex, partition)` assignments (arbitrary order).
+    pub fn assignments(&self) -> impl Iterator<Item = (VertexId, PartitionId)> + '_ {
+        self.assignment.iter().map(|(&v, &p)| (v, p))
+    }
+
+    /// The vertices assigned to partition `p`, sorted by id.
+    pub fn members(&self, p: PartitionId) -> Vec<VertexId> {
+        let mut members: Vec<VertexId> = self
+            .assignment
+            .iter()
+            .filter(|(_, &q)| q == p)
+            .map(|(&v, _)| v)
+            .collect();
+        members.sort_unstable();
+        members
+    }
+
+    /// The emptiest partition (smallest current size; ties broken towards the
+    /// lowest id). Useful as a fallback assignment target.
+    pub fn least_loaded(&self) -> PartitionId {
+        let index = self
+            .sizes
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &s)| (s, i))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        PartitionId::new(index as u32)
+    }
+
+    /// The imbalance factor `max_i |V_i| / (n / k)` where `n` is the number of
+    /// assigned vertices. 1.0 is perfectly balanced; empty partitionings
+    /// report 1.0.
+    pub fn imbalance(&self) -> f64 {
+        let n = self.assignment.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let ideal = n as f64 / self.k as f64;
+        let max = *self.sizes.iter().max().unwrap_or(&0);
+        max as f64 / ideal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u64) -> VertexId {
+        VertexId::new(x)
+    }
+
+    fn p(x: u32) -> PartitionId {
+        PartitionId::new(x)
+    }
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(Partitioning::new(0, 10).is_err());
+        assert!(Partitioning::new(4, 0).is_err());
+        assert!(Partitioning::with_slack(4, 100, 0.5).is_err());
+        let part = Partitioning::with_slack(4, 100, 1.2).unwrap();
+        assert_eq!(part.k(), 4);
+        assert_eq!(part.capacity(), 30); // ceil(25 * 1.2)
+    }
+
+    #[test]
+    fn assign_and_lookup() {
+        let mut part = Partitioning::new(2, 10).unwrap();
+        part.assign(v(1), p(0)).unwrap();
+        part.assign(v(2), p(1)).unwrap();
+        assert_eq!(part.partition_of(v(1)), Some(p(0)));
+        assert_eq!(part.partition_of(v(3)), None);
+        assert!(part.is_assigned(v(2)));
+        assert_eq!(part.size(p(0)), 1);
+        assert_eq!(part.assigned_count(), 2);
+        assert_eq!(part.members(p(1)), vec![v(2)]);
+    }
+
+    #[test]
+    fn double_assignment_and_bad_partition_are_errors() {
+        let mut part = Partitioning::new(2, 10).unwrap();
+        part.assign(v(1), p(0)).unwrap();
+        assert!(matches!(
+            part.assign(v(1), p(1)),
+            Err(PartitionError::AlreadyAssigned(_))
+        ));
+        assert!(matches!(
+            part.assign(v(2), p(7)),
+            Err(PartitionError::UnknownPartition { .. })
+        ));
+    }
+
+    #[test]
+    fn move_vertex_updates_sizes() {
+        let mut part = Partitioning::new(2, 10).unwrap();
+        part.assign(v(1), p(0)).unwrap();
+        part.move_vertex(v(1), p(1)).unwrap();
+        assert_eq!(part.size(p(0)), 0);
+        assert_eq!(part.size(p(1)), 1);
+        // Moving to the same partition is a no-op.
+        part.move_vertex(v(1), p(1)).unwrap();
+        assert_eq!(part.size(p(1)), 1);
+        assert!(part.move_vertex(v(9), p(0)).is_err());
+        assert!(part.move_vertex(v(1), p(9)).is_err());
+    }
+
+    #[test]
+    fn capacity_penalty_and_room() {
+        let mut part = Partitioning::new(2, 4).unwrap();
+        assert_eq!(part.capacity_penalty(p(0)), 1.0);
+        for i in 0..3 {
+            part.assign(v(i), p(0)).unwrap();
+        }
+        assert!((part.capacity_penalty(p(0)) - 0.25).abs() < 1e-12);
+        assert_eq!(part.free_capacity(p(0)), 1);
+        assert!(part.has_room_for(p(0), 1));
+        assert!(!part.has_room_for(p(0), 2));
+        part.assign(v(3), p(0)).unwrap();
+        assert_eq!(part.capacity_penalty(p(0)), 0.0);
+    }
+
+    #[test]
+    fn imbalance_and_least_loaded() {
+        let mut part = Partitioning::new(2, 100).unwrap();
+        assert_eq!(part.imbalance(), 1.0);
+        for i in 0..6 {
+            part.assign(v(i), p(0)).unwrap();
+        }
+        for i in 6..8 {
+            part.assign(v(i), p(1)).unwrap();
+        }
+        // max = 6, ideal = 4 → 1.5
+        assert!((part.imbalance() - 1.5).abs() < 1e-12);
+        assert_eq!(part.least_loaded(), p(1));
+    }
+
+    #[test]
+    fn partitions_iterator_covers_all_ids() {
+        let part = Partitioning::new(3, 5).unwrap();
+        let ids: Vec<u32> = part.partitions().map(|p| p.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,103 @@
+//! The streaming partitioner contract.
+//!
+//! A streaming partitioner consumes the elements of a [`GraphStream`] exactly
+//! once, in order, and decides vertex placement "on the fly" with bounded
+//! memory (paper §3.1). Every partitioner in this workspace — Hash, LDG,
+//! Fennel and LOOM itself — implements [`StreamingPartitioner`], so the
+//! experiment harness can treat them uniformly.
+
+use crate::error::Result;
+use crate::partition::Partitioning;
+use loom_graph::{GraphStream, StreamElement};
+
+/// A partitioner that consumes a graph stream element by element.
+pub trait StreamingPartitioner {
+    /// A short, stable name used in reports and benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Consume the next stream element.
+    ///
+    /// # Errors
+    ///
+    /// Implementations report configuration errors (e.g. unknown labels) and
+    /// internal assignment errors; they never panic on well-formed streams.
+    fn ingest(&mut self, element: &StreamElement) -> Result<()>;
+
+    /// Flush any buffered elements and return the final partitioning.
+    ///
+    /// Implementations should leave themselves in a state where further
+    /// `ingest` calls continue from the flushed state (useful for periodic
+    /// snapshots), but callers typically call this exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any assignment error encountered while flushing.
+    fn finish(&mut self) -> Result<Partitioning>;
+}
+
+/// Drive a full stream through a partitioner and return the resulting
+/// partitioning.
+///
+/// # Errors
+///
+/// Propagates the first error returned by the partitioner.
+pub fn partition_stream<P: StreamingPartitioner + ?Sized>(
+    partitioner: &mut P,
+    stream: &GraphStream,
+) -> Result<Partitioning> {
+    for element in stream {
+        partitioner.ingest(element)?;
+    }
+    partitioner.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::PartitionId;
+    use loom_graph::{Label, VertexId};
+
+    /// A trivial partitioner that sends everything to partition 0; used to
+    /// exercise the driver function.
+    struct Trivial {
+        partitioning: Partitioning,
+    }
+
+    impl StreamingPartitioner for Trivial {
+        fn name(&self) -> &'static str {
+            "trivial"
+        }
+
+        fn ingest(&mut self, element: &StreamElement) -> Result<()> {
+            if let StreamElement::AddVertex { id, .. } = element {
+                self.partitioning.assign(*id, PartitionId::new(0))?;
+            }
+            Ok(())
+        }
+
+        fn finish(&mut self) -> Result<Partitioning> {
+            Ok(self.partitioning.clone())
+        }
+    }
+
+    #[test]
+    fn driver_feeds_every_element() {
+        let mut stream = GraphStream::new();
+        for i in 0..5u64 {
+            stream.push(StreamElement::AddVertex {
+                id: VertexId::new(i),
+                label: Label::new(0),
+            });
+        }
+        stream.push(StreamElement::AddEdge {
+            source: VertexId::new(0),
+            target: VertexId::new(1),
+        });
+        let mut partitioner = Trivial {
+            partitioning: Partitioning::new(1, 10).unwrap(),
+        };
+        let result = partition_stream(&mut partitioner, &stream).unwrap();
+        assert_eq!(result.assigned_count(), 5);
+        assert_eq!(partitioner.name(), "trivial");
+    }
+}

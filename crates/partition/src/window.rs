@@ -1,0 +1,302 @@
+//! A sliding buffer over a graph stream.
+//!
+//! LOOM "buffers a sliding window over a graph-stream, and uses LDG to assign
+//! both connected sub-graphs and single vertices from the buffer to
+//! partitions" (paper §4.1). [`StreamWindow`] is that buffer: it holds up to
+//! `capacity` vertices in arrival order together with
+//!
+//! * the edges *inside* the window (needed to grow candidate motif matches),
+//! * the edges from window vertices to already-evicted vertices (needed by
+//!   the LDG score at assignment time).
+//!
+//! Eviction is oldest-first by default; the motif-aware assigner can also
+//! remove an arbitrary set of vertices at once when a whole motif match is
+//! assigned together.
+
+use loom_graph::fxhash::FxHashMap;
+use loom_graph::{Label, VertexId};
+use std::collections::VecDeque;
+
+/// Where the endpoints of an incoming edge currently live, from the window's
+/// point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgePlacement {
+    /// Both endpoints are buffered in the window.
+    BothInWindow,
+    /// Exactly one endpoint is in the window; the other has left it already.
+    OneInWindow {
+        /// The endpoint still in the window.
+        inside: VertexId,
+        /// The endpoint that has already been evicted (or was never seen).
+        outside: VertexId,
+    },
+    /// Neither endpoint is in the window.
+    NeitherInWindow,
+}
+
+/// A vertex leaving the window, together with everything the assigner needs.
+#[derive(Debug, Clone)]
+pub struct EvictedVertex {
+    /// The vertex id.
+    pub id: VertexId,
+    /// Its label.
+    pub label: Label,
+    /// Neighbours that are still inside the window.
+    pub window_neighbours: Vec<VertexId>,
+    /// Neighbours that already left the window (and are therefore assigned,
+    /// or at least known to the partitioner).
+    pub external_neighbours: Vec<VertexId>,
+}
+
+/// The sliding window buffer.
+#[derive(Debug, Clone)]
+pub struct StreamWindow {
+    capacity: usize,
+    order: VecDeque<VertexId>,
+    labels: FxHashMap<VertexId, Label>,
+    /// Adjacency restricted to window members.
+    window_adj: FxHashMap<VertexId, Vec<VertexId>>,
+    /// Adjacency from window members to evicted vertices.
+    external_adj: FxHashMap<VertexId, Vec<VertexId>>,
+}
+
+impl StreamWindow {
+    /// Create a window holding at most `capacity` vertices (`capacity` is
+    /// clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            order: VecDeque::new(),
+            labels: FxHashMap::default(),
+            window_adj: FxHashMap::default(),
+            external_adj: FxHashMap::default(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of vertices currently buffered.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the window holds no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Whether the window is at (or beyond) capacity, i.e. the next vertex
+    /// push should be preceded by an eviction.
+    pub fn is_full(&self) -> bool {
+        self.order.len() >= self.capacity
+    }
+
+    /// Whether a vertex is currently buffered.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.labels.contains_key(&v)
+    }
+
+    /// The label of a buffered vertex.
+    pub fn label_of(&self, v: VertexId) -> Option<Label> {
+        self.labels.get(&v).copied()
+    }
+
+    /// The oldest buffered vertex (next eviction candidate).
+    pub fn oldest(&self) -> Option<VertexId> {
+        self.order.front().copied()
+    }
+
+    /// Buffered vertices in arrival order.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Neighbours of `v` inside the window.
+    pub fn window_neighbours(&self, v: VertexId) -> &[VertexId] {
+        self.window_adj.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Neighbours of `v` that already left the window.
+    pub fn external_neighbours(&self, v: VertexId) -> &[VertexId] {
+        self.external_adj.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Buffer a new vertex. The caller is responsible for evicting first if
+    /// the window [`is_full`](StreamWindow::is_full).
+    pub fn push_vertex(&mut self, id: VertexId, label: Label) {
+        if self.labels.insert(id, label).is_none() {
+            self.order.push_back(id);
+            self.window_adj.entry(id).or_default();
+            self.external_adj.entry(id).or_default();
+        }
+    }
+
+    /// Record an incoming edge and report where its endpoints live.
+    pub fn push_edge(&mut self, a: VertexId, b: VertexId) -> EdgePlacement {
+        let a_in = self.contains(a);
+        let b_in = self.contains(b);
+        match (a_in, b_in) {
+            (true, true) => {
+                self.window_adj.entry(a).or_default().push(b);
+                self.window_adj.entry(b).or_default().push(a);
+                EdgePlacement::BothInWindow
+            }
+            (true, false) => {
+                self.external_adj.entry(a).or_default().push(b);
+                EdgePlacement::OneInWindow {
+                    inside: a,
+                    outside: b,
+                }
+            }
+            (false, true) => {
+                self.external_adj.entry(b).or_default().push(a);
+                EdgePlacement::OneInWindow {
+                    inside: b,
+                    outside: a,
+                }
+            }
+            (false, false) => EdgePlacement::NeitherInWindow,
+        }
+    }
+
+    /// Evict the oldest vertex (if any).
+    pub fn evict_oldest(&mut self) -> Option<EvictedVertex> {
+        let id = self.order.front().copied()?;
+        self.remove(id)
+    }
+
+    /// Remove an arbitrary buffered vertex, fixing up the adjacency of the
+    /// remaining window members (its window edges become their external
+    /// edges).
+    pub fn remove(&mut self, id: VertexId) -> Option<EvictedVertex> {
+        let label = self.labels.remove(&id)?;
+        self.order.retain(|&v| v != id);
+        let window_neighbours = self.window_adj.remove(&id).unwrap_or_default();
+        let external_neighbours = self.external_adj.remove(&id).unwrap_or_default();
+        for &n in &window_neighbours {
+            if let Some(adj) = self.window_adj.get_mut(&n) {
+                adj.retain(|&u| u != id);
+            }
+            self.external_adj.entry(n).or_default().push(id);
+        }
+        Some(EvictedVertex {
+            id,
+            label,
+            window_neighbours,
+            external_neighbours,
+        })
+    }
+
+    /// Drain the whole window in arrival order (used at end of stream).
+    pub fn drain(&mut self) -> Vec<EvictedVertex> {
+        let mut evicted = Vec::with_capacity(self.order.len());
+        while let Some(e) = self.evict_oldest() {
+            evicted.push(e);
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u64) -> VertexId {
+        VertexId::new(x)
+    }
+
+    fn l(x: u32) -> Label {
+        Label::new(x)
+    }
+
+    #[test]
+    fn push_and_capacity_accounting() {
+        let mut w = StreamWindow::new(3);
+        assert!(w.is_empty());
+        assert_eq!(w.capacity(), 3);
+        w.push_vertex(v(1), l(0));
+        w.push_vertex(v(2), l(1));
+        assert!(!w.is_full());
+        w.push_vertex(v(3), l(2));
+        assert!(w.is_full());
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.oldest(), Some(v(1)));
+        assert_eq!(w.label_of(v(2)), Some(l(1)));
+        assert!(w.contains(v(3)));
+        assert!(!w.contains(v(9)));
+        // Duplicate pushes are ignored.
+        w.push_vertex(v(1), l(0));
+        assert_eq!(w.len(), 3);
+        // Zero capacity is clamped.
+        assert_eq!(StreamWindow::new(0).capacity(), 1);
+    }
+
+    #[test]
+    fn edge_placement_classification() {
+        let mut w = StreamWindow::new(4);
+        w.push_vertex(v(1), l(0));
+        w.push_vertex(v(2), l(1));
+        assert_eq!(w.push_edge(v(1), v(2)), EdgePlacement::BothInWindow);
+        assert_eq!(
+            w.push_edge(v(2), v(99)),
+            EdgePlacement::OneInWindow {
+                inside: v(2),
+                outside: v(99)
+            }
+        );
+        assert_eq!(w.push_edge(v(50), v(99)), EdgePlacement::NeitherInWindow);
+        assert_eq!(w.window_neighbours(v(1)), &[v(2)]);
+        assert_eq!(w.external_neighbours(v(2)), &[v(99)]);
+    }
+
+    #[test]
+    fn eviction_moves_window_edges_to_external() {
+        let mut w = StreamWindow::new(4);
+        w.push_vertex(v(1), l(0));
+        w.push_vertex(v(2), l(1));
+        w.push_vertex(v(3), l(2));
+        w.push_edge(v(1), v(2));
+        w.push_edge(v(2), v(3));
+        let evicted = w.evict_oldest().unwrap();
+        assert_eq!(evicted.id, v(1));
+        assert_eq!(evicted.label, l(0));
+        assert_eq!(evicted.window_neighbours, vec![v(2)]);
+        assert!(evicted.external_neighbours.is_empty());
+        // Vertex 2 now sees vertex 1 as an external neighbour.
+        assert_eq!(w.external_neighbours(v(2)), &[v(1)]);
+        assert_eq!(w.window_neighbours(v(2)), &[v(3)]);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn arbitrary_removal_and_drain() {
+        let mut w = StreamWindow::new(5);
+        for i in 1..=4 {
+            w.push_vertex(v(i), l(0));
+        }
+        w.push_edge(v(1), v(3));
+        let removed = w.remove(v(3)).unwrap();
+        assert_eq!(removed.id, v(3));
+        assert_eq!(removed.window_neighbours, vec![v(1)]);
+        assert_eq!(w.external_neighbours(v(1)), &[v(3)]);
+        assert!(w.remove(v(3)).is_none());
+
+        let drained = w.drain();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[0].id, v(1));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn vertices_iterates_in_arrival_order() {
+        let mut w = StreamWindow::new(10);
+        for i in [5u64, 3, 9] {
+            w.push_vertex(v(i), l(0));
+        }
+        let order: Vec<_> = w.vertices().collect();
+        assert_eq!(order, vec![v(5), v(3), v(9)]);
+    }
+}

@@ -1,0 +1,630 @@
+//! Distributed query execution simulation.
+//!
+//! [`QueryExecutor`] answers pattern matching queries against a
+//! [`PartitionedStore`] with a backtracking search (the same semantics as
+//! `loom_motif::isomorphism`), instrumented to record every *traversal* the
+//! search performs: each time the search expands from a matched vertex to a
+//! candidate neighbour it either stays on the local partition or requires a
+//! hop to a remote partition. The remote fraction is exactly the
+//! "probability of inter-partition traversals" the paper optimises; a simple
+//! latency model converts hop counts into an estimated query latency.
+
+use crate::store::PartitionedStore;
+use loom_graph::fxhash::{FxHashMap, FxHashSet};
+use loom_graph::VertexId;
+use loom_motif::query::PatternQuery;
+use loom_motif::workload::Workload;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How query executions are seeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryMode {
+    /// Enumerate every embedding in the whole graph (an analytical scan).
+    /// Almost any partitioning incurs remote traversals in this mode; the
+    /// informative metric is the inter-partition traversal *probability*.
+    FullEnumeration,
+    /// The online / transactional mode the paper targets: each execution is
+    /// anchored at a bounded number of randomly chosen root vertices (as a
+    /// graph database would do after an index lookup) and explores only
+    /// around them. `local_only_fraction` is meaningful in this mode.
+    Rooted {
+        /// Number of root vertices sampled per execution.
+        seed_count: usize,
+    },
+}
+
+impl Default for QueryMode {
+    fn default() -> Self {
+        QueryMode::FullEnumeration
+    }
+}
+
+/// Latency cost model for traversals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Cost of a traversal that stays on the local partition, in microseconds.
+    pub local_hop_us: f64,
+    /// Cost of a traversal that crosses to another partition, in
+    /// microseconds (network round-trip dominated).
+    pub remote_hop_us: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            local_hop_us: 1.0,
+            remote_hop_us: 300.0,
+        }
+    }
+}
+
+/// Aggregated execution metrics over one or more query executions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionMetrics {
+    /// Number of query executions aggregated.
+    pub queries_executed: usize,
+    /// Total embeddings (query answers) found.
+    pub matches_found: usize,
+    /// Total traversals performed by the search.
+    pub total_traversals: usize,
+    /// Traversals that crossed a partition boundary.
+    pub remote_traversals: usize,
+    /// Executions that completed without a single remote traversal.
+    pub local_only_queries: usize,
+    /// Estimated total latency under the latency model, in microseconds.
+    pub estimated_latency_us: f64,
+}
+
+impl ExecutionMetrics {
+    /// The probability that a traversal crosses partitions
+    /// (`remote / total`, 0.0 when no traversals happened).
+    pub fn inter_partition_probability(&self) -> f64 {
+        if self.total_traversals == 0 {
+            0.0
+        } else {
+            self.remote_traversals as f64 / self.total_traversals as f64
+        }
+    }
+
+    /// Mean remote traversals per query (0.0 when no queries ran).
+    pub fn remote_traversals_per_query(&self) -> f64 {
+        if self.queries_executed == 0 {
+            0.0
+        } else {
+            self.remote_traversals as f64 / self.queries_executed as f64
+        }
+    }
+
+    /// Fraction of executions answered entirely within single partitions.
+    pub fn local_only_fraction(&self) -> f64 {
+        if self.queries_executed == 0 {
+            0.0
+        } else {
+            self.local_only_queries as f64 / self.queries_executed as f64
+        }
+    }
+
+    /// Mean estimated latency per query, in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.queries_executed == 0 {
+            0.0
+        } else {
+            self.estimated_latency_us / self.queries_executed as f64
+        }
+    }
+
+    /// Merge another metrics block into this one.
+    pub fn merge(&mut self, other: &ExecutionMetrics) {
+        self.queries_executed += other.queries_executed;
+        self.matches_found += other.matches_found;
+        self.total_traversals += other.total_traversals;
+        self.remote_traversals += other.remote_traversals;
+        self.local_only_queries += other.local_only_queries;
+        self.estimated_latency_us += other.estimated_latency_us;
+    }
+}
+
+/// The instrumented query executor.
+#[derive(Debug, Clone)]
+pub struct QueryExecutor {
+    latency: LatencyModel,
+    /// Cap on embeddings enumerated per execution; keeps dense pathological
+    /// cases from dominating run time without changing the traversal ratio
+    /// materially.
+    max_matches_per_query: usize,
+    /// How executions are seeded.
+    mode: QueryMode,
+}
+
+impl Default for QueryExecutor {
+    fn default() -> Self {
+        Self {
+            latency: LatencyModel::default(),
+            max_matches_per_query: 10_000,
+            mode: QueryMode::FullEnumeration,
+        }
+    }
+}
+
+impl QueryExecutor {
+    /// Create an executor with a custom latency model.
+    pub fn new(latency: LatencyModel) -> Self {
+        Self {
+            latency,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style cap on enumerated embeddings per execution.
+    #[must_use]
+    pub fn with_match_limit(mut self, limit: usize) -> Self {
+        self.max_matches_per_query = limit.max(1);
+        self
+    }
+
+    /// Builder-style execution mode (full enumeration or rooted).
+    #[must_use]
+    pub fn with_mode(mut self, mode: QueryMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The latency model in use.
+    pub fn latency_model(&self) -> LatencyModel {
+        self.latency
+    }
+
+    /// The execution mode in use.
+    pub fn mode(&self) -> QueryMode {
+        self.mode
+    }
+
+    /// Execute a single query and return its metrics. In rooted mode the
+    /// roots are drawn deterministically from `root_seed`.
+    pub fn execute_seeded(
+        &self,
+        store: &PartitionedStore,
+        query: &PatternQuery,
+        root_seed: u64,
+    ) -> ExecutionMetrics {
+        let pattern = query.graph();
+        let mut metrics = ExecutionMetrics {
+            queries_executed: 1,
+            ..ExecutionMetrics::default()
+        };
+        if pattern.is_empty() {
+            metrics.local_only_queries = 1;
+            return metrics;
+        }
+        let order = matching_order(pattern);
+        let root_label = pattern
+            .label(order[0])
+            .expect("pattern vertices are labelled");
+        let mut candidates = store.vertices_with_label(root_label);
+        if let QueryMode::Rooted { seed_count } = self.mode {
+            if !candidates.is_empty() {
+                let mut rng = StdRng::seed_from_u64(root_seed);
+                let mut chosen = Vec::with_capacity(seed_count.max(1));
+                for _ in 0..seed_count.max(1) {
+                    chosen.push(candidates[rng.random_range(0..candidates.len())]);
+                }
+                chosen.sort_unstable();
+                chosen.dedup();
+                candidates = chosen;
+            }
+        }
+
+        let mut search = Search {
+            store,
+            pattern,
+            order: &order,
+            mapping: FxHashMap::default(),
+            used: FxHashSet::default(),
+            metrics: &mut metrics,
+            match_limit: self.max_matches_per_query,
+        };
+        for root in candidates {
+            // Routing the query to the partition hosting the seed vertex is
+            // free; expansion from there is what costs traversals.
+            search.mapping.insert(order[0], root);
+            search.used.insert(root);
+            search.extend(1);
+            search.mapping.remove(&order[0]);
+            search.used.remove(&root);
+            if search.metrics.matches_found >= search.match_limit {
+                break;
+            }
+        }
+
+        if metrics.remote_traversals == 0 {
+            metrics.local_only_queries = 1;
+        }
+        metrics.estimated_latency_us = metrics.remote_traversals as f64 * self.latency.remote_hop_us
+            + (metrics.total_traversals - metrics.remote_traversals) as f64
+                * self.latency.local_hop_us;
+        metrics
+    }
+
+    /// Execute a single query with the default root seed. In
+    /// [`QueryMode::FullEnumeration`] (the default) the seed is irrelevant.
+    pub fn execute(&self, store: &PartitionedStore, query: &PatternQuery) -> ExecutionMetrics {
+        self.execute_seeded(store, query, 0)
+    }
+
+    /// Execute `samples` queries drawn from the workload according to its
+    /// frequencies (deterministic for a given seed) and return the aggregate
+    /// metrics. In rooted mode each sample is anchored at fresh random roots.
+    pub fn execute_workload(
+        &self,
+        store: &PartitionedStore,
+        workload: &Workload,
+        samples: usize,
+        seed: u64,
+    ) -> ExecutionMetrics {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut total = ExecutionMetrics::default();
+        for sample in 0..samples {
+            let query = workload.sample(&mut rng);
+            let metrics =
+                self.execute_seeded(store, query, seed.wrapping_add(sample as u64 + 1));
+            total.merge(&metrics);
+        }
+        total
+    }
+}
+
+/// Order pattern vertices so each one (after the first) touches an earlier
+/// one — identical to the ordering used by `loom_motif::isomorphism`, kept
+/// local so the executor can instrument the expansion step.
+fn matching_order(pattern: &loom_graph::LabelledGraph) -> Vec<VertexId> {
+    let mut order = Vec::with_capacity(pattern.vertex_count());
+    let mut placed: FxHashSet<VertexId> = FxHashSet::default();
+    let vertices = pattern.vertices_sorted();
+    while placed.len() < pattern.vertex_count() {
+        let next = vertices
+            .iter()
+            .copied()
+            .filter(|v| !placed.contains(v))
+            .max_by_key(|&v| {
+                let connectivity = pattern
+                    .neighbors(v)
+                    .iter()
+                    .filter(|n| placed.contains(n))
+                    .count();
+                (connectivity, pattern.degree(v), std::cmp::Reverse(v.raw()))
+            })
+            .expect("unplaced vertex exists");
+        placed.insert(next);
+        order.push(next);
+    }
+    order
+}
+
+struct Search<'a> {
+    store: &'a PartitionedStore,
+    pattern: &'a loom_graph::LabelledGraph,
+    order: &'a [VertexId],
+    mapping: FxHashMap<VertexId, VertexId>,
+    used: FxHashSet<VertexId>,
+    metrics: &'a mut ExecutionMetrics,
+    match_limit: usize,
+}
+
+impl Search<'_> {
+    fn extend(&mut self, depth: usize) {
+        if self.metrics.matches_found >= self.match_limit {
+            return;
+        }
+        if depth == self.order.len() {
+            self.metrics.matches_found += 1;
+            return;
+        }
+        let pv = self.order[depth];
+        let p_label = self.pattern.label(pv).expect("pattern vertex labelled");
+        let p_degree = self.pattern.degree(pv);
+        let matched_neighbours: Vec<VertexId> = self
+            .pattern
+            .neighbors(pv)
+            .iter()
+            .copied()
+            .filter(|n| self.mapping.contains_key(n))
+            .collect();
+        // Expansion anchor: the first already-matched pattern neighbour. The
+        // distributed engine fetches the anchor's adjacency list and follows
+        // each candidate edge — that is the traversal we meter.
+        let Some(&anchor) = matched_neighbours.first() else {
+            // Disconnected pattern component: re-seed from the label index
+            // (costless routing, like the root seed).
+            let candidates = self.store.vertices_with_label(p_label);
+            for tv in candidates {
+                self.try_candidate(pv, tv, p_label, p_degree, &matched_neighbours, None, depth);
+                if self.metrics.matches_found >= self.match_limit {
+                    return;
+                }
+            }
+            return;
+        };
+        let anchor_image = self.mapping[&anchor];
+        let candidates: Vec<VertexId> = self.store.neighbors(anchor_image).to_vec();
+        for tv in candidates {
+            self.try_candidate(
+                pv,
+                tv,
+                p_label,
+                p_degree,
+                &matched_neighbours,
+                Some(anchor_image),
+                depth,
+            );
+            if self.metrics.matches_found >= self.match_limit {
+                return;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_candidate(
+        &mut self,
+        pv: VertexId,
+        tv: VertexId,
+        p_label: loom_graph::Label,
+        p_degree: usize,
+        matched_neighbours: &[VertexId],
+        anchor_image: Option<VertexId>,
+        depth: usize,
+    ) {
+        // Following the edge anchor → candidate is one traversal, local or
+        // remote depending on where the two vertices live.
+        if let Some(anchor) = anchor_image {
+            self.metrics.total_traversals += 1;
+            if self.store.is_remote_traversal(anchor, tv) {
+                self.metrics.remote_traversals += 1;
+            }
+        }
+        if self.used.contains(&tv) {
+            return;
+        }
+        if self.store.label(tv) != Some(p_label) {
+            return;
+        }
+        if self.store.neighbors(tv).len() < p_degree {
+            return;
+        }
+        let consistent = matched_neighbours.iter().all(|n| {
+            let image = self.mapping[n];
+            self.store.graph().contains_edge(tv, image)
+        });
+        if !consistent {
+            return;
+        }
+        self.mapping.insert(pv, tv);
+        self.used.insert(tv);
+        self.extend(depth + 1);
+        self.mapping.remove(&pv);
+        self.used.remove(&tv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_graph::generators::regular::path_graph;
+    use loom_graph::{Label, LabelledGraph};
+    use loom_motif::fixtures::{paper_example_graph, paper_example_workload};
+    use loom_motif::query::{PatternQuery, QueryId};
+    use loom_partition::partition::{PartitionId, Partitioning};
+
+    fn l(x: u32) -> Label {
+        Label::new(x)
+    }
+
+    /// A store over the paper's Figure 1 graph with a given partition map
+    /// from vertex id → partition index.
+    fn fig1_store(assignment: &[(u64, u32)]) -> PartitionedStore {
+        let g = paper_example_graph();
+        let mut part = Partitioning::new(2, 8).unwrap();
+        for &(v, p) in assignment {
+            part.assign(VertexId::new(v), PartitionId::new(p)).unwrap();
+        }
+        PartitionedStore::new(g, part)
+    }
+
+    #[test]
+    fn single_partition_execution_has_no_remote_traversals() {
+        let store = fig1_store(&(1..=8).map(|v| (v, 0)).collect::<Vec<_>>());
+        let workload = paper_example_workload();
+        let executor = QueryExecutor::default();
+        for (query, _) in workload.iter() {
+            let metrics = executor.execute(&store, query);
+            assert!(metrics.matches_found > 0, "query {} unmatched", query.id());
+            assert_eq!(metrics.remote_traversals, 0);
+            assert_eq!(metrics.local_only_queries, 1);
+            assert_eq!(metrics.inter_partition_probability(), 0.0);
+        }
+    }
+
+    #[test]
+    fn split_motif_costs_remote_traversals() {
+        // Split the q1 square {1, 2, 5, 6} across partitions.
+        let assignment: Vec<(u64, u32)> = vec![
+            (1, 0),
+            (2, 1),
+            (3, 0),
+            (4, 0),
+            (5, 1),
+            (6, 0),
+            (7, 1),
+            (8, 1),
+        ];
+        let store = fig1_store(&assignment);
+        let workload = paper_example_workload();
+        let q1 = workload.query(QueryId::new(1)).unwrap();
+        let executor = QueryExecutor::default();
+        let metrics = executor.execute(&store, q1);
+        assert!(metrics.matches_found > 0);
+        assert!(metrics.remote_traversals > 0);
+        assert!(metrics.inter_partition_probability() > 0.0);
+        assert_eq!(metrics.local_only_queries, 0);
+        assert!(metrics.estimated_latency_us > 0.0);
+    }
+
+    #[test]
+    fn good_partitioning_beats_bad_partitioning_on_latency() {
+        let aligned = fig1_store(&[
+            (1, 0),
+            (2, 0),
+            (5, 0),
+            (6, 0),
+            (3, 1),
+            (4, 1),
+            (7, 1),
+            (8, 1),
+        ]);
+        let scattered = fig1_store(&(1..=8).map(|v| (v, (v % 2) as u32)).collect::<Vec<_>>());
+        let workload = paper_example_workload();
+        let executor = QueryExecutor::default();
+        let aligned_metrics = executor.execute_workload(&aligned, &workload, 60, 7);
+        let scattered_metrics = executor.execute_workload(&scattered, &workload, 60, 7);
+        assert!(
+            aligned_metrics.inter_partition_probability()
+                < scattered_metrics.inter_partition_probability()
+        );
+        assert!(aligned_metrics.mean_latency_us() < scattered_metrics.mean_latency_us());
+    }
+
+    #[test]
+    fn workload_execution_is_deterministic_per_seed() {
+        let store = fig1_store(&(1..=8).map(|v| (v, (v % 2) as u32)).collect::<Vec<_>>());
+        let workload = paper_example_workload();
+        let executor = QueryExecutor::default();
+        let a = executor.execute_workload(&store, &workload, 40, 3);
+        let b = executor.execute_workload(&store, &workload, 40, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.queries_executed, 40);
+    }
+
+    #[test]
+    fn match_limit_caps_enumeration() {
+        // A graph with many a-b edges and a 2-vertex query explodes in
+        // matches; the limit keeps it bounded.
+        let mut g = LabelledGraph::new();
+        let hub = g.add_vertex(l(0));
+        for _ in 0..50 {
+            let leaf = g.add_vertex(l(1));
+            g.add_edge(hub, leaf).unwrap();
+        }
+        let mut part = Partitioning::new(1, 64).unwrap();
+        for v in g.vertices_sorted() {
+            part.assign(v, PartitionId::new(0)).unwrap();
+        }
+        let store = PartitionedStore::new(g, part);
+        let query = PatternQuery::path(QueryId::new(0), &[l(0), l(1)]).unwrap();
+        let metrics = QueryExecutor::default()
+            .with_match_limit(5)
+            .execute(&store, &query);
+        assert_eq!(metrics.matches_found, 5);
+    }
+
+    #[test]
+    fn rooted_mode_limits_seed_fanout_and_is_deterministic() {
+        let store = fig1_store(&(1..=8).map(|v| (v, (v % 2) as u32)).collect::<Vec<_>>());
+        let workload = paper_example_workload();
+        let q2 = workload.query(QueryId::new(2)).unwrap();
+
+        let full = QueryExecutor::default().execute(&store, q2);
+        let rooted = QueryExecutor::default()
+            .with_mode(QueryMode::Rooted { seed_count: 1 })
+            .execute_seeded(&store, q2, 5);
+        // A single-rooted execution explores no more than the full scan.
+        assert!(rooted.total_traversals <= full.total_traversals);
+        assert_eq!(
+            QueryExecutor::default().mode(),
+            QueryMode::FullEnumeration
+        );
+        // Deterministic per root seed, different seeds may pick other roots.
+        let again = QueryExecutor::default()
+            .with_mode(QueryMode::Rooted { seed_count: 1 })
+            .execute_seeded(&store, q2, 5);
+        assert_eq!(rooted, again);
+    }
+
+    #[test]
+    fn rooted_workload_execution_can_stay_local_on_aligned_partitions() {
+        // Partition aligned with the motifs: rooted executions anchored inside
+        // one partition frequently finish without a remote hop, so the
+        // local-only fraction is meaningfully non-zero (unlike a full scan).
+        let aligned = fig1_store(&[
+            (1, 0),
+            (2, 0),
+            (5, 0),
+            (6, 0),
+            (3, 1),
+            (4, 1),
+            (7, 1),
+            (8, 1),
+        ]);
+        let workload = paper_example_workload();
+        let rooted = QueryExecutor::default()
+            .with_mode(QueryMode::Rooted { seed_count: 1 })
+            .execute_workload(&aligned, &workload, 100, 3);
+        let full = QueryExecutor::default().execute_workload(&aligned, &workload, 100, 3);
+        assert!(rooted.local_only_fraction() >= full.local_only_fraction());
+        assert!(rooted.local_only_fraction() > 0.0);
+    }
+
+    #[test]
+    fn unmatched_query_reports_zero_matches() {
+        let store = fig1_store(&(1..=8).map(|v| (v, 0)).collect::<Vec<_>>());
+        // No vertex carries label 9.
+        let query = PatternQuery::path(QueryId::new(9), &[l(9), l(0)]).unwrap();
+        let metrics = QueryExecutor::default().execute(&store, &query);
+        assert_eq!(metrics.matches_found, 0);
+        assert_eq!(metrics.total_traversals, 0);
+    }
+
+    #[test]
+    fn metrics_aggregation_helpers() {
+        let mut a = ExecutionMetrics {
+            queries_executed: 2,
+            matches_found: 3,
+            total_traversals: 10,
+            remote_traversals: 5,
+            local_only_queries: 1,
+            estimated_latency_us: 100.0,
+        };
+        let b = ExecutionMetrics {
+            queries_executed: 2,
+            matches_found: 1,
+            total_traversals: 10,
+            remote_traversals: 0,
+            local_only_queries: 2,
+            estimated_latency_us: 20.0,
+        };
+        a.merge(&b);
+        assert_eq!(a.queries_executed, 4);
+        assert!((a.inter_partition_probability() - 0.25).abs() < 1e-12);
+        assert!((a.remote_traversals_per_query() - 1.25).abs() < 1e-12);
+        assert!((a.local_only_fraction() - 0.75).abs() < 1e-12);
+        assert!((a.mean_latency_us() - 30.0).abs() < 1e-12);
+        assert_eq!(ExecutionMetrics::default().inter_partition_probability(), 0.0);
+        assert_eq!(ExecutionMetrics::default().mean_latency_us(), 0.0);
+    }
+
+    #[test]
+    fn executing_a_path_query_on_a_path_graph_counts_traversals() {
+        let g = path_graph(3, &[l(0), l(1), l(2)]);
+        let vs = g.vertices_sorted();
+        let mut part = Partitioning::new(2, 3).unwrap();
+        part.assign(vs[0], PartitionId::new(0)).unwrap();
+        part.assign(vs[1], PartitionId::new(0)).unwrap();
+        part.assign(vs[2], PartitionId::new(1)).unwrap();
+        let store = PartitionedStore::new(g, part);
+        let query = PatternQuery::path(QueryId::new(0), &[l(0), l(1), l(2)]).unwrap();
+        let metrics = QueryExecutor::default().execute(&store, &query);
+        assert_eq!(metrics.matches_found, 1);
+        assert!(metrics.total_traversals >= 2);
+        assert!(metrics.remote_traversals >= 1);
+    }
+}

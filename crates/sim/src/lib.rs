@@ -1,0 +1,47 @@
+//! # loom-sim
+//!
+//! A deterministic, in-process simulator of a *distributed* pattern-matching
+//! query engine, used to measure the metric LOOM actually optimises: the
+//! number (and probability) of **inter-partition traversals** incurred while
+//! executing a workload of pattern matching queries against a partitioned
+//! graph.
+//!
+//! The paper assumes a distributed graph database (e.g. Titan) hosting the
+//! partitions; rebuilding one would add enormous noise without changing the
+//! quantity of interest, so this crate substitutes a faithful cost model:
+//!
+//! * [`store::PartitionedStore`] — the partitioned graph: vertex data plus a
+//!   routing table mapping every vertex to its host partition;
+//! * [`executor`] — a backtracking sub-graph matcher instrumented to count
+//!   every traversal it performs and whether the traversal stayed on the
+//!   local partition or had to hop to a remote one (with a configurable
+//!   latency model);
+//! * [`runner`] — the experiment driver: generate graph + workload, stream
+//!   the graph through each partitioner under test, execute a sampled query
+//!   mix against each resulting partitioning, and collect quality +
+//!   execution metrics;
+//! * [`report`] — plain-text and CSV table rendering for the experiment
+//!   binary and EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod executor;
+pub mod growth;
+pub mod report;
+pub mod runner;
+pub mod store;
+
+pub use executor::{ExecutionMetrics, LatencyModel, QueryExecutor, QueryMode};
+pub use growth::{GrowthCheckpoint, GrowthScenario};
+pub use runner::{ExperimentResult, ExperimentRunner, PartitionerKind};
+pub use store::PartitionedStore;
+
+/// Convenient re-exports for the experiment binary and examples.
+pub mod prelude {
+    pub use crate::executor::{ExecutionMetrics, LatencyModel, QueryExecutor, QueryMode};
+    pub use crate::growth::{GrowthCheckpoint, GrowthScenario};
+    pub use crate::report::{Table, TableRow};
+    pub use crate::runner::{ExperimentConfig, ExperimentResult, ExperimentRunner, PartitionerKind};
+    pub use crate::store::PartitionedStore;
+}

@@ -1,0 +1,215 @@
+//! Plain-text and CSV rendering of experiment results.
+//!
+//! The `experiments` binary in `loom-bench` prints one [`Table`] per
+//! experiment; EXPERIMENTS.md embeds the same tables. Keeping the renderer
+//! here (rather than in the binary) lets integration tests assert on table
+//! content.
+
+use crate::runner::ExperimentResult;
+
+/// A single rendered table row.
+pub type TableRow = Vec<String>;
+
+/// A simple column-aligned text table with a CSV escape hatch.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<TableRow>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Append a row; the row is padded / truncated to the header width.
+    pub fn push_row(&mut self, row: TableRow) {
+        let mut row = row;
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Render as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:width$}", width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&render_row(&self.headers));
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&render_row(&rule));
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+        }
+        out
+    }
+
+    /// Render as CSV (header row first).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The standard comparison table used by most experiments: one row per
+/// partitioner with both structural and workload-aware quality columns.
+pub fn comparison_table(title: impl Into<String>, results: &[ExperimentResult]) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "partitioner",
+            "ordering",
+            "|V|",
+            "|E|",
+            "k",
+            "cut_ratio",
+            "imbalance",
+            "comm_vol",
+            "ipt_prob",
+            "remote/q",
+            "local_only",
+            "latency_us",
+            "part_ms",
+            "v/s",
+        ],
+    );
+    for r in results {
+        table.push_row(vec![
+            r.partitioner.clone(),
+            r.ordering.clone(),
+            r.graph_vertices.to_string(),
+            r.graph_edges.to_string(),
+            r.k.to_string(),
+            format!("{:.4}", r.cut_ratio),
+            format!("{:.3}", r.imbalance),
+            r.communication_volume.to_string(),
+            format!("{:.4}", r.ipt_probability),
+            format!("{:.2}", r.remote_per_query),
+            format!("{:.3}", r.local_only_fraction),
+            format!("{:.1}", r.mean_latency_us),
+            format!("{:.1}", r.partition_time_ms),
+            format!("{:.0}", r.vertices_per_second),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result(name: &str) -> ExperimentResult {
+        ExperimentResult {
+            partitioner: name.to_owned(),
+            ordering: "bfs".to_owned(),
+            graph_vertices: 100,
+            graph_edges: 300,
+            k: 4,
+            cut_ratio: 0.25,
+            imbalance: 1.05,
+            communication_volume: 42,
+            partition_time_ms: 1.5,
+            vertices_per_second: 66_000.0,
+            ipt_probability: 0.125,
+            remote_per_query: 2.5,
+            local_only_fraction: 0.75,
+            mean_latency_us: 120.0,
+            matches_found: 10,
+        }
+    }
+
+    #[test]
+    fn render_aligns_columns_and_includes_all_rows() {
+        let table = comparison_table("T1", &[sample_result("ldg"), sample_result("loom")]);
+        let rendered = table.render();
+        assert!(rendered.starts_with("## T1"));
+        assert!(rendered.contains("partitioner"));
+        assert!(rendered.contains("ldg"));
+        assert!(rendered.contains("loom"));
+        assert!(rendered.contains("0.2500"));
+        assert_eq!(table.row_count(), 2);
+        assert_eq!(table.title(), "T1");
+    }
+
+    #[test]
+    fn csv_output_is_parsable() {
+        let table = comparison_table("T1", &[sample_result("hash")]);
+        let csv = table.to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "header and row column counts must match"
+        );
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut table = Table::new("t", &["a", "b"]);
+        table.push_row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = table.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut table = Table::new("t", &["a", "b", "c"]);
+        table.push_row(vec!["only".into()]);
+        let rendered = table.render();
+        assert!(rendered.contains("only"));
+        assert_eq!(table.row_count(), 1);
+    }
+}

@@ -1,0 +1,540 @@
+//! The experiment driver.
+//!
+//! [`ExperimentRunner`] takes a data graph, a stream ordering and a query
+//! workload, runs every partitioner under test over the same stream, then
+//! executes a sampled query mix against each resulting partitioning and
+//! collects both the classic partitioning metrics (cut, balance) and the
+//! workload-aware ones (inter-partition traversal probability, latency).
+//!
+//! Partitioner runs are independent, so [`ExperimentRunner::run_many`] fans
+//! them out across threads with `crossbeam`.
+
+use crate::executor::{ExecutionMetrics, LatencyModel, QueryExecutor, QueryMode};
+use crate::store::PartitionedStore;
+use loom_core::{LoomConfig, LoomPartitioner};
+use loom_graph::ordering::StreamOrder;
+use loom_graph::{GraphStream, LabelledGraph};
+use loom_motif::mining::MotifMiner;
+use loom_motif::tpstry::Tpstry;
+use loom_motif::workload::Workload;
+use loom_partition::fennel::{FennelConfig, FennelPartitioner};
+use loom_partition::hash::HashPartitioner;
+use loom_partition::ldg::{LdgConfig, LdgPartitioner};
+use loom_partition::metrics::evaluate;
+use loom_partition::offline::{MultilevelConfig, MultilevelPartitioner};
+use loom_partition::partition::Partitioning;
+use loom_partition::traits::partition_stream;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Instant;
+
+/// Errors produced while running an experiment.
+#[derive(Debug)]
+pub enum SimError {
+    /// A partitioner failed.
+    Partition(loom_partition::PartitionError),
+    /// Workload mining failed.
+    Motif(loom_motif::MotifError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Partition(e) => write!(f, "partitioning failed: {e}"),
+            SimError::Motif(e) => write!(f, "workload mining failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<loom_partition::PartitionError> for SimError {
+    fn from(e: loom_partition::PartitionError) -> Self {
+        SimError::Partition(e)
+    }
+}
+
+impl From<loom_motif::MotifError> for SimError {
+    fn from(e: loom_motif::MotifError) -> Self {
+        SimError::Motif(e)
+    }
+}
+
+/// Result alias for experiment runs.
+pub type SimResult<T> = std::result::Result<T, SimError>;
+
+/// The partitioners the experiments compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionerKind {
+    /// Hash placement (the distributed-store default).
+    Hash,
+    /// Linear Deterministic Greedy.
+    Ldg,
+    /// Fennel.
+    Fennel,
+    /// LOOM with the full workload-aware pipeline.
+    Loom,
+    /// Ablation: LOOM without motif clustering (≈ windowed LDG).
+    LoomNoMotifs,
+    /// Ablation: LOOM without the LDG capacity penalty in cluster placement.
+    LoomNoCapacityPenalty,
+    /// Ablation: LOOM without merging of overlapping matches.
+    LoomNoOverlapMerge,
+    /// The offline multilevel (METIS-like) reference partitioner.
+    Offline,
+}
+
+impl PartitionerKind {
+    /// Short, stable name used in report tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PartitionerKind::Hash => "hash",
+            PartitionerKind::Ldg => "ldg",
+            PartitionerKind::Fennel => "fennel",
+            PartitionerKind::Loom => "loom",
+            PartitionerKind::LoomNoMotifs => "loom-no-motifs",
+            PartitionerKind::LoomNoCapacityPenalty => "loom-no-penalty",
+            PartitionerKind::LoomNoOverlapMerge => "loom-no-merge",
+            PartitionerKind::Offline => "offline",
+        }
+    }
+
+    /// The comparison set used by most experiments.
+    pub fn standard_set() -> Vec<PartitionerKind> {
+        vec![
+            PartitionerKind::Hash,
+            PartitionerKind::Ldg,
+            PartitionerKind::Fennel,
+            PartitionerKind::Loom,
+            PartitionerKind::Offline,
+        ]
+    }
+
+    /// The LOOM ablation set.
+    pub fn ablation_set() -> Vec<PartitionerKind> {
+        vec![
+            PartitionerKind::Loom,
+            PartitionerKind::LoomNoMotifs,
+            PartitionerKind::LoomNoCapacityPenalty,
+            PartitionerKind::LoomNoOverlapMerge,
+        ]
+    }
+}
+
+/// Shared experiment parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of partitions.
+    pub k: u32,
+    /// Balance slack used by every partitioner that honours one.
+    pub slack: f64,
+    /// LOOM window size (vertices).
+    pub window_size: usize,
+    /// LOOM motif frequency threshold `T`.
+    pub motif_threshold: f64,
+    /// Number of query executions sampled from the workload per run.
+    pub query_samples: usize,
+    /// RNG seed for the query sampling.
+    pub seed: u64,
+    /// Latency model for the executor.
+    pub latency: LatencyModel,
+    /// Query execution mode (rooted, by default, to model the online
+    /// transactional queries the paper targets).
+    pub query_mode: QueryMode,
+}
+
+impl ExperimentConfig {
+    /// Sensible defaults for `k` partitions.
+    pub fn new(k: u32) -> Self {
+        Self {
+            k,
+            slack: 1.1,
+            window_size: 256,
+            motif_threshold: 0.4,
+            query_samples: 200,
+            seed: 42,
+            latency: LatencyModel::default(),
+            query_mode: QueryMode::Rooted { seed_count: 4 },
+        }
+    }
+}
+
+/// One row of an experiment: a partitioner's quality and execution figures on
+/// one (graph, ordering, workload) combination.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Partitioner name.
+    pub partitioner: String,
+    /// Stream ordering name.
+    pub ordering: String,
+    /// Vertices in the data graph.
+    pub graph_vertices: usize,
+    /// Edges in the data graph.
+    pub graph_edges: usize,
+    /// Number of partitions.
+    pub k: u32,
+    /// Fraction of edges cut.
+    pub cut_ratio: f64,
+    /// Balance: max partition size over ideal size.
+    pub imbalance: f64,
+    /// Communication volume (distinct remote partitions summed over vertices).
+    pub communication_volume: usize,
+    /// Wall-clock time spent partitioning, in milliseconds.
+    pub partition_time_ms: f64,
+    /// Partitioning throughput in vertices per second.
+    pub vertices_per_second: f64,
+    /// Probability that a query traversal crosses partitions.
+    pub ipt_probability: f64,
+    /// Mean remote traversals per query.
+    pub remote_per_query: f64,
+    /// Fraction of query executions answered without any remote traversal.
+    pub local_only_fraction: f64,
+    /// Mean estimated query latency, in microseconds.
+    pub mean_latency_us: f64,
+    /// Total matches found while executing the sampled workload.
+    pub matches_found: usize,
+}
+
+impl ExperimentResult {
+    fn from_parts(
+        partitioner: &str,
+        ordering: &str,
+        graph: &LabelledGraph,
+        k: u32,
+        partitioning: &Partitioning,
+        partition_time_ms: f64,
+        execution: &ExecutionMetrics,
+    ) -> Self {
+        let quality = evaluate(graph, partitioning);
+        let seconds = (partition_time_ms / 1_000.0).max(1e-9);
+        Self {
+            partitioner: partitioner.to_owned(),
+            ordering: ordering.to_owned(),
+            graph_vertices: graph.vertex_count(),
+            graph_edges: graph.edge_count(),
+            k,
+            cut_ratio: quality.cut_ratio,
+            imbalance: quality.imbalance,
+            communication_volume: quality.communication_volume,
+            partition_time_ms,
+            vertices_per_second: graph.vertex_count() as f64 / seconds,
+            ipt_probability: execution.inter_partition_probability(),
+            remote_per_query: execution.remote_traversals_per_query(),
+            local_only_fraction: execution.local_only_fraction(),
+            mean_latency_us: execution.mean_latency_us(),
+            matches_found: execution.matches_found,
+        }
+    }
+}
+
+/// The experiment driver.
+#[derive(Debug, Clone)]
+pub struct ExperimentRunner {
+    config: ExperimentConfig,
+}
+
+impl ExperimentRunner {
+    /// Create a runner with the given shared parameters.
+    pub fn new(config: ExperimentConfig) -> Self {
+        Self { config }
+    }
+
+    /// The shared parameters.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Mine the workload summary the LOOM variants share.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload mining failures.
+    pub fn mine_workload(&self, workload: &Workload) -> SimResult<Tpstry> {
+        Ok(MotifMiner::default().mine(workload)?)
+    }
+
+    /// Build a LOOM configuration matching the experiment parameters.
+    pub fn loom_config(&self, graph: &LabelledGraph) -> LoomConfig {
+        LoomConfig::new(self.config.k, graph.vertex_count())
+            .with_window_size(self.config.window_size)
+            .with_motif_threshold(self.config.motif_threshold)
+            .with_slack(self.config.slack)
+    }
+
+    /// Run a single partitioner over a pre-built stream and evaluate it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioner failures.
+    pub fn run_one(
+        &self,
+        kind: PartitionerKind,
+        graph: &LabelledGraph,
+        stream: &GraphStream,
+        ordering_name: &str,
+        workload: &Workload,
+        tpstry: &Tpstry,
+    ) -> SimResult<ExperimentResult> {
+        let start = Instant::now();
+        let partitioning = self.partition_with(kind, graph, stream, tpstry)?;
+        let partition_time_ms = start.elapsed().as_secs_f64() * 1_000.0;
+
+        let store = PartitionedStore::new(graph.clone(), partitioning.clone());
+        let executor = QueryExecutor::new(self.config.latency).with_mode(self.config.query_mode);
+        let execution = executor.execute_workload(
+            &store,
+            workload,
+            self.config.query_samples,
+            self.config.seed,
+        );
+        Ok(ExperimentResult::from_parts(
+            kind.name(),
+            ordering_name,
+            graph,
+            self.config.k,
+            &partitioning,
+            partition_time_ms,
+            &execution,
+        ))
+    }
+
+    /// Run several partitioners (in parallel threads) over the same graph,
+    /// ordering and workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first partitioner failure encountered.
+    pub fn run_many(
+        &self,
+        kinds: &[PartitionerKind],
+        graph: &LabelledGraph,
+        order: &StreamOrder,
+        workload: &Workload,
+    ) -> SimResult<Vec<ExperimentResult>> {
+        let tpstry = self.mine_workload(workload)?;
+        let stream = GraphStream::from_graph(graph, order);
+        let ordering_name = order.name();
+
+        let results: Mutex<Vec<(usize, SimResult<ExperimentResult>)>> = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|scope| {
+            for (index, &kind) in kinds.iter().enumerate() {
+                let results = &results;
+                let stream = &stream;
+                let tpstry = &tpstry;
+                scope.spawn(move |_| {
+                    let outcome =
+                        self.run_one(kind, graph, stream, ordering_name, workload, tpstry);
+                    results.lock().push((index, outcome));
+                });
+            }
+        })
+        .expect("experiment worker threads do not panic");
+
+        let mut collected = results.into_inner();
+        collected.sort_by_key(|(index, _)| *index);
+        collected
+            .into_iter()
+            .map(|(_, outcome)| outcome)
+            .collect()
+    }
+
+    /// Produce a partitioning of `graph` with the requested partitioner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioner failures.
+    pub fn partition_with(
+        &self,
+        kind: PartitionerKind,
+        graph: &LabelledGraph,
+        stream: &GraphStream,
+        tpstry: &Tpstry,
+    ) -> SimResult<Partitioning> {
+        let n = graph.vertex_count();
+        let k = self.config.k;
+        let partitioning = match kind {
+            PartitionerKind::Hash => {
+                let capacity = ((n as f64 / f64::from(k.max(1)) * self.config.slack).ceil()
+                    as usize)
+                    .max(1);
+                let mut p = HashPartitioner::new(k, capacity)?;
+                partition_stream(&mut p, stream)?
+            }
+            PartitionerKind::Ldg => {
+                let mut p = LdgPartitioner::new(LdgConfig {
+                    k,
+                    expected_vertices: n,
+                    slack: self.config.slack,
+                })?;
+                partition_stream(&mut p, stream)?
+            }
+            PartitionerKind::Fennel => {
+                let mut p = FennelPartitioner::new(FennelConfig {
+                    balance_cap: self.config.slack,
+                    ..FennelConfig::new(k, n, graph.edge_count())
+                })?;
+                partition_stream(&mut p, stream)?
+            }
+            PartitionerKind::Loom => {
+                let mut p = LoomPartitioner::new(self.loom_config(graph), tpstry)?;
+                partition_stream(&mut p, stream)?
+            }
+            PartitionerKind::LoomNoMotifs => {
+                let config = self.loom_config(graph).without_motif_clustering();
+                let mut p = LoomPartitioner::new(config, tpstry)?;
+                partition_stream(&mut p, stream)?
+            }
+            PartitionerKind::LoomNoCapacityPenalty => {
+                let config = self.loom_config(graph).without_capacity_penalty();
+                let mut p = LoomPartitioner::new(config, tpstry)?;
+                partition_stream(&mut p, stream)?
+            }
+            PartitionerKind::LoomNoOverlapMerge => {
+                let config = self.loom_config(graph).without_overlap_merging();
+                let mut p = LoomPartitioner::new(config, tpstry)?;
+                partition_stream(&mut p, stream)?
+            }
+            PartitionerKind::Offline => {
+                let partitioner = MultilevelPartitioner::new(MultilevelConfig {
+                    k,
+                    slack: self.config.slack.max(1.05),
+                    ..MultilevelConfig::new(k)
+                })?;
+                partitioner.partition(graph)?
+            }
+        };
+        Ok(partitioning)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_graph::generators::regular::path_graph;
+    use loom_graph::generators::{motif_planted_graph, MotifPlantConfig};
+    use loom_graph::Label;
+    use loom_motif::query::{PatternQuery, QueryId};
+
+    fn l(x: u32) -> Label {
+        Label::new(x)
+    }
+
+    fn abc_workload() -> Workload {
+        let q1 = PatternQuery::path(QueryId::new(0), &[l(0), l(1), l(2)]).unwrap();
+        let q2 = PatternQuery::path(QueryId::new(1), &[l(0), l(1)]).unwrap();
+        Workload::new(vec![(q1, 3.0), (q2, 1.0)]).unwrap()
+    }
+
+    fn planted_graph(seed: u64) -> LabelledGraph {
+        let motif = path_graph(3, &[l(0), l(1), l(2)]);
+        motif_planted_graph(
+            &MotifPlantConfig {
+                background_vertices: 300,
+                background_edges: 600,
+                instances_per_motif: 40,
+                attachment_edges: 1,
+                label_count: 4,
+                seed,
+            },
+            &[motif],
+        )
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn run_many_produces_one_row_per_partitioner() {
+        let graph = planted_graph(1);
+        let workload = abc_workload();
+        let runner = ExperimentRunner::new(ExperimentConfig {
+            query_samples: 30,
+            window_size: 64,
+            ..ExperimentConfig::new(4)
+        });
+        let kinds = PartitionerKind::standard_set();
+        let results = runner
+            .run_many(&kinds, &graph, &StreamOrder::Bfs, &workload)
+            .unwrap();
+        assert_eq!(results.len(), kinds.len());
+        for (kind, result) in kinds.iter().zip(&results) {
+            assert_eq!(result.partitioner, kind.name());
+            assert_eq!(result.graph_vertices, graph.vertex_count());
+            assert!(result.cut_ratio >= 0.0 && result.cut_ratio <= 1.0);
+            assert!(result.imbalance >= 1.0);
+            assert!(result.vertices_per_second > 0.0);
+            assert!(result.ipt_probability >= 0.0 && result.ipt_probability <= 1.0);
+        }
+        // Hash should be the worst on inter-partition traversal probability.
+        let hash = results.iter().find(|r| r.partitioner == "hash").unwrap();
+        let loom = results.iter().find(|r| r.partitioner == "loom").unwrap();
+        assert!(
+            loom.ipt_probability <= hash.ipt_probability,
+            "LOOM ({:.3}) should not exceed hash ({:.3}) on ipt probability",
+            loom.ipt_probability,
+            hash.ipt_probability
+        );
+    }
+
+    #[test]
+    fn loom_beats_ldg_on_workload_locality_for_motif_heavy_graphs() {
+        let graph = planted_graph(9);
+        let workload = abc_workload();
+        let runner = ExperimentRunner::new(ExperimentConfig {
+            query_samples: 60,
+            window_size: 128,
+            ..ExperimentConfig::new(8)
+        });
+        let results = runner
+            .run_many(
+                &[PartitionerKind::Ldg, PartitionerKind::Loom],
+                &graph,
+                &StreamOrder::Random { seed: 3 },
+                &workload,
+            )
+            .unwrap();
+        let ldg = &results[0];
+        let loom = &results[1];
+        assert!(
+            loom.local_only_fraction >= ldg.local_only_fraction,
+            "LOOM local-only fraction {:.3} should be at least LDG's {:.3}",
+            loom.local_only_fraction,
+            ldg.local_only_fraction
+        );
+    }
+
+    #[test]
+    fn ablation_set_runs() {
+        let graph = planted_graph(4);
+        let workload = abc_workload();
+        let runner = ExperimentRunner::new(ExperimentConfig {
+            query_samples: 20,
+            window_size: 64,
+            ..ExperimentConfig::new(4)
+        });
+        let results = runner
+            .run_many(
+                &PartitionerKind::ablation_set(),
+                &graph,
+                &StreamOrder::Bfs,
+                &workload,
+            )
+            .unwrap();
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().any(|r| r.partitioner == "loom-no-motifs"));
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(PartitionerKind::Hash.name(), "hash");
+        assert_eq!(PartitionerKind::LoomNoOverlapMerge.name(), "loom-no-merge");
+        assert_eq!(PartitionerKind::standard_set().len(), 5);
+    }
+
+    #[test]
+    fn sim_error_display() {
+        let err: SimError =
+            loom_partition::PartitionError::InvalidConfig("k = 0".into()).into();
+        assert!(err.to_string().contains("partitioning failed"));
+    }
+}

@@ -1,0 +1,132 @@
+//! The partitioned graph store.
+//!
+//! [`PartitionedStore`] couples a data graph with a [`Partitioning`] and
+//! answers the questions a distributed query router would: where does a
+//! vertex live, what are its neighbours, and does following a given edge stay
+//! on the same partition or cross to another one?
+
+use loom_graph::{Label, LabelledGraph, VertexId};
+use loom_partition::partition::{PartitionId, Partitioning};
+
+/// A data graph plus the partitioning that hosts it.
+#[derive(Debug, Clone)]
+pub struct PartitionedStore {
+    graph: LabelledGraph,
+    partitioning: Partitioning,
+}
+
+impl PartitionedStore {
+    /// Build a store from a graph and a partitioning. Vertices without an
+    /// assignment are tolerated (they count as "remote to everyone"), which
+    /// lets callers inspect partial/streaming states too.
+    pub fn new(graph: LabelledGraph, partitioning: Partitioning) -> Self {
+        Self {
+            graph,
+            partitioning,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &LabelledGraph {
+        &self.graph
+    }
+
+    /// The partitioning.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> u32 {
+        self.partitioning.k()
+    }
+
+    /// The partition hosting a vertex.
+    pub fn partition_of(&self, v: VertexId) -> Option<PartitionId> {
+        self.partitioning.partition_of(v)
+    }
+
+    /// The label of a vertex.
+    pub fn label(&self, v: VertexId) -> Option<Label> {
+        self.graph.label(v)
+    }
+
+    /// Neighbours of a vertex.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.graph.neighbors(v)
+    }
+
+    /// Whether following the edge `from → to` crosses a partition boundary.
+    /// Unassigned endpoints count as remote (worst case).
+    pub fn is_remote_traversal(&self, from: VertexId, to: VertexId) -> bool {
+        match (self.partition_of(from), self.partition_of(to)) {
+            (Some(a), Some(b)) => a != b,
+            _ => true,
+        }
+    }
+
+    /// Vertices hosted by a partition (sorted by id).
+    pub fn vertices_in(&self, p: PartitionId) -> Vec<VertexId> {
+        self.partitioning.members(p)
+    }
+
+    /// All vertices carrying a label, sorted by id (the "label index" a graph
+    /// database would use to seed a query).
+    pub fn vertices_with_label(&self, label: Label) -> Vec<VertexId> {
+        let mut result: Vec<VertexId> = self
+            .graph
+            .labelled_vertices()
+            .filter(|&(_, l)| l == label)
+            .map(|(v, _)| v)
+            .collect();
+        result.sort_unstable();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_graph::generators::regular::path_graph;
+
+    fn store() -> PartitionedStore {
+        let g = path_graph(4, &[Label::new(0), Label::new(1)]);
+        let vs = g.vertices_sorted();
+        let mut part = Partitioning::new(2, 4).unwrap();
+        part.assign(vs[0], PartitionId::new(0)).unwrap();
+        part.assign(vs[1], PartitionId::new(0)).unwrap();
+        part.assign(vs[2], PartitionId::new(1)).unwrap();
+        // vs[3] deliberately left unassigned.
+        PartitionedStore::new(g, part)
+    }
+
+    #[test]
+    fn routing_and_lookup() {
+        let s = store();
+        let vs = s.graph().vertices_sorted();
+        assert_eq!(s.partition_count(), 2);
+        assert_eq!(s.partition_of(vs[0]), Some(PartitionId::new(0)));
+        assert_eq!(s.partition_of(vs[3]), None);
+        assert_eq!(s.label(vs[1]), Some(Label::new(1)));
+        assert_eq!(s.neighbors(vs[0]), &[vs[1]]);
+        assert_eq!(s.vertices_in(PartitionId::new(0)), vec![vs[0], vs[1]]);
+    }
+
+    #[test]
+    fn remote_traversal_detection() {
+        let s = store();
+        let vs = s.graph().vertices_sorted();
+        assert!(!s.is_remote_traversal(vs[0], vs[1]));
+        assert!(s.is_remote_traversal(vs[1], vs[2]));
+        // Unassigned endpoint counts as remote.
+        assert!(s.is_remote_traversal(vs[2], vs[3]));
+    }
+
+    #[test]
+    fn label_index() {
+        let s = store();
+        let with_a = s.vertices_with_label(Label::new(0));
+        assert_eq!(with_a.len(), 2);
+        assert!(s.vertices_with_label(Label::new(9)).is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! Workload explorer: inspect what the TPSTry++ captures from a workload.
+//!
+//! This example corresponds to the paper's Figure 2: it mines a query
+//! workload into a TPSTry++, prints every motif node with its support and
+//! p-value, and then sweeps the frequency threshold `T` to show how the set
+//! of "frequent" motifs (the ones LOOM will try to keep intact) shrinks as
+//! `T` grows.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example workload_explorer
+//! ```
+
+use loom::prelude::*;
+use loom_core::FrequentMotifIndex;
+
+fn main() {
+    // A slightly richer workload than Figure 1: the three paper queries plus
+    // a generated batch sharing the same cores.
+    let mut queries: Vec<(PatternQuery, f64)> = paper_example_workload()
+        .iter()
+        .map(|(q, f)| (q.clone(), f))
+        .collect();
+    let generated = WorkloadGenerator {
+        query_count: 12,
+        label_count: 4,
+        core_count: 2,
+        core_length: 3,
+        max_extension: 1,
+        zipf_exponent: 1.2,
+        seed: 31,
+    }
+    .generate()
+    .expect("valid generator");
+    for (i, (q, f)) in generated.iter().enumerate() {
+        // Re-number to avoid id collisions with the paper queries.
+        let renumbered = PatternQuery::new(QueryId::new(100 + i as u32), q.graph().clone())
+            .expect("generated queries are connected");
+        queries.push((renumbered, f));
+    }
+    let workload = Workload::new(queries).expect("non-empty workload");
+    println!("workload: {} queries", workload.queries().len());
+
+    // Mine the TPSTry++.
+    let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+    let interner = LabelInterner::with_alphabet(workload.label_alphabet_size() as usize);
+    println!("TPSTry++: {} motif nodes\n", tpstry.node_count());
+
+    // Print the nodes, largest p-value first.
+    let mut ids: Vec<_> = tpstry.nodes().map(|n| n.id()).collect();
+    ids.sort_by(|&a, &b| {
+        tpstry
+            .p_value(b)
+            .partial_cmp(&tpstry.p_value(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    println!("{:<6} {:>5} {:>5} {:>8}   motif", "node", "|V|", "|E|", "p-value");
+    for id in ids.iter().take(25) {
+        let node = tpstry.node(*id);
+        let labels: Vec<&str> = node
+            .graph()
+            .vertices_sorted()
+            .iter()
+            .map(|&v| {
+                interner
+                    .name(node.graph().label(v).expect("labelled"))
+                    .unwrap_or("?")
+            })
+            .collect();
+        println!(
+            "{:<6} {:>5} {:>5} {:>8.3}   {}",
+            id.to_string(),
+            node.vertex_count(),
+            node.edge_count(),
+            tpstry.p_value(*id),
+            labels.join("-"),
+        );
+    }
+    if tpstry.node_count() > 25 {
+        println!("... ({} more nodes)", tpstry.node_count() - 25);
+    }
+
+    // Threshold sweep: how many motifs does LOOM track at each T?
+    println!("\nthreshold sweep (motifs with at least one edge):");
+    println!("{:>5}  {:>14}  {:>18}", "T", "frequent nodes", "largest motif (|V|)");
+    for threshold in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] {
+        let index = FrequentMotifIndex::new(&tpstry, threshold);
+        println!(
+            "{threshold:>5.1}  {:>14}  {:>18}",
+            index.motif_count(),
+            index.max_motif_vertices(),
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # loom — workload-aware streaming graph partitioning
+//!
+//! Umbrella crate re-exporting the full LOOM stack (Firth & Missier,
+//! *Workload-aware Streaming Graph Partitioning*, GraphQ@EDBT 2016):
+//!
+//! * [`loom_graph`] — labelled graphs, generators, graph streams, orderings;
+//! * [`loom_motif`] — pattern queries, sub-graph isomorphism, signatures,
+//!   the TPSTry++ and motif mining;
+//! * [`loom_partition`] — Hash / LDG / Fennel / offline multilevel
+//!   partitioners and quality metrics;
+//! * [`loom_core`] — the LOOM workload-aware streaming partitioner itself;
+//! * [`loom_sim`] — the distributed query-execution simulator and the
+//!   experiment runner.
+//!
+//! The [`prelude`] pulls in the commonly used types from every layer; the
+//! `examples/` directory shows end-to-end usage.
+
+#![warn(missing_docs)]
+
+pub use loom_core;
+pub use loom_graph;
+pub use loom_motif;
+pub use loom_partition;
+pub use loom_sim;
+
+/// One-stop prelude for examples, tests and downstream experiments.
+pub mod prelude {
+    pub use loom_core::prelude::*;
+    pub use loom_graph::prelude::*;
+    pub use loom_motif::prelude::*;
+    pub use loom_sim::prelude::*;
+}

@@ -1,0 +1,115 @@
+//! Tests exercising the documented public API surface end to end:
+//! the README usage snippet, graph statistics, the growth scenario and the
+//! report rendering — everything a downstream user would touch first.
+
+use loom::loom_sim::report::comparison_table;
+use loom::prelude::*;
+use loom_graph::stats::{clustering_coefficient, degree_histogram, degree_stats};
+
+#[test]
+fn readme_usage_snippet_compiles_and_runs() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Summarise the workload Q (queries + frequencies) into a TPSTry++.
+    let workload = paper_example_workload();
+    let tpstry = MotifMiner::default().mine(&workload)?;
+
+    // 2. Stream a graph and partition it, workload-aware.
+    let graph = paper_example_graph();
+    let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
+    let config = LoomConfig::new(2, graph.vertex_count()).with_window_size(64);
+    let mut loom = LoomPartitioner::new(config, &tpstry)?;
+    let partitioning = partition_stream(&mut loom, &stream)?;
+
+    // 3. Measure what the workload actually pays on that partitioning.
+    let store = PartitionedStore::new(graph, partitioning);
+    let metrics = QueryExecutor::default().execute_workload(&store, &workload, 1_000, 42);
+    assert!(metrics.inter_partition_probability() <= 1.0);
+    assert_eq!(metrics.queries_executed, 1_000);
+    Ok(())
+}
+
+#[test]
+fn graph_statistics_describe_generated_graphs() {
+    let ba = barabasi_albert(GeneratorConfig::new(3_000, 4, 5), 3).unwrap();
+    let stats = degree_stats(&ba);
+    assert!(stats.max >= stats.p99 && stats.p99 >= stats.median);
+    assert!(stats.mean > 5.0 && stats.mean < 7.0, "mean {}", stats.mean);
+    let histogram = degree_histogram(&ba);
+    assert_eq!(histogram.iter().sum::<usize>(), ba.vertex_count());
+    let clustering = clustering_coefficient(&ba);
+    assert!(clustering > 0.0 && clustering < 0.5, "clustering {clustering}");
+}
+
+#[test]
+fn growth_scenario_contrasts_streaming_and_offline() {
+    let graph = barabasi_albert(GeneratorConfig::new(1_200, 4, 11), 2).unwrap();
+    let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 4 });
+    let scenario = GrowthScenario::new(4, 4);
+
+    let mut ldg = LdgPartitioner::new(LdgConfig::new(4, graph.vertex_count())).unwrap();
+    let streaming = scenario.run_streaming(&mut ldg, &stream).unwrap();
+    let offline = scenario.run_offline_periodic(&stream).unwrap();
+
+    assert_eq!(streaming.len(), 4);
+    assert_eq!(offline.len(), 4);
+    // Streaming adapts without migrations; offline repartitioning moves data.
+    assert!(streaming.iter().all(|c| c.churn == 0.0));
+    assert!(offline.iter().skip(1).any(|c| c.churn > 0.0));
+    // Offline ends with a cut at least as good as streaming's.
+    assert!(offline.last().unwrap().cut_ratio <= streaming.last().unwrap().cut_ratio + 0.05);
+    // Both saw the whole graph by the end.
+    assert_eq!(streaming.last().unwrap().vertices, graph.vertex_count());
+    assert_eq!(offline.last().unwrap().vertices, graph.vertex_count());
+}
+
+#[test]
+fn experiment_runner_rows_render_into_tables_and_csv() {
+    let graph = barabasi_albert(GeneratorConfig::new(800, 4, 9), 2).unwrap();
+    let workload = WorkloadGenerator {
+        query_count: 8,
+        label_count: 4,
+        core_count: 2,
+        core_length: 3,
+        max_extension: 1,
+        zipf_exponent: 1.0,
+        seed: 2,
+    }
+    .generate()
+    .unwrap();
+    let runner = ExperimentRunner::new(ExperimentConfig {
+        query_samples: 20,
+        window_size: 64,
+        ..ExperimentConfig::new(4)
+    });
+    let results = runner
+        .run_many(
+            &[PartitionerKind::Ldg, PartitionerKind::Loom],
+            &graph,
+            &StreamOrder::Bfs,
+            &workload,
+        )
+        .unwrap();
+    let table = comparison_table("api surface check", &results);
+    let rendered = table.render();
+    assert!(rendered.contains("ldg") && rendered.contains("loom"));
+    let csv = table.to_csv();
+    assert_eq!(csv.trim().lines().count(), 3); // header + two rows
+}
+
+#[test]
+fn rooted_and_full_query_modes_are_both_available() {
+    let graph = paper_example_graph();
+    let workload = paper_example_workload();
+    let mut partitioning = Partitioning::new(2, 4).unwrap();
+    for (i, v) in graph.vertices_sorted().into_iter().enumerate() {
+        partitioning
+            .assign(v, PartitionId::new((i % 2) as u32))
+            .unwrap();
+    }
+    let store = PartitionedStore::new(graph, partitioning);
+    let full = QueryExecutor::default().execute_workload(&store, &workload, 50, 1);
+    let rooted = QueryExecutor::default()
+        .with_mode(QueryMode::Rooted { seed_count: 1 })
+        .execute_workload(&store, &workload, 50, 1);
+    assert!(rooted.total_traversals <= full.total_traversals);
+    assert_eq!(full.queries_executed, rooted.queries_executed);
+}

@@ -1,0 +1,208 @@
+//! Property-based tests over the core invariants of the LOOM stack.
+//!
+//! These use `proptest` to generate random graphs, workloads and streams and
+//! check the invariants the rest of the system silently relies on:
+//! signature algebra, canonical-code stability, stream faithfulness,
+//! partitioner completeness and balance, and TPSTry++ support monotonicity.
+
+use loom::prelude::*;
+use loom_graph::VertexId;
+use loom_motif::canonical::canonical_code;
+use loom_motif::isomorphism::are_isomorphic;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Strategy: a small random connected labelled graph described by a label
+/// sequence (path backbone) plus extra random edges.
+fn small_graph_strategy() -> impl Strategy<Value = LabelledGraph> {
+    (
+        proptest::collection::vec(0u32..4, 2..8),
+        proptest::collection::vec((0usize..8, 0usize..8), 0..6),
+    )
+        .prop_map(|(labels, extra_edges)| {
+            let mut g = LabelledGraph::new();
+            let vertices: Vec<VertexId> =
+                labels.iter().map(|&l| g.add_vertex(Label::new(l))).collect();
+            for w in vertices.windows(2) {
+                let _ = g.add_edge_idempotent(w[0], w[1]);
+            }
+            for (a, b) in extra_edges {
+                if a < vertices.len() && b < vertices.len() && a != b {
+                    let _ = g.add_edge_idempotent(vertices[a], vertices[b]);
+                }
+            }
+            g
+        })
+}
+
+/// Relabel vertex ids of a graph with an arbitrary offset + shuffle, keeping
+/// the structure identical.
+fn shuffle_ids(graph: &LabelledGraph, seed: u64) -> LabelledGraph {
+    let vertices = graph.vertices_sorted();
+    let mut new_ids: Vec<u64> = (0..vertices.len() as u64).map(|i| 1_000 + i * 7).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    new_ids.shuffle(&mut rng);
+    let mapping: std::collections::HashMap<VertexId, VertexId> = vertices
+        .iter()
+        .zip(new_ids.iter())
+        .map(|(&old, &new)| (old, VertexId::new(new)))
+        .collect();
+    let mut out = LabelledGraph::new();
+    for &v in &vertices {
+        out.insert_vertex(mapping[&v], graph.label(v).expect("labelled"));
+    }
+    for e in graph.edges_sorted() {
+        out.add_edge(mapping[&e.lo], mapping[&e.hi]).expect("valid edge");
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The canonical code is invariant under vertex-id relabelling, and equal
+    /// codes imply isomorphism for these small graphs.
+    #[test]
+    fn canonical_code_is_id_invariant(graph in small_graph_strategy(), seed in 0u64..1000) {
+        let shuffled = shuffle_ids(&graph, seed);
+        prop_assert_eq!(canonical_code(&graph), canonical_code(&shuffled));
+        prop_assert!(are_isomorphic(&graph, &shuffled));
+    }
+
+    /// A sub-graph's signature always divides its super-graph's signature.
+    #[test]
+    fn signature_divisibility_respects_subgraphs(graph in small_graph_strategy()) {
+        let table = PrimeTable::new(4);
+        let full = table.signature_of(&graph).expect("alphabet fits");
+        // Drop the highest-id vertex to build a strict sub-graph.
+        let vertices = graph.vertices_sorted();
+        let subset: Vec<VertexId> = vertices[..vertices.len() - 1].to_vec();
+        let sub = induced_subgraph(&graph, subset);
+        let sub_sig = table.signature_of(&sub).expect("alphabet fits");
+        prop_assert!(sub_sig.divides(&full));
+        // Divisibility is reflexive and antisymmetric on factor counts.
+        prop_assert!(full.divides(&full));
+        if sub_sig.factor_count() < full.factor_count() {
+            prop_assert!(!full.divides(&sub_sig));
+        }
+    }
+
+    /// Streams reconstruct their source graph under any random ordering, and
+    /// edges never precede their endpoints.
+    #[test]
+    fn streams_are_faithful(graph in small_graph_strategy(), seed in 0u64..1000) {
+        let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed });
+        let rebuilt = stream.materialise();
+        prop_assert_eq!(rebuilt.vertex_count(), graph.vertex_count());
+        prop_assert_eq!(rebuilt.edges_sorted(), graph.edges_sorted());
+        let mut seen = std::collections::HashSet::new();
+        for element in &stream {
+            match *element {
+                StreamElement::AddVertex { id, .. } => { seen.insert(id); }
+                StreamElement::AddEdge { source, target } => {
+                    prop_assert!(seen.contains(&source) && seen.contains(&target));
+                }
+            }
+        }
+    }
+
+    /// Every streaming partitioner assigns every vertex exactly once, to a
+    /// valid partition, and LDG stays within its capacity.
+    #[test]
+    fn streaming_partitioners_are_complete(
+        graph in small_graph_strategy(),
+        seed in 0u64..1000,
+        k in 2u32..5,
+    ) {
+        let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed });
+        let n = graph.vertex_count();
+
+        let mut ldg = LdgPartitioner::new(LdgConfig::new(k, n)).expect("valid");
+        let ldg_part = partition_stream(&mut ldg, &stream).expect("ldg ok");
+        prop_assert_eq!(ldg_part.assigned_count(), n);
+        for p in ldg_part.partitions() {
+            prop_assert!(ldg_part.size(p) <= ldg_part.capacity());
+        }
+
+        let mut hash = HashPartitioner::new(k, n.max(1)).expect("valid");
+        let hash_part = partition_stream(&mut hash, &stream).expect("hash ok");
+        prop_assert_eq!(hash_part.assigned_count(), n);
+
+        let mut fennel = FennelPartitioner::new(FennelConfig::new(k, n, graph.edge_count()))
+            .expect("valid");
+        let fennel_part = partition_stream(&mut fennel, &stream).expect("fennel ok");
+        prop_assert_eq!(fennel_part.assigned_count(), n);
+        for v in graph.vertices_sorted() {
+            prop_assert!(ldg_part.partition_of(v).expect("assigned").0 < k);
+            prop_assert!(fennel_part.partition_of(v).expect("assigned").0 < k);
+        }
+    }
+
+    /// LOOM assigns every vertex exactly once no matter the window size or
+    /// motif threshold, and its cluster bookkeeping never loses a vertex.
+    #[test]
+    fn loom_is_complete_for_any_window(
+        graph in small_graph_strategy(),
+        window in 1usize..16,
+        threshold in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let q = PatternQuery::path(QueryId::new(0), &[Label::new(0), Label::new(1), Label::new(2)])
+            .expect("valid query");
+        let workload = Workload::uniform(vec![q]).expect("valid workload");
+        let tpstry = MotifMiner::default().mine(&workload).expect("mines");
+        let config = LoomConfig::new(3, graph.vertex_count())
+            .with_window_size(window)
+            .with_motif_threshold(threshold);
+        let mut loom = LoomPartitioner::new(config, &tpstry).expect("valid");
+        let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed });
+        let partitioning = partition_stream(&mut loom, &stream).expect("loom ok");
+        prop_assert_eq!(partitioning.assigned_count(), graph.vertex_count());
+        prop_assert_eq!(loom.stats().total_assigned(), graph.vertex_count());
+    }
+
+    /// TPSTry++ invariants hold for arbitrary mined workloads: parent/child
+    /// symmetry and support monotonicity.
+    #[test]
+    fn tpstry_invariants_hold_for_random_workloads(
+        label_seqs in proptest::collection::vec(
+            proptest::collection::vec(0u32..4, 2..5),
+            1..5,
+        ),
+    ) {
+        let queries: Vec<PatternQuery> = label_seqs
+            .iter()
+            .enumerate()
+            .map(|(i, labels)| {
+                let labels: Vec<Label> = labels.iter().map(|&l| Label::new(l)).collect();
+                PatternQuery::path(QueryId::new(i as u32), &labels).expect("valid path query")
+            })
+            .collect();
+        let workload = Workload::uniform(queries).expect("non-empty");
+        let tpstry = MotifMiner::default().mine(&workload).expect("mines");
+        prop_assert!(tpstry.check_invariants().is_ok());
+        // Every p-value is a probability.
+        for node in tpstry.nodes() {
+            let p = tpstry.p_value(node.id());
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+        }
+    }
+
+    /// Partition quality metrics are internally consistent.
+    #[test]
+    fn quality_metrics_are_consistent(graph in small_graph_strategy(), seed in 0u64..1000, k in 2u32..5) {
+        let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed });
+        let mut ldg = LdgPartitioner::new(LdgConfig::new(k, graph.vertex_count())).expect("valid");
+        let partitioning = partition_stream(&mut ldg, &stream).expect("ok");
+        let report = partitioning.quality(&graph);
+        prop_assert_eq!(report.total_edges, graph.edge_count());
+        prop_assert!(report.cut_edges <= report.total_edges);
+        prop_assert!((0.0..=1.0).contains(&report.cut_ratio));
+        prop_assert!(report.imbalance >= 1.0 - 1e-9);
+        // Communication volume is at most twice the cut edge count
+        // (each cut edge contributes at most one remote partition per side).
+        prop_assert!(report.communication_volume <= 2 * report.cut_edges);
+    }
+}
