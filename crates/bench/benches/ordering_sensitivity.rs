@@ -13,7 +13,9 @@ use std::hint::black_box;
 
 fn bench_orderings(c: &mut Criterion) {
     let (graph, workload) = scenarios::motif_scenario(3_000, 150, 9);
-    let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+    let tpstry = MotifMiner::default()
+        .mine(&workload)
+        .expect("mining succeeds");
     let orderings = [
         ("random", StreamOrder::Random { seed: 1 }),
         ("bfs", StreamOrder::Bfs),
@@ -25,8 +27,8 @@ fn bench_orderings(c: &mut Criterion) {
         let stream = GraphStream::from_graph(&graph, &order);
         group.bench_with_input(BenchmarkId::new("ldg", name), &stream, |b, stream| {
             b.iter(|| {
-                let mut p = LdgPartitioner::new(LdgConfig::new(8, graph.vertex_count()))
-                    .expect("valid");
+                let mut p =
+                    LdgPartitioner::new(LdgConfig::new(8, graph.vertex_count())).expect("valid");
                 black_box(partition_stream(&mut p, stream).expect("ok"))
             })
         });

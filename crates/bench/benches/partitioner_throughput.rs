@@ -21,7 +21,9 @@ fn bench_partitioners(c: &mut Criterion) {
     let graph = scenarios::social_graph(10_000, 7);
     let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 1 });
     let workload = scenarios::motif_workload();
-    let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+    let tpstry = MotifMiner::default()
+        .mine(&workload)
+        .expect("mining succeeds");
     let n = graph.vertex_count();
     let m = graph.edge_count();
 
@@ -48,7 +50,9 @@ fn bench_partitioners(c: &mut Criterion) {
     });
     group.bench_with_input(BenchmarkId::new("loom", n), &stream, |b, stream| {
         b.iter(|| {
-            let config = LoomConfig::new(8, n).with_window_size(256).with_motif_threshold(0.3);
+            let config = LoomConfig::new(8, n)
+                .with_window_size(256)
+                .with_motif_threshold(0.3);
             let mut p = LoomPartitioner::new(config, &tpstry).expect("valid");
             black_box(partition_stream(&mut p, stream).expect("ok"))
         })

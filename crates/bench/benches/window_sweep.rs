@@ -11,20 +11,26 @@ use std::hint::black_box;
 
 fn bench_window_sweep(c: &mut Criterion) {
     let (graph, workload) = scenarios::motif_scenario(3_000, 150, 13);
-    let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+    let tpstry = MotifMiner::default()
+        .mine(&workload)
+        .expect("mining succeeds");
     let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 3 });
     let mut group = c.benchmark_group("window_sweep");
     group.sample_size(10);
     for window in [16usize, 64, 256, 1024] {
-        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &window| {
-            b.iter(|| {
-                let config = LoomConfig::new(8, graph.vertex_count())
-                    .with_window_size(window)
-                    .with_motif_threshold(0.3);
-                let mut p = LoomPartitioner::new(config, &tpstry).expect("valid");
-                black_box(partition_stream(&mut p, &stream).expect("ok"))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(window),
+            &window,
+            |b, &window| {
+                b.iter(|| {
+                    let config = LoomConfig::new(8, graph.vertex_count())
+                        .with_window_size(window)
+                        .with_motif_threshold(0.3);
+                    let mut p = LoomPartitioner::new(config, &tpstry).expect("valid");
+                    black_box(partition_stream(&mut p, &stream).expect("ok"))
+                })
+            },
+        );
     }
     group.finish();
 }

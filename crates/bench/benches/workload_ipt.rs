@@ -15,12 +15,13 @@ use std::hint::black_box;
 
 fn bench_execution(c: &mut Criterion) {
     let (graph, workload) = scenarios::motif_scenario(3_000, 150, 5);
-    let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+    let tpstry = MotifMiner::default()
+        .mine(&workload)
+        .expect("mining succeeds");
     let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 3 });
 
     let ldg_store = {
-        let mut p =
-            LdgPartitioner::new(LdgConfig::new(8, graph.vertex_count())).expect("valid");
+        let mut p = LdgPartitioner::new(LdgConfig::new(8, graph.vertex_count())).expect("valid");
         let partitioning = partition_stream(&mut p, &stream).expect("ok");
         PartitionedStore::new(graph.clone(), partitioning)
     };
@@ -37,9 +38,11 @@ fn bench_execution(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload_ipt");
     group.sample_size(10);
     for (name, store) in [("ldg", &ldg_store), ("loom", &loom_store)] {
-        group.bench_with_input(BenchmarkId::new("execute_workload", name), store, |b, store| {
-            b.iter(|| black_box(executor.execute_workload(store, &workload, 50, 11)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("execute_workload", name),
+            store,
+            |b, store| b.iter(|| black_box(executor.execute_workload(store, &workload, 50, 11))),
+        );
     }
     group.finish();
 }

@@ -65,7 +65,11 @@ fn main() -> ExitCode {
 
     println!(
         "LOOM experiment suite — scale: {}\n",
-        if scale == Scale::Quick { "quick" } else { "full" }
+        if scale == Scale::Quick {
+            "quick"
+        } else {
+            "full"
+        }
     );
     for id in selected {
         let started = std::time::Instant::now();

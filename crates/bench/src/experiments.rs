@@ -189,11 +189,20 @@ fn runner(k: u32, scale: Scale) -> ExperimentRunner {
 /// P-Fig2: the TPSTry++ for the paper's example workload.
 fn fig2() -> Vec<Table> {
     let workload = paper_example_workload();
-    let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+    let tpstry = MotifMiner::default()
+        .mine(&workload)
+        .expect("mining succeeds");
     let interner = loom_graph::LabelInterner::with_alphabet(4);
     let mut table = Table::new(
         "P-Fig2: TPSTry++ for the Figure 1 workload (q1 square, q2 abc, q3 abcd)",
-        &["node", "labels", "|V|", "|E|", "p-value", "supporting queries"],
+        &[
+            "node",
+            "labels",
+            "|V|",
+            "|E|",
+            "p-value",
+            "supporting queries",
+        ],
     );
     let mut nodes: Vec<_> = tpstry.nodes().collect();
     nodes.sort_by(|a, b| {
@@ -247,7 +256,9 @@ fn fig3() -> Vec<Table> {
     )
     .expect("valid query");
     let workload = Workload::uniform(vec![abc]).expect("valid workload");
-    let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+    let tpstry = MotifMiner::default()
+        .mine(&workload)
+        .expect("mining succeeds");
     let index = FrequentMotifIndex::new(&tpstry, 0.5);
     let mut matcher = StreamMotifMatcher::new(index);
 
@@ -290,8 +301,19 @@ fn t1(scale: Scale) -> Vec<Table> {
     let mut tables = Vec::new();
     for (name, graph) in &graphs {
         let mut table = Table::new(
-            format!("E-T1: partition quality on {name} (|V|={}, |E|={})", graph.vertex_count(), graph.edge_count()),
-            &["k", "partitioner", "cut_ratio", "imbalance", "comm_vol", "part_ms"],
+            format!(
+                "E-T1: partition quality on {name} (|V|={}, |E|={})",
+                graph.vertex_count(),
+                graph.edge_count()
+            ),
+            &[
+                "k",
+                "partitioner",
+                "cut_ratio",
+                "imbalance",
+                "comm_vol",
+                "part_ms",
+            ],
         );
         for k in scale.k_values() {
             let results = runner(k, scale)
@@ -341,7 +363,13 @@ fn t3(scale: Scale) -> Vec<Table> {
     let graph = scenarios::community(scale.graph_vertices(), 41);
     let mut table = Table::new(
         "E-T3: workload skew sensitivity (community graph, k = 8)",
-        &["zipf_s", "partitioner", "ipt_prob", "local_only", "latency_us"],
+        &[
+            "zipf_s",
+            "partitioner",
+            "ipt_prob",
+            "local_only",
+            "latency_us",
+        ],
     );
     for s in [0.0, 0.5, 1.0, 1.5] {
         let workload = scenarios::generated_workload(20, s, 5);
@@ -370,7 +398,9 @@ fn t3(scale: Scale) -> Vec<Table> {
 fn f1(scale: Scale) -> Vec<Table> {
     let (graph, workload) =
         scenarios::motif_scenario(scale.graph_vertices(), scale.motif_instances(), 51);
-    let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+    let tpstry = MotifMiner::default()
+        .mine(&workload)
+        .expect("mining succeeds");
     let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 7 });
     let executor = QueryExecutor::default();
     let mut table = Table::new(
@@ -406,7 +436,10 @@ fn f1(scale: Scale) -> Vec<Table> {
             stats.motif_matches_found.to_string(),
             stats.clusters_assigned.to_string(),
             format!("{elapsed_ms:.1}"),
-            format!("{:.0}", graph.vertex_count() as f64 / (elapsed_ms / 1_000.0).max(1e-9)),
+            format!(
+                "{:.0}",
+                graph.vertex_count() as f64 / (elapsed_ms / 1_000.0).max(1e-9)
+            ),
         ]);
     }
     vec![table]
@@ -414,15 +447,23 @@ fn f1(scale: Scale) -> Vec<Table> {
 
 /// E-F2: motif frequency threshold sweep.
 fn f2(scale: Scale) -> Vec<Table> {
-    let (graph, _) =
-        scenarios::motif_scenario(scale.graph_vertices(), scale.motif_instances(), 61);
+    let (graph, _) = scenarios::motif_scenario(scale.graph_vertices(), scale.motif_instances(), 61);
     let workload = scenarios::generated_workload(20, 1.0, 9);
-    let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+    let tpstry = MotifMiner::default()
+        .mine(&workload)
+        .expect("mining succeeds");
     let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 7 });
     let executor = QueryExecutor::default();
     let mut table = Table::new(
         "E-F2: motif frequency threshold sweep (generated workload, k = 8)",
-        &["T", "frequent motifs", "ipt_prob", "local_only", "clusters", "part_ms"],
+        &[
+            "T",
+            "frequent motifs",
+            "ipt_prob",
+            "local_only",
+            "clusters",
+            "part_ms",
+        ],
     );
     for threshold in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let index = FrequentMotifIndex::new(&tpstry, threshold);
@@ -454,7 +495,13 @@ fn f3(scale: Scale) -> Vec<Table> {
         scenarios::motif_scenario(scale.graph_vertices(), scale.motif_instances(), 71);
     let mut table = Table::new(
         "E-F3: stream ordering sensitivity (motif-planted graph, k = 8)",
-        &["ordering", "partitioner", "cut_ratio", "ipt_prob", "local_only"],
+        &[
+            "ordering",
+            "partitioner",
+            "cut_ratio",
+            "ipt_prob",
+            "local_only",
+        ],
     );
     let orderings = [
         StreamOrder::Random { seed: 2 },
@@ -495,7 +542,9 @@ fn f3(scale: Scale) -> Vec<Table> {
 /// E-F4: partitioning throughput vs graph size (no query execution).
 fn f4(scale: Scale) -> Vec<Table> {
     let workload = scenarios::motif_workload();
-    let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+    let tpstry = MotifMiner::default()
+        .mine(&workload)
+        .expect("mining succeeds");
     let mut table = Table::new(
         "E-F4: partitioning throughput vs graph size (BA graphs, k = 8)",
         &["|V|", "partitioner", "part_ms", "vertices/s"],
@@ -559,7 +608,9 @@ fn f6(scale: Scale) -> Vec<Table> {
     for size in sizes {
         let workload = scenarios::generated_workload(size, 1.0, 3);
         let start = Instant::now();
-        let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+        let tpstry = MotifMiner::default()
+            .mine(&workload)
+            .expect("mining succeeds");
         let elapsed_ms = start.elapsed().as_secs_f64() * 1_000.0;
         table.push_row(vec![
             size.to_string(),
@@ -579,7 +630,9 @@ fn f7(scale: Scale) -> Vec<Table> {
 
     let (graph, workload) =
         scenarios::motif_scenario(scale.graph_vertices(), scale.motif_instances(), 101);
-    let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+    let tpstry = MotifMiner::default()
+        .mine(&workload)
+        .expect("mining succeeds");
     let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 7 });
     let scenario = GrowthScenario::new(8, 5);
 
@@ -598,8 +651,8 @@ fn f7(scale: Scale) -> Vec<Table> {
     );
     let mut rows = Vec::new();
     {
-        let mut ldg = LdgPartitioner::new(LdgConfig::new(8, graph.vertex_count()))
-            .expect("valid config");
+        let mut ldg =
+            LdgPartitioner::new(LdgConfig::new(8, graph.vertex_count())).expect("valid config");
         rows.extend(scenario.run_streaming(&mut ldg, &stream).expect("runs"));
     }
     {
@@ -640,12 +693,17 @@ fn f8(scale: Scale) -> Vec<Table> {
     );
     let cases: Vec<(&str, Workload)> = vec![
         ("planted abc+square", scenarios::motif_workload()),
-        ("generated (20 queries)", scenarios::generated_workload(20, 1.0, 5)),
+        (
+            "generated (20 queries)",
+            scenarios::generated_workload(20, 1.0, 5),
+        ),
     ];
     for (name, workload) in cases {
         let (graph, _) =
             scenarios::motif_scenario(scale.graph_vertices() / 2, scale.motif_instances() / 2, 111);
-        let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+        let tpstry = MotifMiner::default()
+            .mine(&workload)
+            .expect("mining succeeds");
         let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 9 });
 
         let unverified_matches = {

@@ -89,8 +89,7 @@ pub fn motif_scenario(
 /// queries with skewed frequencies.
 pub fn motif_workload() -> Workload {
     let q_abc = PatternQuery::path(QueryId::new(0), &[l(0), l(1), l(2)]).expect("valid");
-    let q_square =
-        PatternQuery::cycle(QueryId::new(1), &[l(0), l(1), l(0), l(1)]).expect("valid");
+    let q_square = PatternQuery::cycle(QueryId::new(1), &[l(0), l(1), l(0), l(1)]).expect("valid");
     let q_ab = PatternQuery::path(QueryId::new(2), &[l(0), l(1)]).expect("valid");
     Workload::new(vec![(q_abc, 4.0), (q_square, 2.0), (q_ab, 1.0)]).expect("valid workload")
 }

@@ -198,7 +198,12 @@ mod tests {
 
     #[test]
     fn invalid_configurations_are_rejected() {
-        assert!(LoomConfig { k: 0, ..LoomConfig::new(4, 100) }.validate().is_err());
+        assert!(LoomConfig {
+            k: 0,
+            ..LoomConfig::new(4, 100)
+        }
+        .validate()
+        .is_err());
         assert!(LoomConfig::new(4, 100)
             .with_window_size(0)
             .validate()

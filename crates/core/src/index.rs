@@ -155,11 +155,8 @@ mod tests {
         assert!(index.is_motif_signature(&ab));
         assert!(index.motif_for(&ab).is_some());
         // A single vertex is never indexed, however frequent.
-        let single = loom_motif::signature::Signature::single_vertex(
-            index.prime_table(),
-            l(0),
-        )
-        .unwrap();
+        let single =
+            loom_motif::signature::Signature::single_vertex(index.prime_table(), l(0)).unwrap();
         assert!(!index.is_motif_signature(&single));
     }
 

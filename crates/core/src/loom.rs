@@ -391,9 +391,7 @@ mod tests {
             .iter()
             .filter(|inst| {
                 let first = part.partition_of(inst.vertices[0]);
-                inst.vertices
-                    .iter()
-                    .all(|v| part.partition_of(*v) == first)
+                inst.vertices.iter().all(|v| part.partition_of(*v) == first)
             })
             .count();
         let fraction = intact as f64 / instances.len() as f64;
@@ -428,9 +426,7 @@ mod tests {
                 .iter()
                 .filter(|inst| {
                     let first = part.partition_of(inst.vertices[0]);
-                    inst.vertices
-                        .iter()
-                        .all(|v| part.partition_of(*v) == first)
+                    inst.vertices.iter().all(|v| part.partition_of(*v) == first)
                 })
                 .count() as f64
                 / instances.len() as f64

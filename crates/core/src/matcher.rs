@@ -311,12 +311,13 @@ impl StreamMotifMatcher {
 
         let mut vertices = vec![a.min(b), a.max(b)];
         let mut edges: Vec<EdgeKey> = vec![EdgeKey::new(a, b)];
-        let mut best: Option<MotifMatch> = self.index.motif_for(&signature).map(|motif| MotifMatch {
-            motif,
-            vertices: vertices.clone(),
-            edges: edges.clone(),
-            signature: signature.clone(),
-        });
+        let mut best: Option<MotifMatch> =
+            self.index.motif_for(&signature).map(|motif| MotifMatch {
+                motif,
+                vertices: vertices.clone(),
+                edges: edges.clone(),
+                signature: signature.clone(),
+            });
         if best.is_none() && !self.index.could_grow_into_motif(&signature) {
             return None;
         }
@@ -346,9 +347,7 @@ impl StreamMotifMatcher {
                 if edges.len() >= self.index.max_motif_edges() {
                     break;
                 }
-                let newcomer = [e.lo, e.hi]
-                    .into_iter()
-                    .find(|v| !vertices.contains(v));
+                let newcomer = [e.lo, e.hi].into_iter().find(|v| !vertices.contains(v));
                 if newcomer.is_some() && vertices.len() >= self.index.max_motif_vertices() {
                     continue;
                 }
@@ -497,8 +496,14 @@ mod tests {
             .filter(|m| m.len() == 3)
             .map(|m| m.vertices.clone())
             .collect();
-        assert!(sets.contains(&vec![a, b, c1]), "missing {{a, b, c1}}: {sets:?}");
-        assert!(sets.contains(&vec![a, b, c2]), "missing {{a, b, c2}}: {sets:?}");
+        assert!(
+            sets.contains(&vec![a, b, c1]),
+            "missing {{a, b, c1}}: {sets:?}"
+        );
+        assert!(
+            sets.contains(&vec![a, b, c2]),
+            "missing {{a, b, c2}}: {sets:?}"
+        );
         // The cluster anchored at `a` merges both matches.
         let cluster = matcher.cluster_for(a, true);
         assert_eq!(cluster.len(), 4);

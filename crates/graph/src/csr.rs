@@ -51,11 +51,7 @@ impl CsrGraph {
         let mut targets = vec![0u32; *offsets.last().unwrap()];
         let mut cursor = offsets.clone();
         for (i, &v) in ids.iter().enumerate() {
-            let mut neighbours: Vec<u32> = graph
-                .neighbors(v)
-                .iter()
-                .map(|n| index_of[n])
-                .collect();
+            let mut neighbours: Vec<u32> = graph.neighbors(v).iter().map(|n| index_of[n]).collect();
             neighbours.sort_unstable();
             let start = cursor[i];
             targets[start..start + neighbours.len()].copy_from_slice(&neighbours);

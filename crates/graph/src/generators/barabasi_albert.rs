@@ -9,7 +9,7 @@ use super::{rng_for, GeneratorConfig};
 use crate::error::{GraphError, Result};
 use crate::graph::LabelledGraph;
 use crate::ids::Label;
-use rand::RngExt;
+use rand::Rng;
 
 /// Generate a Barabási–Albert graph: start from a small clique of `m + 1`
 /// vertices, then attach each subsequent vertex to `m` distinct existing

@@ -10,7 +10,7 @@ use super::rng_for;
 use crate::error::{GraphError, Result};
 use crate::graph::LabelledGraph;
 use crate::ids::{Label, VertexId};
-use rand::RngExt;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Parameters for [`community_graph`].

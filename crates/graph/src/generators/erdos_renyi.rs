@@ -3,7 +3,7 @@
 use super::{add_random_vertices, rng_for, GeneratorConfig};
 use crate::error::{GraphError, Result};
 use crate::graph::LabelledGraph;
-use rand::RngExt;
+use rand::Rng;
 
 /// Generate an Erdős–Rényi graph with `config.vertices` vertices and exactly
 /// `edges` distinct edges chosen uniformly at random among all vertex pairs.

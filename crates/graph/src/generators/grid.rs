@@ -8,7 +8,7 @@ use super::rng_for;
 use crate::error::Result;
 use crate::graph::LabelledGraph;
 use crate::ids::{Label, VertexId};
-use rand::RngExt;
+use rand::Rng;
 
 /// Generate a `rows x cols` 4-neighbour grid. Labels are drawn uniformly from
 /// `0..label_count` with the given seed.

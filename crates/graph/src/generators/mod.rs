@@ -31,7 +31,7 @@ pub use motif_planted::{motif_planted_graph, MotifPlantConfig};
 use crate::graph::LabelledGraph;
 use crate::ids::Label;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Common knobs shared by the random generators.

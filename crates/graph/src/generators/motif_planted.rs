@@ -12,7 +12,7 @@ use super::rng_for;
 use crate::error::{GraphError, Result};
 use crate::graph::LabelledGraph;
 use crate::ids::{Label, VertexId};
-use rand::RngExt;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Parameters for [`motif_planted_graph`].
@@ -88,7 +88,10 @@ pub fn motif_planted_graph(
     let mut rng = rng_for(config.seed);
     let label_count = config.label_count.max(1);
     let mut graph = LabelledGraph::with_capacity(
-        n + motifs.iter().map(LabelledGraph::vertex_count).sum::<usize>()
+        n + motifs
+            .iter()
+            .map(LabelledGraph::vertex_count)
+            .sum::<usize>()
             * config.instances_per_motif,
         config.background_edges,
     );
@@ -180,10 +183,7 @@ mod tests {
 
     #[test]
     fn multiple_motifs_and_zero_attachment() {
-        let square = crate::generators::regular::cycle_graph(
-            4,
-            &[Label::new(0), Label::new(1)],
-        );
+        let square = crate::generators::regular::cycle_graph(4, &[Label::new(0), Label::new(1)]);
         let config = MotifPlantConfig {
             background_vertices: 20,
             background_edges: 30,

@@ -7,15 +7,13 @@ use super::rng_for;
 use crate::error::Result;
 use crate::graph::LabelledGraph;
 use crate::ids::{Label, VertexId};
-use rand::RngExt;
+use rand::Rng;
 
 /// A path `v0 - v1 - ... - v{n-1}` with the given label sequence applied
 /// cyclically (`labels[i % labels.len()]`).
 pub fn path_graph(n: usize, labels: &[Label]) -> LabelledGraph {
     let mut g = LabelledGraph::with_capacity(n, n.saturating_sub(1));
-    let ids: Vec<VertexId> = (0..n)
-        .map(|i| g.add_vertex(label_at(labels, i)))
-        .collect();
+    let ids: Vec<VertexId> = (0..n).map(|i| g.add_vertex(label_at(labels, i))).collect();
     for w in ids.windows(2) {
         g.add_edge(w[0], w[1]).expect("path edges are valid");
     }
@@ -38,7 +36,11 @@ pub fn star_graph(leaves: usize, labels: &[Label]) -> LabelledGraph {
     let mut g = LabelledGraph::with_capacity(leaves + 1, leaves);
     let hub = g.add_vertex(label_at(labels, 0));
     for i in 0..leaves {
-        let leaf_labels = if labels.len() > 1 { &labels[1..] } else { labels };
+        let leaf_labels = if labels.len() > 1 {
+            &labels[1..]
+        } else {
+            labels
+        };
         let leaf = g.add_vertex(label_at(leaf_labels, i));
         g.add_edge(hub, leaf).expect("star edges are valid");
     }
@@ -48,9 +50,7 @@ pub fn star_graph(leaves: usize, labels: &[Label]) -> LabelledGraph {
 /// A complete graph on `n` vertices with labels applied cyclically.
 pub fn clique(n: usize, labels: &[Label]) -> LabelledGraph {
     let mut g = LabelledGraph::with_capacity(n, n * n / 2);
-    let ids: Vec<VertexId> = (0..n)
-        .map(|i| g.add_vertex(label_at(labels, i)))
-        .collect();
+    let ids: Vec<VertexId> = (0..n).map(|i| g.add_vertex(label_at(labels, i))).collect();
     for i in 0..n {
         for j in (i + 1)..n {
             g.add_edge(ids[i], ids[j]).expect("clique edges are valid");
@@ -145,6 +145,9 @@ mod tests {
     #[test]
     fn empty_label_slice_defaults_to_zero() {
         let g = path_graph(3, &[]);
-        assert!(g.vertices_sorted().iter().all(|&v| g.label(v) == Some(Label::new(0))));
+        assert!(g
+            .vertices_sorted()
+            .iter()
+            .all(|&v| g.label(v) == Some(Label::new(0))));
     }
 }

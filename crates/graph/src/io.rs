@@ -38,10 +38,7 @@ pub fn write_text<W: Write>(
 /// Read a graph from the text format produced by [`write_text`].
 ///
 /// Unknown label names are interned on the fly.
-pub fn read_text<R: BufRead>(
-    reader: R,
-    interner: &mut LabelInterner,
-) -> Result<LabelledGraph> {
+pub fn read_text<R: BufRead>(reader: R, interner: &mut LabelInterner) -> Result<LabelledGraph> {
     let mut graph = LabelledGraph::new();
     for (line_no, line) in reader.lines().enumerate() {
         let line = line?;

@@ -122,10 +122,17 @@ mod tests {
     #[test]
     fn iteration_is_in_id_order() {
         let interner = LabelInterner::with_alphabet(3);
-        let collected: Vec<_> = interner.iter().map(|(l, n)| (l.raw(), n.to_owned())).collect();
+        let collected: Vec<_> = interner
+            .iter()
+            .map(|(l, n)| (l.raw(), n.to_owned()))
+            .collect();
         assert_eq!(
             collected,
-            vec![(0, "a".to_owned()), (1, "b".to_owned()), (2, "c".to_owned())]
+            vec![
+                (0, "a".to_owned()),
+                (1, "b".to_owned()),
+                (2, "c".to_owned())
+            ]
         );
     }
 

@@ -12,7 +12,7 @@ use crate::ids::VertexId;
 use crate::traversal::{bfs_order, dfs_order};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// How the vertices of a graph are ordered into a stream.

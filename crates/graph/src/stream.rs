@@ -85,8 +85,7 @@ impl GraphStream {
     /// Like [`GraphStream::from_graph`] but with an explicit vertex order.
     pub fn from_vertex_order(graph: &LabelledGraph, vertex_order: &[VertexId]) -> Self {
         let mut seen = crate::fxhash::FxHashSet::default();
-        let mut elements =
-            Vec::with_capacity(graph.vertex_count() + graph.edge_count());
+        let mut elements = Vec::with_capacity(graph.vertex_count() + graph.edge_count());
         for &v in vertex_order {
             let label = graph
                 .label(v)

@@ -114,7 +114,9 @@ mod tests {
 
     fn path_of(n: usize) -> (LabelledGraph, Vec<VertexId>) {
         let mut g = LabelledGraph::new();
-        let vs: Vec<_> = (0..n).map(|i| g.add_vertex(Label::new(i as u32 % 3))).collect();
+        let vs: Vec<_> = (0..n)
+            .map(|i| g.add_vertex(Label::new(i as u32 % 3)))
+            .collect();
         for w in vs.windows(2) {
             g.add_edge(w[0], w[1]).unwrap();
         }
@@ -163,11 +165,7 @@ mod tests {
         g.add_edge(a, b).unwrap();
         g.add_edge(b, c).unwrap();
         g.add_edge(c, a).unwrap();
-        let sub = edge_subgraph(
-            &g,
-            &[a, b, c],
-            &[EdgeKey::new(a, b), EdgeKey::new(b, c)],
-        );
+        let sub = edge_subgraph(&g, &[a, b, c], &[EdgeKey::new(a, b), EdgeKey::new(b, c)]);
         assert_eq!(sub.vertex_count(), 3);
         assert_eq!(sub.edge_count(), 2);
         assert!(!sub.contains_edge(c, a));

@@ -107,7 +107,15 @@ fn permute_within(
     }
     for i in start..perm.len() {
         perm.swap(start, i);
-        permute_within(graph, groups, group_index, perm, start + 1, arrangement, best);
+        permute_within(
+            graph,
+            groups,
+            group_index,
+            perm,
+            start + 1,
+            arrangement,
+            best,
+        );
         perm.swap(start, i);
     }
 }
@@ -122,7 +130,9 @@ fn encode(graph: &LabelledGraph, arrangement: &[VertexId]) -> Vec<u32> {
     }
     for i in 0..n {
         for j in (i + 1)..n {
-            code.push(u32::from(graph.contains_edge(arrangement[i], arrangement[j])));
+            code.push(u32::from(
+                graph.contains_edge(arrangement[i], arrangement[j]),
+            ));
         }
     }
     code
@@ -150,7 +160,11 @@ fn invariant_code(graph: &LabelledGraph) -> Vec<u32> {
         })
         .collect();
     profiles.sort();
-    let mut code = vec![u32::MAX, graph.vertex_count() as u32, graph.edge_count() as u32];
+    let mut code = vec![
+        u32::MAX,
+        graph.vertex_count() as u32,
+        graph.edge_count() as u32,
+    ];
     for p in profiles {
         code.push(u32::MAX - 1); // separator
         code.extend(p);
@@ -162,8 +176,8 @@ fn invariant_code(graph: &LabelledGraph) -> Vec<u32> {
 mod tests {
     use super::*;
     use crate::isomorphism::are_isomorphic;
-    use loom_graph::Label;
     use loom_graph::generators::regular::{cycle_graph, path_graph, star_graph};
+    use loom_graph::Label;
 
     fn l(x: u32) -> Label {
         Label::new(x)
@@ -208,7 +222,10 @@ mod tests {
 
     #[test]
     fn empty_and_single_vertex_codes() {
-        assert_eq!(canonical_code(&LabelledGraph::new()).as_slice(), &[] as &[u32]);
+        assert_eq!(
+            canonical_code(&LabelledGraph::new()).as_slice(),
+            &[] as &[u32]
+        );
         let mut g = LabelledGraph::new();
         g.add_vertex(l(7));
         assert_eq!(canonical_code(&g).as_slice(), &[7]);
@@ -234,7 +251,10 @@ mod tests {
         }
         for e in base.edges_sorted() {
             shifted
-                .add_edge(VertexId::new(e.lo.raw() + 100), VertexId::new(e.hi.raw() + 100))
+                .add_edge(
+                    VertexId::new(e.lo.raw() + 100),
+                    VertexId::new(e.hi.raw() + 100),
+                )
                 .unwrap();
         }
         assert_eq!(canonical_code(&base), canonical_code(&shifted));

@@ -196,12 +196,12 @@ pub fn verify_embedding(
             return false;
         }
     }
-    pattern.edges().all(|e| {
-        match (embedding.get(&e.lo), embedding.get(&e.hi)) {
+    pattern
+        .edges()
+        .all(|e| match (embedding.get(&e.lo), embedding.get(&e.hi)) {
             (Some(&a), Some(&b)) => target.contains_edge(a, b),
             _ => false,
-        }
-    })
+        })
 }
 
 #[cfg(test)]

@@ -142,8 +142,7 @@ impl MotifMiner {
         extensions.dedup();
 
         for e in extensions {
-            let adds_vertex =
-                !state.vertices.contains(&e.lo) || !state.vertices.contains(&e.hi);
+            let adds_vertex = !state.vertices.contains(&e.lo) || !state.vertices.contains(&e.hi);
             if adds_vertex && state.vertices.len() >= self.max_motif_vertices {
                 continue;
             }
@@ -265,9 +264,7 @@ mod tests {
             );
         }
         // The a-b edge occurs in every query → p-value 1.
-        let ab = trie
-            .find_isomorphic(&path_graph(2, &[l(0), l(1)]))
-            .unwrap();
+        let ab = trie.find_isomorphic(&path_graph(2, &[l(0), l(1)])).unwrap();
         assert!((trie.p_value(ab) - 1.0).abs() < 1e-12);
         // The a-b-a-b square occurs only in q1 (frequency 1/3).
         let square = trie
@@ -295,8 +292,7 @@ mod tests {
 
     #[test]
     fn size_caps_limit_the_trie() {
-        let q =
-            PatternQuery::path(QueryId::new(0), &[l(0), l(1), l(2), l(3), l(0), l(1)]).unwrap();
+        let q = PatternQuery::path(QueryId::new(0), &[l(0), l(1), l(2), l(3), l(0), l(1)]).unwrap();
         let small = MotifMiner {
             max_motif_vertices: 3,
             max_motif_edges: 2,

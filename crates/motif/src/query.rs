@@ -51,7 +51,9 @@ impl PatternQuery {
     /// disconnected (the paper only considers connected pattern graphs).
     pub fn new(id: QueryId, graph: LabelledGraph) -> Result<Self> {
         if graph.is_empty() {
-            return Err(MotifError::InvalidQuery(format!("query {id} has no vertices")));
+            return Err(MotifError::InvalidQuery(format!(
+                "query {id} has no vertices"
+            )));
         }
         if !loom_graph::traversal::is_connected(&graph) {
             return Err(MotifError::InvalidQuery(format!(

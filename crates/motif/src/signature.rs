@@ -181,7 +181,12 @@ impl Signature {
 
 impl std::fmt::Display for Signature {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "sig[{} factors, hash={:x}]", self.factors.len(), self.product)
+        write!(
+            f,
+            "sig[{} factors, hash={:x}]",
+            self.factors.len(),
+            self.product
+        )
     }
 }
 
@@ -272,9 +277,7 @@ mod tests {
             .unwrap()
             .with_edge(&table, l(0), l(1))
             .unwrap();
-        let direct = table
-            .signature_of(&path_graph(2, &[l(0), l(1)]))
-            .unwrap();
+        let direct = table.signature_of(&path_graph(2, &[l(0), l(1)])).unwrap();
         assert_eq!(extended, direct);
     }
 
@@ -291,9 +294,7 @@ mod tests {
     #[test]
     fn display_mentions_factor_count() {
         let table = PrimeTable::new(2);
-        let s = table
-            .signature_of(&path_graph(2, &[l(0), l(1)]))
-            .unwrap();
+        let s = table.signature_of(&path_graph(2, &[l(0), l(1)])).unwrap();
         assert!(s.to_string().contains("3 factors"));
     }
 

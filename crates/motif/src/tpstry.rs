@@ -28,9 +28,7 @@ use loom_graph::{Label, LabelledGraph};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a motif node within a [`Tpstry`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[repr(transparent)]
 pub struct MotifId(pub u32);
 

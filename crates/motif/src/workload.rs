@@ -10,7 +10,7 @@ use crate::error::{MotifError, Result};
 use crate::query::{PatternQuery, QueryId};
 use loom_graph::Label;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// A workload `Q`: pattern queries plus normalised relative frequencies.
@@ -285,10 +285,7 @@ mod tests {
     #[test]
     fn weighted_workload_preserves_ratios() {
         let queries = simple_queries();
-        let entries = vec![
-            (queries[0].clone(), 3.0),
-            (queries[1].clone(), 1.0),
-        ];
+        let entries = vec![(queries[0].clone(), 3.0), (queries[1].clone(), 1.0)];
         let w = Workload::new(entries).unwrap();
         assert!((w.frequency(0) - 0.75).abs() < 1e-12);
         assert!((w.frequency(1) - 0.25).abs() < 1e-12);
@@ -305,10 +302,7 @@ mod tests {
     #[test]
     fn sampling_respects_frequencies() {
         let queries = simple_queries();
-        let entries = vec![
-            (queries[0].clone(), 9.0),
-            (queries[1].clone(), 1.0),
-        ];
+        let entries = vec![(queries[0].clone(), 9.0), (queries[1].clone(), 1.0)];
         let w = Workload::new(entries).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let mut counts = [0usize; 2];

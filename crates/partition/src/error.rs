@@ -75,8 +75,7 @@ mod tests {
 
     #[test]
     fn graph_error_converts() {
-        let err: PartitionError =
-            loom_graph::GraphError::MissingVertex(VertexId::new(0)).into();
+        let err: PartitionError = loom_graph::GraphError::MissingVertex(VertexId::new(0)).into();
         assert!(matches!(err, PartitionError::Graph(_)));
     }
 }

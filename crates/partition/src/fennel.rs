@@ -229,8 +229,7 @@ mod tests {
         let g = barabasi_albert(GeneratorConfig::new(2_000, 4, 3), 2).unwrap();
         let stream = GraphStream::from_graph(&g, &StreamOrder::Bfs);
         let mut partitioner =
-            FennelPartitioner::new(FennelConfig::new(4, g.vertex_count(), g.edge_count()))
-                .unwrap();
+            FennelPartitioner::new(FennelConfig::new(4, g.vertex_count(), g.edge_count())).unwrap();
         let cap = partitioner.hard_cap();
         let part = partition_stream(&mut partitioner, &stream).unwrap();
         assert_eq!(part.assigned_count(), 2_000);

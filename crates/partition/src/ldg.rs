@@ -94,11 +94,7 @@ impl LdgPartitioner {
 
     /// Compute the LDG score of placing a vertex with the given placed
     /// neighbours into partition `p`.
-    fn score(
-        partitioning: &Partitioning,
-        neighbours: &[VertexId],
-        p: PartitionId,
-    ) -> f64 {
+    fn score(partitioning: &Partitioning, neighbours: &[VertexId], p: PartitionId) -> f64 {
         let in_p = neighbours
             .iter()
             .filter(|&&n| partitioning.partition_of(n) == Some(p))
@@ -109,10 +105,7 @@ impl LdgPartitioner {
     /// Pick the LDG-best partition for a vertex with the given placed
     /// neighbours. Exposed for reuse by the workload-aware extension in
     /// `loom-core`, which scores whole motif clusters the same way.
-    pub fn choose_partition(
-        partitioning: &Partitioning,
-        neighbours: &[VertexId],
-    ) -> PartitionId {
+    pub fn choose_partition(partitioning: &Partitioning, neighbours: &[VertexId]) -> PartitionId {
         let mut best = partitioning.least_loaded();
         let mut best_score = 0.0f64;
         for p in partitioning.partitions() {
@@ -130,8 +123,7 @@ impl LdgPartitioner {
 
     fn flush_pending(&mut self) -> Result<()> {
         if let Some(pending) = self.pending.take() {
-            let target =
-                Self::choose_partition(&self.partitioning, &pending.assigned_neighbours);
+            let target = Self::choose_partition(&self.partitioning, &pending.assigned_neighbours);
             self.partitioning.assign(pending.id, target)?;
         }
         Ok(())
@@ -191,14 +183,15 @@ mod tests {
     use super::*;
     use crate::metrics::evaluate;
     use crate::traits::partition_stream;
-    use loom_graph::generators::{barabasi_albert, community_graph, CommunityConfig, GeneratorConfig};
+    use loom_graph::generators::{
+        barabasi_albert, community_graph, CommunityConfig, GeneratorConfig,
+    };
     use loom_graph::ordering::StreamOrder;
     use loom_graph::{GraphStream, LabelledGraph};
 
     fn run_ldg(graph: &LabelledGraph, k: u32, order: &StreamOrder) -> Partitioning {
         let stream = GraphStream::from_graph(graph, order);
-        let mut partitioner =
-            LdgPartitioner::new(LdgConfig::new(k, graph.vertex_count())).unwrap();
+        let mut partitioner = LdgPartitioner::new(LdgConfig::new(k, graph.vertex_count())).unwrap();
         partition_stream(&mut partitioner, &stream).unwrap()
     }
 

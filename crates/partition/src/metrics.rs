@@ -37,7 +37,10 @@ impl std::fmt::Display for QualityReport {
         write!(
             f,
             "cut={}/{} ({:.3}) imbalance={:.3} comm_volume={}",
-            self.cut_edges, self.total_edges, self.cut_ratio, self.imbalance,
+            self.cut_edges,
+            self.total_edges,
+            self.cut_ratio,
+            self.imbalance,
             self.communication_volume
         )
     }

@@ -169,7 +169,13 @@ impl MultilevelPartitioner {
         // Phase 3: uncoarsen + refine; finish with an explicit rebalance pass
         // at the finest level (unit vertex weights) so any overload left over
         // from the coarse initial partitioning is repaired.
-        refine(levels.last().unwrap(), &mut assignment, k, target, self.config.refinement_passes);
+        refine(
+            levels.last().unwrap(),
+            &mut assignment,
+            k,
+            target,
+            self.config.refinement_passes,
+        );
         for level_index in (0..levels.len() - 1).rev() {
             let fine = &levels[level_index];
             let mut fine_assignment = vec![0u32; fine.vertex_count()];
@@ -177,7 +183,13 @@ impl MultilevelPartitioner {
                 *slot = assignment[fine.coarse_of[v] as usize];
             }
             assignment = fine_assignment;
-            refine(fine, &mut assignment, k, target, self.config.refinement_passes);
+            refine(
+                fine,
+                &mut assignment,
+                k,
+                target,
+                self.config.refinement_passes,
+            );
         }
         rebalance(&levels[0], &mut assignment, k, target);
         refine(&levels[0], &mut assignment, k, target, 1);
@@ -258,8 +270,43 @@ fn coarsen(level: &Level, max_weight: u64, rng: &mut StdRng) -> (Level, Vec<u32>
     )
 }
 
-/// Greedy region-growing initial partitioning on the coarsest level.
+/// Number of random restarts of the initial partitioning; the coarsest graph
+/// is small, so trying several seeds and keeping the best cut is cheap.
+const INITIAL_PARTITION_RESTARTS: usize = 8;
+
+/// Weight of the edges `assignment` cuts at this level.
+fn level_cut_weight(level: &Level, assignment: &[u32]) -> u64 {
+    let mut cut = 0u64;
+    for v in 0..level.vertex_count() {
+        for &(u, w) in &level.adjacency[v] {
+            if (u as usize) > v && assignment[v] != assignment[u as usize] {
+                cut += w;
+            }
+        }
+    }
+    cut
+}
+
+/// Greedy region-growing initial partitioning on the coarsest level: several
+/// random restarts, keeping the assignment with the smallest cut.
 fn initial_partition(level: &Level, k: u32, target: u64, rng: &mut StdRng) -> Vec<u32> {
+    let mut best: Option<(u64, Vec<u32>)> = None;
+    for _ in 0..INITIAL_PARTITION_RESTARTS {
+        let assignment = region_grow(level, k, target, rng);
+        let cut = level_cut_weight(level, &assignment);
+        if best.as_ref().is_none_or(|(best_cut, _)| cut < *best_cut) {
+            best = Some((cut, assignment));
+        }
+    }
+    best.expect("at least one restart").1
+}
+
+/// One region-growing pass: visit vertices in random order and place each in
+/// the partition it is most connected to, discounted multiplicatively by how
+/// full that partition already is (the LDG score). The multiplicative penalty
+/// matters: with an additive one, every early zero-connectivity vertex lands
+/// in the same partition, which then snowballs into a community-blind blob.
+fn region_grow(level: &Level, k: u32, target: u64, rng: &mut StdRng) -> Vec<u32> {
     let n = level.vertex_count();
     let mut assignment = vec![u32::MAX; n];
     let mut loads = vec![0u64; k as usize];
@@ -271,7 +318,6 @@ fn initial_partition(level: &Level, k: u32, target: u64, rng: &mut StdRng) -> Ve
         if assignment[v] != u32::MAX {
             continue;
         }
-        // Score each partition by connectivity to it, preferring ones with room.
         let mut best = 0u32;
         let mut best_score = f64::MIN;
         for p in 0..k {
@@ -280,9 +326,12 @@ fn initial_partition(level: &Level, k: u32, target: u64, rng: &mut StdRng) -> Ve
                 .filter(|&&(u, _)| assignment[u as usize] == p)
                 .map(|&(_, w)| w)
                 .sum();
+            let fill = loads[p as usize] as f64 / target.max(1) as f64;
             let has_room = loads[p as usize] + level.vertex_weight[v] <= target;
-            let score = connectivity as f64 + if has_room { 0.0 } else { -1e12 }
-                - loads[p as usize] as f64 / target.max(1) as f64;
+            // Floor the discount at zero: past the target it must stop
+            // rewarding, not start treating connectivity as a penalty.
+            let score = connectivity as f64 * (1.0 - fill).max(0.0) - fill
+                + if has_room { 0.0 } else { -1e12 };
             if score > best_score {
                 best_score = score;
                 best = p;
@@ -354,15 +403,13 @@ fn rebalance(level: &Level, assignment: &mut [u32], k: u32, target: u64) {
     for p in 0..k {
         while loads[p as usize] > target {
             // Cheapest vertex to evict from p: least internal connectivity.
-            let candidate = (0..n)
-                .filter(|&v| assignment[v] == p)
-                .min_by_key(|&v| {
-                    level.adjacency[v]
-                        .iter()
-                        .filter(|&&(u, _)| assignment[u as usize] == p)
-                        .map(|&(_, w)| w)
-                        .sum::<u64>()
-                });
+            let candidate = (0..n).filter(|&v| assignment[v] == p).min_by_key(|&v| {
+                level.adjacency[v]
+                    .iter()
+                    .filter(|&&(u, _)| assignment[u as usize] == p)
+                    .map(|&(_, w)| w)
+                    .sum::<u64>()
+            });
             let Some(v) = candidate else {
                 break;
             };
@@ -438,11 +485,9 @@ mod tests {
             .unwrap();
         let streaming = {
             let stream = GraphStream::from_graph(&g, &StreamOrder::Random { seed: 9 });
-            let mut ldg = crate::ldg::LdgPartitioner::new(crate::ldg::LdgConfig::new(
-                4,
-                g.vertex_count(),
-            ))
-            .unwrap();
+            let mut ldg =
+                crate::ldg::LdgPartitioner::new(crate::ldg::LdgConfig::new(4, g.vertex_count()))
+                    .unwrap();
             partition_stream(&mut ldg, &stream).unwrap()
         };
         let offline_cut = evaluate(&g, &offline).cut_ratio;

@@ -15,7 +15,7 @@ use loom_graph::VertexId;
 use loom_motif::query::PatternQuery;
 use loom_motif::workload::Workload;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// How query executions are seeded.
@@ -241,7 +241,8 @@ impl QueryExecutor {
         if metrics.remote_traversals == 0 {
             metrics.local_only_queries = 1;
         }
-        metrics.estimated_latency_us = metrics.remote_traversals as f64 * self.latency.remote_hop_us
+        metrics.estimated_latency_us = metrics.remote_traversals as f64
+            * self.latency.remote_hop_us
             + (metrics.total_traversals - metrics.remote_traversals) as f64
                 * self.latency.local_hop_us;
         metrics
@@ -267,8 +268,7 @@ impl QueryExecutor {
         let mut total = ExecutionMetrics::default();
         for sample in 0..samples {
             let query = workload.sample(&mut rng);
-            let metrics =
-                self.execute_seeded(store, query, seed.wrapping_add(sample as u64 + 1));
+            let metrics = self.execute_seeded(store, query, seed.wrapping_add(sample as u64 + 1));
             total.merge(&metrics);
         }
         total
@@ -539,10 +539,7 @@ mod tests {
             .execute_seeded(&store, q2, 5);
         // A single-rooted execution explores no more than the full scan.
         assert!(rooted.total_traversals <= full.total_traversals);
-        assert_eq!(
-            QueryExecutor::default().mode(),
-            QueryMode::FullEnumeration
-        );
+        assert_eq!(QueryExecutor::default().mode(), QueryMode::FullEnumeration);
         // Deterministic per root seed, different seeds may pick other roots.
         let again = QueryExecutor::default()
             .with_mode(QueryMode::Rooted { seed_count: 1 })
@@ -608,7 +605,10 @@ mod tests {
         assert!((a.remote_traversals_per_query() - 1.25).abs() < 1e-12);
         assert!((a.local_only_fraction() - 0.75).abs() < 1e-12);
         assert!((a.mean_latency_us() - 30.0).abs() < 1e-12);
-        assert_eq!(ExecutionMetrics::default().inter_partition_probability(), 0.0);
+        assert_eq!(
+            ExecutionMetrics::default().inter_partition_probability(),
+            0.0
+        );
         assert_eq!(ExecutionMetrics::default().mean_latency_us(), 0.0);
     }
 

@@ -120,10 +120,7 @@ impl GrowthScenario {
     /// # Errors
     ///
     /// Propagates partitioner failures.
-    pub fn run_offline_periodic(
-        &self,
-        stream: &GraphStream,
-    ) -> SimResult<Vec<GrowthCheckpoint>> {
+    pub fn run_offline_periodic(&self, stream: &GraphStream) -> SimResult<Vec<GrowthCheckpoint>> {
         let segments = segment_bounds(stream.len(), self.checkpoints);
         let mut checkpoints = Vec::with_capacity(self.checkpoints);
         let mut graph_so_far = LabelledGraph::new();
@@ -142,7 +139,9 @@ impl GrowthScenario {
             })
             .map_err(SimError::from)?;
             let start = Instant::now();
-            let partitioning = partitioner.partition(&graph_so_far).map_err(SimError::from)?;
+            let partitioning = partitioner
+                .partition(&graph_so_far)
+                .map_err(SimError::from)?;
             cumulative_ms += start.elapsed().as_secs_f64() * 1_000.0;
             checkpoints.push(self.checkpoint(
                 "offline",
@@ -196,9 +195,7 @@ impl GrowthScenario {
 
 /// Element index boundaries for `checkpoints` equal segments.
 fn segment_bounds(len: usize, checkpoints: usize) -> Vec<usize> {
-    (1..=checkpoints)
-        .map(|i| len * i / checkpoints)
-        .collect()
+    (1..=checkpoints).map(|i| len * i / checkpoints).collect()
 }
 
 fn apply_element(graph: &mut LabelledGraph, element: &StreamElement) {
@@ -241,7 +238,9 @@ mod tests {
         // covers the whole graph.
         assert!((checkpoints.last().unwrap().progress - 1.0).abs() < 1e-12);
         assert_eq!(checkpoints.last().unwrap().vertices, graph.vertex_count());
-        assert!(checkpoints.windows(2).all(|w| w[0].vertices <= w[1].vertices));
+        assert!(checkpoints
+            .windows(2)
+            .all(|w| w[0].vertices <= w[1].vertices));
         assert!(checkpoints
             .windows(2)
             .all(|w| w[0].cumulative_time_ms <= w[1].cumulative_time_ms));

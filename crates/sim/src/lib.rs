@@ -42,6 +42,8 @@ pub mod prelude {
     pub use crate::executor::{ExecutionMetrics, LatencyModel, QueryExecutor, QueryMode};
     pub use crate::growth::{GrowthCheckpoint, GrowthScenario};
     pub use crate::report::{Table, TableRow};
-    pub use crate::runner::{ExperimentConfig, ExperimentResult, ExperimentRunner, PartitionerKind};
+    pub use crate::runner::{
+        ExperimentConfig, ExperimentResult, ExperimentRunner, PartitionerKind,
+    };
     pub use crate::store::PartitionedStore;
 }

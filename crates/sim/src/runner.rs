@@ -7,7 +7,7 @@
 //! workload-aware ones (inter-partition traversal probability, latency).
 //!
 //! Partitioner runs are independent, so [`ExperimentRunner::run_many`] fans
-//! them out across threads with `crossbeam`.
+//! them out across scoped threads.
 
 use crate::executor::{ExecutionMetrics, LatencyModel, QueryExecutor, QueryMode};
 use crate::store::PartitionedStore;
@@ -317,26 +317,22 @@ impl ExperimentRunner {
         let ordering_name = order.name();
 
         let results: Mutex<Vec<(usize, SimResult<ExperimentResult>)>> = Mutex::new(Vec::new());
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (index, &kind) in kinds.iter().enumerate() {
                 let results = &results;
                 let stream = &stream;
                 let tpstry = &tpstry;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let outcome =
                         self.run_one(kind, graph, stream, ordering_name, workload, tpstry);
                     results.lock().push((index, outcome));
                 });
             }
-        })
-        .expect("experiment worker threads do not panic");
+        });
 
         let mut collected = results.into_inner();
         collected.sort_by_key(|(index, _)| *index);
-        collected
-            .into_iter()
-            .map(|(_, outcome)| outcome)
-            .collect()
+        collected.into_iter().map(|(_, outcome)| outcome).collect()
     }
 
     /// Produce a partitioning of `graph` with the requested partitioner.
@@ -355,9 +351,8 @@ impl ExperimentRunner {
         let k = self.config.k;
         let partitioning = match kind {
             PartitionerKind::Hash => {
-                let capacity = ((n as f64 / f64::from(k.max(1)) * self.config.slack).ceil()
-                    as usize)
-                    .max(1);
+                let capacity =
+                    ((n as f64 / f64::from(k.max(1)) * self.config.slack).ceil() as usize).max(1);
                 let mut p = HashPartitioner::new(k, capacity)?;
                 partition_stream(&mut p, stream)?
             }
@@ -533,8 +528,7 @@ mod tests {
 
     #[test]
     fn sim_error_display() {
-        let err: SimError =
-            loom_partition::PartitionError::InvalidConfig("k = 0".into()).into();
+        let err: SimError = loom_partition::PartitionError::InvalidConfig("k = 0".into()).into();
         assert!(err.to_string().contains("partitioning failed"));
     }
 }

@@ -56,13 +56,10 @@ fn main() {
     println!("planted fraud structures: {}", planted.len());
 
     // ── 2. The anti-fraud workload ───────────────────────────────────────
-    let ring_query = PatternQuery::new(
-        QueryId::new(0),
-        fraud_ring(),
-    )
-    .expect("ring query is connected");
-    let path_query = PatternQuery::new(QueryId::new(1), card_sharing_path())
-        .expect("path query is connected");
+    let ring_query =
+        PatternQuery::new(QueryId::new(0), fraud_ring()).expect("ring query is connected");
+    let path_query =
+        PatternQuery::new(QueryId::new(1), card_sharing_path()).expect("path query is connected");
     let device_query = PatternQuery::branch(QueryId::new(2), DEVICE, &[ACCOUNT, ACCOUNT])
         .expect("device sharing query");
     // Ring checks dominate the workload; device-sharing checks are rare.
@@ -74,7 +71,9 @@ fn main() {
     .expect("valid workload");
 
     // ── 3. Partition the stream with LDG and LOOM ────────────────────────
-    let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+    let tpstry = MotifMiner::default()
+        .mine(&workload)
+        .expect("mining succeeds");
     let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 5 });
     let k = 8;
 

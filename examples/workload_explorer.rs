@@ -43,7 +43,9 @@ fn main() {
     println!("workload: {} queries", workload.queries().len());
 
     // Mine the TPSTry++.
-    let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+    let tpstry = MotifMiner::default()
+        .mine(&workload)
+        .expect("mining succeeds");
     let interner = LabelInterner::with_alphabet(workload.label_alphabet_size() as usize);
     println!("TPSTry++: {} motif nodes\n", tpstry.node_count());
 
@@ -55,7 +57,10 @@ fn main() {
             .partial_cmp(&tpstry.p_value(a))
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    println!("{:<6} {:>5} {:>5} {:>8}   motif", "node", "|V|", "|E|", "p-value");
+    println!(
+        "{:<6} {:>5} {:>5} {:>8}   motif",
+        "node", "|V|", "|E|", "p-value"
+    );
     for id in ids.iter().take(25) {
         let node = tpstry.node(*id);
         let labels: Vec<&str> = node
@@ -83,7 +88,10 @@ fn main() {
 
     // Threshold sweep: how many motifs does LOOM track at each T?
     println!("\nthreshold sweep (motifs with at least one edge):");
-    println!("{:>5}  {:>14}  {:>18}", "T", "frequent nodes", "largest motif (|V|)");
+    println!(
+        "{:>5}  {:>14}  {:>18}",
+        "T", "frequent nodes", "largest motif (|V|)"
+    );
     for threshold in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] {
         let index = FrequentMotifIndex::new(&tpstry, threshold);
         println!(

@@ -36,7 +36,10 @@ fn graph_statistics_describe_generated_graphs() {
     let histogram = degree_histogram(&ba);
     assert_eq!(histogram.iter().sum::<usize>(), ba.vertex_count());
     let clustering = clustering_coefficient(&ba);
-    assert!(clustering > 0.0 && clustering < 0.5, "clustering {clustering}");
+    assert!(
+        clustering > 0.0 && clustering < 0.5,
+        "clustering {clustering}"
+    );
 }
 
 #[test]

@@ -71,8 +71,10 @@ fn every_partitioner_assigns_every_vertex() {
 #[test]
 fn loom_improves_workload_locality_over_workload_agnostic_baselines() {
     let (graph, workload) = motif_scenario(7);
+    // 400 sampled queries: at 80 the local-only fraction is dominated by
+    // sampling noise (a single lucky query flips the comparison).
     let runner = ExperimentRunner::new(ExperimentConfig {
-        query_samples: 80,
+        query_samples: 400,
         window_size: 128,
         motif_threshold: 0.3,
         ..ExperimentConfig::new(8)
@@ -116,7 +118,12 @@ fn loom_improves_workload_locality_over_workload_agnostic_baselines() {
     // Balance must stay within the configured slack for the streaming
     // partitioners.
     for r in [ldg, loom] {
-        assert!(r.imbalance <= 1.35, "{} imbalance {}", r.partitioner, r.imbalance);
+        assert!(
+            r.imbalance <= 1.35,
+            "{} imbalance {}",
+            r.partitioner,
+            r.imbalance
+        );
     }
 }
 

@@ -49,7 +49,9 @@ fn fig1_worked_example() {
 #[test]
 fn fig2_tpstry_structure() {
     let workload = paper_example_workload();
-    let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+    let tpstry = MotifMiner::default()
+        .mine(&workload)
+        .expect("mining succeeds");
     assert!(tpstry.check_invariants().is_ok());
 
     // Figure 2 shows, among others, these motifs for the Figure 1 workload.
@@ -61,7 +63,7 @@ fn fig2_tpstry_structure() {
         (single_vertex(l(2)), 2.0 / 3.0), // c: q2, q3
         (single_vertex(l(3)), 1.0 / 3.0), // d: q3 only
         // edges
-        (path_graph(2, &[l(0), l(1)]), 1.0),       // a-b: all queries
+        (path_graph(2, &[l(0), l(1)]), 1.0), // a-b: all queries
         (path_graph(2, &[l(1), l(2)]), 2.0 / 3.0), // b-c
         (path_graph(2, &[l(2), l(3)]), 1.0 / 3.0), // c-d
         // longer paths
@@ -93,7 +95,9 @@ fn fig3_stream_matching() {
     // Workload: the abc path (the motif of Figure 3).
     let abc = PatternQuery::path(QueryId::new(0), &[l(0), l(1), l(2)]).expect("valid query");
     let workload = Workload::uniform(vec![abc]).expect("valid workload");
-    let tpstry = MotifMiner::default().mine(&workload).expect("mining succeeds");
+    let tpstry = MotifMiner::default()
+        .mine(&workload)
+        .expect("mining succeeds");
     let index = FrequentMotifIndex::new(&tpstry, 0.5);
     let mut matcher = StreamMotifMatcher::new(index);
 

@@ -23,8 +23,10 @@ fn small_graph_strategy() -> impl Strategy<Value = LabelledGraph> {
     )
         .prop_map(|(labels, extra_edges)| {
             let mut g = LabelledGraph::new();
-            let vertices: Vec<VertexId> =
-                labels.iter().map(|&l| g.add_vertex(Label::new(l))).collect();
+            let vertices: Vec<VertexId> = labels
+                .iter()
+                .map(|&l| g.add_vertex(Label::new(l)))
+                .collect();
             for w in vertices.windows(2) {
                 let _ = g.add_edge_idempotent(w[0], w[1]);
             }
@@ -54,7 +56,8 @@ fn shuffle_ids(graph: &LabelledGraph, seed: u64) -> LabelledGraph {
         out.insert_vertex(mapping[&v], graph.label(v).expect("labelled"));
     }
     for e in graph.edges_sorted() {
-        out.add_edge(mapping[&e.lo], mapping[&e.hi]).expect("valid edge");
+        out.add_edge(mapping[&e.lo], mapping[&e.hi])
+            .expect("valid edge");
     }
     out
 }

@@ -1,0 +1,184 @@
+//! Offline stand-in for `bytes`.
+//!
+//! Provides [`Bytes`], [`BytesMut`] and the [`Buf`] / [`BufMut`] traits with
+//! the little-endian accessors the LOOM binary graph format uses. Backed by a
+//! plain `Vec<u8>` with a read cursor — the zero-copy sharing of the real
+//! crate is irrelevant for the workspace's IO paths.
+
+/// Read-side cursor over a byte buffer, mirroring `bytes::Buf`.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Consume and return `count` bytes. Panics if fewer remain.
+    fn take_bytes(&mut self, count: usize) -> &[u8];
+
+    /// Consume a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let raw: [u8; 4] = self.take_bytes(4).try_into().expect("4 bytes");
+        u32::from_le_bytes(raw)
+    }
+
+    /// Consume a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let raw: [u8; 8] = self.take_bytes(8).try_into().expect("8 bytes");
+        u64::from_le_bytes(raw)
+    }
+
+    /// Consume a single byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_bytes(1)[0]
+    }
+}
+
+/// Write-side of a growable byte buffer, mirroring `bytes::BufMut`.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, value: u32) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, value: u64) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Append a single byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+}
+
+/// Immutable byte buffer with a consuming read cursor.
+///
+/// Like the real `bytes::Bytes`, `len`, `is_empty` and equality all describe
+/// the *remaining* (unconsumed) view, not the original allocation.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wrap a static byte slice.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Length of the unconsumed remainder.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether any unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// View the unconsumed remainder as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take_bytes(&mut self, count: usize) -> &[u8] {
+        assert!(count <= self.remaining(), "buffer underflow");
+        let start = self.pos;
+        self.pos += count;
+        &self.data[start..self.pos]
+    }
+}
+
+/// Growable byte buffer; freeze into [`Bytes`] when writing is done.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Create an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Create an empty buffer with `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(42);
+        buf.put_u8(7);
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.remaining(), 13);
+        assert_eq!(bytes.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_u64_le(), 42);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut bytes = Bytes::from_static(b"ab");
+        let _ = bytes.get_u32_le();
+    }
+}

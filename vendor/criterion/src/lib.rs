@@ -1,0 +1,226 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container has no crates.io access, so this path crate provides
+//! the subset of the Criterion API the LOOM benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher`, `criterion_group!`,
+//! `criterion_main!` — backed by a minimal wall-clock harness: each benchmark
+//! is warmed up once, then timed over a fixed number of batches and reported
+//! as a median ns/iter on stdout. No statistics, plots or comparisons; the
+//! real Criterion is a drop-in replacement when a networked build is
+//! available.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Number of timed batches per benchmark (the stand-in for sample count).
+const DEFAULT_SAMPLES: usize = 7;
+/// Iterations per timed batch.
+const ITERS_PER_SAMPLE: u64 = 3;
+
+/// Benchmark driver handed to the functions in `criterion_group!`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Criterion {
+    /// Create a driver with default settings.
+    pub fn new() -> Self {
+        Criterion {
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Accepted for API compatibility; command-line filtering is not
+    /// implemented in the stand-in.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.samples, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            samples: self.samples,
+            _criterion: self,
+        }
+    }
+
+    /// Flush any pending reporting (no-op in the stand-in).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed batches for benchmarks in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Run a benchmark identified by `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), self.samples, &mut f);
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.samples,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Close the group (reporting is immediate in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Identifier naming one benchmark, optionally `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier combining a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Median nanoseconds per iteration over the timed batches.
+    median_ns: u128,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, recording a median ns/iter across batches.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let _ = black_box(routine()); // warm-up, also proves the closure runs
+        let mut per_iter: Vec<u128> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..ITERS_PER_SAMPLE {
+                let _ = black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_nanos() / ITERS_PER_SAMPLE as u128);
+        }
+        per_iter.sort_unstable();
+        self.median_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        median_ns: 0,
+        samples: samples.max(1),
+    };
+    f(&mut bencher);
+    println!("bench {id:<48} ~{} ns/iter", bencher.median_ns);
+}
+
+/// Opaque value barrier; re-exported for parity with Criterion's `black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Define a benchmark group function that runs each listed target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::new().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running each listed benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::new();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &x| {
+            b.iter(|| x + 1);
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,277 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so this path crate supplies
+//! the subset of the proptest API the LOOM property tests use: range and
+//! tuple strategies, `prop_map`, `collection::vec`, the `proptest!` macro and
+//! the `prop_assert*` assertions. Cases are generated from a fixed-seed
+//! deterministic RNG (no shrinking, no persistence); failures surface as
+//! ordinary panics, with the failing case index printed to stderr by a drop
+//! guard so the exact deterministic case can be re-run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Test-runner configuration (the stand-in for `proptest::test_runner`).
+pub mod test_runner {
+    /// Runner configuration; only `cases` is honoured by the stand-in.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Configuration running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// Value-generation strategies (the stand-in for `proptest::strategy`).
+pub mod strategy {
+    use super::*;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Produce one value from `rng`.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adaptor produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+)),+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+    /// Strategy producing a fixed value every time.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Collection strategies (the stand-in for `proptest::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Strategy for `Vec`s with a random length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector of values from `element`, with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Reports the failing case index when a property panics mid-case.
+///
+/// Created at the top of every generated case; if the body panics, the
+/// guard's `Drop` runs during unwinding and prints which deterministic case
+/// failed, so the run can be reproduced by index.
+#[doc(hidden)]
+pub struct CaseGuard {
+    /// Name of the property test.
+    pub test_name: &'static str,
+    /// Zero-based index of the case being run.
+    pub case: u32,
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest: property `{}` failed on deterministic case #{}",
+                self.test_name, self.case
+            );
+        }
+    }
+}
+
+/// Internal helper used by the [`proptest!`] macro expansion.
+#[doc(hidden)]
+pub fn __new_case_rng(test_name: &str, case: u32) -> StdRng {
+    // Derive a distinct but deterministic stream per test and case.
+    let mut seed = 0xC0FF_EE00_0000_0000u64 ^ case as u64;
+    for byte in test_name.bytes() {
+        seed = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(byte as u64);
+    }
+    StdRng::seed_from_u64(seed)
+}
+
+/// Run each property as an ordinary `#[test]`, generating its arguments from
+/// the listed strategies for `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            for __case in 0..config.cases {
+                let __case_guard = $crate::CaseGuard {
+                    test_name: stringify!($name),
+                    case: __case,
+                };
+                let mut __rng = $crate::__new_case_rng(stringify!($name), __case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)+
+                $body
+                drop(__case_guard);
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Assertion usable inside [`proptest!`] bodies (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion usable inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion usable inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Everything a property test normally imports.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5usize..9), x in 0.0f64..1.0) {
+            prop_assert!(a < 10);
+            prop_assert!((5..9).contains(&b));
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in crate::collection::vec(0u32..4, 2..8)) {
+            prop_assert!((2..8).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(m in crate::collection::vec(crate::collection::vec(0u32..4, 2..5), 1..5)) {
+            prop_assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let strat = Strategy::prop_map(0u32..5, |x| x * 2);
+        let mut rng = crate::__new_case_rng("prop_map_applies", 0);
+        for _ in 0..20 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(v % 2 == 0 && v < 10);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so this path crate supplies
+//! the minimal surface the LOOM workspace uses: the `Serialize` /
+//! `Deserialize` marker traits (with blanket impls so `T: Serialize` bounds
+//! always hold) and the derive macros re-exported from the sibling
+//! `serde_derive` stub. Swapping in the real serde is a Cargo.toml-only
+//! change.
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// The blanket impl below makes every type satisfy `T: Serialize` bounds.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+///
+/// The blanket impl below makes every sized type satisfy
+/// `T: Deserialize<'de>` bounds.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,29 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! real `serde_derive` cannot be fetched. The workspace only relies on
+//! `#[derive(Serialize, Deserialize)]` (plus `#[serde(...)]` field helpers)
+//! to mark types as serialisable; the sibling `serde` stub provides blanket
+//! trait impls, so these derives only need to swallow the syntax. When a
+//! networked build replaces the `[patch]`-free path deps with the real
+//! crates, nothing in the source tree has to change.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and the `#[serde(...)]` helper attribute.
+///
+/// Expands to nothing: the `serde` stub's blanket impl already covers every
+/// type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and the `#[serde(...)]` helper attribute.
+///
+/// Expands to nothing: the `serde` stub's blanket impl already covers every
+/// type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
