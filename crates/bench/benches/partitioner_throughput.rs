@@ -2,61 +2,67 @@
 //!
 //! Times a full pass of a 10k-vertex Barabási–Albert stream through each
 //! streaming partitioner (and the offline multilevel partitioner for
-//! reference).
+//! reference). Every streaming partitioner is built from its declarative
+//! [`PartitionerSpec`] through the workload registry and driven as a
+//! `Box<dyn Partitioner>`.
+//!
+//! The `batched/*` group measures the batching win directly: the same spec
+//! is driven with chunk sizes {1, 64, 1024}, so per-element ingestion
+//! (chunk 1) is compared against amortised batch ingestion on identical
+//! work (the resulting partitionings are identical by contract).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use loom_bench::scenarios;
-use loom_core::{LoomConfig, LoomPartitioner};
+use loom_core::workload_registry;
 use loom_graph::ordering::StreamOrder;
 use loom_graph::GraphStream;
 use loom_motif::mining::MotifMiner;
-use loom_partition::fennel::{FennelConfig, FennelPartitioner};
-use loom_partition::hash::HashPartitioner;
-use loom_partition::ldg::{LdgConfig, LdgPartitioner};
+use loom_partition::fennel::FennelConfig;
+use loom_partition::hash::HashConfig;
+use loom_partition::ldg::LdgConfig;
 use loom_partition::offline::{MultilevelConfig, MultilevelPartitioner};
-use loom_partition::traits::partition_stream;
+use loom_partition::spec::{LoomConfig, PartitionerRegistry, PartitionerSpec};
+use loom_partition::traits::{partition_stream, partition_stream_batched};
 use std::hint::black_box;
 
-fn bench_partitioners(c: &mut Criterion) {
+fn specs(n: usize, m: usize) -> Vec<PartitionerSpec> {
+    vec![
+        PartitionerSpec::Hash(HashConfig::new(8, n)),
+        PartitionerSpec::Ldg(LdgConfig::new(8, n)),
+        PartitionerSpec::Fennel(FennelConfig::new(8, n, m)),
+        PartitionerSpec::Loom(
+            LoomConfig::new(8, n)
+                .with_window_size(256)
+                .with_motif_threshold(0.3),
+        ),
+    ]
+}
+
+fn setup() -> (PartitionerRegistry, loom_graph::LabelledGraph, GraphStream) {
     let graph = scenarios::social_graph(10_000, 7);
     let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 1 });
     let workload = scenarios::motif_workload();
     let tpstry = MotifMiner::default()
         .mine(&workload)
         .expect("mining succeeds");
-    let n = graph.vertex_count();
-    let m = graph.edge_count();
+    (workload_registry(&tpstry), graph, stream)
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let (registry, graph, stream) = setup();
+    let (n, m) = (graph.vertex_count(), graph.edge_count());
 
     let mut group = c.benchmark_group("partitioner_throughput");
     group.sample_size(10);
 
-    group.bench_with_input(BenchmarkId::new("hash", n), &stream, |b, stream| {
-        b.iter(|| {
-            let mut p = HashPartitioner::new(8, n).expect("valid");
-            black_box(partition_stream(&mut p, stream).expect("ok"))
-        })
-    });
-    group.bench_with_input(BenchmarkId::new("ldg", n), &stream, |b, stream| {
-        b.iter(|| {
-            let mut p = LdgPartitioner::new(LdgConfig::new(8, n)).expect("valid");
-            black_box(partition_stream(&mut p, stream).expect("ok"))
-        })
-    });
-    group.bench_with_input(BenchmarkId::new("fennel", n), &stream, |b, stream| {
-        b.iter(|| {
-            let mut p = FennelPartitioner::new(FennelConfig::new(8, n, m)).expect("valid");
-            black_box(partition_stream(&mut p, stream).expect("ok"))
-        })
-    });
-    group.bench_with_input(BenchmarkId::new("loom", n), &stream, |b, stream| {
-        b.iter(|| {
-            let config = LoomConfig::new(8, n)
-                .with_window_size(256)
-                .with_motif_threshold(0.3);
-            let mut p = LoomPartitioner::new(config, &tpstry).expect("valid");
-            black_box(partition_stream(&mut p, stream).expect("ok"))
-        })
-    });
+    for spec in specs(n, m) {
+        group.bench_with_input(BenchmarkId::new(spec.name(), n), &stream, |b, stream| {
+            b.iter(|| {
+                let mut p = registry.build(&spec).expect("buildable spec");
+                black_box(partition_stream(p.as_mut(), stream).expect("ok"))
+            })
+        });
+    }
     group.bench_with_input(BenchmarkId::new("offline", n), &graph, |b, graph| {
         b.iter(|| {
             let p = MultilevelPartitioner::new(MultilevelConfig::new(8)).expect("valid");
@@ -66,5 +72,31 @@ fn bench_partitioners(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_partitioners);
+fn bench_batched_ingest(c: &mut Criterion) {
+    let (registry, graph, stream) = setup();
+    let (n, m) = (graph.vertex_count(), graph.edge_count());
+
+    let mut group = c.benchmark_group("batched");
+    group.sample_size(10);
+
+    for spec in specs(n, m) {
+        for chunk_size in [1usize, 64, 1024] {
+            group.bench_with_input(
+                BenchmarkId::new(spec.name(), chunk_size),
+                &chunk_size,
+                |b, &chunk_size| {
+                    b.iter(|| {
+                        let mut p = registry.build(&spec).expect("buildable spec");
+                        black_box(
+                            partition_stream_batched(p.as_mut(), &stream, chunk_size).expect("ok"),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners, bench_batched_ingest);
 criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! the test suite run the same code paths at a fraction of the full size.
 
 use crate::scenarios;
-use loom_core::{FrequentMotifIndex, LoomConfig, LoomPartitioner};
+use loom_core::{FrequentMotifIndex, LoomBuilder};
 use loom_graph::ordering::StreamOrder;
 use loom_graph::{GraphStream, LabelledGraph};
 use loom_motif::fixtures::{fig3_stream_graph, paper_example_workload};
@@ -417,17 +417,18 @@ fn f1(scale: Scale) -> Vec<Table> {
         ],
     );
     for window in [16usize, 64, 256, 1024] {
-        let config = LoomConfig::new(8, graph.vertex_count())
-            .with_window_size(window)
-            .with_motif_threshold(0.3);
-        let mut loom = LoomPartitioner::new(config, &tpstry).expect("valid config");
+        let mut loom = LoomBuilder::new(8, graph.vertex_count())
+            .window_size(window)
+            .motif_threshold(0.3)
+            .build(&tpstry)
+            .expect("valid config");
         let start = Instant::now();
         let partitioning = partition_stream(&mut loom, &stream).expect("stream consumed");
         let elapsed_ms = start.elapsed().as_secs_f64() * 1_000.0;
         let quality = evaluate(&graph, &partitioning);
         let store = PartitionedStore::new(graph.clone(), partitioning);
         let metrics = executor.execute_workload(&store, &workload, scale.query_samples(), 17);
-        let stats = loom.stats();
+        let stats = loom.loom_stats();
         table.push_row(vec![
             window.to_string(),
             format!("{:.4}", quality.cut_ratio),
@@ -468,10 +469,12 @@ fn f2(scale: Scale) -> Vec<Table> {
     for threshold in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let index = FrequentMotifIndex::new(&tpstry, threshold);
         let motif_count = index.motif_count();
-        let config = LoomConfig::new(8, graph.vertex_count())
-            .with_window_size(256)
-            .with_motif_threshold(threshold);
-        let mut loom = LoomPartitioner::with_index(config, index).expect("valid config");
+        let mut loom = LoomBuilder::new(8, graph.vertex_count())
+            .window_size(256)
+            .motif_threshold(threshold)
+            .share_index(index)
+            .build_with_shared_index()
+            .expect("valid config");
         let start = Instant::now();
         let partitioning = partition_stream(&mut loom, &stream).expect("stream consumed");
         let elapsed_ms = start.elapsed().as_secs_f64() * 1_000.0;
@@ -482,7 +485,7 @@ fn f2(scale: Scale) -> Vec<Table> {
             motif_count.to_string(),
             format!("{:.4}", metrics.inter_partition_probability()),
             format!("{:.3}", metrics.local_only_fraction()),
-            loom.stats().clusters_assigned.to_string(),
+            loom.loom_stats().clusters_assigned.to_string(),
             format!("{elapsed_ms:.1}"),
         ]);
     }
@@ -656,10 +659,11 @@ fn f7(scale: Scale) -> Vec<Table> {
         rows.extend(scenario.run_streaming(&mut ldg, &stream).expect("runs"));
     }
     {
-        let config = LoomConfig::new(8, graph.vertex_count())
-            .with_window_size(256)
-            .with_motif_threshold(0.3);
-        let mut loom = LoomPartitioner::new(config, &tpstry).expect("valid config");
+        let mut loom = LoomBuilder::new(8, graph.vertex_count())
+            .window_size(256)
+            .motif_threshold(0.3)
+            .build(&tpstry)
+            .expect("valid config");
         rows.extend(scenario.run_streaming(&mut loom, &stream).expect("runs"));
     }
     rows.extend(scenario.run_offline_periodic(&stream).expect("runs"));
@@ -707,23 +711,25 @@ fn f8(scale: Scale) -> Vec<Table> {
         let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 9 });
 
         let unverified_matches = {
-            let config = LoomConfig::new(8, graph.vertex_count())
-                .with_window_size(256)
-                .with_motif_threshold(0.3);
-            let mut loom = LoomPartitioner::new(config, &tpstry).expect("valid config");
+            let mut loom = LoomBuilder::new(8, graph.vertex_count())
+                .window_size(256)
+                .motif_threshold(0.3)
+                .build(&tpstry)
+                .expect("valid config");
             let _ = partition_stream(&mut loom, &stream).expect("stream consumed");
-            loom.stats().motif_matches_found
+            loom.loom_stats().motif_matches_found
         };
 
-        let config = LoomConfig::new(8, graph.vertex_count())
-            .with_window_size(256)
-            .with_motif_threshold(0.3)
-            .with_verification();
-        let mut loom = LoomPartitioner::new(config, &tpstry).expect("valid config");
+        let mut loom = LoomBuilder::new(8, graph.vertex_count())
+            .window_size(256)
+            .motif_threshold(0.3)
+            .verify_matches()
+            .build(&tpstry)
+            .expect("valid config");
         let start = Instant::now();
         let _ = partition_stream(&mut loom, &stream).expect("stream consumed");
         let elapsed_ms = start.elapsed().as_secs_f64() * 1_000.0;
-        let stats = loom.stats();
+        let stats = loom.loom_stats();
         let fp_rate = if stats.verifications == 0 {
             0.0
         } else {

@@ -1,0 +1,231 @@
+//! Fluent construction of [`LoomPartitioner`]s.
+//!
+//! [`LoomBuilder`] replaces the `LoomConfig::new` + `LoomPartitioner::new` /
+//! `with_index` constructor sprawl with one chainable entry point that also
+//! handles sharing a pre-built [`FrequentMotifIndex`] across runs (the same
+//! workload summary is typically partitioned many times in an experiment).
+
+use crate::index::FrequentMotifIndex;
+use crate::loom::LoomPartitioner;
+use loom_motif::tpstry::Tpstry;
+use loom_partition::error::{PartitionError, Result};
+use loom_partition::spec::LoomConfig;
+
+/// Fluent builder for [`LoomPartitioner`].
+///
+/// ```
+/// use loom_core::LoomBuilder;
+/// use loom_motif::fixtures::paper_example_workload;
+/// use loom_motif::mining::MotifMiner;
+///
+/// let tpstry = MotifMiner::default()
+///     .mine(&paper_example_workload())
+///     .unwrap();
+/// let loom = LoomBuilder::new(2, 8)
+///     .window_size(4)
+///     .motif_threshold(0.3)
+///     .build(&tpstry)
+///     .unwrap();
+/// assert_eq!(loom.config().window_size, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoomBuilder {
+    config: LoomConfig,
+    index: Option<FrequentMotifIndex>,
+}
+
+impl LoomBuilder {
+    /// Start from the default configuration for `k` partitions over a stream
+    /// of about `expected_vertices` vertices.
+    pub fn new(k: u32, expected_vertices: usize) -> Self {
+        Self {
+            config: LoomConfig::new(k, expected_vertices),
+            index: None,
+        }
+    }
+
+    /// Start from an explicit configuration (e.g. one deserialised from an
+    /// experiment spec).
+    pub fn from_config(config: LoomConfig) -> Self {
+        Self {
+            config,
+            index: None,
+        }
+    }
+
+    /// Size of the sliding stream window, in vertices.
+    #[must_use]
+    pub fn window_size(mut self, window_size: usize) -> Self {
+        self.config = self.config.with_window_size(window_size);
+        self
+    }
+
+    /// The motif frequency threshold `T`.
+    #[must_use]
+    pub fn motif_threshold(mut self, threshold: f64) -> Self {
+        self.config = self.config.with_motif_threshold(threshold);
+        self
+    }
+
+    /// Multiplicative balance slack (≥ 1.0).
+    #[must_use]
+    pub fn slack(mut self, slack: f64) -> Self {
+        self.config = self.config.with_slack(slack);
+        self
+    }
+
+    /// Upper bound on the size of a motif cluster assigned as a unit.
+    #[must_use]
+    pub fn cluster_cap(mut self, size: usize) -> Self {
+        self.config = self.config.with_max_cluster_size(size);
+        self
+    }
+
+    /// Disable motif clustering (ablation: pure windowed LDG).
+    #[must_use]
+    pub fn without_motif_clustering(mut self) -> Self {
+        self.config = self.config.without_motif_clustering();
+        self
+    }
+
+    /// Disable the capacity penalty in cluster scoring (ablation).
+    #[must_use]
+    pub fn without_capacity_penalty(mut self) -> Self {
+        self.config = self.config.without_capacity_penalty();
+        self
+    }
+
+    /// Disable merging of overlapping matches at assignment time (ablation).
+    #[must_use]
+    pub fn without_overlap_merging(mut self) -> Self {
+        self.config = self.config.without_overlap_merging();
+        self
+    }
+
+    /// Disable chunked assignment of oversized clusters (ablation).
+    #[must_use]
+    pub fn without_cluster_splitting(mut self) -> Self {
+        self.config = self.config.without_cluster_splitting();
+        self
+    }
+
+    /// Enable exact verification of every signature match.
+    #[must_use]
+    pub fn verify_matches(mut self) -> Self {
+        self.config = self.config.with_verification();
+        self
+    }
+
+    /// Share a pre-built frequent motif index instead of deriving one from a
+    /// TPSTry++ at build time (saves the index construction when the same
+    /// workload summary drives many partitioner runs).
+    #[must_use]
+    pub fn share_index(mut self, index: FrequentMotifIndex) -> Self {
+        self.index = Some(index);
+        self
+    }
+
+    /// The configuration accumulated so far.
+    pub fn config(&self) -> &LoomConfig {
+        &self.config
+    }
+
+    /// Build the partitioner, deriving the frequent motif index from `tpstry`
+    /// at the configured threshold unless one was shared via
+    /// [`LoomBuilder::share_index`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error if the accumulated config is invalid.
+    pub fn build(self, tpstry: &Tpstry) -> Result<LoomPartitioner> {
+        match self.index {
+            Some(index) => LoomPartitioner::with_index(self.config, index),
+            None => LoomPartitioner::new(self.config, tpstry),
+        }
+    }
+
+    /// Build the partitioner from the shared index alone.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no index was shared via [`LoomBuilder::share_index`], or if
+    /// the accumulated config is invalid.
+    pub fn build_with_shared_index(self) -> Result<LoomPartitioner> {
+        let Some(index) = self.index else {
+            return Err(PartitionError::InvalidConfig(
+                "LoomBuilder::build_with_shared_index needs share_index(..) first \
+                 (or call build(&tpstry) to derive one)"
+                    .into(),
+            ));
+        };
+        LoomPartitioner::with_index(self.config, index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_motif::fixtures::paper_example_workload;
+    use loom_motif::mining::MotifMiner;
+
+    fn tpstry() -> Tpstry {
+        MotifMiner::default()
+            .mine(&paper_example_workload())
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let builder = LoomBuilder::new(4, 1_000)
+            .window_size(64)
+            .motif_threshold(0.25)
+            .slack(1.5)
+            .cluster_cap(10)
+            .without_motif_clustering()
+            .without_capacity_penalty()
+            .without_overlap_merging()
+            .without_cluster_splitting()
+            .verify_matches();
+        let config = *builder.config();
+        assert_eq!(config.window_size, 64);
+        assert!((config.motif_threshold - 0.25).abs() < 1e-12);
+        assert!((config.slack - 1.5).abs() < 1e-12);
+        assert_eq!(config.max_cluster_size, 10);
+        assert!(!config.motif_clustering);
+        assert!(!config.capacity_penalty);
+        assert!(!config.merge_overlapping);
+        assert!(!config.split_oversized_clusters);
+        assert!(config.verify_matches);
+        assert!(builder.build(&tpstry()).is_ok());
+    }
+
+    #[test]
+    fn shared_index_skips_tpstry_derivation() {
+        let tpstry = tpstry();
+        let index = FrequentMotifIndex::new(&tpstry, 0.3);
+        let loom = LoomBuilder::new(2, 8)
+            .window_size(4)
+            .share_index(index)
+            .build_with_shared_index()
+            .unwrap();
+        assert_eq!(loom.config().k, 2);
+    }
+
+    #[test]
+    fn shared_index_is_required_when_no_tpstry_is_given() {
+        assert!(LoomBuilder::new(2, 8).build_with_shared_index().is_err());
+    }
+
+    #[test]
+    fn invalid_configs_fail_at_build() {
+        assert!(LoomBuilder::new(0, 8).build(&tpstry()).is_err());
+        assert!(LoomBuilder::new(2, 8).slack(0.5).build(&tpstry()).is_err());
+    }
+
+    #[test]
+    fn from_config_round_trips() {
+        let config = LoomConfig::new(4, 100).with_window_size(16);
+        let builder = LoomBuilder::from_config(config);
+        assert_eq!(*builder.config(), config);
+    }
+}

@@ -1,221 +1,9 @@
 //! LOOM configuration.
+//!
+//! [`LoomConfig`] moved to `loom-partition`'s declarative spec layer
+//! ([`loom_partition::spec`]) so that a
+//! [`loom_partition::spec::PartitionerSpec`] can describe every partitioner —
+//! including LOOM — as plain serde data. This module re-exports it under its
+//! historical path; prefer [`crate::LoomBuilder`] for fluent construction.
 
-use loom_partition::error::{PartitionError, Result};
-use serde::{Deserialize, Serialize};
-
-/// Configuration for a [`crate::LoomPartitioner`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct LoomConfig {
-    /// Number of partitions `k`.
-    pub k: u32,
-    /// Expected number of vertices in the stream (drives the LDG capacity
-    /// `C = slack · n / k`).
-    pub expected_vertices: usize,
-    /// Multiplicative balance slack (≥ 1.0).
-    pub slack: f64,
-    /// Size of the sliding stream window, in vertices.
-    pub window_size: usize,
-    /// The frequency threshold `T`: TPSTry++ nodes with a p-value at or above
-    /// this are treated as motifs worth keeping intact.
-    pub motif_threshold: f64,
-    /// Upper bound on the size (vertices) of a motif cluster assigned as a
-    /// unit; larger clusters are split back into single-vertex assignments to
-    /// protect balance (the pathology the paper's §4.4 warns about).
-    pub max_cluster_size: usize,
-    /// Ablation switch: when `false` LOOM ignores motifs entirely and behaves
-    /// as windowed LDG.
-    pub motif_clustering: bool,
-    /// Ablation switch: when `false` the LDG capacity penalty is dropped from
-    /// the cluster placement score (pure neighbour-count greedy).
-    pub capacity_penalty: bool,
-    /// Ablation switch: when `false` only the match containing the evicted
-    /// vertex is co-assigned, instead of the transitive union of overlapping
-    /// matches.
-    pub merge_overlapping: bool,
-    /// When `true`, clusters exceeding `max_cluster_size` are split into
-    /// connected chunks of at most `max_cluster_size` vertices and the chunk
-    /// containing the evicted vertex is still assigned as a unit (the local
-    /// partitioning of large matches the paper lists as future work). When
-    /// `false`, oversized clusters fall back to single-vertex LDG.
-    pub split_oversized_clusters: bool,
-    /// When `true`, every signature match is verified with exact labelled
-    /// isomorphism before being used (Song et al.'s secondary check). The
-    /// paper skips verification; enabling it lets experiments measure the
-    /// signature false-positive rate.
-    pub verify_matches: bool,
-}
-
-impl LoomConfig {
-    /// Sensible defaults for `k` partitions over a stream of about
-    /// `expected_vertices` vertices.
-    pub fn new(k: u32, expected_vertices: usize) -> Self {
-        Self {
-            k,
-            expected_vertices,
-            slack: 1.1,
-            window_size: 256,
-            motif_threshold: 0.4,
-            max_cluster_size: 32,
-            motif_clustering: true,
-            capacity_penalty: true,
-            merge_overlapping: true,
-            split_oversized_clusters: true,
-            verify_matches: false,
-        }
-    }
-
-    /// Builder-style setter for the window size.
-    #[must_use]
-    pub fn with_window_size(mut self, window_size: usize) -> Self {
-        self.window_size = window_size;
-        self
-    }
-
-    /// Builder-style setter for the motif frequency threshold `T`.
-    #[must_use]
-    pub fn with_motif_threshold(mut self, threshold: f64) -> Self {
-        self.motif_threshold = threshold;
-        self
-    }
-
-    /// Builder-style setter for the balance slack.
-    #[must_use]
-    pub fn with_slack(mut self, slack: f64) -> Self {
-        self.slack = slack;
-        self
-    }
-
-    /// Builder-style setter for the maximum motif-cluster size.
-    #[must_use]
-    pub fn with_max_cluster_size(mut self, size: usize) -> Self {
-        self.max_cluster_size = size;
-        self
-    }
-
-    /// Disable motif clustering (ablation: pure windowed LDG).
-    #[must_use]
-    pub fn without_motif_clustering(mut self) -> Self {
-        self.motif_clustering = false;
-        self
-    }
-
-    /// Disable the capacity penalty in cluster scoring (ablation).
-    #[must_use]
-    pub fn without_capacity_penalty(mut self) -> Self {
-        self.capacity_penalty = false;
-        self
-    }
-
-    /// Disable merging of overlapping matches at assignment time (ablation).
-    #[must_use]
-    pub fn without_overlap_merging(mut self) -> Self {
-        self.merge_overlapping = false;
-        self
-    }
-
-    /// Disable chunked assignment of oversized clusters (ablation: oversized
-    /// clusters fall back to single-vertex LDG).
-    #[must_use]
-    pub fn without_cluster_splitting(mut self) -> Self {
-        self.split_oversized_clusters = false;
-        self
-    }
-
-    /// Enable exact verification of every signature match.
-    #[must_use]
-    pub fn with_verification(mut self) -> Self {
-        self.verify_matches = true;
-        self
-    }
-
-    /// Validate the configuration.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`PartitionError::InvalidConfig`] for out-of-range parameters.
-    pub fn validate(&self) -> Result<()> {
-        if self.k == 0 {
-            return Err(PartitionError::InvalidConfig("k must be positive".into()));
-        }
-        if self.window_size == 0 {
-            return Err(PartitionError::InvalidConfig(
-                "window_size must be positive".into(),
-            ));
-        }
-        if !self.slack.is_finite() || self.slack < 1.0 {
-            return Err(PartitionError::InvalidConfig(format!(
-                "slack must be >= 1.0, got {}",
-                self.slack
-            )));
-        }
-        if !(0.0..=1.0).contains(&self.motif_threshold) {
-            return Err(PartitionError::InvalidConfig(format!(
-                "motif_threshold must be in [0, 1], got {}",
-                self.motif_threshold
-            )));
-        }
-        if self.max_cluster_size == 0 {
-            return Err(PartitionError::InvalidConfig(
-                "max_cluster_size must be positive".into(),
-            ));
-        }
-        Ok(())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn defaults_are_valid() {
-        assert!(LoomConfig::new(4, 10_000).validate().is_ok());
-    }
-
-    #[test]
-    fn builders_set_fields() {
-        let config = LoomConfig::new(4, 1_000)
-            .with_window_size(64)
-            .with_motif_threshold(0.25)
-            .with_slack(1.5)
-            .with_max_cluster_size(10)
-            .without_motif_clustering()
-            .without_capacity_penalty()
-            .without_overlap_merging()
-            .without_cluster_splitting()
-            .with_verification();
-        assert_eq!(config.window_size, 64);
-        assert!((config.motif_threshold - 0.25).abs() < 1e-12);
-        assert!((config.slack - 1.5).abs() < 1e-12);
-        assert_eq!(config.max_cluster_size, 10);
-        assert!(!config.motif_clustering);
-        assert!(!config.capacity_penalty);
-        assert!(!config.merge_overlapping);
-        assert!(!config.split_oversized_clusters);
-        assert!(config.verify_matches);
-        assert!(config.validate().is_ok());
-    }
-
-    #[test]
-    fn invalid_configurations_are_rejected() {
-        assert!(LoomConfig {
-            k: 0,
-            ..LoomConfig::new(4, 100)
-        }
-        .validate()
-        .is_err());
-        assert!(LoomConfig::new(4, 100)
-            .with_window_size(0)
-            .validate()
-            .is_err());
-        assert!(LoomConfig::new(4, 100).with_slack(0.9).validate().is_err());
-        assert!(LoomConfig::new(4, 100)
-            .with_motif_threshold(1.5)
-            .validate()
-            .is_err());
-        assert!(LoomConfig::new(4, 100)
-            .with_max_cluster_size(0)
-            .validate()
-            .is_err());
-    }
-}
+pub use loom_partition::spec::LoomConfig;

@@ -26,7 +26,7 @@ use loom_motif::tpstry::Tpstry;
 use loom_partition::error::Result;
 use loom_partition::ldg::LdgPartitioner;
 use loom_partition::partition::{PartitionId, Partitioning};
-use loom_partition::traits::StreamingPartitioner;
+use loom_partition::traits::{Partitioner, PartitionerStats};
 use loom_partition::window::{EdgePlacement, StreamWindow};
 
 /// The LOOM partitioner.
@@ -37,6 +37,7 @@ pub struct LoomPartitioner {
     window: StreamWindow,
     matcher: StreamMotifMatcher,
     stats: LoomStats,
+    batches_ingested: usize,
 }
 
 impl LoomPartitioner {
@@ -66,8 +67,15 @@ impl LoomPartitioner {
             window: StreamWindow::new(config.window_size),
             matcher: StreamMotifMatcher::new(index).with_verification(config.verify_matches),
             stats: LoomStats::default(),
+            batches_ingested: 0,
             config,
         })
+    }
+
+    /// Start a fluent [`crate::LoomBuilder`] for `k` partitions over a stream
+    /// of about `expected_vertices` vertices.
+    pub fn builder(k: u32, expected_vertices: usize) -> crate::builder::LoomBuilder {
+        crate::builder::LoomBuilder::new(k, expected_vertices)
     }
 
     /// The configuration.
@@ -75,8 +83,9 @@ impl LoomPartitioner {
         &self.config
     }
 
-    /// Runtime counters accumulated so far.
-    pub fn stats(&self) -> LoomStats {
+    /// Detailed LOOM-specific runtime counters accumulated so far (the
+    /// unified cross-partitioner report is [`Partitioner::stats`]).
+    pub fn loom_stats(&self) -> LoomStats {
         let counters = self.matcher.counters();
         LoomStats {
             signatures_computed: counters.signatures_computed,
@@ -281,14 +290,9 @@ impl LoomPartitioner {
             best
         }
     }
-}
 
-impl StreamingPartitioner for LoomPartitioner {
-    fn name(&self) -> &'static str {
-        "loom"
-    }
-
-    fn ingest(&mut self, element: &StreamElement) -> Result<()> {
+    /// The shared per-element transition, used by both ingestion paths.
+    fn ingest_element(&mut self, element: &StreamElement) -> Result<()> {
         match *element {
             StreamElement::AddVertex { id, label } => {
                 self.stats.vertices_ingested += 1;
@@ -312,12 +316,51 @@ impl StreamingPartitioner for LoomPartitioner {
         }
         Ok(())
     }
+}
+
+impl Partitioner for LoomPartitioner {
+    fn name(&self) -> &'static str {
+        "loom"
+    }
+
+    fn ingest(&mut self, element: &StreamElement) -> Result<()> {
+        self.ingest_element(element)
+    }
+
+    fn ingest_batch(&mut self, batch: &[StreamElement]) -> Result<()> {
+        // Amortised fast path: every vertex the chunk carries will either be
+        // buffered or trigger exactly one eviction-assignment, so one
+        // reservation covers the chunk's worth of assignment-table growth;
+        // window inserts and signature updates then run in a dispatch-free
+        // loop.
+        self.batches_ingested += 1;
+        let vertices = batch.iter().filter(|e| e.is_vertex()).count();
+        self.partitioning.reserve(vertices);
+        for element in batch {
+            self.ingest_element(element)?;
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self) -> Partitioning {
+        self.partitioning.clone()
+    }
 
     fn finish(&mut self) -> Result<Partitioning> {
         while !self.window.is_empty() {
             self.evict_and_assign()?;
         }
-        Ok(self.partitioning.clone())
+        Ok(self.partitioning.take())
+    }
+
+    fn stats(&self) -> PartitionerStats {
+        PartitionerStats {
+            vertices_ingested: self.stats.vertices_ingested,
+            edges_ingested: self.stats.edges_ingested,
+            batches_ingested: self.batches_ingested,
+            assigned: self.partitioning.assigned_count(),
+            buffered: self.window.len(),
+        }
     }
 }
 
@@ -400,8 +443,8 @@ mod tests {
             "only {intact}/{} planted motifs kept intact",
             instances.len()
         );
-        assert!(loom.stats().clusters_assigned > 0);
-        assert!(loom.stats().motif_matches_found > 0);
+        assert!(loom.loom_stats().clusters_assigned > 0);
+        assert!(loom.loom_stats().motif_matches_found > 0);
     }
 
     #[test]
@@ -503,7 +546,7 @@ mod tests {
         let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
         let part = partition_stream(&mut loom, &stream).unwrap();
         assert_eq!(part.assigned_count(), graph.vertex_count());
-        let stats = loom.stats();
+        let stats = loom.loom_stats();
         assert_eq!(stats.clusters_assigned, 0);
         assert_eq!(stats.cluster_vertices_assigned, 0);
         assert_eq!(stats.single_vertices_assigned, graph.vertex_count());
@@ -526,7 +569,10 @@ mod tests {
         let part = partition_stream(&mut loom, &stream).unwrap();
         assert_eq!(part.assigned_count(), 40);
         // The giant merged cluster exceeds max_cluster_size, so splits happen.
-        assert!(loom.stats().clusters_split_for_balance > 0 || loom.stats().largest_cluster <= 4);
+        assert!(
+            loom.loom_stats().clusters_split_for_balance > 0
+                || loom.loom_stats().largest_cluster <= 4
+        );
     }
 
     #[test]
@@ -552,7 +598,7 @@ mod tests {
             }
             let mut loom = LoomPartitioner::new(config, &tpstry).unwrap();
             let part = partition_stream(&mut loom, &stream).unwrap();
-            (part, loom.stats())
+            (part, loom.loom_stats())
         };
 
         let (chunked_part, chunked_stats) = run(true);
@@ -598,7 +644,7 @@ mod tests {
         let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
         let part = partition_stream(&mut loom, &stream).unwrap();
         assert_eq!(part.assigned_count(), graph.vertex_count());
-        let stats = loom.stats();
+        let stats = loom.loom_stats();
         assert!(stats.verifications > 0);
         // With label-distinct path motifs the signature is effectively exact,
         // so no collisions are expected.

@@ -8,14 +8,46 @@
 
 use crate::error::Result;
 use crate::partition::{PartitionId, Partitioning};
-use crate::traits::StreamingPartitioner;
+use crate::traits::{Partitioner, PartitionerStats};
 use loom_graph::StreamElement;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`HashPartitioner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HashConfig {
+    /// Number of partitions.
+    pub k: u32,
+    /// Soft per-partition capacity (carried along only so quality reports are
+    /// comparable; hash placement ignores it).
+    pub capacity: usize,
+    /// Hash seed (change it to test placement sensitivity).
+    pub seed: u64,
+}
+
+impl HashConfig {
+    /// Configuration with the default seed.
+    pub fn new(k: u32, capacity: usize) -> Self {
+        Self {
+            k,
+            capacity,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Use a custom hash seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
 
 /// Streaming hash partitioner.
 #[derive(Debug, Clone)]
 pub struct HashPartitioner {
     partitioning: Partitioning,
     seed: u64,
+    stats: PartitionerStats,
 }
 
 impl HashPartitioner {
@@ -29,9 +61,20 @@ impl HashPartitioner {
     /// Propagates [`crate::PartitionError::InvalidConfig`] from
     /// [`Partitioning::new`].
     pub fn new(k: u32, capacity: usize) -> Result<Self> {
+        Self::from_config(HashConfig::new(k, capacity))
+    }
+
+    /// Create a hash partitioner from a declarative [`HashConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::PartitionError::InvalidConfig`] from
+    /// [`Partitioning::new`].
+    pub fn from_config(config: HashConfig) -> Result<Self> {
         Ok(Self {
-            partitioning: Partitioning::new(k, capacity)?,
-            seed: 0x9E37_79B9_7F4A_7C15,
+            partitioning: Partitioning::new(config.k, config.capacity)?,
+            seed: config.seed,
+            stats: PartitionerStats::default(),
         })
     }
 
@@ -52,21 +95,54 @@ impl HashPartitioner {
     }
 }
 
-impl StreamingPartitioner for HashPartitioner {
+impl Partitioner for HashPartitioner {
     fn name(&self) -> &'static str {
         "hash"
     }
 
     fn ingest(&mut self, element: &StreamElement) -> Result<()> {
         if let StreamElement::AddVertex { id, .. } = element {
+            self.stats.vertices_ingested += 1;
             let target = self.target(id.raw());
             self.partitioning.assign(*id, target)?;
+        } else {
+            self.stats.edges_ingested += 1;
         }
         Ok(())
     }
 
+    fn ingest_batch(&mut self, batch: &[StreamElement]) -> Result<()> {
+        // Amortised fast path: grow the assignment table once for the whole
+        // chunk, then place vertices in a tight loop. Edges never affect hash
+        // placement, so they are only counted.
+        self.stats.batches_ingested += 1;
+        let vertices = batch.iter().filter(|e| e.is_vertex()).count();
+        self.partitioning.reserve(vertices);
+        self.stats.vertices_ingested += vertices;
+        self.stats.edges_ingested += batch.len() - vertices;
+        for element in batch {
+            if let StreamElement::AddVertex { id, .. } = element {
+                let target = self.target(id.raw());
+                self.partitioning.assign(*id, target)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self) -> Partitioning {
+        self.partitioning.clone()
+    }
+
     fn finish(&mut self) -> Result<Partitioning> {
-        Ok(self.partitioning.clone())
+        Ok(self.partitioning.take())
+    }
+
+    fn stats(&self) -> PartitionerStats {
+        PartitionerStats {
+            assigned: self.partitioning.assigned_count(),
+            buffered: 0,
+            ..self.stats
+        }
     }
 }
 
@@ -74,7 +150,7 @@ impl StreamingPartitioner for HashPartitioner {
 mod tests {
     use super::*;
     use crate::metrics::evaluate;
-    use crate::traits::partition_stream;
+    use crate::traits::{partition_stream, partition_stream_batched};
     use loom_graph::generators::{barabasi_albert, GeneratorConfig};
     use loom_graph::ordering::StreamOrder;
     use loom_graph::GraphStream;
@@ -117,5 +193,47 @@ mod tests {
         // name and finish are stable
         assert_eq!(a.name(), "hash");
         assert_eq!(b.finish().unwrap().assigned_count(), 0);
+        // from_config honours the seed.
+        let d = HashPartitioner::from_config(HashConfig::new(8, 100).with_seed(7)).unwrap();
+        for id in 0..100u64 {
+            assert_eq!(c.target(id), d.target(id));
+        }
+    }
+
+    #[test]
+    fn batched_ingestion_matches_per_element() {
+        let g = barabasi_albert(GeneratorConfig::new(1_000, 4, 5), 2).unwrap();
+        let stream = GraphStream::from_graph(&g, &StreamOrder::Random { seed: 3 });
+        let mut per_element = HashPartitioner::new(4, 300).unwrap();
+        for element in &stream {
+            per_element.ingest(element).unwrap();
+        }
+        let reference = per_element.finish().unwrap();
+        for chunk_size in [1usize, 64, 1024] {
+            let mut batched = HashPartitioner::new(4, 300).unwrap();
+            let result = partition_stream_batched(&mut batched, &stream, chunk_size).unwrap();
+            assert_eq!(result.assigned_count(), reference.assigned_count());
+            for (v, p) in reference.assignments() {
+                assert_eq!(result.partition_of(v), Some(p), "chunk={chunk_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_and_snapshot_track_progress() {
+        let g = barabasi_albert(GeneratorConfig::new(500, 4, 5), 2).unwrap();
+        let stream = GraphStream::from_graph(&g, &StreamOrder::Bfs);
+        let mut partitioner = HashPartitioner::new(4, 200).unwrap();
+        partitioner.ingest_batch(stream.elements()).unwrap();
+        let stats = partitioner.stats();
+        assert_eq!(stats.vertices_ingested, 500);
+        assert_eq!(stats.edges_ingested, g.edge_count());
+        assert_eq!(stats.batches_ingested, 1);
+        assert_eq!(stats.assigned, 500);
+        let snap = partitioner.snapshot();
+        assert_eq!(snap.assigned_count(), 500);
+        // Snapshot is non-destructive; finish then moves the result out.
+        assert_eq!(partitioner.finish().unwrap().assigned_count(), 500);
+        assert_eq!(partitioner.stats().assigned, 0);
     }
 }

@@ -24,7 +24,7 @@
 
 use crate::error::Result;
 use crate::partition::{PartitionId, Partitioning};
-use crate::traits::StreamingPartitioner;
+use crate::traits::{Partitioner, PartitionerStats};
 use loom_graph::fxhash::FxHashMap;
 use loom_graph::{Label, StreamElement, VertexId};
 use serde::{Deserialize, Serialize};
@@ -59,6 +59,10 @@ pub struct LdgPartitioner {
     /// The vertex whose placement decision is still pending, with the
     /// neighbours (already-assigned vertices) seen for it so far.
     pending: Option<PendingVertex>,
+    /// Recycled neighbour buffer from the last flushed pending vertex, so
+    /// steady-state ingestion allocates nothing per vertex.
+    spare_neighbours: Vec<VertexId>,
+    stats: PartitionerStats,
 }
 
 #[derive(Debug, Clone)]
@@ -83,6 +87,8 @@ impl LdgPartitioner {
                 config.slack,
             )?,
             pending: None,
+            spare_neighbours: Vec::new(),
+            stats: PartitionerStats::default(),
         })
     }
 
@@ -122,31 +128,31 @@ impl LdgPartitioner {
     }
 
     fn flush_pending(&mut self) -> Result<()> {
-        if let Some(pending) = self.pending.take() {
+        if let Some(mut pending) = self.pending.take() {
             let target = Self::choose_partition(&self.partitioning, &pending.assigned_neighbours);
             self.partitioning.assign(pending.id, target)?;
+            // Recycle the neighbour buffer for the next pending vertex.
+            pending.assigned_neighbours.clear();
+            self.spare_neighbours = pending.assigned_neighbours;
         }
         Ok(())
     }
-}
 
-impl StreamingPartitioner for LdgPartitioner {
-    fn name(&self) -> &'static str {
-        "ldg"
-    }
-
-    fn ingest(&mut self, element: &StreamElement) -> Result<()> {
+    /// The shared per-element transition, used by both ingestion paths.
+    fn ingest_element(&mut self, element: &StreamElement) -> Result<()> {
         match *element {
             StreamElement::AddVertex { id, label } => {
+                self.stats.vertices_ingested += 1;
                 // The previous vertex has now seen all of its back-edges.
                 self.flush_pending()?;
                 self.pending = Some(PendingVertex {
                     id,
                     label,
-                    assigned_neighbours: Vec::new(),
+                    assigned_neighbours: std::mem::take(&mut self.spare_neighbours),
                 });
             }
             StreamElement::AddEdge { source, target } => {
+                self.stats.edges_ingested += 1;
                 if let Some(pending) = self.pending.as_mut() {
                     let other = if source == pending.id {
                         Some(target)
@@ -168,10 +174,46 @@ impl StreamingPartitioner for LdgPartitioner {
         }
         Ok(())
     }
+}
+
+impl Partitioner for LdgPartitioner {
+    fn name(&self) -> &'static str {
+        "ldg"
+    }
+
+    fn ingest(&mut self, element: &StreamElement) -> Result<()> {
+        self.ingest_element(element)
+    }
+
+    fn ingest_batch(&mut self, batch: &[StreamElement]) -> Result<()> {
+        // Amortised fast path: one assignment-table reservation covers every
+        // vertex placement the chunk will trigger (each AddVertex flushes at
+        // most one pending decision), then the chunk runs through the
+        // monomorphised per-element transition without dynamic dispatch.
+        self.stats.batches_ingested += 1;
+        let vertices = batch.iter().filter(|e| e.is_vertex()).count();
+        self.partitioning.reserve(vertices);
+        for element in batch {
+            self.ingest_element(element)?;
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self) -> Partitioning {
+        self.partitioning.clone()
+    }
 
     fn finish(&mut self) -> Result<Partitioning> {
         self.flush_pending()?;
-        Ok(self.partitioning.clone())
+        Ok(self.partitioning.take())
+    }
+
+    fn stats(&self) -> PartitionerStats {
+        PartitionerStats {
+            assigned: self.partitioning.assigned_count(),
+            buffered: usize::from(self.pending.is_some()),
+            ..self.stats
+        }
     }
 }
 
@@ -296,6 +338,45 @@ mod tests {
             .collect();
         let choice = LdgPartitioner::choose_partition(&partitioning, &neighbours);
         assert_eq!(choice, PartitionId::new(1));
+    }
+
+    #[test]
+    fn batched_ingestion_matches_per_element() {
+        let g = barabasi_albert(GeneratorConfig::new(1_200, 4, 13), 2).unwrap();
+        let stream = GraphStream::from_graph(&g, &StreamOrder::Random { seed: 17 });
+        let reference = {
+            let mut p = LdgPartitioner::new(LdgConfig::new(4, g.vertex_count())).unwrap();
+            for element in &stream {
+                p.ingest(element).unwrap();
+            }
+            p.finish().unwrap()
+        };
+        for chunk_size in [1usize, 64, 1024] {
+            let mut p = LdgPartitioner::new(LdgConfig::new(4, g.vertex_count())).unwrap();
+            let batched =
+                crate::traits::partition_stream_batched(&mut p, &stream, chunk_size).unwrap();
+            assert_eq!(batched.assigned_count(), reference.assigned_count());
+            for (v, part) in reference.assignments() {
+                assert_eq!(batched.partition_of(v), Some(part), "chunk={chunk_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_excludes_the_pending_vertex() {
+        let mut p = LdgPartitioner::new(LdgConfig::new(2, 10)).unwrap();
+        p.ingest(&StreamElement::AddVertex {
+            id: VertexId::new(0),
+            label: Label::new(0),
+        })
+        .unwrap();
+        // Vertex 0 is still pending: the snapshot is empty, stats say so.
+        assert_eq!(p.snapshot().assigned_count(), 0);
+        assert_eq!(p.stats().buffered, 1);
+        let finished = p.finish().unwrap();
+        assert_eq!(finished.assigned_count(), 1);
+        assert_eq!(p.stats().buffered, 0);
+        assert_eq!(p.stats().assigned, 0, "finish moves the result out");
     }
 
     #[test]

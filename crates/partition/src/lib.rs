@@ -11,8 +11,13 @@
 //!   ([`Partitioning`]) and capacity accounting;
 //! * [`metrics`] — edge cut, cut ratio, balance/imbalance, communication
 //!   volume and ground-truth community agreement;
-//! * [`traits`] — the [`StreamingPartitioner`] contract plus a driver that
-//!   feeds a [`loom_graph::GraphStream`] through any implementation;
+//! * [`traits`] — the object-safe [`Partitioner`] contract (batched
+//!   ingestion, non-destructive snapshots, move-out `finish`, unified stats)
+//!   plus drivers that feed a [`loom_graph::GraphStream`] through any
+//!   implementation, per element or in chunks;
+//! * [`spec`] — the declarative [`PartitionerSpec`] / [`PartitionerRegistry`]
+//!   layer that builds any partitioner as a `Box<dyn Partitioner>` from plain
+//!   serde data;
 //! * [`hash`] — hash partitioning (the default placement strategy of
 //!   distributed graph stores, the paper's strawman);
 //! * [`ldg`] — Linear Deterministic Greedy (Stanton & Kliot, KDD 2012), the
@@ -33,6 +38,7 @@ pub mod ldg;
 pub mod metrics;
 pub mod offline;
 pub mod partition;
+pub mod spec;
 pub mod traits;
 pub mod window;
 
@@ -41,17 +47,23 @@ pub use fennel::FennelPartitioner;
 pub use hash::HashPartitioner;
 pub use ldg::LdgPartitioner;
 pub use partition::{PartitionId, Partitioning};
-pub use traits::{partition_stream, StreamingPartitioner};
+pub use spec::{build_baseline, LoomConfig, PartitionerRegistry, PartitionerSpec};
+#[allow(deprecated)]
+pub use traits::StreamingPartitioner;
+pub use traits::{partition_stream, partition_stream_batched, Partitioner, PartitionerStats};
 
 /// Convenient re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::error::PartitionError;
     pub use crate::fennel::{FennelConfig, FennelPartitioner};
-    pub use crate::hash::HashPartitioner;
+    pub use crate::hash::{HashConfig, HashPartitioner};
     pub use crate::ldg::{LdgConfig, LdgPartitioner};
     pub use crate::metrics::{PartitionQuality, QualityReport};
     pub use crate::offline::{MultilevelConfig, MultilevelPartitioner};
     pub use crate::partition::{PartitionId, Partitioning};
-    pub use crate::traits::{partition_stream, StreamingPartitioner};
+    pub use crate::spec::{build_baseline, LoomConfig, PartitionerRegistry, PartitionerSpec};
+    pub use crate::traits::{
+        partition_stream, partition_stream_batched, Partitioner, PartitionerStats,
+    };
     pub use crate::window::StreamWindow;
 }

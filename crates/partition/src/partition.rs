@@ -211,6 +211,27 @@ impl Partitioning {
         Ok(())
     }
 
+    /// Pre-reserve space for at least `additional` more assignments. Batched
+    /// ingestion uses this to amortise hash-table growth across a chunk.
+    pub fn reserve(&mut self, additional: usize) {
+        self.assignment.reserve(additional);
+    }
+
+    /// Move the assignment table out, leaving this partitioning empty but
+    /// with the same `k` and capacity.
+    ///
+    /// This is the clone-free way for a partitioner's `finish` to hand over
+    /// its result; use `clone` (via `Partitioner::snapshot`) when the builder
+    /// must keep its state.
+    pub fn take(&mut self) -> Partitioning {
+        Partitioning {
+            k: self.k,
+            capacity: self.capacity,
+            assignment: std::mem::take(&mut self.assignment),
+            sizes: std::mem::replace(&mut self.sizes, vec![0; self.k as usize]),
+        }
+    }
+
     /// Iterate over all `(vertex, partition)` assignments (arbitrary order).
     pub fn assignments(&self) -> impl Iterator<Item = (VertexId, PartitionId)> + '_ {
         self.assignment.iter().map(|(&v, &p)| (v, p))
@@ -346,6 +367,22 @@ mod tests {
         // max = 6, ideal = 4 → 1.5
         assert!((part.imbalance() - 1.5).abs() < 1e-12);
         assert_eq!(part.least_loaded(), p(1));
+    }
+
+    #[test]
+    fn take_moves_assignments_and_resets_in_place() {
+        let mut part = Partitioning::new(2, 10).unwrap();
+        part.assign(v(1), p(0)).unwrap();
+        part.assign(v(2), p(1)).unwrap();
+        let taken = part.take();
+        assert_eq!(taken.assigned_count(), 2);
+        assert_eq!(taken.k(), 2);
+        assert_eq!(taken.capacity(), 10);
+        assert_eq!(part.assigned_count(), 0);
+        assert_eq!(part.size(p(0)), 0);
+        // The emptied partitioning is still usable.
+        part.assign(v(1), p(1)).unwrap();
+        assert_eq!(part.size(p(1)), 1);
     }
 
     #[test]

@@ -3,15 +3,73 @@
 //! A streaming partitioner consumes the elements of a [`GraphStream`] exactly
 //! once, in order, and decides vertex placement "on the fly" with bounded
 //! memory (paper §3.1). Every partitioner in this workspace — Hash, LDG,
-//! Fennel and LOOM itself — implements [`StreamingPartitioner`], so the
-//! experiment harness can treat them uniformly.
+//! Fennel and LOOM itself — implements [`Partitioner`], so the experiment
+//! harness, benches and the top-level `loom::Session` façade can treat them
+//! uniformly as `Box<dyn Partitioner>` trait objects built from a declarative
+//! [`crate::spec::PartitionerSpec`].
+//!
+//! The contract separates three concerns that the original two-method trait
+//! conflated:
+//!
+//! * **ingestion** — [`Partitioner::ingest`] consumes one element;
+//!   [`Partitioner::ingest_batch`] consumes a chunk at once, letting
+//!   implementations amortise hash-table growth and lookup costs;
+//! * **observation** — [`Partitioner::snapshot`] clones the partitioning
+//!   built so far without disturbing the partitioner (periodic checkpoints),
+//!   and [`Partitioner::stats`] reports unified ingestion counters;
+//! * **completion** — [`Partitioner::finish`] flushes buffered elements and
+//!   *moves* the final partitioning out. No clone is paid; the partitioner is
+//!   spent afterwards.
 
 use crate::error::Result;
 use crate::partition::Partitioning;
 use loom_graph::{GraphStream, StreamElement};
+use serde::{Deserialize, Serialize};
 
-/// A partitioner that consumes a graph stream element by element.
-pub trait StreamingPartitioner {
+/// Default chunk size used by [`partition_stream`] when driving a stream
+/// through a partitioner batch-wise.
+pub const DEFAULT_BATCH_SIZE: usize = 256;
+
+/// Unified ingestion counters reported by every [`Partitioner`].
+///
+/// Implementations with richer internals (LOOM) expose their detailed
+/// counters through inherent methods; this report is the common denominator
+/// the experiment harness can rely on for any `Box<dyn Partitioner>`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionerStats {
+    /// Stream vertices ingested so far.
+    pub vertices_ingested: usize,
+    /// Stream edges ingested so far.
+    pub edges_ingested: usize,
+    /// Calls to [`Partitioner::ingest_batch`] served so far.
+    pub batches_ingested: usize,
+    /// Vertices already assigned to a partition.
+    pub assigned: usize,
+    /// Vertices buffered awaiting a placement decision (pending vertices,
+    /// window contents, …).
+    pub buffered: usize,
+}
+
+impl std::fmt::Display for PartitionerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "vertices={} edges={} batches={} assigned={} buffered={}",
+            self.vertices_ingested,
+            self.edges_ingested,
+            self.batches_ingested,
+            self.assigned,
+            self.buffered,
+        )
+    }
+}
+
+/// A partitioner that consumes a graph stream and produces a [`Partitioning`].
+///
+/// The trait is object safe: the experiment runner, benches and the
+/// `loom::Session` façade drive partitioners through `Box<dyn Partitioner>`
+/// built by a [`crate::spec::PartitionerRegistry`].
+pub trait Partitioner {
     /// A short, stable name used in reports and benchmark output.
     fn name(&self) -> &'static str;
 
@@ -23,30 +81,102 @@ pub trait StreamingPartitioner {
     /// internal assignment errors; they never panic on well-formed streams.
     fn ingest(&mut self, element: &StreamElement) -> Result<()>;
 
-    /// Flush any buffered elements and return the final partitioning.
+    /// Consume a contiguous chunk of stream elements at once.
     ///
-    /// Implementations should leave themselves in a state where further
-    /// `ingest` calls continue from the flushed state (useful for periodic
-    /// snapshots), but callers typically call this exactly once.
+    /// Semantically identical to calling [`Partitioner::ingest`] on each
+    /// element in order — batched and per-element ingestion MUST yield the
+    /// same partitioning. Implementations override this to amortise work
+    /// across the chunk (table pre-reservation, scratch-buffer reuse, batched
+    /// degree/label lookups).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-element error.
+    fn ingest_batch(&mut self, batch: &[StreamElement]) -> Result<()> {
+        for element in batch {
+            self.ingest(element)?;
+        }
+        Ok(())
+    }
+
+    /// A non-destructive copy of the partitioning built so far.
+    ///
+    /// Buffered vertices (a pending LDG/Fennel vertex, LOOM's window
+    /// contents) have no assignment yet and are therefore *not* part of the
+    /// snapshot; call [`Partitioner::finish`] for the complete result. This
+    /// is the explicit clone — `finish` itself never copies.
+    fn snapshot(&self) -> Partitioning;
+
+    /// Flush any buffered elements and move the final partitioning out.
+    ///
+    /// The partitioner is *spent* afterwards: it keeps its configuration but
+    /// starts from an empty assignment table, so further `ingest` calls begin
+    /// a fresh partitioning. Use [`Partitioner::snapshot`] for periodic
+    /// checkpoints instead.
     ///
     /// # Errors
     ///
     /// Propagates any assignment error encountered while flushing.
     fn finish(&mut self) -> Result<Partitioning>;
+
+    /// Unified ingestion counters accumulated so far.
+    fn stats(&self) -> PartitionerStats {
+        PartitionerStats::default()
+    }
 }
+
+/// Deprecated name of the [`Partitioner`] contract.
+///
+/// The trait was renamed when it grew batched ingestion, snapshots and the
+/// unified stats report; a blanket impl keeps `P: StreamingPartitioner`
+/// bounds compiling. Note the behavioural change: `finish` now *moves* the
+/// final partitioning out instead of cloning it — use
+/// [`Partitioner::snapshot`] where the old non-destructive `finish` was
+/// relied upon.
+#[deprecated(
+    since = "0.1.0",
+    note = "renamed to `Partitioner`; `finish` now moves the result out — use `snapshot` for non-destructive checkpoints"
+)]
+pub trait StreamingPartitioner: Partitioner {}
+
+#[allow(deprecated)]
+impl<P: Partitioner + ?Sized> StreamingPartitioner for P {}
 
 /// Drive a full stream through a partitioner and return the resulting
 /// partitioning.
 ///
+/// This is the batched driver with the default chunk size
+/// ([`DEFAULT_BATCH_SIZE`]); batched and per-element ingestion are
+/// contractually identical, so callers only choose a chunk size for
+/// throughput (see [`partition_stream_batched`]).
+///
 /// # Errors
 ///
 /// Propagates the first error returned by the partitioner.
-pub fn partition_stream<P: StreamingPartitioner + ?Sized>(
+pub fn partition_stream<P: Partitioner + ?Sized>(
     partitioner: &mut P,
     stream: &GraphStream,
 ) -> Result<Partitioning> {
-    for element in stream {
-        partitioner.ingest(element)?;
+    partition_stream_batched(partitioner, stream, DEFAULT_BATCH_SIZE)
+}
+
+/// Drive a full stream through a partitioner in chunks of `chunk_size`
+/// elements and return the resulting partitioning.
+///
+/// `chunk_size == 1` degenerates to per-element ingestion; larger chunks let
+/// implementations amortise per-element overheads. A zero chunk size is
+/// treated as 1.
+///
+/// # Errors
+///
+/// Propagates the first error returned by the partitioner.
+pub fn partition_stream_batched<P: Partitioner + ?Sized>(
+    partitioner: &mut P,
+    stream: &GraphStream,
+    chunk_size: usize,
+) -> Result<Partitioning> {
+    for chunk in stream.elements().chunks(chunk_size.max(1)) {
+        partitioner.ingest_batch(chunk)?;
     }
     partitioner.finish()
 }
@@ -58,30 +188,53 @@ mod tests {
     use loom_graph::{Label, VertexId};
 
     /// A trivial partitioner that sends everything to partition 0; used to
-    /// exercise the driver function.
+    /// exercise the driver functions and the trait defaults.
     struct Trivial {
         partitioning: Partitioning,
+        stats: PartitionerStats,
     }
 
-    impl StreamingPartitioner for Trivial {
+    impl Trivial {
+        fn new() -> Self {
+            Self {
+                partitioning: Partitioning::new(1, 10).unwrap(),
+                stats: PartitionerStats::default(),
+            }
+        }
+    }
+
+    impl Partitioner for Trivial {
         fn name(&self) -> &'static str {
             "trivial"
         }
 
         fn ingest(&mut self, element: &StreamElement) -> Result<()> {
             if let StreamElement::AddVertex { id, .. } = element {
+                self.stats.vertices_ingested += 1;
                 self.partitioning.assign(*id, PartitionId::new(0))?;
+            } else {
+                self.stats.edges_ingested += 1;
             }
             Ok(())
         }
 
+        fn snapshot(&self) -> Partitioning {
+            self.partitioning.clone()
+        }
+
         fn finish(&mut self) -> Result<Partitioning> {
-            Ok(self.partitioning.clone())
+            Ok(self.partitioning.take())
+        }
+
+        fn stats(&self) -> PartitionerStats {
+            PartitionerStats {
+                assigned: self.partitioning.assigned_count(),
+                ..self.stats
+            }
         }
     }
 
-    #[test]
-    fn driver_feeds_every_element() {
+    fn five_vertex_stream() -> GraphStream {
         let mut stream = GraphStream::new();
         for i in 0..5u64 {
             stream.push(StreamElement::AddVertex {
@@ -93,11 +246,61 @@ mod tests {
             source: VertexId::new(0),
             target: VertexId::new(1),
         });
-        let mut partitioner = Trivial {
-            partitioning: Partitioning::new(1, 10).unwrap(),
-        };
+        stream
+    }
+
+    #[test]
+    fn driver_feeds_every_element() {
+        let stream = five_vertex_stream();
+        let mut partitioner = Trivial::new();
         let result = partition_stream(&mut partitioner, &stream).unwrap();
         assert_eq!(result.assigned_count(), 5);
         assert_eq!(partitioner.name(), "trivial");
+        // `finish` moved the result out: the partitioner starts afresh.
+        assert_eq!(partitioner.snapshot().assigned_count(), 0);
+    }
+
+    #[test]
+    fn batched_and_per_element_ingestion_agree() {
+        let stream = five_vertex_stream();
+        for chunk_size in [0usize, 1, 2, 3, 100] {
+            let mut partitioner = Trivial::new();
+            let result = partition_stream_batched(&mut partitioner, &stream, chunk_size).unwrap();
+            assert_eq!(result.assigned_count(), 5, "chunk_size={chunk_size}");
+        }
+    }
+
+    #[test]
+    fn snapshot_is_non_destructive() {
+        let stream = five_vertex_stream();
+        let mut partitioner = Trivial::new();
+        partitioner.ingest_batch(stream.elements()).unwrap();
+        let snap = partitioner.snapshot();
+        assert_eq!(snap.assigned_count(), 5);
+        // Snapshot did not disturb the partitioner.
+        let finished = partitioner.finish().unwrap();
+        assert_eq!(finished.assigned_count(), 5);
+    }
+
+    #[test]
+    fn stats_report_counts() {
+        let stream = five_vertex_stream();
+        let mut partitioner = Trivial::new();
+        partitioner.ingest_batch(stream.elements()).unwrap();
+        let stats = partitioner.stats();
+        assert_eq!(stats.vertices_ingested, 5);
+        assert_eq!(stats.edges_ingested, 1);
+        assert_eq!(stats.assigned, 5);
+        assert!(stats.to_string().contains("vertices=5"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_alias_still_names_every_partitioner() {
+        fn takes_old_name<P: StreamingPartitioner>(p: &P) -> &'static str {
+            p.name()
+        }
+        let partitioner = Trivial::new();
+        assert_eq!(takes_old_name(&partitioner), "trivial");
     }
 }

@@ -26,7 +26,7 @@ use loom_graph::{GraphStream, LabelledGraph, StreamElement, VertexId};
 use loom_partition::metrics::evaluate;
 use loom_partition::offline::{MultilevelConfig, MultilevelPartitioner};
 use loom_partition::partition::{PartitionId, Partitioning};
-use loom_partition::traits::StreamingPartitioner;
+use loom_partition::traits::Partitioner;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -78,10 +78,16 @@ impl GrowthScenario {
     /// checkpoint after each segment. The partitioner keeps its state across
     /// checkpoints — no vertex is ever moved, so churn is always zero.
     ///
+    /// Intermediate checkpoints use the non-destructive
+    /// [`Partitioner::snapshot`] (a live system would checkpoint exactly
+    /// this: buffered vertices are still awaiting placement); the final
+    /// checkpoint calls [`Partitioner::finish`], flushing every buffered
+    /// vertex and moving the complete partitioning out.
+    ///
     /// # Errors
     ///
     /// Propagates partitioner failures.
-    pub fn run_streaming<P: StreamingPartitioner>(
+    pub fn run_streaming<P: Partitioner + ?Sized>(
         &self,
         partitioner: &mut P,
         stream: &GraphStream,
@@ -93,13 +99,20 @@ impl GrowthScenario {
         let mut cumulative_ms = 0.0;
         let mut previous: FxHashMap<VertexId, PartitionId> = FxHashMap::default();
         let mut consumed = 0usize;
+        let last_segment = segments.len().saturating_sub(1);
         for (index, end) in segments.iter().enumerate() {
             let start = Instant::now();
+            partitioner
+                .ingest_batch(&stream.elements()[consumed..*end])
+                .map_err(SimError::from)?;
             for element in &stream.elements()[consumed..*end] {
-                partitioner.ingest(element).map_err(SimError::from)?;
                 apply_element(&mut graph_so_far, element);
             }
-            let partitioning = partitioner.finish().map_err(SimError::from)?;
+            let partitioning = if index == last_segment {
+                partitioner.finish().map_err(SimError::from)?
+            } else {
+                partitioner.snapshot()
+            };
             cumulative_ms += start.elapsed().as_secs_f64() * 1_000.0;
             consumed = *end;
             checkpoints.push(self.checkpoint(

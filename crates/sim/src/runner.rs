@@ -11,19 +11,20 @@
 
 use crate::executor::{ExecutionMetrics, LatencyModel, QueryExecutor, QueryMode};
 use crate::store::PartitionedStore;
-use loom_core::{LoomConfig, LoomPartitioner};
+use loom_core::{workload_registry, LoomConfig};
 use loom_graph::ordering::StreamOrder;
 use loom_graph::{GraphStream, LabelledGraph};
 use loom_motif::mining::MotifMiner;
 use loom_motif::tpstry::Tpstry;
 use loom_motif::workload::Workload;
-use loom_partition::fennel::{FennelConfig, FennelPartitioner};
-use loom_partition::hash::HashPartitioner;
-use loom_partition::ldg::{LdgConfig, LdgPartitioner};
+use loom_partition::fennel::FennelConfig;
+use loom_partition::hash::HashConfig;
+use loom_partition::ldg::LdgConfig;
 use loom_partition::metrics::evaluate;
 use loom_partition::offline::{MultilevelConfig, MultilevelPartitioner};
 use loom_partition::partition::Partitioning;
-use loom_partition::traits::partition_stream;
+use loom_partition::spec::{PartitionerRegistry, PartitionerSpec};
+use loom_partition::traits::partition_stream_batched;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -142,6 +143,10 @@ pub struct ExperimentConfig {
     /// Query execution mode (rooted, by default, to model the online
     /// transactional queries the paper targets).
     pub query_mode: QueryMode,
+    /// Chunk size used to drive streams through partitioners batch-wise
+    /// (batched and per-element ingestion are contractually identical; this
+    /// only affects throughput).
+    pub chunk_size: usize,
 }
 
 impl ExperimentConfig {
@@ -156,6 +161,7 @@ impl ExperimentConfig {
             seed: 42,
             latency: LatencyModel::default(),
             query_mode: QueryMode::Rooted { seed_count: 4 },
+            chunk_size: loom_partition::traits::DEFAULT_BATCH_SIZE,
         }
     }
 }
@@ -264,6 +270,11 @@ impl ExperimentRunner {
 
     /// Run a single partitioner over a pre-built stream and evaluate it.
     ///
+    /// Builds a fresh workload registry first; when comparing several
+    /// partitioners, prefer [`ExperimentRunner::run_many`] (or
+    /// [`ExperimentRunner::run_one_with_registry`]) so the registry is built
+    /// once and shared.
+    ///
     /// # Errors
     ///
     /// Propagates partitioner failures.
@@ -276,8 +287,28 @@ impl ExperimentRunner {
         workload: &Workload,
         tpstry: &Tpstry,
     ) -> SimResult<ExperimentResult> {
+        let registry = workload_registry(tpstry);
+        self.run_one_with_registry(kind, graph, stream, ordering_name, workload, &registry)
+    }
+
+    /// Like [`ExperimentRunner::run_one`], but with a pre-built registry so
+    /// the timed partitioning region covers partitioning work only (registry
+    /// construction clones the workload summary and stays outside the clock).
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioner failures.
+    pub fn run_one_with_registry(
+        &self,
+        kind: PartitionerKind,
+        graph: &LabelledGraph,
+        stream: &GraphStream,
+        ordering_name: &str,
+        workload: &Workload,
+        registry: &PartitionerRegistry,
+    ) -> SimResult<ExperimentResult> {
         let start = Instant::now();
-        let partitioning = self.partition_with(kind, graph, stream, tpstry)?;
+        let partitioning = self.partition_with_registry(kind, graph, stream, registry)?;
         let partition_time_ms = start.elapsed().as_secs_f64() * 1_000.0;
 
         let store = PartitionedStore::new(graph.clone(), partitioning.clone());
@@ -313,6 +344,7 @@ impl ExperimentRunner {
         workload: &Workload,
     ) -> SimResult<Vec<ExperimentResult>> {
         let tpstry = self.mine_workload(workload)?;
+        let registry = workload_registry(&tpstry);
         let stream = GraphStream::from_graph(graph, order);
         let ordering_name = order.name();
 
@@ -321,10 +353,16 @@ impl ExperimentRunner {
             for (index, &kind) in kinds.iter().enumerate() {
                 let results = &results;
                 let stream = &stream;
-                let tpstry = &tpstry;
+                let registry = &registry;
                 scope.spawn(move || {
-                    let outcome =
-                        self.run_one(kind, graph, stream, ordering_name, workload, tpstry);
+                    let outcome = self.run_one_with_registry(
+                        kind,
+                        graph,
+                        stream,
+                        ordering_name,
+                        workload,
+                        registry,
+                    );
                     results.lock().push((index, outcome));
                 });
             }
@@ -335,7 +373,53 @@ impl ExperimentRunner {
         collected.into_iter().map(|(_, outcome)| outcome).collect()
     }
 
+    /// The declarative spec for a streaming partitioner kind under this
+    /// runner's shared parameters, or `None` for [`PartitionerKind::Offline`]
+    /// (the offline multilevel partitioner consumes a whole graph, not a
+    /// stream, and is therefore not spec-constructible).
+    pub fn spec_for(
+        &self,
+        kind: PartitionerKind,
+        graph: &LabelledGraph,
+    ) -> Option<PartitionerSpec> {
+        let n = graph.vertex_count();
+        let k = self.config.k;
+        Some(match kind {
+            PartitionerKind::Hash => {
+                let capacity =
+                    ((n as f64 / f64::from(k.max(1)) * self.config.slack).ceil() as usize).max(1);
+                PartitionerSpec::Hash(HashConfig::new(k, capacity))
+            }
+            PartitionerKind::Ldg => PartitionerSpec::Ldg(LdgConfig {
+                k,
+                expected_vertices: n,
+                slack: self.config.slack,
+            }),
+            PartitionerKind::Fennel => PartitionerSpec::Fennel(FennelConfig {
+                balance_cap: self.config.slack,
+                ..FennelConfig::new(k, n, graph.edge_count())
+            }),
+            PartitionerKind::Loom => PartitionerSpec::Loom(self.loom_config(graph)),
+            PartitionerKind::LoomNoMotifs => {
+                PartitionerSpec::Loom(self.loom_config(graph).without_motif_clustering())
+            }
+            PartitionerKind::LoomNoCapacityPenalty => {
+                PartitionerSpec::Loom(self.loom_config(graph).without_capacity_penalty())
+            }
+            PartitionerKind::LoomNoOverlapMerge => {
+                PartitionerSpec::Loom(self.loom_config(graph).without_overlap_merging())
+            }
+            PartitionerKind::Offline => return None,
+        })
+    }
+
     /// Produce a partitioning of `graph` with the requested partitioner.
+    ///
+    /// Streaming partitioners are built from their declarative spec through
+    /// the workload registry and driven as `Box<dyn Partitioner>` trait
+    /// objects with batched ingestion; the offline multilevel reference keeps
+    /// its direct whole-graph path. Builds a fresh registry per call; use
+    /// [`ExperimentRunner::partition_with_registry`] to share one.
     ///
     /// # Errors
     ///
@@ -347,59 +431,36 @@ impl ExperimentRunner {
         stream: &GraphStream,
         tpstry: &Tpstry,
     ) -> SimResult<Partitioning> {
-        let n = graph.vertex_count();
-        let k = self.config.k;
-        let partitioning = match kind {
-            PartitionerKind::Hash => {
-                let capacity =
-                    ((n as f64 / f64::from(k.max(1)) * self.config.slack).ceil() as usize).max(1);
-                let mut p = HashPartitioner::new(k, capacity)?;
-                partition_stream(&mut p, stream)?
-            }
-            PartitionerKind::Ldg => {
-                let mut p = LdgPartitioner::new(LdgConfig {
-                    k,
-                    expected_vertices: n,
-                    slack: self.config.slack,
-                })?;
-                partition_stream(&mut p, stream)?
-            }
-            PartitionerKind::Fennel => {
-                let mut p = FennelPartitioner::new(FennelConfig {
-                    balance_cap: self.config.slack,
-                    ..FennelConfig::new(k, n, graph.edge_count())
-                })?;
-                partition_stream(&mut p, stream)?
-            }
-            PartitionerKind::Loom => {
-                let mut p = LoomPartitioner::new(self.loom_config(graph), tpstry)?;
-                partition_stream(&mut p, stream)?
-            }
-            PartitionerKind::LoomNoMotifs => {
-                let config = self.loom_config(graph).without_motif_clustering();
-                let mut p = LoomPartitioner::new(config, tpstry)?;
-                partition_stream(&mut p, stream)?
-            }
-            PartitionerKind::LoomNoCapacityPenalty => {
-                let config = self.loom_config(graph).without_capacity_penalty();
-                let mut p = LoomPartitioner::new(config, tpstry)?;
-                partition_stream(&mut p, stream)?
-            }
-            PartitionerKind::LoomNoOverlapMerge => {
-                let config = self.loom_config(graph).without_overlap_merging();
-                let mut p = LoomPartitioner::new(config, tpstry)?;
-                partition_stream(&mut p, stream)?
-            }
-            PartitionerKind::Offline => {
-                let partitioner = MultilevelPartitioner::new(MultilevelConfig {
-                    k,
-                    slack: self.config.slack.max(1.05),
-                    ..MultilevelConfig::new(k)
-                })?;
-                partitioner.partition(graph)?
-            }
+        self.partition_with_registry(kind, graph, stream, &workload_registry(tpstry))
+    }
+
+    /// Like [`ExperimentRunner::partition_with`], but building the streaming
+    /// partitioner from a pre-built registry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioner failures.
+    pub fn partition_with_registry(
+        &self,
+        kind: PartitionerKind,
+        graph: &LabelledGraph,
+        stream: &GraphStream,
+        registry: &PartitionerRegistry,
+    ) -> SimResult<Partitioning> {
+        let Some(spec) = self.spec_for(kind, graph) else {
+            let partitioner = MultilevelPartitioner::new(MultilevelConfig {
+                k: self.config.k,
+                slack: self.config.slack.max(1.05),
+                ..MultilevelConfig::new(self.config.k)
+            })?;
+            return Ok(partitioner.partition(graph)?);
         };
-        Ok(partitioning)
+        let mut partitioner = registry.build(&spec)?;
+        Ok(partition_stream_batched(
+            partitioner.as_mut(),
+            stream,
+            self.config.chunk_size,
+        )?)
     }
 }
 

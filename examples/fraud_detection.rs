@@ -9,9 +9,9 @@
 //! a network round-trip on almost every check.
 //!
 //! This example plants fraud rings into a background transaction graph,
-//! partitions the stream with LDG and with LOOM, and reports (a) how many
-//! planted rings stay wholly inside one partition and (b) the traversal
-//! locality of the fraud workload.
+//! partitions the stream with LDG and with LOOM through the [`Session`]
+//! façade, and reports (a) how many planted rings stay wholly inside one
+//! partition and (b) the traversal locality of the fraud workload.
 //!
 //! Run with:
 //!
@@ -38,7 +38,7 @@ fn card_sharing_path() -> LabelledGraph {
     path_graph(3, &[ACCOUNT, CARD, MERCHANT])
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── 1. Transaction graph with planted fraud rings ────────────────────
     let (graph, planted) = motif_planted_graph(
         &MotifPlantConfig {
@@ -50,49 +50,45 @@ fn main() {
             seed: 11,
         },
         &[fraud_ring(), card_sharing_path()],
-    )
-    .expect("valid plant configuration");
+    )?;
     println!("transaction graph: {}", graph.summary());
     println!("planted fraud structures: {}", planted.len());
 
     // ── 2. The anti-fraud workload ───────────────────────────────────────
-    let ring_query =
-        PatternQuery::new(QueryId::new(0), fraud_ring()).expect("ring query is connected");
-    let path_query =
-        PatternQuery::new(QueryId::new(1), card_sharing_path()).expect("path query is connected");
-    let device_query = PatternQuery::branch(QueryId::new(2), DEVICE, &[ACCOUNT, ACCOUNT])
-        .expect("device sharing query");
+    let ring_query = PatternQuery::new(QueryId::new(0), fraud_ring())?;
+    let path_query = PatternQuery::new(QueryId::new(1), card_sharing_path())?;
+    let device_query = PatternQuery::branch(QueryId::new(2), DEVICE, &[ACCOUNT, ACCOUNT])?;
     // Ring checks dominate the workload; device-sharing checks are rare.
     let workload = Workload::new(vec![
         (ring_query, 5.0),
         (path_query, 3.0),
         (device_query, 1.0),
-    ])
-    .expect("valid workload");
+    ])?;
 
-    // ── 3. Partition the stream with LDG and LOOM ────────────────────────
-    let tpstry = MotifMiner::default()
-        .mine(&workload)
-        .expect("mining succeeds");
+    // ── 3. Partition the stream with LDG and LOOM via Session ────────────
     let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 5 });
     let k = 8;
-
-    let ldg_partitioning = {
-        let mut ldg =
-            LdgPartitioner::new(LdgConfig::new(k, graph.vertex_count())).expect("valid config");
-        partition_stream(&mut ldg, &stream).expect("LDG consumes the stream")
-    };
-    let loom_partitioning = {
-        let config = LoomConfig::new(k, graph.vertex_count())
-            .with_window_size(512)
-            .with_motif_threshold(0.3);
-        let mut loom = LoomPartitioner::new(config, &tpstry).expect("valid config");
-        let partitioning = partition_stream(&mut loom, &stream).expect("LOOM consumes the stream");
-        println!("\nLOOM stats: {}", loom.stats());
-        partitioning
+    let latency = LatencyModel {
+        local_hop_us: 1.0,
+        remote_hop_us: 250.0,
     };
 
-    // ── 4. How many fraud structures stay on one machine? ────────────────
+    let specs = [
+        (
+            "LDG",
+            PartitionerSpec::Ldg(LdgConfig::new(k, graph.vertex_count())),
+        ),
+        (
+            "LOOM",
+            PartitionerSpec::Loom(
+                LoomConfig::new(k, graph.vertex_count())
+                    .with_window_size(512)
+                    .with_motif_threshold(0.3),
+            ),
+        ),
+    ];
+
+    // ── 4.–5. Intact fraud structures + workload execution per spec ──────
     let intact = |partitioning: &Partitioning| {
         planted
             .iter()
@@ -104,28 +100,28 @@ fn main() {
             })
             .count()
     };
-    println!(
-        "\nfraud structures kept within a single partition: LDG {} / {}, LOOM {} / {}",
-        intact(&ldg_partitioning),
-        planted.len(),
-        intact(&loom_partitioning),
-        planted.len(),
-    );
 
-    // ── 5. Execute the anti-fraud workload against both partitionings ────
-    let executor = QueryExecutor::new(LatencyModel {
-        local_hop_us: 1.0,
-        remote_hop_us: 250.0,
-    })
-    .with_match_limit(2_000);
     println!("\nanti-fraud workload execution (100 sampled queries):");
-    for (name, partitioning) in [("LDG", ldg_partitioning), ("LOOM", loom_partitioning)] {
-        let quality = partitioning.quality(&graph);
-        let store = PartitionedStore::new(graph.clone(), partitioning);
-        let metrics = executor.execute_workload(&store, &workload, 100, 3);
+    for (name, spec) in specs {
+        let mut session = Session::builder(spec)
+            .workload(workload.clone())
+            .latency(latency)
+            .match_limit(2_000)
+            .build()?;
+        session.ingest_stream(&stream)?;
         println!(
-            "  {name:5} cut={:.3} imbalance={:.3} | ipt probability={:.3} \
-             local-only={:.1}% mean latency={:.0} µs",
+            "  {name:5} ingestion: {} (chunked batches)",
+            session.stats()
+        );
+        let serving = session.serve(graph.clone())?;
+        let partitioning = serving.partitioning();
+        let quality = partitioning.quality(&graph);
+        let kept = intact(partitioning);
+        let metrics = serving.execute_workload(100, 3)?;
+        println!(
+            "  {name:5} fraud structures intact: {kept}/{} | cut={:.3} imbalance={:.3} | \
+             ipt probability={:.3} local-only={:.1}% mean latency={:.0} µs",
+            planted.len(),
             quality.cut_ratio,
             quality.imbalance,
             metrics.inter_partition_probability(),
@@ -133,4 +129,5 @@ fn main() {
             metrics.mean_latency_us(),
         );
     }
+    Ok(())
 }

@@ -2,8 +2,9 @@
 //!
 //! Builds the 8-vertex example graph `G` and the three-query workload `Q`
 //! from Figure 1 of the paper, mines the TPSTry++ (Figure 2), partitions the
-//! graph stream with both plain LDG and LOOM, and compares how the two
-//! partitionings behave when the workload is executed.
+//! graph stream with both plain LDG and LOOM through the top-level
+//! [`Session`] façade, and compares how the two partitionings behave when
+//! the workload is executed.
 //!
 //! Run with:
 //!
@@ -13,7 +14,7 @@
 
 use loom::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── 1. The data graph and workload of Figure 1 ──────────────────────
     let graph = paper_example_graph();
     let workload = paper_example_workload();
@@ -23,7 +24,7 @@ fn main() {
 
     // ── 2. Mine the workload summary (TPSTry++, Figure 2) ───────────────
     let miner = MotifMiner::default();
-    let tpstry = miner.mine(&workload).expect("workload mines cleanly");
+    let tpstry = miner.mine(&workload)?;
     println!("\nTPSTry++ nodes ({} total):", tpstry.node_count());
     let mut nodes: Vec<_> = tpstry.nodes().collect();
     nodes.sort_by(|a, b| {
@@ -51,24 +52,32 @@ fn main() {
         );
     }
 
-    // ── 3. Stream the graph and partition it two ways ───────────────────
+    // ── 3. Stream the graph through two Session-built partitioners ──────
     let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
     let k = 2;
 
-    let ldg_partitioning = {
-        let mut ldg =
-            LdgPartitioner::new(LdgConfig::new(k, graph.vertex_count())).expect("valid config");
-        partition_stream(&mut ldg, &stream).expect("LDG consumes the stream")
-    };
-    let loom_partitioning = {
-        let config = LoomConfig::new(k, graph.vertex_count())
-            .with_window_size(4)
-            .with_motif_threshold(0.3);
-        let mut loom = LoomPartitioner::new(config, &tpstry).expect("valid config");
-        partition_stream(&mut loom, &stream).expect("LOOM consumes the stream")
-    };
+    let specs = [
+        (
+            "LDG",
+            PartitionerSpec::Ldg(LdgConfig::new(k, graph.vertex_count())),
+        ),
+        (
+            "LOOM",
+            PartitionerSpec::Loom(
+                LoomConfig::new(k, graph.vertex_count())
+                    .with_window_size(4)
+                    .with_motif_threshold(0.3),
+            ),
+        ),
+    ];
 
-    for (name, partitioning) in [("LDG", &ldg_partitioning), ("LOOM", &loom_partitioning)] {
+    println!("\nworkload execution (600 sampled queries):");
+    for (name, spec) in specs {
+        let mut session = Session::builder(spec).workload(workload.clone()).build()?;
+        session.ingest_stream(&stream)?;
+        let serving = session.serve(graph.clone())?;
+
+        let partitioning = serving.partitioning();
         println!("\n{name} partitioning:");
         for p in partitioning.partitions() {
             let members: Vec<String> = partitioning
@@ -80,14 +89,9 @@ fn main() {
         }
         let quality = partitioning.quality(&graph);
         println!("  {quality}");
-    }
 
-    // ── 4. Execute the workload against both partitionings ──────────────
-    let executor = QueryExecutor::default();
-    println!("\nworkload execution (600 sampled queries):");
-    for (name, partitioning) in [("LDG", ldg_partitioning), ("LOOM", loom_partitioning)] {
-        let store = PartitionedStore::new(graph.clone(), partitioning);
-        let metrics = executor.execute_workload(&store, &workload, 600, 7);
+        // ── 4. Execute the workload against the partitioned store ───────
+        let metrics = serving.execute_workload(600, 7)?;
         println!(
             "  {name:5} inter-partition traversal probability = {:.3}, \
              local-only queries = {:.1}%, mean latency = {:.1} µs",
@@ -96,4 +100,5 @@ fn main() {
             metrics.mean_latency_us(),
         );
     }
+    Ok(())
 }

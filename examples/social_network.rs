@@ -17,7 +17,7 @@
 use loom::loom_sim::report::comparison_table;
 use loom::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── 1. Data graph: 10k-vertex preferential attachment network ───────
     let graph = barabasi_albert(
         GeneratorConfig {
@@ -26,8 +26,7 @@ fn main() {
             seed: 2024,
         },
         3,
-    )
-    .expect("valid generator parameters");
+    )?;
     println!("social graph: {}", graph.summary());
 
     // ── 2. Workload: 30 queries sharing a handful of core traversals ────
@@ -40,8 +39,7 @@ fn main() {
         zipf_exponent: 1.0,
         seed: 7,
     }
-    .generate()
-    .expect("valid workload parameters");
+    .generate()?;
     println!(
         "workload: {} queries, largest has {} vertices",
         workload.queries().len(),
@@ -49,28 +47,36 @@ fn main() {
     );
 
     // ── 3. Run every partitioner over the same stochastic stream ────────
+    //
+    // Each streaming partitioner is built from its declarative spec through
+    // the workload registry and driven batch-wise as a `Box<dyn Partitioner>`
+    // (chunk_size elements at a time).
     let runner = ExperimentRunner::new(ExperimentConfig {
         k: 8,
         window_size: 256,
         motif_threshold: 0.3,
         query_samples: 150,
+        chunk_size: 1024,
         ..ExperimentConfig::new(8)
     });
     let order = StreamOrder::Stochastic {
         seed: 99,
         jump_probability: 0.05,
     };
-    let results = runner
-        .run_many(&PartitionerKind::standard_set(), &graph, &order, &workload)
-        .expect("experiment completes");
+    let results = runner.run_many(&PartitionerKind::standard_set(), &graph, &order, &workload)?;
 
     let table = comparison_table("Social network, k = 8, stochastic stream", &results);
     println!("\n{}", table.render());
 
     // ── 4. Highlight the workload-aware result ───────────────────────────
-    let by_name = |name: &str| results.iter().find(|r| r.partitioner == name).unwrap();
-    let ldg = by_name("ldg");
-    let loom = by_name("loom");
+    let by_name = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.partitioner == name)
+            .ok_or_else(|| format!("missing result row for {name}"))
+    };
+    let ldg = by_name("ldg")?;
+    let loom = by_name("loom")?;
     println!(
         "LOOM answers {:.1}% of queries without leaving a partition (LDG: {:.1}%), \
          with a mean latency of {:.0} µs vs {:.0} µs.",
@@ -79,4 +85,5 @@ fn main() {
         loom.mean_latency_us,
         ldg.mean_latency_us,
     );
+    Ok(())
 }

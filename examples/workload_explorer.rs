@@ -15,7 +15,7 @@
 use loom::prelude::*;
 use loom_core::FrequentMotifIndex;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A slightly richer workload than Figure 1: the three paper queries plus
     // a generated batch sharing the same cores.
     let mut queries: Vec<(PatternQuery, f64)> = paper_example_workload()
@@ -31,21 +31,17 @@ fn main() {
         zipf_exponent: 1.2,
         seed: 31,
     }
-    .generate()
-    .expect("valid generator");
+    .generate()?;
     for (i, (q, f)) in generated.iter().enumerate() {
         // Re-number to avoid id collisions with the paper queries.
-        let renumbered = PatternQuery::new(QueryId::new(100 + i as u32), q.graph().clone())
-            .expect("generated queries are connected");
+        let renumbered = PatternQuery::new(QueryId::new(100 + i as u32), q.graph().clone())?;
         queries.push((renumbered, f));
     }
-    let workload = Workload::new(queries).expect("non-empty workload");
+    let workload = Workload::new(queries)?;
     println!("workload: {} queries", workload.queries().len());
 
     // Mine the TPSTry++.
-    let tpstry = MotifMiner::default()
-        .mine(&workload)
-        .expect("mining succeeds");
+    let tpstry = MotifMiner::default().mine(&workload)?;
     let interner = LabelInterner::with_alphabet(workload.label_alphabet_size() as usize);
     println!("TPSTry++: {} motif nodes\n", tpstry.node_count());
 
@@ -100,4 +96,5 @@ fn main() {
             index.max_motif_vertices(),
         );
     }
+    Ok(())
 }

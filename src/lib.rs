@@ -7,15 +7,53 @@
 //! * [`loom_motif`] — pattern queries, sub-graph isomorphism, signatures,
 //!   the TPSTry++ and motif mining;
 //! * [`loom_partition`] — Hash / LDG / Fennel / offline multilevel
-//!   partitioners and quality metrics;
-//! * [`loom_core`] — the LOOM workload-aware streaming partitioner itself;
+//!   partitioners, the [`Partitioner`](loom_partition::traits::Partitioner)
+//!   contract, the declarative
+//!   [`PartitionerSpec`](loom_partition::spec::PartitionerSpec) registry and
+//!   quality metrics;
+//! * [`loom_core`] — the LOOM workload-aware streaming partitioner itself,
+//!   with its fluent [`LoomBuilder`](loom_core::LoomBuilder) and the
+//!   workload-aware registry extension;
 //! * [`loom_sim`] — the distributed query-execution simulator and the
 //!   experiment runner.
+//!
+//! ## Quickstart: the `Session` façade
+//!
+//! [`session::Session`] is the one entry point tying the pipeline together —
+//! mine the workload, build any partitioner from a declarative spec, ingest
+//! the stream in batches, then serve queries against the partitioned graph:
+//!
+//! ```
+//! use loom::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = paper_example_graph();
+//! let workload = paper_example_workload();
+//!
+//! let spec = PartitionerSpec::Loom(
+//!     LoomConfig::new(2, graph.vertex_count()).with_window_size(4),
+//! );
+//! let mut session = Session::builder(spec).workload(workload).build()?;
+//!
+//! let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
+//! session.ingest_stream(&stream)?;
+//!
+//! let serving = session.serve(graph)?;
+//! let metrics = serving.execute_workload(500, 42)?;
+//! println!(
+//!     "inter-partition traversal probability: {:.3}",
+//!     metrics.inter_partition_probability()
+//! );
+//! # Ok(())
+//! # }
+//! ```
 //!
 //! The [`prelude`] pulls in the commonly used types from every layer; the
 //! `examples/` directory shows end-to-end usage.
 
 #![warn(missing_docs)]
+
+pub mod session;
 
 pub use loom_core;
 pub use loom_graph;
@@ -23,8 +61,11 @@ pub use loom_motif;
 pub use loom_partition;
 pub use loom_sim;
 
+pub use session::{Serving, Session, SessionBuilder, SessionError};
+
 /// One-stop prelude for examples, tests and downstream experiments.
 pub mod prelude {
+    pub use crate::session::{Serving, Session, SessionBuilder, SessionError};
     pub use loom_core::prelude::*;
     pub use loom_graph::prelude::*;
     pub use loom_motif::prelude::*;

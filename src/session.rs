@@ -1,0 +1,436 @@
+//! The top-level `Session` façade over the whole LOOM stack.
+//!
+//! A [`Session`] ties the paper's pipeline (§4) into one entry point:
+//!
+//! 1. **mine** — the query workload `Q` is summarised into a TPSTry++ when
+//!    the session is built;
+//! 2. **build** — the partitioner is constructed from a declarative
+//!    [`PartitionerSpec`] through the workload-aware registry, as a
+//!    `Box<dyn Partitioner>`;
+//! 3. **ingest** — stream elements are fed in batches
+//!    ([`Session::ingest_stream`] chunks a whole [`GraphStream`]);
+//! 4. **serve** — [`Session::serve`] flushes the partitioner and hands the
+//!    partitioned graph to a [`PartitionedStore`] + [`QueryExecutor`] pair
+//!    for query execution.
+//!
+//! ```
+//! use loom::session::Session;
+//! use loom::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = paper_example_graph();
+//! let workload = paper_example_workload();
+//! let spec = PartitionerSpec::Loom(
+//!     LoomConfig::new(2, graph.vertex_count()).with_window_size(4),
+//! );
+//!
+//! let mut session = Session::builder(spec).workload(workload).build()?;
+//! let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
+//! session.ingest_stream(&stream)?;
+//!
+//! let serving = session.serve(graph)?;
+//! let metrics = serving.execute_workload(100, 7)?;
+//! assert!(metrics.inter_partition_probability() <= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use loom_graph::{GraphStream, LabelledGraph, StreamElement};
+use loom_motif::mining::MotifMiner;
+use loom_motif::workload::Workload;
+use loom_motif::MotifError;
+use loom_partition::partition::Partitioning;
+use loom_partition::spec::{PartitionerRegistry, PartitionerSpec};
+use loom_partition::traits::{Partitioner, PartitionerStats, DEFAULT_BATCH_SIZE};
+use loom_partition::PartitionError;
+use loom_sim::executor::{ExecutionMetrics, LatencyModel, QueryExecutor, QueryMode};
+use loom_sim::store::PartitionedStore;
+use std::fmt;
+
+/// Errors produced while building or driving a [`Session`].
+#[derive(Debug)]
+pub enum SessionError {
+    /// The partitioner layer failed (invalid spec, assignment error, …).
+    Partition(PartitionError),
+    /// Workload mining failed.
+    Motif(MotifError),
+    /// An operation needed a workload but none was configured.
+    MissingWorkload(&'static str),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Partition(e) => write!(f, "partitioning failed: {e}"),
+            SessionError::Motif(e) => write!(f, "workload mining failed: {e}"),
+            SessionError::MissingWorkload(what) => {
+                write!(
+                    f,
+                    "{what} needs a workload: pass one via Session::builder(..).workload(..)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Partition(e) => Some(e),
+            SessionError::Motif(e) => Some(e),
+            SessionError::MissingWorkload(_) => None,
+        }
+    }
+}
+
+impl From<PartitionError> for SessionError {
+    fn from(e: PartitionError) -> Self {
+        SessionError::Partition(e)
+    }
+}
+
+impl From<MotifError> for SessionError {
+    fn from(e: MotifError) -> Self {
+        SessionError::Motif(e)
+    }
+}
+
+/// Result alias for session operations.
+pub type SessionResult<T> = std::result::Result<T, SessionError>;
+
+/// Fluent builder for [`Session`].
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    spec: PartitionerSpec,
+    workload: Option<Workload>,
+    chunk_size: usize,
+    latency: LatencyModel,
+    query_mode: QueryMode,
+    match_limit: Option<usize>,
+}
+
+impl SessionBuilder {
+    /// The query workload the partitioner should optimise for. Mandatory for
+    /// [`PartitionerSpec::Loom`]; optional (it only drives serving-side
+    /// query execution) for the workload-agnostic baselines.
+    #[must_use]
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Chunk size for [`Session::ingest_stream`] (default
+    /// [`DEFAULT_BATCH_SIZE`]). Batched and per-element ingestion yield
+    /// identical partitionings; this only affects throughput.
+    #[must_use]
+    pub fn chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size.max(1);
+        self
+    }
+
+    /// Latency model for the serving-side query executor.
+    #[must_use]
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Query execution mode for the serving-side executor.
+    #[must_use]
+    pub fn query_mode(mut self, mode: QueryMode) -> Self {
+        self.query_mode = mode;
+        self
+    }
+
+    /// Cap the number of embeddings enumerated per query execution (guards
+    /// against pathological queries on dense graphs).
+    #[must_use]
+    pub fn match_limit(mut self, limit: usize) -> Self {
+        self.match_limit = Some(limit);
+        self
+    }
+
+    /// Mine the workload (if any) and build the partitioner from its spec.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the spec is [`PartitionerSpec::Loom`] but no workload was
+    /// given, when mining fails, or when the spec's configuration is invalid.
+    pub fn build(self) -> SessionResult<Session> {
+        let registry = match &self.workload {
+            Some(workload) => {
+                let tpstry = MotifMiner::default().mine(workload)?;
+                loom_core::workload_registry(&tpstry)
+            }
+            None => {
+                if matches!(self.spec, PartitionerSpec::Loom(_)) {
+                    return Err(SessionError::MissingWorkload("building a LOOM partitioner"));
+                }
+                PartitionerRegistry::baselines()
+            }
+        };
+        let partitioner = registry.build(&self.spec)?;
+        Ok(Session {
+            partitioner,
+            spec: self.spec,
+            workload: self.workload,
+            chunk_size: self.chunk_size,
+            latency: self.latency,
+            query_mode: self.query_mode,
+            match_limit: self.match_limit,
+        })
+    }
+}
+
+/// A live partitioning session: one partitioner consuming a graph stream,
+/// ready to hand the result off for query serving.
+pub struct Session {
+    partitioner: Box<dyn Partitioner>,
+    spec: PartitionerSpec,
+    workload: Option<Workload>,
+    chunk_size: usize,
+    latency: LatencyModel,
+    query_mode: QueryMode,
+    match_limit: Option<usize>,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("partitioner", &self.partitioner.name())
+            .field("spec", &self.spec)
+            .field("chunk_size", &self.chunk_size)
+            .field("workload", &self.workload.is_some())
+            .finish()
+    }
+}
+
+impl Session {
+    /// Start building a session around a declarative partitioner spec.
+    pub fn builder(spec: PartitionerSpec) -> SessionBuilder {
+        SessionBuilder {
+            spec,
+            workload: None,
+            chunk_size: DEFAULT_BATCH_SIZE,
+            latency: LatencyModel::default(),
+            query_mode: QueryMode::default(),
+            match_limit: None,
+        }
+    }
+
+    /// The spec the partitioner was built from.
+    pub fn spec(&self) -> &PartitionerSpec {
+        &self.spec
+    }
+
+    /// The partitioner's short, stable name.
+    pub fn partitioner_name(&self) -> &'static str {
+        self.partitioner.name()
+    }
+
+    /// Feed a single stream element.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioner assignment errors.
+    pub fn ingest(&mut self, element: &StreamElement) -> SessionResult<()> {
+        Ok(self.partitioner.ingest(element)?)
+    }
+
+    /// Feed a contiguous chunk of stream elements at once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioner assignment errors.
+    pub fn ingest_batch(&mut self, batch: &[StreamElement]) -> SessionResult<()> {
+        Ok(self.partitioner.ingest_batch(batch)?)
+    }
+
+    /// Feed a whole stream, chunked at the session's configured chunk size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioner assignment errors.
+    pub fn ingest_stream(&mut self, stream: &GraphStream) -> SessionResult<()> {
+        for chunk in stream.elements().chunks(self.chunk_size) {
+            self.partitioner.ingest_batch(chunk)?;
+        }
+        Ok(())
+    }
+
+    /// A non-destructive copy of the partitioning built so far (buffered
+    /// vertices are still awaiting placement and are not included).
+    pub fn snapshot(&self) -> Partitioning {
+        self.partitioner.snapshot()
+    }
+
+    /// Unified ingestion counters.
+    pub fn stats(&self) -> PartitionerStats {
+        self.partitioner.stats()
+    }
+
+    /// Flush buffered vertices and move the final partitioning out, spending
+    /// the session's partitioner. Prefer [`Session::serve`] to continue into
+    /// query serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioner assignment errors from the flush.
+    pub fn into_partitioning(mut self) -> SessionResult<Partitioning> {
+        Ok(self.partitioner.finish()?)
+    }
+
+    /// Finish partitioning and hand off to the serving layer: the partitioned
+    /// `graph` goes into a [`PartitionedStore`] with a [`QueryExecutor`]
+    /// configured from the session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioner assignment errors from the final flush.
+    pub fn serve(mut self, graph: LabelledGraph) -> SessionResult<Serving> {
+        let partitioning = self.partitioner.finish()?;
+        let store = PartitionedStore::new(graph, partitioning);
+        let mut executor = QueryExecutor::new(self.latency).with_mode(self.query_mode);
+        if let Some(limit) = self.match_limit {
+            executor = executor.with_match_limit(limit);
+        }
+        Ok(Serving {
+            store,
+            executor,
+            workload: self.workload,
+        })
+    }
+}
+
+/// The serving half of a session: a partitioned store plus an instrumented
+/// query executor.
+#[derive(Debug, Clone)]
+pub struct Serving {
+    store: PartitionedStore,
+    executor: QueryExecutor,
+    workload: Option<Workload>,
+}
+
+impl Serving {
+    /// The partitioned store.
+    pub fn store(&self) -> &PartitionedStore {
+        &self.store
+    }
+
+    /// The final partitioning.
+    pub fn partitioning(&self) -> &Partitioning {
+        self.store.partitioning()
+    }
+
+    /// The query executor.
+    pub fn executor(&self) -> &QueryExecutor {
+        &self.executor
+    }
+
+    /// Execute `samples` queries drawn from the session's workload and report
+    /// traversal-locality metrics.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the session was built without a workload (use
+    /// [`Serving::execute`] with an explicit workload instead).
+    pub fn execute_workload(&self, samples: usize, seed: u64) -> SessionResult<ExecutionMetrics> {
+        let Some(workload) = &self.workload else {
+            return Err(SessionError::MissingWorkload("executing the workload"));
+        };
+        Ok(self
+            .executor
+            .execute_workload(&self.store, workload, samples, seed))
+    }
+
+    /// Execute `samples` queries drawn from an explicit workload.
+    pub fn execute(&self, workload: &Workload, samples: usize, seed: u64) -> ExecutionMetrics {
+        self.executor
+            .execute_workload(&self.store, workload, samples, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_graph::ordering::StreamOrder;
+    use loom_motif::fixtures::{paper_example_graph, paper_example_workload};
+    use loom_partition::ldg::LdgConfig;
+    use loom_partition::spec::LoomConfig;
+
+    #[test]
+    fn full_pipeline_runs_through_the_facade() {
+        let graph = paper_example_graph();
+        let workload = paper_example_workload();
+        let spec =
+            PartitionerSpec::Loom(LoomConfig::new(2, graph.vertex_count()).with_window_size(4));
+        let mut session = Session::builder(spec)
+            .workload(workload)
+            .chunk_size(3)
+            .build()
+            .unwrap();
+        let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
+        session.ingest_stream(&stream).unwrap();
+        assert_eq!(session.partitioner_name(), "loom");
+        assert_eq!(session.stats().vertices_ingested, graph.vertex_count());
+        let serving = session.serve(graph.clone()).unwrap();
+        assert_eq!(
+            serving.partitioning().assigned_count(),
+            graph.vertex_count()
+        );
+        let metrics = serving.execute_workload(200, 7).unwrap();
+        assert_eq!(metrics.queries_executed, 200);
+        assert!(metrics.inter_partition_probability() <= 1.0);
+    }
+
+    #[test]
+    fn baselines_run_without_a_workload() {
+        let graph = paper_example_graph();
+        let spec = PartitionerSpec::Ldg(LdgConfig::new(2, graph.vertex_count()));
+        let mut session = Session::builder(spec).build().unwrap();
+        let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
+        session.ingest_stream(&stream).unwrap();
+        let partitioning = session.into_partitioning().unwrap();
+        assert_eq!(partitioning.assigned_count(), graph.vertex_count());
+    }
+
+    #[test]
+    fn loom_spec_without_workload_is_rejected_at_build() {
+        let spec = PartitionerSpec::Loom(LoomConfig::new(2, 8));
+        let err = Session::builder(spec).build().err().expect("must fail");
+        assert!(err.to_string().contains("workload"));
+    }
+
+    #[test]
+    fn serving_without_workload_rejects_execute_workload() {
+        let graph = paper_example_graph();
+        let spec = PartitionerSpec::Ldg(LdgConfig::new(2, graph.vertex_count()));
+        let mut session = Session::builder(spec).build().unwrap();
+        session
+            .ingest_stream(&GraphStream::from_graph(&graph, &StreamOrder::Bfs))
+            .unwrap();
+        let serving = session.serve(graph).unwrap();
+        assert!(serving.execute_workload(10, 1).is_err());
+        // An explicit workload still works.
+        let metrics = serving.execute(&paper_example_workload(), 10, 1);
+        assert_eq!(metrics.queries_executed, 10);
+    }
+
+    #[test]
+    fn snapshot_mid_stream_is_partial_but_consistent() {
+        let graph = paper_example_graph();
+        let workload = paper_example_workload();
+        let spec =
+            PartitionerSpec::Loom(LoomConfig::new(2, graph.vertex_count()).with_window_size(4));
+        let mut session = Session::builder(spec).workload(workload).build().unwrap();
+        let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
+        let half = stream.len() / 2;
+        session.ingest_batch(&stream.elements()[..half]).unwrap();
+        let snap = session.snapshot();
+        assert!(snap.assigned_count() <= graph.vertex_count());
+        // Continue after the snapshot: the session is undisturbed.
+        session.ingest_batch(&stream.elements()[half..]).unwrap();
+        let partitioning = session.into_partitioning().unwrap();
+        assert_eq!(partitioning.assigned_count(), graph.vertex_count());
+    }
+}

@@ -1,29 +1,116 @@
 //! Tests exercising the documented public API surface end to end:
-//! the README usage snippet, graph statistics, the growth scenario and the
-//! report rendering — everything a downstream user would touch first.
+//! the README usage snippet, the `Session` façade, the declarative
+//! spec/registry layer (trait-object round-trips, batched vs per-element
+//! parity), graph statistics, the growth scenario and the report rendering —
+//! everything a downstream user would touch first.
 
 use loom::loom_sim::report::comparison_table;
 use loom::prelude::*;
 use loom_graph::stats::{clustering_coefficient, degree_histogram, degree_stats};
+use loom_graph::VertexId;
 
 #[test]
 fn readme_usage_snippet_compiles_and_runs() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Summarise the workload Q (queries + frequencies) into a TPSTry++.
-    let workload = paper_example_workload();
-    let tpstry = MotifMiner::default().mine(&workload)?;
-
-    // 2. Stream a graph and partition it, workload-aware.
+    // 1. Describe the partitioner declaratively and hand the workload Q to a
+    //    Session (which mines the TPSTry++ internally).
     let graph = paper_example_graph();
+    let workload = paper_example_workload();
+    let spec = PartitionerSpec::Loom(LoomConfig::new(2, graph.vertex_count()).with_window_size(64));
+    let mut session = Session::builder(spec).workload(workload).build()?;
+
+    // 2. Stream the graph in batches.
     let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
-    let config = LoomConfig::new(2, graph.vertex_count()).with_window_size(64);
-    let mut loom = LoomPartitioner::new(config, &tpstry)?;
-    let partitioning = partition_stream(&mut loom, &stream)?;
+    session.ingest_stream(&stream)?;
 
     // 3. Measure what the workload actually pays on that partitioning.
-    let store = PartitionedStore::new(graph, partitioning);
-    let metrics = QueryExecutor::default().execute_workload(&store, &workload, 1_000, 42);
+    let serving = session.serve(graph)?;
+    let metrics = serving.execute_workload(1_000, 42)?;
     assert!(metrics.inter_partition_probability() <= 1.0);
     assert_eq!(metrics.queries_executed, 1_000);
+    Ok(())
+}
+
+/// Every `PartitionerSpec` variant builds a `Box<dyn Partitioner>` through
+/// the workload registry; batched (several chunk sizes) and per-element
+/// ingestion of the paper-example stream yield identical partitionings.
+#[test]
+fn every_spec_round_trips_as_a_trait_object() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = paper_example_graph();
+    let workload = paper_example_workload();
+    let tpstry = MotifMiner::default().mine(&workload)?;
+    let registry = workload_registry(&tpstry);
+    let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
+    let n = graph.vertex_count();
+
+    let specs = [
+        PartitionerSpec::Hash(HashConfig::new(2, n)),
+        PartitionerSpec::Ldg(LdgConfig::new(2, n)),
+        PartitionerSpec::Fennel(FennelConfig::new(2, n, graph.edge_count())),
+        PartitionerSpec::Loom(LoomConfig::new(2, n).with_window_size(4)),
+    ];
+
+    for spec in specs {
+        // Per-element reference run.
+        let mut reference: Box<dyn Partitioner> = registry.build(&spec)?;
+        assert_eq!(reference.name(), spec.name());
+        for element in &stream {
+            reference.ingest(element)?;
+        }
+        let reference = reference.finish()?;
+        assert_eq!(reference.assigned_count(), n, "{}", spec.name());
+
+        let assignments = |p: &Partitioning| {
+            let mut rows: Vec<(VertexId, PartitionId)> = p.assignments().collect();
+            rows.sort_unstable();
+            rows
+        };
+
+        // Batched runs at several chunk sizes must agree exactly.
+        for chunk_size in [1usize, 3, 64, 1024] {
+            let mut partitioner = registry.build(&spec)?;
+            let batched = partition_stream_batched(partitioner.as_mut(), &stream, chunk_size)?;
+            assert_eq!(
+                assignments(&batched),
+                assignments(&reference),
+                "{} diverged at chunk size {chunk_size}",
+                spec.name()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Snapshots are non-destructive and stats are reported uniformly across
+/// every spec-built trait object.
+#[test]
+fn trait_objects_snapshot_and_report_stats() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = paper_example_graph();
+    let workload = paper_example_workload();
+    let tpstry = MotifMiner::default().mine(&workload)?;
+    let registry = workload_registry(&tpstry);
+    let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
+    let n = graph.vertex_count();
+
+    let specs = [
+        PartitionerSpec::Hash(HashConfig::new(2, n)),
+        PartitionerSpec::Ldg(LdgConfig::new(2, n)),
+        PartitionerSpec::Fennel(FennelConfig::new(2, n, graph.edge_count())),
+        PartitionerSpec::Loom(LoomConfig::new(2, n).with_window_size(4)),
+    ];
+    for spec in specs {
+        let mut partitioner = registry.build(&spec)?;
+        partitioner.ingest_batch(stream.elements())?;
+        let stats = partitioner.stats();
+        assert_eq!(stats.vertices_ingested, n, "{}", spec.name());
+        assert_eq!(stats.edges_ingested, graph.edge_count(), "{}", spec.name());
+        assert_eq!(stats.batches_ingested, 1, "{}", spec.name());
+        assert_eq!(stats.assigned + stats.buffered, n, "{}", spec.name());
+        // Snapshot now, finish later: snapshot must not disturb the run.
+        let snapshot = partitioner.snapshot();
+        assert_eq!(snapshot.assigned_count(), stats.assigned);
+        let finished = partitioner.finish()?;
+        assert_eq!(finished.assigned_count(), n, "{}", spec.name());
+    }
     Ok(())
 }
 

@@ -141,7 +141,7 @@ fn workload_agnostic_equivalence_when_no_motif_is_frequent() {
     let mut loom = LoomPartitioner::with_index(config, empty_index).unwrap();
     let partitioning = partition_stream(&mut loom, &stream).unwrap();
     assert_eq!(partitioning.assigned_count(), graph.vertex_count());
-    assert_eq!(loom.stats().clusters_assigned, 0);
+    assert_eq!(loom.loom_stats().clusters_assigned, 0);
     assert!(partitioning.imbalance() < 1.3);
 }
 

@@ -163,7 +163,7 @@ proptest! {
         let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed });
         let partitioning = partition_stream(&mut loom, &stream).expect("loom ok");
         prop_assert_eq!(partitioning.assigned_count(), graph.vertex_count());
-        prop_assert_eq!(loom.stats().total_assigned(), graph.vertex_count());
+        prop_assert_eq!(loom.loom_stats().total_assigned(), graph.vertex_count());
     }
 
     /// TPSTry++ invariants hold for arbitrary mined workloads: parent/child
