@@ -1,0 +1,159 @@
+//! Serving-engine throughput: shard-count sweep, Hash vs LOOM.
+//!
+//! The paper's claim — a workload-aware partitioning lets an online store
+//! serve pattern queries faster — measured as throughput: the same rooted
+//! query load is served on 1/2/4/8 worker shards over both a Hash and a LOOM
+//! partitioning of the same stream, and the aggregate QPS (queries ÷ the
+//! modelled makespan of the busiest shard, with the `loom-sim` latency model
+//! charging every remote hop) is recorded per cell.
+//!
+//! Besides the Criterion-style wall-clock timings, the bench emits
+//! `BENCH_serving.json` at the workspace root: a machine-readable
+//! `shards × partitioner → {qps, p99}` table so the perf trajectory of the
+//! serving layer has data points across PRs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loom_bench::scenarios;
+use loom_core::workload_registry;
+use loom_graph::ordering::StreamOrder;
+use loom_graph::GraphStream;
+use loom_motif::mining::MotifMiner;
+use loom_motif::workload::Workload;
+use loom_partition::hash::HashConfig;
+use loom_partition::spec::{LoomConfig, PartitionerSpec};
+use loom_partition::traits::partition_stream;
+use loom_serve::engine::{ServeConfig, ServeEngine};
+use loom_serve::metrics::ServeReport;
+use loom_serve::shard::ShardedStore;
+use loom_sim::executor::QueryMode;
+use std::hint::black_box;
+use std::path::Path;
+use std::sync::Arc;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const PARTITIONS: u32 = 8;
+const SAMPLES: usize = 400;
+const SEED: u64 = 42;
+
+fn mode() -> QueryMode {
+    QueryMode::Rooted { seed_count: 3 }
+}
+
+/// Build the two stores under test: the same graph stream partitioned by
+/// Hash and by LOOM.
+fn setup() -> (Workload, Vec<(&'static str, Arc<ShardedStore>)>) {
+    let graph = scenarios::social_graph(3_000, 7);
+    let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 1 });
+    let workload = scenarios::motif_workload();
+    let tpstry = MotifMiner::default()
+        .mine(&workload)
+        .expect("mining succeeds");
+    let registry = workload_registry(&tpstry);
+    let n = graph.vertex_count();
+    let specs = [
+        (
+            "hash",
+            PartitionerSpec::Hash(HashConfig::new(PARTITIONS, n)),
+        ),
+        (
+            "loom",
+            PartitionerSpec::Loom(
+                LoomConfig::new(PARTITIONS, n)
+                    .with_window_size(128)
+                    .with_motif_threshold(0.3),
+            ),
+        ),
+    ];
+    let stores = specs
+        .into_iter()
+        .map(|(name, spec)| {
+            let mut partitioner = registry.build(&spec).expect("buildable spec");
+            let partitioning =
+                partition_stream(partitioner.as_mut(), &stream).expect("stream partitions");
+            (
+                name,
+                Arc::new(ShardedStore::from_parts(&graph, &partitioning)),
+            )
+        })
+        .collect();
+    (workload, stores)
+}
+
+fn serve(store: &Arc<ShardedStore>, workload: &Workload, shards: usize) -> ServeReport {
+    ServeEngine::new(ServeConfig::new(shards).with_mode(mode()))
+        .serve_batch(store, workload, SAMPLES, SEED)
+}
+
+/// One JSON result cell.
+fn cell(partitioner: &str, shards: usize, report: &ServeReport) -> String {
+    format!(
+        concat!(
+            "    {{\"partitioner\": \"{}\", \"shards\": {}, \"qps\": {:.2}, ",
+            "\"p99_us\": {:.2}, \"p50_us\": {:.2}, \"wall_clock_qps\": {:.2}, ",
+            "\"remote_hop_fraction\": {:.4}, \"makespan_us\": {:.2}}}"
+        ),
+        partitioner,
+        shards,
+        report.aggregate_qps(),
+        report.p99_latency_us,
+        report.p50_latency_us,
+        report.wall_clock_qps(),
+        report.remote_hop_fraction(),
+        report.makespan_us,
+    )
+}
+
+/// Sweep the grid once, print the table, persist `BENCH_serving.json`.
+fn sweep_and_persist(workload: &Workload, stores: &[(&'static str, Arc<ShardedStore>)]) {
+    let mut cells = Vec::new();
+    for (name, store) in stores {
+        let mut baseline = 0.0f64;
+        for &shards in &SHARD_COUNTS {
+            let report = serve(store, workload, shards);
+            if shards == 1 {
+                baseline = report.aggregate_qps();
+            }
+            println!(
+                "serving_throughput {name}/{shards}: {:.0} qps (x{:.2} vs 1 shard), \
+                 p99 {:.0} us, remote hops {:.1}%",
+                report.aggregate_qps(),
+                report.aggregate_qps() / baseline.max(f64::MIN_POSITIVE),
+                report.p99_latency_us,
+                report.remote_hop_fraction() * 100.0,
+            );
+            cells.push(cell(name, shards, &report));
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"serving_throughput\",\n  \"samples\": {SAMPLES},\n  \
+         \"seed\": {SEED},\n  \"partitions\": {PARTITIONS},\n  \"mode\": \
+         \"rooted(seed_count=3)\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        cells.join(",\n")
+    );
+    // The bench runs with the package as cwd; the JSON belongs at the
+    // workspace root next to the other reports.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serving.json");
+    std::fs::write(&path, json).expect("BENCH_serving.json is writable");
+    println!("wrote {}", path.display());
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let (workload, stores) = setup();
+    sweep_and_persist(&workload, &stores);
+
+    let mut group = c.benchmark_group("serving_throughput");
+    group.sample_size(3);
+    for (name, store) in &stores {
+        for &shards in &SHARD_COUNTS {
+            group.bench_with_input(BenchmarkId::new(*name, shards), &shards, |b, &shards| {
+                b.iter(|| black_box(serve(store, &workload, shards)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -101,13 +101,9 @@ mod tests {
 
     #[test]
     fn hashes_differ_for_different_inputs() {
-        use std::hash::{BuildHasher, Hash};
+        use std::hash::BuildHasher;
         let build = FxBuildHasher::default();
-        let hash = |v: u64| {
-            let mut h = build.build_hasher();
-            v.hash(&mut h);
-            h.finish()
-        };
+        let hash = |v: u64| build.hash_one(v);
         // Not a cryptographic guarantee, just a sanity check that we do not
         // collapse small distinct keys.
         let h: FxHashSet<u64> = (0..10_000u64).map(hash).collect();
@@ -116,13 +112,9 @@ mod tests {
 
     #[test]
     fn hash_is_deterministic() {
-        use std::hash::{BuildHasher, Hash};
+        use std::hash::BuildHasher;
         let build = FxBuildHasher::default();
-        let hash = |v: &str| {
-            let mut h = build.build_hasher();
-            v.hash(&mut h);
-            h.finish()
-        };
+        let hash = |v: &str| build.hash_one(v);
         assert_eq!(hash("loom"), hash("loom"));
         assert_ne!(hash("loom"), hash("loon"));
     }

@@ -113,8 +113,8 @@ pub fn bfs_distances(
     while let Some(v) = queue.pop_front() {
         let d = dist[&v];
         for &n in graph.neighbors(v) {
-            if !dist.contains_key(&n) {
-                dist.insert(n, d + 1);
+            if let std::collections::hash_map::Entry::Vacant(slot) = dist.entry(n) {
+                slot.insert(d + 1);
                 queue.push_back(n);
             }
         }

@@ -92,7 +92,7 @@ impl MultilevelPartitioner {
         if config.k == 0 {
             return Err(PartitionError::InvalidConfig("k must be positive".into()));
         }
-        if !(config.slack >= 1.0) {
+        if config.slack < 1.0 || config.slack.is_nan() {
             return Err(PartitionError::InvalidConfig(format!(
                 "slack must be >= 1.0, got {}",
                 config.slack

@@ -68,8 +68,11 @@ impl std::fmt::Display for PartitionerStats {
 ///
 /// The trait is object safe: the experiment runner, benches and the
 /// `loom::Session` façade drive partitioners through `Box<dyn Partitioner>`
-/// built by a [`crate::spec::PartitionerRegistry`].
-pub trait Partitioner {
+/// built by a [`crate::spec::PartitionerRegistry`]. `Send` is a supertrait so
+/// a boxed partitioner can ingest on a background thread while the serving
+/// engine keeps answering queries (the `loom-serve` ingest-while-serve
+/// pattern).
+pub trait Partitioner: Send {
     /// A short, stable name used in reports and benchmark output.
     fn name(&self) -> &'static str;
 

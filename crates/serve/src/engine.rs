@@ -1,0 +1,412 @@
+//! The concurrent serving engine: router + per-shard worker pool.
+//!
+//! [`ServeEngine::serve_batch`] executes a sampled query load against a
+//! pinned [`ShardedStore`] snapshot; [`ServeEngine::serve_epochs`] does the
+//! same against an [`EpochStore`], pinning the *current* epoch per query so
+//! ingestion can keep publishing new snapshots mid-run. Both paths share the
+//! same machinery:
+//!
+//! * the router resolves each query's home shard (label/partition index
+//!   lookup) and pushes it into that shard's bounded [`ShardQueue`] —
+//!   admission blocks when a queue is full (backpressure);
+//! * one worker per shard (a `std::thread::scope` thread) drains its queue,
+//!   executing each query with the shared instrumented matcher
+//!   ([`loom_sim::matcher::execute_query`]) — the exact code path of the
+//!   sequential executor, so the aggregate metrics are bit-identical to a
+//!   sequential run over the same `(workload, samples, seed)`;
+//! * per-query modelled latencies feed the [`ServeReport`] (per-shard QPS,
+//!   p50/p99, remote-hop fraction, queue depth).
+
+use crate::epoch::EpochStore;
+use crate::metrics::{quantile, ServeReport, ShardServeMetrics};
+use crate::queue::ShardQueue;
+use crate::router::QueryRouter;
+use crate::shard::ShardedStore;
+use loom_motif::workload::Workload;
+use loom_sim::executor::{ExecutionMetrics, LatencyModel, QueryMode};
+use loom_sim::matcher::execute_query;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration for a [`ServeEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker shards. Partitions map onto workers round-robin, so any worker
+    /// count from 1 to the partition count makes sense (more workers than
+    /// partitions leaves the excess idle).
+    pub workers: usize,
+    /// Bound on each shard queue; a full queue blocks admission
+    /// (backpressure) instead of growing an unbounded backlog.
+    pub queue_capacity: usize,
+    /// How many queries the router samples and routes per admission batch.
+    pub batch_size: usize,
+    /// Query execution mode (rooted is the online mode the paper targets).
+    pub mode: QueryMode,
+    /// Cap on embeddings enumerated per query execution.
+    pub match_limit: usize,
+    /// Latency cost model charged per traversal.
+    pub latency: LatencyModel,
+}
+
+impl ServeConfig {
+    /// A config with `workers` worker shards and serving-oriented defaults
+    /// (rooted queries anchored at 4 seeds, queue capacity 64, batch 32).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            queue_capacity: 64,
+            batch_size: 32,
+            mode: QueryMode::Rooted { seed_count: 4 },
+            match_limit: 10_000,
+            latency: LatencyModel::default(),
+        }
+    }
+
+    /// Builder-style query execution mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: QueryMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Builder-style per-query match limit.
+    #[must_use]
+    pub fn with_match_limit(mut self, limit: usize) -> Self {
+        self.match_limit = limit.max(1);
+        self
+    }
+
+    /// Builder-style latency model.
+    #[must_use]
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Builder-style queue capacity (minimum 1).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Builder-style router admission batch size (minimum 1).
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::new(4)
+    }
+}
+
+/// One routed unit of work: the `seq`-th sampled query of the run.
+#[derive(Debug, Clone, Copy)]
+struct QueryTask {
+    /// Index into the workload's query list.
+    query: usize,
+    /// Deterministic root seed (`run_seed + seq + 1`, as in the sequential
+    /// executor).
+    root_seed: u64,
+}
+
+/// What one worker accumulated over its queue.
+#[derive(Debug, Default)]
+struct WorkerLog {
+    queries: usize,
+    execution: ExecutionMetrics,
+    latencies: Vec<f64>,
+    epochs: Vec<u64>,
+}
+
+impl WorkerLog {
+    fn record(&mut self, metrics: ExecutionMetrics, epoch: u64) {
+        self.queries += 1;
+        self.latencies.push(metrics.estimated_latency_us);
+        self.execution.merge(&metrics);
+        if self.epochs.last() != Some(&epoch) {
+            self.epochs.push(epoch);
+        }
+    }
+}
+
+/// Where workers pin their snapshots from.
+enum Source<'a> {
+    /// One snapshot for the whole run.
+    Pinned(&'a Arc<ShardedStore>),
+    /// The latest epoch at execution time, pinned per query.
+    Epochs(&'a EpochStore),
+}
+
+impl Source<'_> {
+    fn pin(&self) -> Arc<ShardedStore> {
+        match self {
+            Source::Pinned(store) => Arc::clone(store),
+            Source::Epochs(epochs) => epochs.load(),
+        }
+    }
+}
+
+/// The concurrent sharded serving engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeEngine {
+    config: ServeConfig,
+}
+
+impl ServeEngine {
+    /// Create an engine from a config.
+    pub fn new(config: ServeConfig) -> Self {
+        Self { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Serve `samples` queries drawn from `workload` (deterministically from
+    /// `seed`) against one pinned snapshot.
+    ///
+    /// The sampled load and the per-query root seeds are exactly those of
+    /// [`loom_sim::executor::QueryExecutor::execute_workload`], and each
+    /// query runs the same matcher, so the report's aggregate
+    /// [`ExecutionMetrics`] equal a sequential run's — the parity the
+    /// serving tests assert.
+    pub fn serve_batch(
+        &self,
+        store: &Arc<ShardedStore>,
+        workload: &Workload,
+        samples: usize,
+        seed: u64,
+    ) -> ServeReport {
+        self.run(Source::Pinned(store), workload, samples, seed)
+    }
+
+    /// Serve `samples` queries while ingestion concurrently publishes new
+    /// epochs into `epochs`. Each query pins the epoch current at its
+    /// execution and observes only that snapshot (no torn reads); the report
+    /// lists every epoch the run touched.
+    pub fn serve_epochs(
+        &self,
+        epochs: &EpochStore,
+        workload: &Workload,
+        samples: usize,
+        seed: u64,
+    ) -> ServeReport {
+        self.run(Source::Epochs(epochs), workload, samples, seed)
+    }
+
+    fn run(
+        &self,
+        source: Source<'_>,
+        workload: &Workload,
+        samples: usize,
+        seed: u64,
+    ) -> ServeReport {
+        let started = Instant::now();
+        let workers = self.config.workers.max(1);
+        let router = QueryRouter::new(self.config.mode);
+        let queues: Vec<ShardQueue<QueryTask>> = (0..workers)
+            .map(|_| ShardQueue::new(self.config.queue_capacity))
+            .collect();
+
+        // Sample the whole load up front (identical rng usage to the
+        // sequential executor: one workload draw per sample, root seed
+        // `seed + i + 1`).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tasks: Vec<QueryTask> = (0..samples)
+            .map(|i| QueryTask {
+                query: workload.sample_index(&mut rng),
+                root_seed: seed.wrapping_add(i as u64 + 1),
+            })
+            .collect();
+
+        let logs: Vec<WorkerLog> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let queue = &queues[w];
+                    let source = &source;
+                    scope.spawn(move || {
+                        let mut log = WorkerLog::default();
+                        while let Some(task) = queue.pop() {
+                            // Pin one immutable snapshot for the whole query:
+                            // an epoch swap mid-search is invisible.
+                            let snapshot = source.pin();
+                            let metrics = execute_query(
+                                snapshot.as_ref(),
+                                &workload.queries()[task.query],
+                                self.config.mode,
+                                self.config.match_limit,
+                                self.config.latency,
+                                task.root_seed,
+                            );
+                            log.record(metrics, snapshot.epoch());
+                        }
+                        log
+                    })
+                })
+                .collect();
+
+            // The router runs on this thread: route each admission batch to
+            // its home shards, blocking on full queues (backpressure).
+            for (batch_index, batch) in tasks.chunks(self.config.batch_size).enumerate() {
+                // Route against the snapshot current at admission time.
+                let snapshot = source.pin();
+                for (offset, task) in batch.iter().enumerate() {
+                    let seq = (batch_index * self.config.batch_size + offset) as u64;
+                    let shard = router.home_shard(
+                        &snapshot,
+                        &workload.queries()[task.query],
+                        task.root_seed,
+                        seq,
+                    );
+                    let worker = shard.index() % workers;
+                    // Err only if the queue is closed, which cannot happen
+                    // before this loop finishes.
+                    let _ = queues[worker].push(*task);
+                }
+            }
+            for queue in &queues {
+                queue.close();
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+
+        self.assemble(logs, &queues, samples, started)
+    }
+
+    fn assemble(
+        &self,
+        logs: Vec<WorkerLog>,
+        queues: &[ShardQueue<QueryTask>],
+        samples: usize,
+        started: Instant,
+    ) -> ServeReport {
+        let mut aggregate = ExecutionMetrics::default();
+        let mut all_latencies: Vec<f64> = Vec::with_capacity(samples);
+        let mut epochs_observed: Vec<u64> = Vec::new();
+        let mut shards = Vec::with_capacity(logs.len());
+        let mut makespan_us = 0.0f64;
+        for (w, mut log) in logs.into_iter().enumerate() {
+            aggregate.merge(&log.execution);
+            all_latencies.extend_from_slice(&log.latencies);
+            epochs_observed.extend_from_slice(&log.epochs);
+            let busy_us = log.execution.estimated_latency_us;
+            makespan_us = makespan_us.max(busy_us);
+            shards.push(ShardServeMetrics {
+                shard: w as u32,
+                queries: log.queries,
+                p50_latency_us: quantile(&mut log.latencies, 0.50),
+                p99_latency_us: quantile(&mut log.latencies, 0.99),
+                execution: log.execution,
+                busy_us,
+                max_queue_depth: queues[w].max_depth(),
+            });
+        }
+        epochs_observed.sort_unstable();
+        epochs_observed.dedup();
+        let p50 = quantile(&mut all_latencies, 0.50);
+        let p99 = quantile(&mut all_latencies, 0.99);
+        ServeReport {
+            shards,
+            aggregate,
+            queries: samples,
+            makespan_us,
+            wall_clock_us: started.elapsed().as_secs_f64() * 1e6,
+            p50_latency_us: p50,
+            p99_latency_us: p99,
+            epochs_observed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_graph::generators::regular::path_graph;
+    use loom_graph::Label;
+    use loom_motif::query::{PatternQuery, QueryId};
+    use loom_partition::partition::{PartitionId, Partitioning};
+
+    fn l(x: u32) -> Label {
+        Label::new(x)
+    }
+
+    fn fixture() -> (Arc<ShardedStore>, Workload) {
+        let g = path_graph(12, &[l(0), l(1), l(2)]);
+        let mut part = Partitioning::new(4, 12).unwrap();
+        for (i, v) in g.vertices_sorted().into_iter().enumerate() {
+            part.assign(v, PartitionId::new((i / 3) as u32)).unwrap();
+        }
+        let store = Arc::new(ShardedStore::from_parts(&g, &part));
+        let workload = Workload::uniform(vec![
+            PatternQuery::path(QueryId::new(0), &[l(0), l(1), l(2)]).unwrap(),
+            PatternQuery::path(QueryId::new(1), &[l(1), l(2)]).unwrap(),
+        ])
+        .unwrap();
+        (store, workload)
+    }
+
+    #[test]
+    fn serve_batch_executes_every_sample() {
+        let (store, workload) = fixture();
+        let engine = ServeEngine::new(ServeConfig::new(4));
+        let report = engine.serve_batch(&store, &workload, 50, 9);
+        assert_eq!(report.queries, 50);
+        assert_eq!(report.aggregate.queries_executed, 50);
+        assert_eq!(report.shards.len(), 4);
+        assert_eq!(report.shards.iter().map(|s| s.queries).sum::<usize>(), 50);
+        assert!(report.wall_clock_us > 0.0);
+        assert_eq!(report.epochs_observed, vec![0]);
+    }
+
+    #[test]
+    fn serving_is_deterministic_per_seed_modulo_worker_count() {
+        let (store, workload) = fixture();
+        let one = ServeEngine::new(ServeConfig::new(1)).serve_batch(&store, &workload, 40, 3);
+        let four = ServeEngine::new(ServeConfig::new(4)).serve_batch(&store, &workload, 40, 3);
+        // The aggregate execution metrics do not depend on the worker count.
+        assert_eq!(one.aggregate, four.aggregate);
+        // But the work is spread: the busiest shard shrinks.
+        assert!(four.makespan_us <= one.makespan_us);
+    }
+
+    #[test]
+    fn more_workers_raise_modelled_throughput() {
+        let (store, workload) = fixture();
+        let one = ServeEngine::new(ServeConfig::new(1)).serve_batch(&store, &workload, 200, 5);
+        let four = ServeEngine::new(ServeConfig::new(4)).serve_batch(&store, &workload, 200, 5);
+        assert!(four.aggregate_qps() > one.aggregate_qps());
+    }
+
+    #[test]
+    fn zero_samples_produce_an_empty_report() {
+        let (store, workload) = fixture();
+        let report = ServeEngine::default().serve_batch(&store, &workload, 0, 1);
+        assert_eq!(report.queries, 0);
+        assert_eq!(report.aggregate_qps(), 0.0);
+        assert_eq!(report.p99_latency_us, 0.0);
+    }
+
+    #[test]
+    fn backpressure_keeps_queue_depth_bounded() {
+        let (store, workload) = fixture();
+        let config = ServeConfig::new(2)
+            .with_queue_capacity(4)
+            .with_batch_size(8);
+        let report = ServeEngine::new(config).serve_batch(&store, &workload, 100, 2);
+        for shard in &report.shards {
+            assert!(shard.max_queue_depth <= 4);
+        }
+        assert_eq!(report.aggregate.queries_executed, 100);
+    }
+}

@@ -1,0 +1,82 @@
+//! # loom-serve
+//!
+//! The concurrent sharded serving engine: the layer that finally *exploits*
+//! a LOOM partitioning for parallelism instead of only measuring it.
+//!
+//! A finished [`Partitioning`](loom_partition::partition::Partitioning)
+//! becomes a running engine in four pieces:
+//!
+//! * [`shard`] — [`shard::ShardedStore`]: an immutable partition-major CSR
+//!   snapshot where each partition's home vertices form a contiguous slice
+//!   (its [`shard::Shard`]), with per-shard label indexes and a replicated
+//!   boundary-vertex halo;
+//! * [`router`] — [`router::QueryRouter`]: anchors each rooted pattern query
+//!   on its home shard via the label/partition indexes;
+//! * [`engine`] — [`engine::ServeEngine`]: a `std::thread::scope` worker
+//!   pool, one worker per shard, fed through bounded per-shard
+//!   [`queue::ShardQueue`]s (admission blocks when a queue fills —
+//!   backpressure), executing queries with the shared instrumented matcher
+//!   from `loom-sim`;
+//! * [`epoch`] — [`epoch::EpochStore`]: ingest-while-serve via epoch-swapped
+//!   snapshots — the streaming partitioner keeps ingesting and periodically
+//!   publishes a new immutable shard set through an `arc-swap`-style pointer,
+//!   so queries pin one epoch end-to-end and reads never block on writes.
+//!
+//! [`metrics::ServeReport`] summarises a run: per-shard QPS, p50/p99 modelled
+//! latency (from the `loom-sim` [`LatencyModel`](loom_sim::executor::LatencyModel)),
+//! remote-hop fraction and peak queue depth.
+//!
+//! ```
+//! use loom_serve::prelude::*;
+//! use loom_graph::generators::regular::path_graph;
+//! use loom_graph::Label;
+//! use loom_motif::query::{PatternQuery, QueryId};
+//! use loom_motif::workload::Workload;
+//! use loom_partition::partition::{PartitionId, Partitioning};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = path_graph(8, &[Label::new(0), Label::new(1)]);
+//! let mut partitioning = Partitioning::new(2, 8)?;
+//! for (i, v) in graph.vertices_sorted().into_iter().enumerate() {
+//!     partitioning.assign(v, PartitionId::new((i / 4) as u32))?;
+//! }
+//! let store = Arc::new(ShardedStore::from_parts(&graph, &partitioning));
+//!
+//! let workload = Workload::uniform(vec![PatternQuery::path(
+//!     QueryId::new(0),
+//!     &[Label::new(0), Label::new(1)],
+//! )?])?;
+//! let engine = ServeEngine::new(ServeConfig::new(2));
+//! let report = engine.serve_batch(&store, &workload, 100, 42);
+//! assert_eq!(report.aggregate.queries_executed, 100);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod epoch;
+pub mod metrics;
+pub mod queue;
+pub mod router;
+pub mod shard;
+
+pub use engine::{ServeConfig, ServeEngine};
+pub use epoch::EpochStore;
+pub use metrics::{ServeReport, ShardServeMetrics};
+pub use queue::ShardQueue;
+pub use router::QueryRouter;
+pub use shard::{Shard, ShardedStore};
+
+/// Convenient re-exports for examples, tests and the umbrella crate.
+pub mod prelude {
+    pub use crate::engine::{ServeConfig, ServeEngine};
+    pub use crate::epoch::EpochStore;
+    pub use crate::metrics::{ServeReport, ShardServeMetrics};
+    pub use crate::queue::ShardQueue;
+    pub use crate::router::QueryRouter;
+    pub use crate::shard::{Shard, ShardedStore};
+}

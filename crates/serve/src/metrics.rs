@@ -1,0 +1,158 @@
+//! Serving metrics: per-shard and aggregate reports.
+//!
+//! Latency figures come from the [`LatencyModel`](loom_sim::executor::LatencyModel)
+//! the matcher already charges per traversal — the same cost model the rest
+//! of `loom-sim` uses — so they are deterministic and include the simulated
+//! network cost of remote hops. Throughput is reported both ways: the
+//! **modelled** aggregate QPS (queries ÷ the makespan of the busiest shard
+//! under the latency model — the simulated cluster's throughput, which is
+//! what the paper's partitioning quality argument is about) and the raw
+//! wall-clock QPS of this process for reference.
+
+use loom_sim::executor::ExecutionMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Per-shard serving metrics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardServeMetrics {
+    /// Shard (worker) index.
+    pub shard: u32,
+    /// Queries this shard executed.
+    pub queries: usize,
+    /// Merged execution metrics over those queries.
+    pub execution: ExecutionMetrics,
+    /// Modelled busy time: the sum of per-query estimated latencies, µs.
+    pub busy_us: f64,
+    /// Median per-query modelled latency, µs.
+    pub p50_latency_us: f64,
+    /// 99th-percentile per-query modelled latency, µs.
+    pub p99_latency_us: f64,
+    /// Deepest the shard's work queue got (bounded by the configured
+    /// capacity; hitting the bound means backpressure engaged).
+    pub max_queue_depth: usize,
+}
+
+impl ShardServeMetrics {
+    /// Modelled per-shard throughput: queries ÷ busy seconds (0 when idle).
+    pub fn qps(&self) -> f64 {
+        if self.busy_us <= 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / (self.busy_us / 1e6)
+        }
+    }
+
+    /// Fraction of this shard's traversals that crossed partitions.
+    pub fn remote_hop_fraction(&self) -> f64 {
+        self.execution.inter_partition_probability()
+    }
+}
+
+/// The aggregate report one serving run produces.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Per-shard breakdown, indexed by worker shard.
+    pub shards: Vec<ShardServeMetrics>,
+    /// Execution metrics merged across every shard.
+    pub aggregate: ExecutionMetrics,
+    /// Total queries served.
+    pub queries: usize,
+    /// Modelled makespan: the busiest shard's busy time, µs. Shards run
+    /// concurrently, so this is the simulated cluster's completion time.
+    pub makespan_us: f64,
+    /// Wall-clock duration of the run in this process, µs.
+    pub wall_clock_us: f64,
+    /// Median per-query modelled latency across all shards, µs.
+    pub p50_latency_us: f64,
+    /// 99th-percentile per-query modelled latency across all shards, µs.
+    pub p99_latency_us: f64,
+    /// Distinct epochs the run's queries were pinned to (a single-element
+    /// list unless ingestion published new snapshots mid-run).
+    pub epochs_observed: Vec<u64>,
+}
+
+impl ServeReport {
+    /// Modelled aggregate throughput: queries ÷ makespan seconds. This is the
+    /// number the shard-count sweep is about — more shards divide the same
+    /// total work into a shorter makespan.
+    pub fn aggregate_qps(&self) -> f64 {
+        if self.makespan_us <= 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / (self.makespan_us / 1e6)
+        }
+    }
+
+    /// Wall-clock throughput of this process (subject to host parallelism).
+    pub fn wall_clock_qps(&self) -> f64 {
+        if self.wall_clock_us <= 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / (self.wall_clock_us / 1e6)
+        }
+    }
+
+    /// Fraction of all traversals that crossed partitions.
+    pub fn remote_hop_fraction(&self) -> f64 {
+        self.aggregate.inter_partition_probability()
+    }
+}
+
+/// The `q`-th quantile (0.0 ≤ q ≤ 1.0) of an unsorted latency sample, by the
+/// nearest-rank method. Returns 0.0 for an empty sample.
+pub fn quantile(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((q.clamp(0.0, 1.0) * samples.len() as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(samples.len() - 1);
+    samples[rank]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_by_nearest_rank() {
+        let mut s = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&mut s, 0.5), 3.0);
+        assert_eq!(quantile(&mut s, 0.99), 5.0);
+        assert_eq!(quantile(&mut s, 0.0), 1.0);
+        assert_eq!(quantile(&mut [], 0.5), 0.0);
+    }
+
+    #[test]
+    fn shard_qps_and_remote_fraction() {
+        let m = ShardServeMetrics {
+            shard: 0,
+            queries: 100,
+            execution: ExecutionMetrics {
+                queries_executed: 100,
+                total_traversals: 10,
+                remote_traversals: 4,
+                ..ExecutionMetrics::default()
+            },
+            busy_us: 2_000_000.0,
+            ..ShardServeMetrics::default()
+        };
+        assert!((m.qps() - 50.0).abs() < 1e-9);
+        assert!((m.remote_hop_fraction() - 0.4).abs() < 1e-12);
+        assert_eq!(ShardServeMetrics::default().qps(), 0.0);
+    }
+
+    #[test]
+    fn report_throughputs() {
+        let report = ServeReport {
+            queries: 300,
+            makespan_us: 1_500_000.0,
+            wall_clock_us: 3_000_000.0,
+            ..ServeReport::default()
+        };
+        assert!((report.aggregate_qps() - 200.0).abs() < 1e-9);
+        assert!((report.wall_clock_qps() - 100.0).abs() < 1e-9);
+        assert_eq!(ServeReport::default().aggregate_qps(), 0.0);
+    }
+}

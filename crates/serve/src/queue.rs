@@ -1,0 +1,175 @@
+//! Bounded per-shard work queues with blocking backpressure.
+//!
+//! Each worker shard owns one [`ShardQueue`]; the router pushes routed query
+//! tasks into it and blocks when the queue is full (the backpressure policy:
+//! a slow shard slows admission instead of growing an unbounded backlog).
+//! Workers block on pop until a task arrives or the queue is closed and
+//! drained. The queue also records the maximum depth it reached, which the
+//! serving report surfaces per shard.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// A bounded multi-producer / multi-consumer FIFO queue.
+///
+/// Built directly on `std::sync` (a condvar must pair with the mutex that
+/// produced its guard, and the real `parking_lot` has its own condvar type);
+/// lock poisoning is recovered the same way the vendored `parking_lot`
+/// recovers it, so a panicking worker never wedges the queue.
+#[derive(Debug)]
+pub struct ShardQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    max_depth: usize,
+}
+
+impl<T> ShardQueue<T> {
+    /// Create a queue admitting at most `capacity` queued items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+                max_depth: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The queue's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Push an item, blocking while the queue is full (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back if the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.lock();
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        state.max_depth = state.max_depth.max(state.items.len());
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pop the next item, blocking while the queue is empty. Returns `None`
+    /// once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Close the queue: pending items remain poppable, further pushes fail,
+    /// and blocked consumers wake up once the backlog drains.
+    pub fn close(&self) {
+        let mut state = self.lock();
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// The maximum depth the queue reached so far.
+    pub fn max_depth(&self) -> usize {
+        self.lock().max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_push_pop() {
+        let q = ShardQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.max_depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = ShardQueue::new(4);
+        q.push("a").unwrap();
+        q.close();
+        assert_eq!(q.push("b"), Err("b"));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_backpressure_blocks_producers() {
+        let q = ShardQueue::new(2);
+        let produced = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..100 {
+                    q.push(i).unwrap();
+                    produced.fetch_add(1, Ordering::SeqCst);
+                }
+                q.close();
+            });
+            let mut got = Vec::new();
+            while let Some(item) = q.pop() {
+                got.push(item);
+            }
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        });
+        assert_eq!(produced.load(Ordering::SeqCst), 100);
+        // The bounded queue never grew beyond its capacity.
+        assert!(q.max_depth() <= 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let q: ShardQueue<u32> = ShardQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.push(7).unwrap();
+        assert_eq!(q.pop(), Some(7));
+    }
+}

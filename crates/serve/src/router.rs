@@ -1,0 +1,140 @@
+//! The query router: anchor each query on its home shard.
+//!
+//! A rooted pattern query enters the engine as `(query, root_seed)`. The
+//! router resolves the roots the matcher will anchor on — the same
+//! deterministic label-index lookup the matcher itself performs
+//! ([`loom_sim::matcher::root_candidates`]) — maps each root to the shard
+//! hosting it, and dispatches the query to the shard hosting the **most**
+//! roots (vote ties broken deterministically by the root seed, so no shard is
+//! systematically favoured). Queries whose roots are all unassigned fall back
+//! to round-robin so no shard starves.
+
+use crate::shard::ShardedStore;
+use loom_motif::query::PatternQuery;
+use loom_partition::partition::PartitionId;
+use loom_sim::executor::QueryMode;
+use loom_sim::matcher::{matching_order, root_candidates};
+
+/// Routes queries to home shards ahead of execution.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryRouter {
+    mode: QueryMode,
+}
+
+impl QueryRouter {
+    /// Create a router for queries executed under `mode` (the mode determines
+    /// which roots the matcher will anchor on, and therefore the home shard).
+    pub fn new(mode: QueryMode) -> Self {
+        Self { mode }
+    }
+
+    /// The execution mode the router resolves roots under.
+    pub fn mode(&self) -> QueryMode {
+        self.mode
+    }
+
+    /// The home shard for one `(query, root_seed)` execution: the shard
+    /// hosting the plurality of the roots the matcher will anchor on. Vote
+    /// ties are broken deterministically by `root_seed` (not towards a fixed
+    /// shard, which would systematically overload low shard ids); `fallback`
+    /// breaks the no-assigned-roots case (the engine passes a round-robin
+    /// counter).
+    pub fn home_shard(
+        &self,
+        store: &ShardedStore,
+        query: &PatternQuery,
+        root_seed: u64,
+        fallback: u64,
+    ) -> PartitionId {
+        let k = store.shard_count().max(1);
+        let mut votes = vec![0usize; k as usize];
+        match self.mode {
+            QueryMode::FullEnumeration => {
+                // Every root-label vertex anchors the scan, so each shard's
+                // vote is just a count in its label index — no per-vertex
+                // home lookups.
+                let pattern = query.graph();
+                if !pattern.is_empty() {
+                    let order = matching_order(pattern);
+                    let root_label = pattern
+                        .label(order[0])
+                        .expect("pattern vertices are labelled");
+                    for (i, shard) in store.shards().iter().enumerate() {
+                        votes[i] = shard.vertices_with_label(root_label).len();
+                    }
+                }
+            }
+            QueryMode::Rooted { .. } => {
+                for root in root_candidates(store, query, self.mode, root_seed) {
+                    if let Some(p) = store.home_shard(root) {
+                        votes[p.index()] += 1;
+                    }
+                }
+            }
+        }
+        let best = votes.iter().copied().max().expect("at least one shard");
+        if best == 0 {
+            return PartitionId::new((fallback % k as u64) as u32);
+        }
+        let tied: Vec<usize> = (0..votes.len()).filter(|&i| votes[i] == best).collect();
+        PartitionId::new(tied[root_seed as usize % tied.len()] as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_graph::generators::regular::path_graph;
+    use loom_graph::Label;
+    use loom_motif::query::QueryId;
+    use loom_partition::partition::Partitioning;
+
+    fn l(x: u32) -> Label {
+        Label::new(x)
+    }
+
+    /// Path 0-1-2-3 with labels a,b,a,b; partition {0,1} / {2,3}.
+    fn store() -> ShardedStore {
+        let g = path_graph(4, &[l(0), l(1)]);
+        let vs = g.vertices_sorted();
+        let mut part = Partitioning::new(2, 4).unwrap();
+        part.assign(vs[0], PartitionId::new(0)).unwrap();
+        part.assign(vs[1], PartitionId::new(0)).unwrap();
+        part.assign(vs[2], PartitionId::new(1)).unwrap();
+        part.assign(vs[3], PartitionId::new(1)).unwrap();
+        ShardedStore::from_parts(&g, &part)
+    }
+
+    #[test]
+    fn full_enumeration_routes_to_the_plurality_shard() {
+        let store = store();
+        // Root label a lives at vertices 0 (shard 0) and 2 (shard 1): a tie,
+        // broken deterministically by the root seed.
+        let query = PatternQuery::path(QueryId::new(0), &[l(0), l(1)]).unwrap();
+        let router = QueryRouter::new(QueryMode::FullEnumeration);
+        assert_eq!(router.home_shard(&store, &query, 0, 0), PartitionId::new(0));
+        assert_eq!(router.home_shard(&store, &query, 1, 0), PartitionId::new(1));
+    }
+
+    #[test]
+    fn rooted_routing_is_deterministic_per_seed() {
+        let store = store();
+        let query = PatternQuery::path(QueryId::new(0), &[l(0), l(1)]).unwrap();
+        let router = QueryRouter::new(QueryMode::Rooted { seed_count: 1 });
+        for seed in 0..20 {
+            let a = router.home_shard(&store, &query, seed, 0);
+            let b = router.home_shard(&store, &query, seed, 0);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn unmatched_root_label_falls_back_round_robin() {
+        let store = store();
+        let query = PatternQuery::path(QueryId::new(0), &[l(9), l(1)]).unwrap();
+        let router = QueryRouter::new(QueryMode::FullEnumeration);
+        assert_eq!(router.home_shard(&store, &query, 0, 0), PartitionId::new(0));
+        assert_eq!(router.home_shard(&store, &query, 0, 1), PartitionId::new(1));
+        assert_eq!(router.home_shard(&store, &query, 0, 2), PartitionId::new(0));
+    }
+}

@@ -1,0 +1,429 @@
+//! The sharded store: per-partition CSR slices with a boundary halo.
+//!
+//! [`ShardedStore`] freezes a partitioned graph into the layout a concurrent
+//! serving engine wants: vertices are laid out **partition-major** in one CSR
+//! arena, so each partition's home vertices form a contiguous slice (its
+//! [`Shard`]), and every shard additionally carries a per-label home-vertex
+//! index (the router's shard-local label index), its *boundary* (home
+//! vertices with at least one remote neighbour) and its *halo* (the remote
+//! vertices adjacent to the shard — the replicas a physical deployment would
+//! ship to the shard so one-hop expansions resolve locally; here they feed
+//! the replication and locality accounting).
+//!
+//! The store implements [`PatternStore`], presenting exactly the same graph,
+//! label index and remoteness semantics as the sequential
+//! [`loom_sim::store::PartitionedStore`] — the serving engine's parity tests
+//! rely on the two producing identical metrics for identical queries.
+
+use loom_graph::fxhash::FxHashMap;
+use loom_graph::{Label, LabelledGraph, VertexId};
+use loom_partition::partition::{PartitionId, Partitioning};
+use loom_sim::matcher::PatternStore;
+use loom_sim::store::PartitionedStore;
+use std::ops::Range;
+
+/// Sentinel partition index for vertices without an assignment (they count as
+/// remote to everyone, mirroring `PartitionedStore`).
+const UNASSIGNED: u32 = u32::MAX;
+
+/// One partition's view of the sharded store.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    id: PartitionId,
+    /// Position range of the shard's home vertices in the partition-major
+    /// arena — the shard's CSR slice.
+    range: Range<usize>,
+    /// Label → home vertices carrying it, sorted by id. The router's
+    /// per-shard label index.
+    label_index: FxHashMap<Label, Vec<VertexId>>,
+    /// Home vertices with at least one remote neighbour, sorted by id.
+    boundary: Vec<VertexId>,
+    /// Remote vertices adjacent to this shard (the replicated halo), sorted
+    /// by id.
+    halo: Vec<VertexId>,
+}
+
+impl Shard {
+    /// The partition this shard hosts.
+    pub fn id(&self) -> PartitionId {
+        self.id
+    }
+
+    /// Number of home vertices.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Whether the shard hosts no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// Home vertices carrying `label`, sorted by id.
+    pub fn vertices_with_label(&self, label: Label) -> &[VertexId] {
+        self.label_index
+            .get(&label)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Home vertices with at least one remote neighbour, sorted by id.
+    pub fn boundary(&self) -> &[VertexId] {
+        &self.boundary
+    }
+
+    /// Remote vertices adjacent to the shard (the replicated halo), sorted by
+    /// id.
+    pub fn halo(&self) -> &[VertexId] {
+        &self.halo
+    }
+}
+
+/// An immutable partition-major CSR snapshot of a partitioned graph, sliced
+/// into per-partition [`Shard`]s.
+#[derive(Debug, Clone)]
+pub struct ShardedStore {
+    /// Position → original vertex id, partition-major (shard 0's home
+    /// vertices first, then shard 1's, …, unassigned vertices last).
+    order: Vec<VertexId>,
+    /// Original id → position.
+    position_of: FxHashMap<VertexId, u32>,
+    /// CSR offsets over positions.
+    offsets: Vec<usize>,
+    /// Adjacency in the data graph's stable iteration order (keeps traversal
+    /// order — and therefore match-limited metrics — identical to the
+    /// sequential store).
+    targets: Vec<VertexId>,
+    /// Adjacency sorted per vertex, for O(log d) edge-membership checks.
+    targets_sorted: Vec<VertexId>,
+    /// Partition index per position (`UNASSIGNED` for unplaced vertices).
+    partition: Vec<u32>,
+    /// Label per position.
+    labels: Vec<Label>,
+    /// Global label index: label → vertices, sorted by id.
+    by_label: FxHashMap<Label, Vec<VertexId>>,
+    shards: Vec<Shard>,
+    edge_count: usize,
+    epoch: u64,
+}
+
+impl ShardedStore {
+    /// Build a sharded store from a graph and a partitioning. Unassigned
+    /// vertices are tolerated: they live outside every shard and count as
+    /// remote to everyone.
+    pub fn from_parts(graph: &LabelledGraph, partitioning: &Partitioning) -> Self {
+        let k = partitioning.k();
+        // Partition-major vertex order: (partition, id) ascending, with
+        // unassigned vertices (sentinel) last.
+        let mut order = graph.vertices_sorted();
+        let part_key = |v: &VertexId| {
+            partitioning
+                .partition_of(*v)
+                .map(|p| p.0)
+                .unwrap_or(UNASSIGNED)
+        };
+        order.sort_by_key(|v| (part_key(v), *v));
+        let position_of: FxHashMap<VertexId, u32> = order
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+
+        let n = order.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * graph.edge_count());
+        let mut partition = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        offsets.push(0);
+        for &v in &order {
+            targets.extend_from_slice(graph.neighbors(v));
+            offsets.push(targets.len());
+            partition.push(part_key(&v));
+            labels.push(graph.label(v).expect("vertex present in snapshot"));
+        }
+        let mut targets_sorted = targets.clone();
+        for i in 0..n {
+            targets_sorted[offsets[i]..offsets[i + 1]].sort_unstable();
+        }
+
+        let mut by_label: FxHashMap<Label, Vec<VertexId>> = FxHashMap::default();
+        for (v, l) in graph.labelled_vertices() {
+            by_label.entry(l).or_default().push(v);
+        }
+        for members in by_label.values_mut() {
+            members.sort_unstable();
+        }
+
+        // Per-shard slices, label indexes, boundaries and halos.
+        let mut shards = Vec::with_capacity(k as usize);
+        let mut cursor = 0usize;
+        for p in 0..k {
+            let start = cursor;
+            while cursor < n && partition[cursor] == p {
+                cursor += 1;
+            }
+            let range = start..cursor;
+            let mut label_index: FxHashMap<Label, Vec<VertexId>> = FxHashMap::default();
+            let mut boundary = Vec::new();
+            let mut halo = Vec::new();
+            for pos in range.clone() {
+                let v = order[pos];
+                label_index.entry(labels[pos]).or_default().push(v);
+                let mut is_boundary = false;
+                for &u in &targets[offsets[pos]..offsets[pos + 1]] {
+                    let u_part = position_of
+                        .get(&u)
+                        .map(|&q| partition[q as usize])
+                        .unwrap_or(UNASSIGNED);
+                    if u_part != p {
+                        is_boundary = true;
+                        halo.push(u);
+                    }
+                }
+                if is_boundary {
+                    boundary.push(v);
+                }
+            }
+            halo.sort_unstable();
+            halo.dedup();
+            // Home vertices were visited in (partition, id) order, so the
+            // per-label lists and the boundary are already sorted by id.
+            shards.push(Shard {
+                id: PartitionId::new(p),
+                range,
+                label_index,
+                boundary,
+                halo,
+            });
+        }
+
+        Self {
+            order,
+            position_of,
+            offsets,
+            targets,
+            targets_sorted,
+            partition,
+            labels,
+            by_label,
+            shards,
+            edge_count: graph.edge_count(),
+            epoch: 0,
+        }
+    }
+
+    /// Build a sharded store from a sequential [`PartitionedStore`].
+    pub fn from_store(store: &PartitionedStore) -> Self {
+        Self::from_parts(store.graph(), store.partitioning())
+    }
+
+    /// Tag the snapshot with an epoch number (used by the ingest-while-serve
+    /// epoch store).
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The epoch this snapshot was published under (0 for ad-hoc builds).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of shards (partitions).
+    pub fn shard_count(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// The shards, indexed by partition id.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// One shard by partition id.
+    pub fn shard(&self, p: PartitionId) -> Option<&Shard> {
+        self.shards.get(p.index())
+    }
+
+    /// Number of vertices in the snapshot.
+    pub fn vertex_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Number of undirected edges in the snapshot.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The vertex ids hosted by a shard, in id order (the shard's CSR slice).
+    pub fn home_vertices(&self, p: PartitionId) -> &[VertexId] {
+        self.shards
+            .get(p.index())
+            .map(|s| &self.order[s.range.clone()])
+            .unwrap_or(&[])
+    }
+
+    /// The shard hosting a vertex, if the vertex is assigned.
+    pub fn home_shard(&self, v: VertexId) -> Option<PartitionId> {
+        let pos = *self.position_of.get(&v)?;
+        match self.partition[pos as usize] {
+            UNASSIGNED => None,
+            p => Some(PartitionId::new(p)),
+        }
+    }
+
+    /// Mean copies of each vertex across shards (home + halo replicas); 1.0
+    /// means no replication at all.
+    pub fn replication_factor(&self) -> f64 {
+        if self.order.is_empty() {
+            return 1.0;
+        }
+        let stored: usize = self.shards.iter().map(|s| s.len() + s.halo.len()).sum();
+        // Unassigned vertices are stored nowhere; count them once so the
+        // factor stays an "average copies per vertex" over all vertices.
+        let unassigned = self.partition.iter().filter(|&&p| p == UNASSIGNED).count();
+        (stored + unassigned) as f64 / self.order.len() as f64
+    }
+
+    fn position(&self, v: VertexId) -> Option<usize> {
+        self.position_of.get(&v).map(|&p| p as usize)
+    }
+}
+
+impl PatternStore for ShardedStore {
+    fn label(&self, v: VertexId) -> Option<Label> {
+        self.position(v).map(|p| self.labels[p])
+    }
+
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        match self.position(v) {
+            Some(p) => &self.targets[self.offsets[p]..self.offsets[p + 1]],
+            None => &[],
+        }
+    }
+
+    fn contains_edge(&self, a: VertexId, b: VertexId) -> bool {
+        let Some(p) = self.position(a) else {
+            return false;
+        };
+        self.targets_sorted[self.offsets[p]..self.offsets[p + 1]]
+            .binary_search(&b)
+            .is_ok()
+    }
+
+    fn is_remote_traversal(&self, from: VertexId, to: VertexId) -> bool {
+        match (self.position(from), self.position(to)) {
+            (Some(a), Some(b)) => {
+                let (pa, pb) = (self.partition[a], self.partition[b]);
+                pa == UNASSIGNED || pb == UNASSIGNED || pa != pb
+            }
+            _ => true,
+        }
+    }
+
+    fn vertices_with_label(&self, label: Label) -> &[VertexId] {
+        self.by_label.get(&label).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_graph::generators::regular::path_graph;
+
+    fn fixture() -> (LabelledGraph, Partitioning) {
+        // 0 - 1 - 2 - 3 with partitions {0,1} {2}; 3 unassigned.
+        let g = path_graph(4, &[Label::new(0), Label::new(1)]);
+        let vs = g.vertices_sorted();
+        let mut part = Partitioning::new(2, 4).unwrap();
+        part.assign(vs[0], PartitionId::new(0)).unwrap();
+        part.assign(vs[1], PartitionId::new(0)).unwrap();
+        part.assign(vs[2], PartitionId::new(1)).unwrap();
+        (g, part)
+    }
+
+    #[test]
+    fn partition_major_layout_and_slices() {
+        let (g, part) = fixture();
+        let vs = g.vertices_sorted();
+        let store = ShardedStore::from_parts(&g, &part);
+        assert_eq!(store.shard_count(), 2);
+        assert_eq!(store.vertex_count(), 4);
+        assert_eq!(store.edge_count(), 3);
+        assert_eq!(store.home_vertices(PartitionId::new(0)), &[vs[0], vs[1]]);
+        assert_eq!(store.home_vertices(PartitionId::new(1)), &[vs[2]]);
+        assert_eq!(store.home_shard(vs[1]), Some(PartitionId::new(0)));
+        assert_eq!(store.home_shard(vs[3]), None);
+    }
+
+    #[test]
+    fn boundary_and_halo_indexes() {
+        let (g, part) = fixture();
+        let vs = g.vertices_sorted();
+        let store = ShardedStore::from_parts(&g, &part);
+        let s0 = store.shard(PartitionId::new(0)).unwrap();
+        // Vertex 1 borders partition 1's vertex 2.
+        assert_eq!(s0.boundary(), &[vs[1]]);
+        assert_eq!(s0.halo(), &[vs[2]]);
+        let s1 = store.shard(PartitionId::new(1)).unwrap();
+        // Vertex 2 borders both vertex 1 (shard 0) and unassigned vertex 3.
+        assert_eq!(s1.boundary(), &[vs[2]]);
+        assert_eq!(s1.halo(), &[vs[1], vs[3]]);
+        assert!(store.replication_factor() > 1.0);
+    }
+
+    #[test]
+    fn pattern_store_semantics_match_the_sequential_store() {
+        let (g, part) = fixture();
+        let vs = g.vertices_sorted();
+        let sharded = ShardedStore::from_parts(&g, &part);
+        let sequential = PartitionedStore::new(g.clone(), part.clone());
+        for &v in &vs {
+            assert_eq!(
+                PatternStore::label(&sharded, v),
+                PatternStore::label(&sequential, v)
+            );
+            assert_eq!(
+                PatternStore::neighbors(&sharded, v),
+                PatternStore::neighbors(&sequential, v)
+            );
+            for &u in &vs {
+                assert_eq!(
+                    PatternStore::contains_edge(&sharded, v, u),
+                    PatternStore::contains_edge(&sequential, v, u)
+                );
+                assert_eq!(
+                    PatternStore::is_remote_traversal(&sharded, v, u),
+                    PatternStore::is_remote_traversal(&sequential, v, u)
+                );
+            }
+        }
+        for l in [Label::new(0), Label::new(1), Label::new(9)] {
+            assert_eq!(
+                PatternStore::vertices_with_label(&sharded, l),
+                PatternStore::vertices_with_label(&sequential, l)
+            );
+        }
+    }
+
+    #[test]
+    fn per_shard_label_index_covers_home_vertices_only() {
+        let (g, part) = fixture();
+        let vs = g.vertices_sorted();
+        let store = ShardedStore::from_parts(&g, &part);
+        let s0 = store.shard(PartitionId::new(0)).unwrap();
+        assert_eq!(s0.vertices_with_label(Label::new(0)), &[vs[0]]);
+        assert_eq!(s0.vertices_with_label(Label::new(1)), &[vs[1]]);
+        assert!(s0.vertices_with_label(Label::new(9)).is_empty());
+        assert_eq!(s0.len(), 2);
+        assert!(!s0.is_empty());
+        assert_eq!(s0.id(), PartitionId::new(0));
+    }
+
+    #[test]
+    fn epoch_tagging() {
+        let (g, part) = fixture();
+        let store = ShardedStore::from_parts(&g, &part).with_epoch(7);
+        assert_eq!(store.epoch(), 7);
+    }
+}

@@ -1,29 +1,29 @@
 //! Distributed query execution simulation.
 //!
 //! [`QueryExecutor`] answers pattern matching queries against a
-//! [`PartitionedStore`] with a backtracking search (the same semantics as
-//! `loom_motif::isomorphism`), instrumented to record every *traversal* the
-//! search performs: each time the search expands from a matched vertex to a
-//! candidate neighbour it either stays on the local partition or requires a
-//! hop to a remote partition. The remote fraction is exactly the
-//! "probability of inter-partition traversals" the paper optimises; a simple
-//! latency model converts hop counts into an estimated query latency.
+//! [`PartitionedStore`] with the shared instrumented backtracking search in
+//! [`crate::matcher`] (the same code path the concurrent `loom-serve` worker
+//! shards execute): every expansion from a matched vertex to a candidate
+//! neighbour either stays on the local partition or requires a hop to a
+//! remote partition. The remote fraction is exactly the "probability of
+//! inter-partition traversals" the paper optimises; a simple latency model
+//! converts hop counts into an estimated query latency.
 
+use crate::matcher;
 use crate::store::PartitionedStore;
-use loom_graph::fxhash::{FxHashMap, FxHashSet};
-use loom_graph::VertexId;
 use loom_motif::query::PatternQuery;
 use loom_motif::workload::Workload;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// How query executions are seeded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum QueryMode {
     /// Enumerate every embedding in the whole graph (an analytical scan).
     /// Almost any partitioning incurs remote traversals in this mode; the
     /// informative metric is the inter-partition traversal *probability*.
+    #[default]
     FullEnumeration,
     /// The online / transactional mode the paper targets: each execution is
     /// anchored at a bounded number of randomly chosen root vertices (as a
@@ -33,12 +33,6 @@ pub enum QueryMode {
         /// Number of root vertices sampled per execution.
         seed_count: usize,
     },
-}
-
-impl Default for QueryMode {
-    fn default() -> Self {
-        QueryMode::FullEnumeration
-    }
 }
 
 /// Latency cost model for traversals.
@@ -181,6 +175,11 @@ impl QueryExecutor {
         self.mode
     }
 
+    /// The cap on embeddings enumerated per execution.
+    pub fn match_limit(&self) -> usize {
+        self.max_matches_per_query
+    }
+
     /// Execute a single query and return its metrics. In rooted mode the
     /// roots are drawn deterministically from `root_seed`.
     pub fn execute_seeded(
@@ -189,63 +188,14 @@ impl QueryExecutor {
         query: &PatternQuery,
         root_seed: u64,
     ) -> ExecutionMetrics {
-        let pattern = query.graph();
-        let mut metrics = ExecutionMetrics {
-            queries_executed: 1,
-            ..ExecutionMetrics::default()
-        };
-        if pattern.is_empty() {
-            metrics.local_only_queries = 1;
-            return metrics;
-        }
-        let order = matching_order(pattern);
-        let root_label = pattern
-            .label(order[0])
-            .expect("pattern vertices are labelled");
-        let mut candidates = store.vertices_with_label(root_label);
-        if let QueryMode::Rooted { seed_count } = self.mode {
-            if !candidates.is_empty() {
-                let mut rng = StdRng::seed_from_u64(root_seed);
-                let mut chosen = Vec::with_capacity(seed_count.max(1));
-                for _ in 0..seed_count.max(1) {
-                    chosen.push(candidates[rng.random_range(0..candidates.len())]);
-                }
-                chosen.sort_unstable();
-                chosen.dedup();
-                candidates = chosen;
-            }
-        }
-
-        let mut search = Search {
+        matcher::execute_query(
             store,
-            pattern,
-            order: &order,
-            mapping: FxHashMap::default(),
-            used: FxHashSet::default(),
-            metrics: &mut metrics,
-            match_limit: self.max_matches_per_query,
-        };
-        for root in candidates {
-            // Routing the query to the partition hosting the seed vertex is
-            // free; expansion from there is what costs traversals.
-            search.mapping.insert(order[0], root);
-            search.used.insert(root);
-            search.extend(1);
-            search.mapping.remove(&order[0]);
-            search.used.remove(&root);
-            if search.metrics.matches_found >= search.match_limit {
-                break;
-            }
-        }
-
-        if metrics.remote_traversals == 0 {
-            metrics.local_only_queries = 1;
-        }
-        metrics.estimated_latency_us = metrics.remote_traversals as f64
-            * self.latency.remote_hop_us
-            + (metrics.total_traversals - metrics.remote_traversals) as f64
-                * self.latency.local_hop_us;
-        metrics
+            query,
+            self.mode,
+            self.max_matches_per_query,
+            self.latency,
+            root_seed,
+        )
     }
 
     /// Execute a single query with the default root seed. In
@@ -275,143 +225,11 @@ impl QueryExecutor {
     }
 }
 
-/// Order pattern vertices so each one (after the first) touches an earlier
-/// one — identical to the ordering used by `loom_motif::isomorphism`, kept
-/// local so the executor can instrument the expansion step.
-fn matching_order(pattern: &loom_graph::LabelledGraph) -> Vec<VertexId> {
-    let mut order = Vec::with_capacity(pattern.vertex_count());
-    let mut placed: FxHashSet<VertexId> = FxHashSet::default();
-    let vertices = pattern.vertices_sorted();
-    while placed.len() < pattern.vertex_count() {
-        let next = vertices
-            .iter()
-            .copied()
-            .filter(|v| !placed.contains(v))
-            .max_by_key(|&v| {
-                let connectivity = pattern
-                    .neighbors(v)
-                    .iter()
-                    .filter(|n| placed.contains(n))
-                    .count();
-                (connectivity, pattern.degree(v), std::cmp::Reverse(v.raw()))
-            })
-            .expect("unplaced vertex exists");
-        placed.insert(next);
-        order.push(next);
-    }
-    order
-}
-
-struct Search<'a> {
-    store: &'a PartitionedStore,
-    pattern: &'a loom_graph::LabelledGraph,
-    order: &'a [VertexId],
-    mapping: FxHashMap<VertexId, VertexId>,
-    used: FxHashSet<VertexId>,
-    metrics: &'a mut ExecutionMetrics,
-    match_limit: usize,
-}
-
-impl Search<'_> {
-    fn extend(&mut self, depth: usize) {
-        if self.metrics.matches_found >= self.match_limit {
-            return;
-        }
-        if depth == self.order.len() {
-            self.metrics.matches_found += 1;
-            return;
-        }
-        let pv = self.order[depth];
-        let p_label = self.pattern.label(pv).expect("pattern vertex labelled");
-        let p_degree = self.pattern.degree(pv);
-        let matched_neighbours: Vec<VertexId> = self
-            .pattern
-            .neighbors(pv)
-            .iter()
-            .copied()
-            .filter(|n| self.mapping.contains_key(n))
-            .collect();
-        // Expansion anchor: the first already-matched pattern neighbour. The
-        // distributed engine fetches the anchor's adjacency list and follows
-        // each candidate edge — that is the traversal we meter.
-        let Some(&anchor) = matched_neighbours.first() else {
-            // Disconnected pattern component: re-seed from the label index
-            // (costless routing, like the root seed).
-            let candidates = self.store.vertices_with_label(p_label);
-            for tv in candidates {
-                self.try_candidate(pv, tv, p_label, p_degree, &matched_neighbours, None, depth);
-                if self.metrics.matches_found >= self.match_limit {
-                    return;
-                }
-            }
-            return;
-        };
-        let anchor_image = self.mapping[&anchor];
-        let candidates: Vec<VertexId> = self.store.neighbors(anchor_image).to_vec();
-        for tv in candidates {
-            self.try_candidate(
-                pv,
-                tv,
-                p_label,
-                p_degree,
-                &matched_neighbours,
-                Some(anchor_image),
-                depth,
-            );
-            if self.metrics.matches_found >= self.match_limit {
-                return;
-            }
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn try_candidate(
-        &mut self,
-        pv: VertexId,
-        tv: VertexId,
-        p_label: loom_graph::Label,
-        p_degree: usize,
-        matched_neighbours: &[VertexId],
-        anchor_image: Option<VertexId>,
-        depth: usize,
-    ) {
-        // Following the edge anchor → candidate is one traversal, local or
-        // remote depending on where the two vertices live.
-        if let Some(anchor) = anchor_image {
-            self.metrics.total_traversals += 1;
-            if self.store.is_remote_traversal(anchor, tv) {
-                self.metrics.remote_traversals += 1;
-            }
-        }
-        if self.used.contains(&tv) {
-            return;
-        }
-        if self.store.label(tv) != Some(p_label) {
-            return;
-        }
-        if self.store.neighbors(tv).len() < p_degree {
-            return;
-        }
-        let consistent = matched_neighbours.iter().all(|n| {
-            let image = self.mapping[n];
-            self.store.graph().contains_edge(tv, image)
-        });
-        if !consistent {
-            return;
-        }
-        self.mapping.insert(pv, tv);
-        self.used.insert(tv);
-        self.extend(depth + 1);
-        self.mapping.remove(&pv);
-        self.used.remove(&tv);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use loom_graph::generators::regular::path_graph;
-    use loom_graph::{Label, LabelledGraph};
+    use loom_graph::{Label, LabelledGraph, VertexId};
     use loom_motif::fixtures::{paper_example_graph, paper_example_workload};
     use loom_motif::query::{PatternQuery, QueryId};
     use loom_partition::partition::{PartitionId, Partitioning};

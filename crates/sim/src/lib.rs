@@ -12,10 +12,13 @@
 //!
 //! * [`store::PartitionedStore`] — the partitioned graph: vertex data plus a
 //!   routing table mapping every vertex to its host partition;
-//! * [`executor`] — a backtracking sub-graph matcher instrumented to count
-//!   every traversal it performs and whether the traversal stayed on the
-//!   local partition or had to hop to a remote one (with a configurable
-//!   latency model);
+//! * [`matcher`] — the reusable instrumented backtracking sub-graph matcher,
+//!   generic over the [`matcher::PatternStore`] storage abstraction so the
+//!   concurrent `loom-serve` engine executes the exact same search;
+//! * [`executor`] — the sequential executor driving the matcher against a
+//!   [`store::PartitionedStore`], counting every traversal it performs and
+//!   whether the traversal stayed on the local partition or had to hop to a
+//!   remote one (with a configurable latency model);
 //! * [`runner`] — the experiment driver: generate graph + workload, stream
 //!   the graph through each partitioner under test, execute a sampled query
 //!   mix against each resulting partitioning, and collect quality +
@@ -28,12 +31,14 @@
 
 pub mod executor;
 pub mod growth;
+pub mod matcher;
 pub mod report;
 pub mod runner;
 pub mod store;
 
 pub use executor::{ExecutionMetrics, LatencyModel, QueryExecutor, QueryMode};
 pub use growth::{GrowthCheckpoint, GrowthScenario};
+pub use matcher::PatternStore;
 pub use runner::{ExperimentResult, ExperimentRunner, PartitionerKind};
 pub use store::PartitionedStore;
 
@@ -41,6 +46,7 @@ pub use store::PartitionedStore;
 pub mod prelude {
     pub use crate::executor::{ExecutionMetrics, LatencyModel, QueryExecutor, QueryMode};
     pub use crate::growth::{GrowthCheckpoint, GrowthScenario};
+    pub use crate::matcher::PatternStore;
     pub use crate::report::{Table, TableRow};
     pub use crate::runner::{
         ExperimentConfig, ExperimentResult, ExperimentRunner, PartitionerKind,

@@ -1,0 +1,363 @@
+//! The reusable, instrumented backtracking pattern matcher.
+//!
+//! Both the sequential [`crate::executor::QueryExecutor`] and the concurrent
+//! `loom-serve` worker shards execute rooted pattern queries with exactly the
+//! same search; this module is that search, extracted behind the
+//! [`PatternStore`] abstraction so each engine can plug in its own storage
+//! (hash-map adjacency for the simulator, partition-major CSR slices for the
+//! serving engine) without copy-pasting the matching logic.
+//!
+//! The search is a VF2-style backtracking enumeration (the same semantics as
+//! `loom_motif::isomorphism`) instrumented to record every *traversal* it
+//! performs: each expansion from a matched vertex to a candidate neighbour
+//! either stays on the local partition or hops to a remote one. The remote
+//! fraction is exactly the "probability of inter-partition traversals" the
+//! paper optimises; the [`LatencyModel`] converts hop counts into an
+//! estimated query latency.
+
+use crate::executor::{ExecutionMetrics, LatencyModel, QueryMode};
+use loom_graph::fxhash::{FxHashMap, FxHashSet};
+use loom_graph::{Label, VertexId};
+use loom_motif::query::PatternQuery;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Storage abstraction the matcher runs against.
+///
+/// Implementations must agree on semantics: `neighbors` returns the adjacency
+/// list in a stable order, `vertices_with_label` returns the label index
+/// sorted by vertex id, and `is_remote_traversal` treats vertices without a
+/// partition assignment as remote to everyone. Two stores presenting the same
+/// graph and partitioning produce **identical** [`ExecutionMetrics`] for the
+/// same `(query, mode, seed)` — the property the serving-engine parity tests
+/// assert.
+pub trait PatternStore {
+    /// The label of a vertex, if present.
+    fn label(&self, v: VertexId) -> Option<Label>;
+
+    /// Adjacency list of a vertex (empty if absent), in the store's stable
+    /// iteration order.
+    fn neighbors(&self, v: VertexId) -> &[VertexId];
+
+    /// Whether the undirected edge `a – b` exists.
+    fn contains_edge(&self, a: VertexId, b: VertexId) -> bool;
+
+    /// Whether following `from → to` crosses a partition boundary.
+    fn is_remote_traversal(&self, from: VertexId, to: VertexId) -> bool;
+
+    /// All vertices carrying `label`, sorted by id.
+    fn vertices_with_label(&self, label: Label) -> &[VertexId];
+}
+
+/// Order pattern vertices so each one (after the first) touches an earlier
+/// one — identical to the ordering used by `loom_motif::isomorphism`. The
+/// first entry determines the root label a rooted query is anchored on, which
+/// is why the serving-engine router calls this too.
+pub fn matching_order(pattern: &loom_graph::LabelledGraph) -> Vec<VertexId> {
+    let mut order = Vec::with_capacity(pattern.vertex_count());
+    let mut placed: FxHashSet<VertexId> = FxHashSet::default();
+    let vertices = pattern.vertices_sorted();
+    while placed.len() < pattern.vertex_count() {
+        let next = vertices
+            .iter()
+            .copied()
+            .filter(|v| !placed.contains(v))
+            .max_by_key(|&v| {
+                let connectivity = pattern
+                    .neighbors(v)
+                    .iter()
+                    .filter(|n| placed.contains(n))
+                    .count();
+                (connectivity, pattern.degree(v), std::cmp::Reverse(v.raw()))
+            })
+            .expect("unplaced vertex exists");
+        placed.insert(next);
+        order.push(next);
+    }
+    order
+}
+
+/// The root vertices one query execution is anchored on, in execution order.
+///
+/// In [`QueryMode::FullEnumeration`] this is every vertex carrying the root
+/// label; in [`QueryMode::Rooted`] it is `seed_count` vertices drawn
+/// deterministically from `root_seed` (sorted, de-duplicated) — the seeds an
+/// index lookup would hand a graph database. The serving-engine router uses
+/// the same function to decide a query's home shard.
+pub fn root_candidates<S: PatternStore + ?Sized>(
+    store: &S,
+    query: &PatternQuery,
+    mode: QueryMode,
+    root_seed: u64,
+) -> Vec<VertexId> {
+    let pattern = query.graph();
+    if pattern.is_empty() {
+        return Vec::new();
+    }
+    let order = matching_order(pattern);
+    roots_for_order(store, pattern, &order, mode, root_seed)
+}
+
+/// [`root_candidates`] with the matching order already computed — the path
+/// [`execute_query`] takes so the order is derived once per execution, not
+/// twice.
+fn roots_for_order<S: PatternStore + ?Sized>(
+    store: &S,
+    pattern: &loom_graph::LabelledGraph,
+    order: &[VertexId],
+    mode: QueryMode,
+    root_seed: u64,
+) -> Vec<VertexId> {
+    let root_label = pattern
+        .label(order[0])
+        .expect("pattern vertices are labelled");
+    let candidates = store.vertices_with_label(root_label);
+    match mode {
+        QueryMode::FullEnumeration => candidates.to_vec(),
+        QueryMode::Rooted { seed_count } => {
+            if candidates.is_empty() {
+                return Vec::new();
+            }
+            let mut rng = StdRng::seed_from_u64(root_seed);
+            let mut chosen = Vec::with_capacity(seed_count.max(1));
+            for _ in 0..seed_count.max(1) {
+                chosen.push(candidates[rng.random_range(0..candidates.len())]);
+            }
+            chosen.sort_unstable();
+            chosen.dedup();
+            chosen
+        }
+    }
+}
+
+/// Execute one pattern query against a store and return its metrics.
+///
+/// This is the single code path behind both the sequential executor and the
+/// concurrent serving engine: root selection per [`root_candidates`], then an
+/// instrumented backtracking search from each root, with `match_limit`
+/// capping the total embeddings enumerated across roots.
+pub fn execute_query<S: PatternStore + ?Sized>(
+    store: &S,
+    query: &PatternQuery,
+    mode: QueryMode,
+    match_limit: usize,
+    latency: LatencyModel,
+    root_seed: u64,
+) -> ExecutionMetrics {
+    let pattern = query.graph();
+    let mut metrics = ExecutionMetrics {
+        queries_executed: 1,
+        ..ExecutionMetrics::default()
+    };
+    if pattern.is_empty() {
+        metrics.local_only_queries = 1;
+        return metrics;
+    }
+    let order = matching_order(pattern);
+    let candidates = roots_for_order(store, pattern, &order, mode, root_seed);
+
+    let mut search = Search {
+        store,
+        pattern,
+        order: &order,
+        mapping: FxHashMap::default(),
+        used: FxHashSet::default(),
+        metrics: &mut metrics,
+        match_limit,
+    };
+    for root in candidates {
+        // Routing the query to the partition hosting the seed vertex is
+        // free; expansion from there is what costs traversals.
+        search.mapping.insert(order[0], root);
+        search.used.insert(root);
+        search.extend(1);
+        search.mapping.remove(&order[0]);
+        search.used.remove(&root);
+        if search.metrics.matches_found >= search.match_limit {
+            break;
+        }
+    }
+
+    if metrics.remote_traversals == 0 {
+        metrics.local_only_queries = 1;
+    }
+    metrics.estimated_latency_us = metrics.remote_traversals as f64 * latency.remote_hop_us
+        + (metrics.total_traversals - metrics.remote_traversals) as f64 * latency.local_hop_us;
+    metrics
+}
+
+struct Search<'a, S: PatternStore + ?Sized> {
+    store: &'a S,
+    pattern: &'a loom_graph::LabelledGraph,
+    order: &'a [VertexId],
+    mapping: FxHashMap<VertexId, VertexId>,
+    used: FxHashSet<VertexId>,
+    metrics: &'a mut ExecutionMetrics,
+    match_limit: usize,
+}
+
+impl<S: PatternStore + ?Sized> Search<'_, S> {
+    fn extend(&mut self, depth: usize) {
+        if self.metrics.matches_found >= self.match_limit {
+            return;
+        }
+        if depth == self.order.len() {
+            self.metrics.matches_found += 1;
+            return;
+        }
+        let pv = self.order[depth];
+        let p_label = self.pattern.label(pv).expect("pattern vertex labelled");
+        let p_degree = self.pattern.degree(pv);
+        let matched_neighbours: Vec<VertexId> = self
+            .pattern
+            .neighbors(pv)
+            .iter()
+            .copied()
+            .filter(|n| self.mapping.contains_key(n))
+            .collect();
+        // Expansion anchor: the first already-matched pattern neighbour. The
+        // distributed engine fetches the anchor's adjacency list and follows
+        // each candidate edge — that is the traversal we meter.
+        let store = self.store;
+        let Some(&anchor) = matched_neighbours.first() else {
+            // Disconnected pattern component: re-seed from the label index
+            // (costless routing, like the root seed).
+            let candidates = store.vertices_with_label(p_label);
+            for &tv in candidates {
+                self.try_candidate(pv, tv, p_label, p_degree, &matched_neighbours, None, depth);
+                if self.metrics.matches_found >= self.match_limit {
+                    return;
+                }
+            }
+            return;
+        };
+        let anchor_image = self.mapping[&anchor];
+        let candidates = store.neighbors(anchor_image);
+        for &tv in candidates {
+            self.try_candidate(
+                pv,
+                tv,
+                p_label,
+                p_degree,
+                &matched_neighbours,
+                Some(anchor_image),
+                depth,
+            );
+            if self.metrics.matches_found >= self.match_limit {
+                return;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_candidate(
+        &mut self,
+        pv: VertexId,
+        tv: VertexId,
+        p_label: Label,
+        p_degree: usize,
+        matched_neighbours: &[VertexId],
+        anchor_image: Option<VertexId>,
+        depth: usize,
+    ) {
+        // Following the edge anchor → candidate is one traversal, local or
+        // remote depending on where the two vertices live.
+        if let Some(anchor) = anchor_image {
+            self.metrics.total_traversals += 1;
+            if self.store.is_remote_traversal(anchor, tv) {
+                self.metrics.remote_traversals += 1;
+            }
+        }
+        if self.used.contains(&tv) {
+            return;
+        }
+        if self.store.label(tv) != Some(p_label) {
+            return;
+        }
+        if self.store.neighbors(tv).len() < p_degree {
+            return;
+        }
+        let consistent = matched_neighbours.iter().all(|n| {
+            let image = self.mapping[n];
+            self.store.contains_edge(tv, image)
+        });
+        if !consistent {
+            return;
+        }
+        self.mapping.insert(pv, tv);
+        self.used.insert(tv);
+        self.extend(depth + 1);
+        self.mapping.remove(&pv);
+        self.used.remove(&tv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::PartitionedStore;
+    use loom_graph::generators::regular::path_graph;
+    use loom_motif::query::QueryId;
+    use loom_partition::partition::{PartitionId, Partitioning};
+
+    fn l(x: u32) -> Label {
+        Label::new(x)
+    }
+
+    fn path_store() -> PartitionedStore {
+        let g = path_graph(3, &[l(0), l(1), l(2)]);
+        let vs = g.vertices_sorted();
+        let mut part = Partitioning::new(2, 3).unwrap();
+        part.assign(vs[0], PartitionId::new(0)).unwrap();
+        part.assign(vs[1], PartitionId::new(0)).unwrap();
+        part.assign(vs[2], PartitionId::new(1)).unwrap();
+        PartitionedStore::new(g, part)
+    }
+
+    #[test]
+    fn execute_query_counts_matches_and_traversals() {
+        let store = path_store();
+        let query = PatternQuery::path(QueryId::new(0), &[l(0), l(1), l(2)]).unwrap();
+        let metrics = execute_query(
+            &store,
+            &query,
+            QueryMode::FullEnumeration,
+            10_000,
+            LatencyModel::default(),
+            0,
+        );
+        assert_eq!(metrics.matches_found, 1);
+        assert!(metrics.total_traversals >= 2);
+        assert!(metrics.remote_traversals >= 1);
+    }
+
+    #[test]
+    fn root_candidates_full_mode_covers_the_label_index() {
+        let store = path_store();
+        let query = PatternQuery::path(QueryId::new(0), &[l(1), l(2)]).unwrap();
+        let roots = root_candidates(&store, &query, QueryMode::FullEnumeration, 0);
+        // The matching order anchors on the higher-degree l(1) vertex.
+        assert_eq!(roots.len(), 1);
+        assert_eq!(store.label(roots[0]), Some(l(1)));
+    }
+
+    #[test]
+    fn root_candidates_rooted_mode_is_deterministic_per_seed() {
+        let store = path_store();
+        let query = PatternQuery::path(QueryId::new(0), &[l(0), l(1)]).unwrap();
+        let mode = QueryMode::Rooted { seed_count: 2 };
+        let a = root_candidates(&store, &query, mode, 9);
+        let b = root_candidates(&store, &query, mode, 9);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn missing_root_label_yields_no_candidates() {
+        let store = path_store();
+        let query = PatternQuery::path(QueryId::new(0), &[l(9), l(1)]).unwrap();
+        assert!(root_candidates(&store, &query, QueryMode::FullEnumeration, 0).is_empty());
+        assert!(root_candidates(&store, &query, QueryMode::Rooted { seed_count: 3 }, 0).is_empty());
+    }
+}

@@ -4,7 +4,15 @@
 //! answers the questions a distributed query router would: where does a
 //! vertex live, what are its neighbours, and does following a given edge stay
 //! on the same partition or cross to another one?
+//!
+//! The per-partition and per-label vertex indexes are built **once** at
+//! construction — [`PartitionedStore::vertices_in`] and
+//! [`PartitionedStore::vertices_with_label`] return slices into them, because
+//! both sit on the query router's hot path (every rooted query starts with a
+//! label-index lookup).
 
+use crate::matcher::PatternStore;
+use loom_graph::fxhash::FxHashMap;
 use loom_graph::{Label, LabelledGraph, VertexId};
 use loom_partition::partition::{PartitionId, Partitioning};
 
@@ -13,16 +21,40 @@ use loom_partition::partition::{PartitionId, Partitioning};
 pub struct PartitionedStore {
     graph: LabelledGraph,
     partitioning: Partitioning,
+    /// Partition index → vertices hosted there, sorted by id.
+    by_partition: Vec<Vec<VertexId>>,
+    /// Label → vertices carrying it, sorted by id (the "label index" a graph
+    /// database would consult to seed a query).
+    by_label: FxHashMap<Label, Vec<VertexId>>,
 }
 
 impl PartitionedStore {
     /// Build a store from a graph and a partitioning. Vertices without an
     /// assignment are tolerated (they count as "remote to everyone"), which
     /// lets callers inspect partial/streaming states too.
+    ///
+    /// Construction materialises the per-partition and per-label indexes so
+    /// every later lookup is a slice borrow.
     pub fn new(graph: LabelledGraph, partitioning: Partitioning) -> Self {
+        let mut by_partition: Vec<Vec<VertexId>> = vec![Vec::new(); partitioning.k() as usize];
+        for (v, p) in partitioning.assignments() {
+            by_partition[p.index()].push(v);
+        }
+        for members in &mut by_partition {
+            members.sort_unstable();
+        }
+        let mut by_label: FxHashMap<Label, Vec<VertexId>> = FxHashMap::default();
+        for (v, l) in graph.labelled_vertices() {
+            by_label.entry(l).or_default().push(v);
+        }
+        for members in by_label.values_mut() {
+            members.sort_unstable();
+        }
         Self {
             graph,
             partitioning,
+            by_partition,
+            by_label,
         }
     }
 
@@ -65,22 +97,41 @@ impl PartitionedStore {
         }
     }
 
-    /// Vertices hosted by a partition (sorted by id).
-    pub fn vertices_in(&self, p: PartitionId) -> Vec<VertexId> {
-        self.partitioning.members(p)
+    /// Vertices hosted by a partition (sorted by id). A slice into the index
+    /// built at construction — no per-call allocation.
+    pub fn vertices_in(&self, p: PartitionId) -> &[VertexId] {
+        self.by_partition
+            .get(p.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
-    /// All vertices carrying a label, sorted by id (the "label index" a graph
-    /// database would use to seed a query).
-    pub fn vertices_with_label(&self, label: Label) -> Vec<VertexId> {
-        let mut result: Vec<VertexId> = self
-            .graph
-            .labelled_vertices()
-            .filter(|&(_, l)| l == label)
-            .map(|(v, _)| v)
-            .collect();
-        result.sort_unstable();
-        result
+    /// All vertices carrying a label, sorted by id. A slice into the label
+    /// index built at construction — no per-call allocation.
+    pub fn vertices_with_label(&self, label: Label) -> &[VertexId] {
+        self.by_label.get(&label).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+impl PatternStore for PartitionedStore {
+    fn label(&self, v: VertexId) -> Option<Label> {
+        PartitionedStore::label(self, v)
+    }
+
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        PartitionedStore::neighbors(self, v)
+    }
+
+    fn contains_edge(&self, a: VertexId, b: VertexId) -> bool {
+        self.graph.contains_edge(a, b)
+    }
+
+    fn is_remote_traversal(&self, from: VertexId, to: VertexId) -> bool {
+        PartitionedStore::is_remote_traversal(self, from, to)
+    }
+
+    fn vertices_with_label(&self, label: Label) -> &[VertexId] {
+        PartitionedStore::vertices_with_label(self, label)
     }
 }
 
@@ -109,7 +160,7 @@ mod tests {
         assert_eq!(s.partition_of(vs[3]), None);
         assert_eq!(s.label(vs[1]), Some(Label::new(1)));
         assert_eq!(s.neighbors(vs[0]), &[vs[1]]);
-        assert_eq!(s.vertices_in(PartitionId::new(0)), vec![vs[0], vs[1]]);
+        assert_eq!(s.vertices_in(PartitionId::new(0)), &[vs[0], vs[1]]);
     }
 
     #[test]
@@ -128,5 +179,17 @@ mod tests {
         let with_a = s.vertices_with_label(Label::new(0));
         assert_eq!(with_a.len(), 2);
         assert!(s.vertices_with_label(Label::new(9)).is_empty());
+        // Slices are sorted and repeat lookups alias the same index.
+        assert!(with_a.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(
+            s.vertices_with_label(Label::new(0)).as_ptr(),
+            with_a.as_ptr()
+        );
+    }
+
+    #[test]
+    fn out_of_range_partition_lookup_is_empty() {
+        let s = store();
+        assert!(s.vertices_in(PartitionId::new(7)).is_empty());
     }
 }

@@ -14,8 +14,11 @@
 //! * [`loom_core`] — the LOOM workload-aware streaming partitioner itself,
 //!   with its fluent [`LoomBuilder`](loom_core::LoomBuilder) and the
 //!   workload-aware registry extension;
-//! * [`loom_sim`] — the distributed query-execution simulator and the
-//!   experiment runner.
+//! * [`loom_sim`] — the distributed query-execution simulator, the shared
+//!   instrumented pattern matcher and the experiment runner;
+//! * [`loom_serve`] — the concurrent sharded serving engine: partition-major
+//!   CSR shards with boundary halos, a home-shard query router with bounded
+//!   per-shard work queues, and ingest-while-serve epoch snapshots.
 //!
 //! ## Quickstart: the `Session` façade
 //!
@@ -59,15 +62,17 @@ pub use loom_core;
 pub use loom_graph;
 pub use loom_motif;
 pub use loom_partition;
+pub use loom_serve;
 pub use loom_sim;
 
-pub use session::{Serving, Session, SessionBuilder, SessionError};
+pub use session::{Serving, Session, SessionBuilder, SessionError, ShardedServing};
 
 /// One-stop prelude for examples, tests and downstream experiments.
 pub mod prelude {
-    pub use crate::session::{Serving, Session, SessionBuilder, SessionError};
+    pub use crate::session::{Serving, Session, SessionBuilder, SessionError, ShardedServing};
     pub use loom_core::prelude::*;
     pub use loom_graph::prelude::*;
     pub use loom_motif::prelude::*;
+    pub use loom_serve::prelude::*;
     pub use loom_sim::prelude::*;
 }

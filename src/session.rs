@@ -11,7 +11,9 @@
 //!    ([`Session::ingest_stream`] chunks a whole [`GraphStream`]);
 //! 4. **serve** — [`Session::serve`] flushes the partitioner and hands the
 //!    partitioned graph to a [`PartitionedStore`] + [`QueryExecutor`] pair
-//!    for query execution.
+//!    for query execution; [`Serving::sharded`] additionally freezes the
+//!    store into a `loom-serve` [`ShardedStore`] and stands up the
+//!    concurrent worker-shard engine behind the same metrics.
 //!
 //! ```
 //! use loom::session::Session;
@@ -43,9 +45,13 @@ use loom_partition::partition::Partitioning;
 use loom_partition::spec::{PartitionerRegistry, PartitionerSpec};
 use loom_partition::traits::{Partitioner, PartitionerStats, DEFAULT_BATCH_SIZE};
 use loom_partition::PartitionError;
+use loom_serve::engine::{ServeConfig, ServeEngine};
+use loom_serve::metrics::ServeReport;
+use loom_serve::shard::ShardedStore;
 use loom_sim::executor::{ExecutionMetrics, LatencyModel, QueryExecutor, QueryMode};
 use loom_sim::store::PartitionedStore;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors produced while building or driving a [`Session`].
 #[derive(Debug)]
@@ -348,6 +354,67 @@ impl Serving {
         self.executor
             .execute_workload(&self.store, workload, samples, seed)
     }
+
+    /// Freeze the store into a [`ShardedStore`] and stand up the concurrent
+    /// serving engine with `workers` worker shards. The engine inherits the
+    /// session's query mode, latency model and match limit, so its aggregate
+    /// metrics are directly comparable to (in fact, identical to) the
+    /// sequential [`Serving::execute_workload`] path for the same load.
+    pub fn sharded(&self, workers: usize) -> ShardedServing {
+        let config = ServeConfig::new(workers)
+            .with_mode(self.executor.mode())
+            .with_latency(self.executor.latency_model())
+            .with_match_limit(self.executor.match_limit());
+        ShardedServing {
+            store: Arc::new(ShardedStore::from_store(&self.store)),
+            engine: ServeEngine::new(config),
+            workload: self.workload.clone(),
+        }
+    }
+}
+
+/// The concurrent serving half of a session: an immutable sharded snapshot
+/// plus the `loom-serve` engine, created by [`Serving::sharded`].
+#[derive(Debug, Clone)]
+pub struct ShardedServing {
+    store: Arc<ShardedStore>,
+    engine: ServeEngine,
+    workload: Option<Workload>,
+}
+
+impl ShardedServing {
+    /// The pinned sharded snapshot.
+    pub fn store(&self) -> &Arc<ShardedStore> {
+        &self.store
+    }
+
+    /// The serving engine.
+    pub fn engine(&self) -> &ServeEngine {
+        &self.engine
+    }
+
+    /// Serve `samples` queries drawn from the session's workload across the
+    /// worker shards and report per-shard QPS, latency percentiles and
+    /// remote-hop fractions.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the session was built without a workload (use
+    /// [`ShardedServing::serve`] with an explicit workload instead).
+    pub fn serve_workload(&self, samples: usize, seed: u64) -> SessionResult<ServeReport> {
+        let Some(workload) = &self.workload else {
+            return Err(SessionError::MissingWorkload("serving the workload"));
+        };
+        Ok(self
+            .engine
+            .serve_batch(&self.store, workload, samples, seed))
+    }
+
+    /// Serve `samples` queries drawn from an explicit workload.
+    pub fn serve(&self, workload: &Workload, samples: usize, seed: u64) -> ServeReport {
+        self.engine
+            .serve_batch(&self.store, workload, samples, seed)
+    }
 }
 
 #[cfg(test)]
@@ -397,7 +464,7 @@ mod tests {
     #[test]
     fn loom_spec_without_workload_is_rejected_at_build() {
         let spec = PartitionerSpec::Loom(LoomConfig::new(2, 8));
-        let err = Session::builder(spec).build().err().expect("must fail");
+        let err = Session::builder(spec).build().expect_err("must fail");
         assert!(err.to_string().contains("workload"));
     }
 
