@@ -1,0 +1,382 @@
+//! The adaptation driver: close the loop from observed queries to placement.
+//!
+//! [`AdaptiveServing`] owns the pieces the loop needs — the graph, the live
+//! [`Partitioning`], an [`EpochStore`] of immutable shard snapshots, a
+//! [`WorkloadTracker`] and a [`MigrationPlanner`] — and ties them into
+//!
+//! ```text
+//!   serve batch ──► track query mix ──► drift? ──► plan bounded moves
+//!        ▲                                              │
+//!        │                                              ▼
+//!   publish epoch ◄── rebuild affected shards ◄── apply to partitioning
+//! ```
+//!
+//! Adaptation never blocks reads: queries pin whatever epoch is current when
+//! they execute, the migrated snapshot is built incrementally *off to the
+//! side* ([`ShardedStore::apply_migration`] rebuilds only the shards the
+//! moves touched) and is published atomically through the epoch store.
+
+use crate::tracker::{DriftConfig, WorkloadTracker};
+use loom_graph::{LabelledGraph, VertexId};
+use loom_motif::workload::Workload;
+use loom_partition::error::Result;
+use loom_partition::migrate::{MigrationConfig, MigrationPlanner};
+use loom_partition::partition::{PartitionId, Partitioning};
+use loom_serve::engine::{ServeConfig, ServeEngine};
+use loom_serve::epoch::EpochStore;
+use loom_serve::metrics::ServeReport;
+use loom_serve::shard::ShardedStore;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`AdaptiveServing`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptConfig {
+    /// Drift detection parameters.
+    pub drift: DriftConfig,
+    /// Per-round migration budget and scoring parameters.
+    pub migration: MigrationConfig,
+    /// Maximum planning rounds per adaptation (each round re-plans against
+    /// the placement the previous round produced, so bounded batches can
+    /// chase a large drift without one huge stale plan).
+    pub max_rounds: usize,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        Self {
+            drift: DriftConfig::default(),
+            migration: MigrationConfig::default(),
+            max_rounds: 4,
+        }
+    }
+}
+
+/// What one adaptation pass did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptOutcome {
+    /// Total-variation drift that triggered the pass.
+    pub drift_before: f64,
+    /// Drift after the pass (0 right after a rebase).
+    pub drift_after: f64,
+    /// Vertices whose home shard changed.
+    pub moved: usize,
+    /// Planning rounds that produced at least one move.
+    pub rounds: usize,
+    /// Shards whose indexes were rebuilt (0 when no move was applied).
+    pub affected_shards: usize,
+    /// The epoch the migrated snapshot was published under (unchanged when
+    /// no move was applied).
+    pub epoch: u64,
+}
+
+/// A serving endpoint that notices workload drift and incrementally migrates
+/// the placement underneath in-flight queries.
+#[derive(Debug)]
+pub struct AdaptiveServing {
+    graph: LabelledGraph,
+    partitioning: Partitioning,
+    epochs: EpochStore,
+    engine: ServeEngine,
+    tracker: WorkloadTracker,
+    planner: MigrationPlanner,
+    config: AdaptConfig,
+    adaptations: usize,
+    total_moved: usize,
+}
+
+impl AdaptiveServing {
+    /// Stand up adaptive serving over `graph` placed by `partitioning`,
+    /// tracking drift against `mined_workload` — the workload (query set
+    /// *and* frequencies) the partitioning was mined for.
+    pub fn new(
+        graph: LabelledGraph,
+        partitioning: Partitioning,
+        mined_workload: Workload,
+        serve: ServeConfig,
+        config: AdaptConfig,
+    ) -> Self {
+        let store = ShardedStore::from_parts(&graph, &partitioning);
+        Self {
+            epochs: EpochStore::new(store),
+            engine: ServeEngine::new(serve),
+            tracker: WorkloadTracker::new(mined_workload, config.drift),
+            planner: MigrationPlanner::new(config.migration),
+            graph,
+            partitioning,
+            config,
+            adaptations: 0,
+            total_moved: 0,
+        }
+    }
+
+    /// The live placement (kept in lock-step with the published snapshots).
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// The epoch store serving queries; external readers may pin snapshots
+    /// from it at any time.
+    pub fn epochs(&self) -> &EpochStore {
+        &self.epochs
+    }
+
+    /// The drift tracker.
+    pub fn tracker(&self) -> &WorkloadTracker {
+        &self.tracker
+    }
+
+    /// The epoch currently being served.
+    pub fn current_epoch(&self) -> u64 {
+        self.epochs.current_epoch()
+    }
+
+    /// Adaptation passes that applied at least one move.
+    pub fn adaptations(&self) -> usize {
+        self.adaptations
+    }
+
+    /// Total vertices migrated over the store's lifetime.
+    pub fn total_moved(&self) -> usize {
+        self.total_moved
+    }
+
+    /// Serve `samples` queries from the *live* workload, track the observed
+    /// mix, and — when it has drifted past the threshold — run one adaptation
+    /// pass before returning. Queries in flight keep their pinned snapshot;
+    /// only queries admitted after the pass see the migrated placement.
+    ///
+    /// `workload` must present the same query set (and order) as the mined
+    /// workload the tracker was built with; its frequencies are the live
+    /// traffic's and may differ arbitrarily.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement errors from applying a migration plan (cannot
+    /// occur for plans produced against the live partitioning).
+    pub fn serve(
+        &mut self,
+        workload: &Workload,
+        samples: usize,
+        seed: u64,
+    ) -> Result<(ServeReport, Option<AdaptOutcome>)> {
+        let report = self
+            .engine
+            .serve_epochs(&self.epochs, workload, samples, seed);
+        self.tracker.observe(&report);
+        let outcome = if self.tracker.is_drifted() {
+            Some(self.adapt_now()?)
+        } else {
+            None
+        };
+        Ok((report, outcome))
+    }
+
+    /// Run one adaptation pass immediately, regardless of the drift flag:
+    /// plan up to `max_rounds` bounded move batches against the observed
+    /// mix's hot labels, apply them to the placement, rebuild only the
+    /// affected shards and publish the result as a new epoch.
+    ///
+    /// The tracker is rebased onto the observed mix only once the planner
+    /// runs dry. If the pass instead stopped on the round budget with moves
+    /// still worth making, the drift flag stays raised so the next serving
+    /// batch continues the repair — rebasing there would zero the signal
+    /// with the placement only partially adapted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement errors from applying a migration plan.
+    pub fn adapt_now(&mut self) -> Result<AdaptOutcome> {
+        let drift_before = self.tracker.drift();
+        let hot = self.tracker.hot_label_weights();
+        let mut moves: Vec<(VertexId, PartitionId)> = Vec::new();
+        let mut rounds = 0;
+        let mut planner_ran_dry = false;
+        for _ in 0..self.config.max_rounds.max(1) {
+            let plan = self.planner.plan(&self.graph, &self.partitioning, &hot);
+            if plan.is_empty() {
+                planner_ran_dry = true;
+                break;
+            }
+            rounds += 1;
+            moves.extend(plan.moves.iter().map(|m| (m.vertex, m.to)));
+            plan.apply(&mut self.partitioning)?;
+        }
+        if moves.is_empty() {
+            // Nothing worth moving (the placement already suits the mix):
+            // accept the observed mix as the new baseline so the same drift
+            // is not re-flagged every batch.
+            self.tracker.rebase();
+            return Ok(AdaptOutcome {
+                drift_before,
+                drift_after: self.tracker.drift(),
+                moved: 0,
+                rounds: 0,
+                affected_shards: 0,
+                epoch: self.epochs.current_epoch(),
+            });
+        }
+        let migrated = self.epochs.load().apply_migration(&moves);
+        let epoch = self.epochs.publish(migrated.store);
+        if planner_ran_dry {
+            self.tracker.rebase();
+        }
+        self.adaptations += 1;
+        self.total_moved += migrated.moved;
+        Ok(AdaptOutcome {
+            drift_before,
+            drift_after: self.tracker.drift(),
+            moved: migrated.moved,
+            rounds,
+            affected_shards: migrated.affected_shards.len(),
+            epoch,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loom_graph::generators::regular::path_graph;
+    use loom_graph::Label;
+    use loom_motif::query::{PatternQuery, QueryId};
+
+    fn l(x: u32) -> Label {
+        Label::new(x)
+    }
+
+    /// A 12-vertex abc-path graph over 2 partitions, deliberately splitting
+    /// every abc triple across the partition boundary at vertex granularity.
+    fn fixture() -> (LabelledGraph, Partitioning, Workload) {
+        let g = path_graph(12, &[l(0), l(1), l(2)]);
+        let mut part = Partitioning::new(2, 12).unwrap();
+        for (i, v) in g.vertices_sorted().into_iter().enumerate() {
+            // Alternate assignment: maximally scattered.
+            part.assign(v, PartitionId::new((i % 2) as u32)).unwrap();
+        }
+        let workload = Workload::uniform(vec![PatternQuery::path(
+            QueryId::new(0),
+            &[l(0), l(1), l(2)],
+        )
+        .unwrap()])
+        .unwrap();
+        (g, part, workload)
+    }
+
+    #[test]
+    fn serving_without_drift_keeps_the_epoch() {
+        let (g, part, workload) = fixture();
+        let mut adaptive = AdaptiveServing::new(
+            g,
+            part,
+            workload.clone(),
+            ServeConfig::new(2),
+            AdaptConfig::default(),
+        );
+        let (report, outcome) = adaptive.serve(&workload, 50, 3).unwrap();
+        assert_eq!(report.queries, 50);
+        assert!(outcome.is_none(), "uniform traffic matches the baseline");
+        assert_eq!(adaptive.current_epoch(), 1);
+        assert_eq!(adaptive.adaptations(), 0);
+    }
+
+    #[test]
+    fn adapt_now_repairs_locality_and_publishes_an_epoch() {
+        let (g, part, workload) = fixture();
+        let mut adaptive = AdaptiveServing::new(
+            g.clone(),
+            part,
+            workload.clone(),
+            ServeConfig::new(2),
+            AdaptConfig::default(),
+        );
+        let before = adaptive
+            .engine
+            .serve_epochs(&adaptive.epochs, &workload, 200, 7);
+        adaptive.tracker.observe_counts(&[200]);
+        let outcome = adaptive.adapt_now().unwrap();
+        assert!(outcome.moved > 0);
+        assert!(outcome.rounds >= 1);
+        assert_eq!(outcome.epoch, 2);
+        assert_eq!(adaptive.current_epoch(), 2);
+        let after = adaptive
+            .engine
+            .serve_epochs(&adaptive.epochs, &workload, 200, 7);
+        assert!(
+            after.remote_hop_fraction() < before.remote_hop_fraction(),
+            "migration should cut remote hops: {} -> {}",
+            before.remote_hop_fraction(),
+            after.remote_hop_fraction()
+        );
+        // The live partitioning matches the published snapshot.
+        let snapshot = adaptive.epochs().load();
+        for (v, p) in adaptive.partitioning().assignments() {
+            assert_eq!(snapshot.home_shard(v), Some(p));
+        }
+    }
+
+    #[test]
+    fn exhausted_round_budget_keeps_the_drift_flag_raised() {
+        // A budget far too small for the pending repair: the pass must NOT
+        // rebase, so the next batch continues migrating instead of stranding
+        // the remaining gains behind a zeroed drift signal.
+        let (g, part, _) = fixture();
+        let q_fwd = PatternQuery::path(QueryId::new(0), &[l(0), l(1), l(2)]).unwrap();
+        let q_rev = PatternQuery::path(QueryId::new(1), &[l(2), l(1), l(0)]).unwrap();
+        let mined = Workload::new(vec![(q_fwd.clone(), 9.0), (q_rev.clone(), 1.0)]).unwrap();
+        let live = Workload::new(vec![(q_fwd, 1.0), (q_rev, 9.0)]).unwrap();
+        let config = AdaptConfig {
+            migration: MigrationConfig::new(1),
+            max_rounds: 1,
+            ..AdaptConfig::default()
+        };
+        let mut adaptive = AdaptiveServing::new(g, part, mined, ServeConfig::new(2), config);
+        adaptive.tracker.observe_counts(&[0, 200]);
+        assert!(adaptive.tracker.is_drifted());
+        let first = adaptive.adapt_now().unwrap();
+        assert_eq!(first.moved, 1);
+        assert!(
+            adaptive.tracker.is_drifted(),
+            "budget-exhausted pass must not rebase"
+        );
+        // Serving the still-drifted traffic again triggers another pass.
+        let (_, outcome) = adaptive.serve(&live, 100, 4).unwrap();
+        assert!(outcome.is_some(), "repair continues on the next batch");
+        assert!(adaptive.total_moved() >= 2);
+    }
+
+    #[test]
+    fn adaptation_without_useful_moves_rebases_quietly() {
+        // Already-perfect placement: each abc triple wholly inside one
+        // partition. Drift gets flagged, but no move clears the gain bar.
+        let g = path_graph(6, &[l(0), l(1), l(2)]);
+        let mut part = Partitioning::new(2, 6).unwrap();
+        for (i, v) in g.vertices_sorted().into_iter().enumerate() {
+            part.assign(v, PartitionId::new((i / 3) as u32)).unwrap();
+        }
+        let workload = Workload::new(vec![
+            (
+                PatternQuery::path(QueryId::new(0), &[l(0), l(1), l(2)]).unwrap(),
+                9.0,
+            ),
+            (
+                PatternQuery::path(QueryId::new(1), &[l(2), l(1)]).unwrap(),
+                1.0,
+            ),
+        ])
+        .unwrap();
+        let mut adaptive = AdaptiveServing::new(
+            g,
+            part,
+            workload,
+            ServeConfig::new(2),
+            AdaptConfig::default(),
+        );
+        adaptive.tracker.observe_counts(&[0, 100]);
+        assert!(adaptive.tracker.is_drifted());
+        let outcome = adaptive.adapt_now().unwrap();
+        assert_eq!(adaptive.current_epoch(), 1, "no pointless epoch churn");
+        assert!(!adaptive.tracker.is_drifted(), "rebased");
+        assert!(outcome.drift_before > 0.0);
+        assert_eq!(outcome.drift_after, 0.0);
+    }
+}

@@ -11,6 +11,9 @@
 //!   ([`Partitioning`]) and capacity accounting;
 //! * [`metrics`] — edge cut, cut ratio, balance/imbalance, communication
 //!   volume and ground-truth community agreement;
+//! * [`migrate`] — the incremental re-partitioner: bounded batches of
+//!   gain-scored, Fennel-balance-penalized vertex moves that repair a
+//!   placement after workload drift (consumed by `loom-adapt`);
 //! * [`traits`] — the object-safe [`Partitioner`] contract (batched
 //!   ingestion, non-destructive snapshots, move-out `finish`, unified stats)
 //!   plus drivers that feed a [`loom_graph::GraphStream`] through any
@@ -36,6 +39,7 @@ pub mod fennel;
 pub mod hash;
 pub mod ldg;
 pub mod metrics;
+pub mod migrate;
 pub mod offline;
 pub mod partition;
 pub mod spec;
@@ -46,6 +50,7 @@ pub use error::PartitionError;
 pub use fennel::FennelPartitioner;
 pub use hash::HashPartitioner;
 pub use ldg::LdgPartitioner;
+pub use migrate::{MigrationConfig, MigrationPlan, MigrationPlanner, VertexMove};
 pub use partition::{PartitionId, Partitioning};
 pub use spec::{build_baseline, LoomConfig, PartitionerRegistry, PartitionerSpec};
 #[allow(deprecated)]
@@ -59,6 +64,7 @@ pub mod prelude {
     pub use crate::hash::{HashConfig, HashPartitioner};
     pub use crate::ldg::{LdgConfig, LdgPartitioner};
     pub use crate::metrics::{PartitionQuality, QualityReport};
+    pub use crate::migrate::{MigrationConfig, MigrationPlan, MigrationPlanner, VertexMove};
     pub use crate::offline::{MultilevelConfig, MultilevelPartitioner};
     pub use crate::partition::{PartitionId, Partitioning};
     pub use crate::spec::{build_baseline, LoomConfig, PartitionerRegistry, PartitionerSpec};

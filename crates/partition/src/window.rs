@@ -58,6 +58,13 @@ pub struct StreamWindow {
     window_adj: FxHashMap<VertexId, Vec<VertexId>>,
     /// Adjacency from window members to evicted vertices.
     external_adj: FxHashMap<VertexId, Vec<VertexId>>,
+    /// Reverse of `external_adj`: for each *outside* vertex, the window
+    /// members listing it as an external neighbour (one entry per edge
+    /// occurrence). Kept so a vertex re-entering the window after eviction
+    /// can reclaim its edges as window edges in O(degree) instead of leaving
+    /// stale external entries behind — those would double-count the edge in
+    /// the LDG score once the re-entered vertex is evicted again.
+    external_rev: FxHashMap<VertexId, Vec<VertexId>>,
 }
 
 impl StreamWindow {
@@ -70,6 +77,7 @@ impl StreamWindow {
             labels: FxHashMap::default(),
             window_adj: FxHashMap::default(),
             external_adj: FxHashMap::default(),
+            external_rev: FxHashMap::default(),
         }
     }
 
@@ -126,11 +134,28 @@ impl StreamWindow {
 
     /// Buffer a new vertex. The caller is responsible for evicting first if
     /// the window [`is_full`](StreamWindow::is_full).
+    ///
+    /// A vertex that re-enters the window after a previous eviction reclaims
+    /// the edges it left behind: every remaining member that recorded it as an
+    /// *external* neighbour flips that edge back to a window edge, so the edge
+    /// is never counted twice (once as external, once as window) by a later
+    /// eviction's LDG score.
     pub fn push_vertex(&mut self, id: VertexId, label: Label) {
         if self.labels.insert(id, label).is_none() {
             self.order.push_back(id);
             self.window_adj.entry(id).or_default();
             self.external_adj.entry(id).or_default();
+            if let Some(members) = self.external_rev.remove(&id) {
+                for n in members {
+                    if let Some(ext) = self.external_adj.get_mut(&n) {
+                        if let Some(pos) = ext.iter().position(|&u| u == id) {
+                            ext.swap_remove(pos);
+                        }
+                    }
+                    self.window_adj.entry(n).or_default().push(id);
+                    self.window_adj.entry(id).or_default().push(n);
+                }
+            }
         }
     }
 
@@ -146,6 +171,7 @@ impl StreamWindow {
             }
             (true, false) => {
                 self.external_adj.entry(a).or_default().push(b);
+                self.external_rev.entry(b).or_default().push(a);
                 EdgePlacement::OneInWindow {
                     inside: a,
                     outside: b,
@@ -153,6 +179,7 @@ impl StreamWindow {
             }
             (false, true) => {
                 self.external_adj.entry(b).or_default().push(a);
+                self.external_rev.entry(a).or_default().push(b);
                 EdgePlacement::OneInWindow {
                     inside: b,
                     outside: a,
@@ -176,11 +203,25 @@ impl StreamWindow {
         self.order.retain(|&v| v != id);
         let window_neighbours = self.window_adj.remove(&id).unwrap_or_default();
         let external_neighbours = self.external_adj.remove(&id).unwrap_or_default();
+        // The removed vertex's external edges leave the window's bookkeeping
+        // entirely: drop the matching reverse entries so the index stays
+        // bounded by the window's current external edges.
+        for &u in &external_neighbours {
+            if let Some(rev) = self.external_rev.get_mut(&u) {
+                if let Some(pos) = rev.iter().position(|&m| m == id) {
+                    rev.swap_remove(pos);
+                }
+                if rev.is_empty() {
+                    self.external_rev.remove(&u);
+                }
+            }
+        }
         for &n in &window_neighbours {
             if let Some(adj) = self.window_adj.get_mut(&n) {
                 adj.retain(|&u| u != id);
             }
             self.external_adj.entry(n).or_default().push(id);
+            self.external_rev.entry(id).or_default().push(n);
         }
         Some(EvictedVertex {
             id,
@@ -288,6 +329,64 @@ mod tests {
         assert_eq!(drained.len(), 3);
         assert_eq!(drained[0].id, v(1));
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn reentry_after_eviction_does_not_double_count_edges() {
+        let mut w = StreamWindow::new(4);
+        w.push_vertex(v(1), l(0));
+        w.push_vertex(v(2), l(1));
+        w.push_edge(v(1), v(2));
+        let evicted = w.remove(v(1)).unwrap();
+        assert_eq!(evicted.window_neighbours, vec![v(2)]);
+        assert_eq!(w.external_neighbours(v(2)), &[v(1)]);
+
+        // Vertex 1 re-enters the window: the 1–2 edge must flip back to a
+        // window edge instead of ALSO surviving as vertex 2's external edge
+        // (which would double-count it in the LDG score at 2's eviction).
+        w.push_vertex(v(1), l(0));
+        assert!(w.external_neighbours(v(2)).is_empty());
+        assert_eq!(w.window_neighbours(v(2)), &[v(1)]);
+        assert_eq!(w.window_neighbours(v(1)), &[v(2)]);
+
+        let evicted = w.remove(v(2)).unwrap();
+        assert_eq!(evicted.window_neighbours, vec![v(1)]);
+        assert!(
+            evicted.external_neighbours.is_empty(),
+            "window→evicted edge was double-counted on re-entry"
+        );
+        // And the re-entered vertex now sees 2 as external, exactly once.
+        assert_eq!(w.external_neighbours(v(1)), &[v(2)]);
+    }
+
+    #[test]
+    fn reentry_with_multiple_window_neighbours_reclaims_every_edge() {
+        let mut w = StreamWindow::new(8);
+        for i in 1..=4 {
+            w.push_vertex(v(i), l(0));
+        }
+        w.push_edge(v(1), v(2));
+        w.push_edge(v(1), v(3));
+        w.push_edge(v(1), v(4));
+        w.remove(v(1)).unwrap();
+        for i in 2..=4 {
+            assert_eq!(w.external_neighbours(v(i)), &[v(1)]);
+        }
+        w.push_vertex(v(1), l(0));
+        for i in 2..=4 {
+            assert!(w.external_neighbours(v(i)).is_empty());
+            assert_eq!(w.window_neighbours(v(i)), &[v(1)]);
+        }
+        let mut reclaimed = w.window_neighbours(v(1)).to_vec();
+        reclaimed.sort_unstable();
+        assert_eq!(reclaimed, vec![v(2), v(3), v(4)]);
+        // Total degree over the window is still one per edge.
+        let drained = w.drain();
+        let degree_sum: usize = drained
+            .iter()
+            .map(|e| e.window_neighbours.len() + e.external_neighbours.len())
+            .sum();
+        assert_eq!(degree_sum, 2 * 3, "each edge counted once per side");
     }
 
     #[test]

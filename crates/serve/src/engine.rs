@@ -220,10 +220,15 @@ impl ServeEngine {
         // sequential executor: one workload draw per sample, root seed
         // `seed + i + 1`).
         let mut rng = StdRng::seed_from_u64(seed);
+        let mut query_counts = vec![0usize; workload.len()];
         let tasks: Vec<QueryTask> = (0..samples)
-            .map(|i| QueryTask {
-                query: workload.sample_index(&mut rng),
-                root_seed: seed.wrapping_add(i as u64 + 1),
+            .map(|i| {
+                let query = workload.sample_index(&mut rng);
+                query_counts[query] += 1;
+                QueryTask {
+                    query,
+                    root_seed: seed.wrapping_add(i as u64 + 1),
+                }
             })
             .collect();
 
@@ -255,16 +260,14 @@ impl ServeEngine {
 
             // The router runs on this thread: route each admission batch to
             // its home shards, blocking on full queues (backpressure).
-            for (batch_index, batch) in tasks.chunks(self.config.batch_size).enumerate() {
+            for batch in tasks.chunks(self.config.batch_size) {
                 // Route against the snapshot current at admission time.
                 let snapshot = source.pin();
-                for (offset, task) in batch.iter().enumerate() {
-                    let seq = (batch_index * self.config.batch_size + offset) as u64;
+                for task in batch {
                     let shard = router.home_shard(
                         &snapshot,
                         &workload.queries()[task.query],
                         task.root_seed,
-                        seq,
                     );
                     let worker = shard.index() % workers;
                     // Err only if the queue is closed, which cannot happen
@@ -281,7 +284,7 @@ impl ServeEngine {
                 .collect()
         });
 
-        self.assemble(logs, &queues, samples, started)
+        self.assemble(logs, &queues, samples, query_counts, started)
     }
 
     fn assemble(
@@ -289,6 +292,7 @@ impl ServeEngine {
         logs: Vec<WorkerLog>,
         queues: &[ShardQueue<QueryTask>],
         samples: usize,
+        query_counts: Vec<usize>,
         started: Instant,
     ) -> ServeReport {
         let mut aggregate = ExecutionMetrics::default();
@@ -325,6 +329,7 @@ impl ServeEngine {
             p50_latency_us: p50,
             p99_latency_us: p99,
             epochs_observed,
+            query_counts,
         }
     }
 }
@@ -386,6 +391,50 @@ mod tests {
         let one = ServeEngine::new(ServeConfig::new(1)).serve_batch(&store, &workload, 200, 5);
         let four = ServeEngine::new(ServeConfig::new(4)).serve_batch(&store, &workload, 200, 5);
         assert!(four.aggregate_qps() > one.aggregate_qps());
+    }
+
+    #[test]
+    fn idle_shards_report_zero_metrics_and_do_not_skew_the_makespan() {
+        // 2 partitions served by 4 workers: workers 2 and 3 never receive a
+        // query. Their metrics must be all-zero (the empty-sample quantile
+        // guard) and the makespan must come from the busy shards only.
+        let g = path_graph(8, &[l(0), l(1), l(2)]);
+        let mut part = Partitioning::new(2, 8).unwrap();
+        for (i, v) in g.vertices_sorted().into_iter().enumerate() {
+            part.assign(v, PartitionId::new((i / 4) as u32)).unwrap();
+        }
+        let store = Arc::new(ShardedStore::from_parts(&g, &part));
+        let workload = Workload::uniform(vec![PatternQuery::path(
+            QueryId::new(0),
+            &[l(0), l(1), l(2)],
+        )
+        .unwrap()])
+        .unwrap();
+        let report = ServeEngine::new(ServeConfig::new(4)).serve_batch(&store, &workload, 60, 11);
+        assert_eq!(report.queries, 60);
+        let busy_max = report
+            .shards
+            .iter()
+            .fold(0.0f64, |acc, s| acc.max(s.busy_us));
+        assert_eq!(report.makespan_us, busy_max);
+        let idle: Vec<_> = report.shards.iter().filter(|s| s.queries == 0).collect();
+        assert!(!idle.is_empty(), "expected idle workers beyond shard count");
+        for shard in idle {
+            assert_eq!(shard.qps(), 0.0);
+            assert_eq!(shard.busy_us, 0.0);
+            assert_eq!(shard.p50_latency_us, 0.0);
+            assert_eq!(shard.p99_latency_us, 0.0);
+        }
+    }
+
+    #[test]
+    fn report_records_the_observed_query_mix() {
+        let (store, workload) = fixture();
+        let report = ServeEngine::new(ServeConfig::new(2)).serve_batch(&store, &workload, 80, 7);
+        assert_eq!(report.query_counts.len(), workload.len());
+        assert_eq!(report.query_counts.iter().sum::<usize>(), 80);
+        // A uniform 2-query workload: both queries appear.
+        assert!(report.query_counts.iter().all(|&c| c > 0));
     }
 
     #[test]

@@ -40,20 +40,38 @@ impl EpochStore {
 
     /// Publish a new snapshot, returning the epoch number it was stamped
     /// with. Readers that already pinned the previous epoch keep it; new
-    /// loads observe the fresh one. The epoch is allocated while the write
-    /// lock is held, so with concurrent publishers the pointer and
-    /// [`EpochStore::current_epoch`] always advance together (the snapshot
-    /// left behind is the one with the highest epoch).
+    /// loads observe the fresh one.
+    ///
+    /// # Ordering invariant
+    ///
+    /// The counter is advanced *inside* the write lock, *after* the pointer
+    /// swap, with `Release`; [`EpochStore::current_epoch`] reads it with
+    /// `Acquire`. Snapshots are only pinned under the read lock, which cannot
+    /// be acquired before the publisher's unlock — and the unlock is ordered
+    /// after the counter store. So once a thread has pinned a snapshot with
+    /// epoch `e`, every later [`EpochStore::current_epoch`] call it makes
+    /// returns at least `e`: the counter can never trail a pointer swap the
+    /// reader has already observed (the bug a bare `Relaxed` load allowed).
+    /// With concurrent publishers the write lock serialises both the swap and
+    /// the counter bump, so the snapshot left behind is always the one with
+    /// the highest epoch.
     pub fn publish(&self, store: ShardedStore) -> u64 {
         let mut current = self.current.write();
-        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        // Exclusive via the write lock (the previous publisher's store
+        // happens-before this load through lock acquisition), so a plain
+        // Relaxed read sees the latest value.
+        let epoch = self.epoch.load(Ordering::Relaxed) + 1;
         *current = Arc::new(store.with_epoch(epoch));
+        self.epoch.store(epoch, Ordering::Release);
         epoch
     }
 
-    /// The epoch number of the latest published snapshot.
+    /// The epoch number of the latest published snapshot. Never trails the
+    /// epoch of any snapshot the calling thread has already pinned via
+    /// [`EpochStore::load`] (see [`EpochStore::publish`] for the ordering
+    /// argument).
     pub fn current_epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Relaxed)
+        self.epoch.load(Ordering::Acquire)
     }
 }
 
@@ -110,6 +128,8 @@ mod tests {
                 // Every observed snapshot is internally consistent: a path
                 // graph of n vertices always has n-1 edges.
                 assert_eq!(snap.edge_count(), snap.vertex_count() - 1);
+                // The counter never trails a snapshot this thread pinned.
+                assert!(snap.epoch() <= epochs.current_epoch());
             }
         });
         assert_eq!(epochs.current_epoch(), 29);

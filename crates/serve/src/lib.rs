@@ -69,7 +69,7 @@ pub use epoch::EpochStore;
 pub use metrics::{ServeReport, ShardServeMetrics};
 pub use queue::ShardQueue;
 pub use router::QueryRouter;
-pub use shard::{Shard, ShardedStore};
+pub use shard::{MigratedStore, Shard, ShardedStore};
 
 /// Convenient re-exports for examples, tests and the umbrella crate.
 pub mod prelude {
@@ -78,5 +78,5 @@ pub mod prelude {
     pub use crate::metrics::{ServeReport, ShardServeMetrics};
     pub use crate::queue::ShardQueue;
     pub use crate::router::QueryRouter;
-    pub use crate::shard::{Shard, ShardedStore};
+    pub use crate::shard::{MigratedStore, Shard, ShardedStore};
 }

@@ -69,6 +69,11 @@ pub struct ServeReport {
     /// Distinct epochs the run's queries were pinned to (a single-element
     /// list unless ingestion published new snapshots mid-run).
     pub epochs_observed: Vec<u64>,
+    /// How many of the run's sampled executions hit each workload query,
+    /// indexed by the workload's query order. This is the *observed* query
+    /// mix — the signal the `loom-adapt` workload tracker compares against
+    /// the mix the partitioning was mined for to detect drift.
+    pub query_counts: Vec<usize>,
 }
 
 impl ServeReport {
@@ -99,7 +104,10 @@ impl ServeReport {
 }
 
 /// The `q`-th quantile (0.0 ≤ q ≤ 1.0) of an unsorted latency sample, by the
-/// nearest-rank method. Returns 0.0 for an empty sample.
+/// nearest-rank method. Returns 0.0 for an empty sample — the guard matters
+/// because idle shards (a worker that served zero queries) legitimately hand
+/// this function an empty latency vector; without it the computed rank would
+/// index `samples[0]` and panic.
 pub fn quantile(samples: &mut [f64], q: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
@@ -141,6 +149,33 @@ mod tests {
         assert!((m.qps() - 50.0).abs() < 1e-9);
         assert!((m.remote_hop_fraction() - 0.4).abs() < 1e-12);
         assert_eq!(ShardServeMetrics::default().qps(), 0.0);
+    }
+
+    #[test]
+    fn empty_samples_never_index_out_of_bounds() {
+        // Regression: every quantile of an empty sample is 0.0, including the
+        // extremes whose nearest rank would otherwise read samples[0].
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(quantile(&mut [], q), 0.0);
+        }
+        // A single sample answers every quantile with itself.
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(quantile(&mut [7.5], q), 7.5);
+        }
+    }
+
+    #[test]
+    fn zero_query_shard_reports_zeros() {
+        // A shard that served nothing: no latency samples, no busy time.
+        let idle = ShardServeMetrics {
+            shard: 3,
+            ..ShardServeMetrics::default()
+        };
+        assert_eq!(idle.queries, 0);
+        assert_eq!(idle.qps(), 0.0);
+        assert_eq!(idle.p50_latency_us, 0.0);
+        assert_eq!(idle.p99_latency_us, 0.0);
+        assert_eq!(idle.remote_hop_fraction(), 0.0);
     }
 
     #[test]

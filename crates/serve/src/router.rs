@@ -6,8 +6,9 @@
 //! ([`loom_sim::matcher::root_candidates`]) — maps each root to the shard
 //! hosting it, and dispatches the query to the shard hosting the **most**
 //! roots (vote ties broken deterministically by the root seed, so no shard is
-//! systematically favoured). Queries whose roots are all unassigned fall back
-//! to round-robin so no shard starves.
+//! systematically favoured). Queries with no assigned roots at all are spread
+//! by `root_seed % shards`, so unmatched queries round-robin across shards
+//! instead of piling onto a single one.
 
 use crate::shard::ShardedStore;
 use loom_motif::query::PatternQuery;
@@ -36,15 +37,16 @@ impl QueryRouter {
     /// The home shard for one `(query, root_seed)` execution: the shard
     /// hosting the plurality of the roots the matcher will anchor on. Vote
     /// ties are broken deterministically by `root_seed` (not towards a fixed
-    /// shard, which would systematically overload low shard ids); `fallback`
-    /// breaks the no-assigned-roots case (the engine passes a round-robin
-    /// counter).
+    /// shard, which would systematically overload low shard ids). When *no*
+    /// vote lands on any shard (the query's root label is unindexed, or every
+    /// root is unassigned) the query is spread by `root_seed % shards`
+    /// explicitly — per-query root seeds are consecutive, so unmatched
+    /// queries round-robin across shards instead of hotspotting near shard 0.
     pub fn home_shard(
         &self,
         store: &ShardedStore,
         query: &PatternQuery,
         root_seed: u64,
-        fallback: u64,
     ) -> PartitionId {
         let k = store.shard_count().max(1);
         let mut votes = vec![0usize; k as usize];
@@ -74,7 +76,7 @@ impl QueryRouter {
         }
         let best = votes.iter().copied().max().expect("at least one shard");
         if best == 0 {
-            return PartitionId::new((fallback % k as u64) as u32);
+            return PartitionId::new((root_seed % k as u64) as u32);
         }
         let tied: Vec<usize> = (0..votes.len()).filter(|&i| votes[i] == best).collect();
         PartitionId::new(tied[root_seed as usize % tied.len()] as u32)
@@ -112,8 +114,8 @@ mod tests {
         // broken deterministically by the root seed.
         let query = PatternQuery::path(QueryId::new(0), &[l(0), l(1)]).unwrap();
         let router = QueryRouter::new(QueryMode::FullEnumeration);
-        assert_eq!(router.home_shard(&store, &query, 0, 0), PartitionId::new(0));
-        assert_eq!(router.home_shard(&store, &query, 1, 0), PartitionId::new(1));
+        assert_eq!(router.home_shard(&store, &query, 0), PartitionId::new(0));
+        assert_eq!(router.home_shard(&store, &query, 1), PartitionId::new(1));
     }
 
     #[test]
@@ -122,19 +124,29 @@ mod tests {
         let query = PatternQuery::path(QueryId::new(0), &[l(0), l(1)]).unwrap();
         let router = QueryRouter::new(QueryMode::Rooted { seed_count: 1 });
         for seed in 0..20 {
-            let a = router.home_shard(&store, &query, seed, 0);
-            let b = router.home_shard(&store, &query, seed, 0);
+            let a = router.home_shard(&store, &query, seed);
+            let b = router.home_shard(&store, &query, seed);
             assert_eq!(a, b);
         }
     }
 
     #[test]
-    fn unmatched_root_label_falls_back_round_robin() {
+    fn zero_vote_queries_spread_across_shards() {
+        // Regression: queries whose roots land on no shard must not hotspot
+        // near shard 0 — they spread by `root_seed % shards`.
         let store = store();
         let query = PatternQuery::path(QueryId::new(0), &[l(9), l(1)]).unwrap();
-        let router = QueryRouter::new(QueryMode::FullEnumeration);
-        assert_eq!(router.home_shard(&store, &query, 0, 0), PartitionId::new(0));
-        assert_eq!(router.home_shard(&store, &query, 0, 1), PartitionId::new(1));
-        assert_eq!(router.home_shard(&store, &query, 0, 2), PartitionId::new(0));
+        for mode in [
+            QueryMode::FullEnumeration,
+            QueryMode::Rooted { seed_count: 2 },
+        ] {
+            let router = QueryRouter::new(mode);
+            let mut hits = [0usize; 2];
+            // Consecutive root seeds, exactly as the engine assigns them.
+            for seed in 1..=40u64 {
+                hits[router.home_shard(&store, &query, seed).index()] += 1;
+            }
+            assert_eq!(hits, [20, 20], "mode {mode:?} hotspots zero-vote load");
+        }
     }
 }

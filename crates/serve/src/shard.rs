@@ -26,6 +26,56 @@ use std::ops::Range;
 /// remote to everyone, mirroring `PartitionedStore`).
 const UNASSIGNED: u32 = u32::MAX;
 
+/// Build one shard's label index, boundary and halo by scanning its slice of
+/// the partition-major arena. Shared by the full build
+/// ([`ShardedStore::from_parts`]) and the incremental migration rebuild
+/// ([`ShardedStore::apply_migration`]), which invokes it only for shards a
+/// move actually touched.
+#[allow(clippy::too_many_arguments)]
+fn build_shard(
+    p: u32,
+    range: Range<usize>,
+    order: &[VertexId],
+    labels: &[Label],
+    partition: &[u32],
+    offsets: &[usize],
+    targets: &[VertexId],
+    position_of: &FxHashMap<VertexId, u32>,
+) -> Shard {
+    let mut label_index: FxHashMap<Label, Vec<VertexId>> = FxHashMap::default();
+    let mut boundary = Vec::new();
+    let mut halo = Vec::new();
+    for pos in range.clone() {
+        let v = order[pos];
+        label_index.entry(labels[pos]).or_default().push(v);
+        let mut is_boundary = false;
+        for &u in &targets[offsets[pos]..offsets[pos + 1]] {
+            let u_part = position_of
+                .get(&u)
+                .map(|&q| partition[q as usize])
+                .unwrap_or(UNASSIGNED);
+            if u_part != p {
+                is_boundary = true;
+                halo.push(u);
+            }
+        }
+        if is_boundary {
+            boundary.push(v);
+        }
+    }
+    halo.sort_unstable();
+    halo.dedup();
+    // Home vertices are visited in (partition, id) order, so the per-label
+    // lists and the boundary are already sorted by id.
+    Shard {
+        id: PartitionId::new(p),
+        range,
+        label_index,
+        boundary,
+        halo,
+    }
+}
+
 /// One partition's view of the sharded store.
 #[derive(Debug, Clone)]
 pub struct Shard {
@@ -162,39 +212,16 @@ impl ShardedStore {
             while cursor < n && partition[cursor] == p {
                 cursor += 1;
             }
-            let range = start..cursor;
-            let mut label_index: FxHashMap<Label, Vec<VertexId>> = FxHashMap::default();
-            let mut boundary = Vec::new();
-            let mut halo = Vec::new();
-            for pos in range.clone() {
-                let v = order[pos];
-                label_index.entry(labels[pos]).or_default().push(v);
-                let mut is_boundary = false;
-                for &u in &targets[offsets[pos]..offsets[pos + 1]] {
-                    let u_part = position_of
-                        .get(&u)
-                        .map(|&q| partition[q as usize])
-                        .unwrap_or(UNASSIGNED);
-                    if u_part != p {
-                        is_boundary = true;
-                        halo.push(u);
-                    }
-                }
-                if is_boundary {
-                    boundary.push(v);
-                }
-            }
-            halo.sort_unstable();
-            halo.dedup();
-            // Home vertices were visited in (partition, id) order, so the
-            // per-label lists and the boundary are already sorted by id.
-            shards.push(Shard {
-                id: PartitionId::new(p),
-                range,
-                label_index,
-                boundary,
-                halo,
-            });
+            shards.push(build_shard(
+                p,
+                start..cursor,
+                &order,
+                &labels,
+                &partition,
+                &offsets,
+                &targets,
+                &position_of,
+            ));
         }
 
         Self {
@@ -215,6 +242,157 @@ impl ShardedStore {
     /// Build a sharded store from a sequential [`PartitionedStore`].
     pub fn from_store(store: &PartitionedStore) -> Self {
         Self::from_parts(store.graph(), store.partitioning())
+    }
+
+    /// Apply a bounded batch of vertex moves *incrementally*: the adjacency
+    /// arena is copied slice-by-slice in the new partition-major order (no
+    /// graph lookups, no re-sorting), and only the shards a move actually
+    /// touched — the sources and targets — get their label index, boundary
+    /// and halo rebuilt. Every other shard's indexes are reused verbatim:
+    /// a vertex moving between partitions `a` and `b` cannot change the
+    /// boundary or halo membership of any third shard (it was remote to it
+    /// before and remains remote after).
+    ///
+    /// Moves referencing unknown or unassigned vertices, out-of-range
+    /// partitions, or a vertex's current partition are ignored; when several
+    /// moves name the same vertex the last one wins. The resulting snapshot
+    /// is semantically identical to `ShardedStore::from_parts` at the moved
+    /// placement (the parity the adaptation tests assert) and carries epoch
+    /// 0 — publish it through an [`crate::epoch::EpochStore`] to stamp it.
+    pub fn apply_migration(&self, moves: &[(VertexId, PartitionId)]) -> MigratedStore {
+        let k = self.shards.len();
+        let n = self.order.len();
+        // Final destination per vertex; only real changes survive.
+        let mut dest: FxHashMap<VertexId, u32> = FxHashMap::default();
+        for &(v, to) in moves {
+            if to.index() >= k {
+                continue;
+            }
+            let Some(&pos) = self.position_of.get(&v) else {
+                continue;
+            };
+            if self.partition[pos as usize] == UNASSIGNED {
+                continue;
+            }
+            dest.insert(v, to.0);
+        }
+        dest.retain(|v, to| self.partition[self.position_of[v] as usize] != *to);
+        if dest.is_empty() {
+            return MigratedStore {
+                store: self.clone(),
+                affected_shards: Vec::new(),
+                moved: 0,
+            };
+        }
+
+        let mut affected = vec![false; k];
+        let mut incoming: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+        for (&v, &to) in &dest {
+            affected[self.partition[self.position_of[&v] as usize] as usize] = true;
+            affected[to as usize] = true;
+            incoming[to as usize].push(v);
+        }
+
+        // New partition-major order: unaffected shards keep their slices
+        // verbatim; affected shards drop movers-out, merge movers-in and
+        // re-sort by id. The unassigned tail is untouched.
+        let mut order: Vec<VertexId> = Vec::with_capacity(n);
+        let mut ranges: Vec<Range<usize>> = Vec::with_capacity(k);
+        for p in 0..k {
+            let start = order.len();
+            let old = &self.order[self.shards[p].range.clone()];
+            if affected[p] {
+                let mut members: Vec<VertexId> = old
+                    .iter()
+                    .copied()
+                    .filter(|v| !dest.contains_key(v))
+                    .collect();
+                members.extend_from_slice(&incoming[p]);
+                members.sort_unstable();
+                order.extend_from_slice(&members);
+            } else {
+                order.extend_from_slice(old);
+            }
+            ranges.push(start..order.len());
+        }
+        let assigned_end = self.shards.last().map(|s| s.range.end).unwrap_or(0);
+        order.extend_from_slice(&self.order[assigned_end..]);
+
+        // Copy the positional arrays in the new order straight from the old
+        // slices — migration changes placement tags, never adjacency.
+        let mut position_of: FxHashMap<VertexId, u32> = FxHashMap::default();
+        position_of.reserve(n);
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(self.targets.len());
+        let mut targets_sorted = Vec::with_capacity(self.targets_sorted.len());
+        let mut labels = Vec::with_capacity(n);
+        offsets.push(0);
+        for (i, &v) in order.iter().enumerate() {
+            let old_pos = self.position_of[&v] as usize;
+            position_of.insert(v, i as u32);
+            let slice = self.offsets[old_pos]..self.offsets[old_pos + 1];
+            targets.extend_from_slice(&self.targets[slice.clone()]);
+            targets_sorted.extend_from_slice(&self.targets_sorted[slice]);
+            offsets.push(targets.len());
+            labels.push(self.labels[old_pos]);
+        }
+        let mut partition = vec![UNASSIGNED; n];
+        for (p, range) in ranges.iter().enumerate() {
+            partition[range.clone()].fill(p as u32);
+        }
+
+        // Shards: rebuild the touched ones, rebase the rest onto their
+        // (possibly shifted) new ranges with their indexes reused.
+        let mut shards = Vec::with_capacity(k);
+        for p in 0..k {
+            let range = ranges[p].clone();
+            if affected[p] {
+                shards.push(build_shard(
+                    p as u32,
+                    range,
+                    &order,
+                    &labels,
+                    &partition,
+                    &offsets,
+                    &targets,
+                    &position_of,
+                ));
+            } else {
+                let old = &self.shards[p];
+                debug_assert_eq!(range.len(), old.range.len());
+                shards.push(Shard {
+                    id: old.id,
+                    range,
+                    label_index: old.label_index.clone(),
+                    boundary: old.boundary.clone(),
+                    halo: old.halo.clone(),
+                });
+            }
+        }
+
+        let affected_shards: Vec<PartitionId> = affected
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(p, _)| PartitionId::new(p as u32))
+            .collect();
+        MigratedStore {
+            moved: dest.len(),
+            affected_shards,
+            store: Self {
+                order,
+                position_of,
+                offsets,
+                targets,
+                targets_sorted,
+                partition,
+                labels,
+                by_label: self.by_label.clone(),
+                shards,
+                edge_count: self.edge_count,
+                epoch: 0,
+            },
+        }
     }
 
     /// Tag the snapshot with an epoch number (used by the ingest-while-serve
@@ -288,6 +466,19 @@ impl ShardedStore {
     fn position(&self, v: VertexId) -> Option<usize> {
         self.position_of.get(&v).map(|&p| p as usize)
     }
+}
+
+/// The result of an incremental migration rebuild
+/// ([`ShardedStore::apply_migration`]).
+#[derive(Debug, Clone)]
+pub struct MigratedStore {
+    /// The rebuilt snapshot (epoch 0 — stamped on publication).
+    pub store: ShardedStore,
+    /// Shards whose indexes had to be rebuilt: the sources and targets of
+    /// the applied moves, in id order. Every other shard was reused.
+    pub affected_shards: Vec<PartitionId>,
+    /// Vertices whose home shard actually changed.
+    pub moved: usize,
 }
 
 impl PatternStore for ShardedStore {
@@ -425,5 +616,148 @@ mod tests {
         let (g, part) = fixture();
         let store = ShardedStore::from_parts(&g, &part).with_epoch(7);
         assert_eq!(store.epoch(), 7);
+    }
+
+    /// A 9-vertex path over 3 partitions of 3 vertices each.
+    fn migration_fixture() -> (LabelledGraph, Partitioning) {
+        let g = path_graph(9, &[Label::new(0), Label::new(1), Label::new(2)]);
+        let mut part = Partitioning::new(3, 9).unwrap();
+        for (i, v) in g.vertices_sorted().into_iter().enumerate() {
+            part.assign(v, PartitionId::new((i / 3) as u32)).unwrap();
+        }
+        (g, part)
+    }
+
+    /// Assert two stores are semantically identical: same layout, same
+    /// shard indexes, same `PatternStore` answers.
+    fn assert_stores_equal(a: &ShardedStore, b: &ShardedStore, vs: &[VertexId]) {
+        assert_eq!(a.vertex_count(), b.vertex_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.shard_count(), b.shard_count());
+        for p in 0..a.shard_count() {
+            let p = PartitionId::new(p);
+            assert_eq!(a.home_vertices(p), b.home_vertices(p), "{p} homes");
+            let (sa, sb) = (a.shard(p).unwrap(), b.shard(p).unwrap());
+            assert_eq!(sa.boundary(), sb.boundary(), "{p} boundary");
+            assert_eq!(sa.halo(), sb.halo(), "{p} halo");
+            for l in [Label::new(0), Label::new(1), Label::new(2)] {
+                assert_eq!(
+                    sa.vertices_with_label(l),
+                    sb.vertices_with_label(l),
+                    "{p} label index"
+                );
+            }
+        }
+        for &v in vs {
+            assert_eq!(PatternStore::label(a, v), PatternStore::label(b, v));
+            assert_eq!(PatternStore::neighbors(a, v), PatternStore::neighbors(b, v));
+            assert_eq!(a.home_shard(v), b.home_shard(v));
+            for &u in vs {
+                assert_eq!(
+                    PatternStore::contains_edge(a, v, u),
+                    PatternStore::contains_edge(b, v, u)
+                );
+                assert_eq!(
+                    PatternStore::is_remote_traversal(a, v, u),
+                    PatternStore::is_remote_traversal(b, v, u)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn migration_matches_a_from_scratch_rebuild() {
+        let (g, mut part) = migration_fixture();
+        let vs = g.vertices_sorted();
+        let store = ShardedStore::from_parts(&g, &part);
+        // Move vertex 3 (shard 1) home to shard 0 and vertex 5 to shard 2.
+        let moves = vec![(vs[3], PartitionId::new(0)), (vs[5], PartitionId::new(2))];
+        let migrated = store.apply_migration(&moves);
+        assert_eq!(migrated.moved, 2);
+        assert_eq!(
+            migrated.affected_shards,
+            vec![
+                PartitionId::new(0),
+                PartitionId::new(1),
+                PartitionId::new(2)
+            ]
+        );
+        for (v, to) in moves {
+            part.move_vertex(v, to).unwrap();
+        }
+        let rebuilt = ShardedStore::from_parts(&g, &part);
+        assert_stores_equal(&migrated.store, &rebuilt, &vs);
+    }
+
+    #[test]
+    fn untouched_shards_are_reused_not_rebuilt() {
+        let (g, part) = migration_fixture();
+        let vs = g.vertices_sorted();
+        let store = ShardedStore::from_parts(&g, &part);
+        // One move between shards 0 and 1: shard 2 must not be affected.
+        let migrated = store.apply_migration(&[(vs[3], PartitionId::new(0))]);
+        assert_eq!(
+            migrated.affected_shards,
+            vec![PartitionId::new(0), PartitionId::new(1)]
+        );
+        let (old, new) = (
+            store.shard(PartitionId::new(2)).unwrap(),
+            migrated.store.shard(PartitionId::new(2)).unwrap(),
+        );
+        assert_eq!(old.boundary(), new.boundary());
+        assert_eq!(old.halo(), new.halo());
+        // And the reused shard is still *correct* against a full rebuild.
+        let mut moved = part.clone();
+        moved.move_vertex(vs[3], PartitionId::new(0)).unwrap();
+        assert_stores_equal(&migrated.store, &ShardedStore::from_parts(&g, &moved), &vs);
+    }
+
+    #[test]
+    fn degenerate_moves_are_ignored() {
+        let (g, part) = migration_fixture();
+        let vs = g.vertices_sorted();
+        let store = ShardedStore::from_parts(&g, &part);
+        let migrated = store.apply_migration(&[
+            (vs[0], PartitionId::new(0)),                 // already there
+            (vs[1], PartitionId::new(9)),                 // unknown partition
+            (VertexId::new(10_000), PartitionId::new(1)), // unknown vertex
+        ]);
+        assert_eq!(migrated.moved, 0);
+        assert!(migrated.affected_shards.is_empty());
+        assert_stores_equal(&migrated.store, &store, &vs);
+    }
+
+    #[test]
+    fn last_move_wins_for_a_repeated_vertex() {
+        let (g, mut part) = migration_fixture();
+        let vs = g.vertices_sorted();
+        let store = ShardedStore::from_parts(&g, &part);
+        let migrated =
+            store.apply_migration(&[(vs[4], PartitionId::new(0)), (vs[4], PartitionId::new(2))]);
+        assert_eq!(migrated.moved, 1);
+        part.move_vertex(vs[4], PartitionId::new(2)).unwrap();
+        assert_stores_equal(&migrated.store, &ShardedStore::from_parts(&g, &part), &vs);
+    }
+
+    #[test]
+    fn migration_tolerates_unassigned_vertices() {
+        // Reuse the 4-vertex fixture where vertex 3 is unassigned: it cannot
+        // be moved, and it survives the rebuild in the unassigned tail.
+        let (g, part) = fixture();
+        let vs = g.vertices_sorted();
+        let store = ShardedStore::from_parts(&g, &part);
+        let migrated = store.apply_migration(&[
+            (vs[3], PartitionId::new(0)), // unassigned: ignored
+            (vs[2], PartitionId::new(0)), // real move
+        ]);
+        assert_eq!(migrated.moved, 1);
+        let mut moved = part.clone();
+        moved.move_vertex(vs[2], PartitionId::new(0)).unwrap();
+        let rebuilt = ShardedStore::from_parts(&g, &moved);
+        assert_eq!(migrated.store.home_shard(vs[3]), None);
+        assert_eq!(
+            migrated.store.replication_factor(),
+            rebuilt.replication_factor()
+        );
     }
 }

@@ -19,6 +19,8 @@
 //!   [`store::PartitionedStore`], counting every traversal it performs and
 //!   whether the traversal stayed on the local partition or had to hop to a
 //!   remote one (with a configurable latency model);
+//! * [`drift`] — the two-phase drifting-workload scenario (disjoint hot
+//!   motif families per phase) driving the `loom-adapt` adaptation story;
 //! * [`runner`] — the experiment driver: generate graph + workload, stream
 //!   the graph through each partitioner under test, execute a sampled query
 //!   mix against each resulting partitioning, and collect quality +
@@ -29,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod drift;
 pub mod executor;
 pub mod growth;
 pub mod matcher;
@@ -36,6 +39,7 @@ pub mod report;
 pub mod runner;
 pub mod store;
 
+pub use drift::DriftScenario;
 pub use executor::{ExecutionMetrics, LatencyModel, QueryExecutor, QueryMode};
 pub use growth::{GrowthCheckpoint, GrowthScenario};
 pub use matcher::PatternStore;
@@ -44,6 +48,7 @@ pub use store::PartitionedStore;
 
 /// Convenient re-exports for the experiment binary and examples.
 pub mod prelude {
+    pub use crate::drift::DriftScenario;
     pub use crate::executor::{ExecutionMetrics, LatencyModel, QueryExecutor, QueryMode};
     pub use crate::growth::{GrowthCheckpoint, GrowthScenario};
     pub use crate::matcher::PatternStore;

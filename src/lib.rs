@@ -18,7 +18,10 @@
 //!   instrumented pattern matcher and the experiment runner;
 //! * [`loom_serve`] — the concurrent sharded serving engine: partition-major
 //!   CSR shards with boundary halos, a home-shard query router with bounded
-//!   per-shard work queues, and ingest-while-serve epoch snapshots.
+//!   per-shard work queues, and ingest-while-serve epoch snapshots;
+//! * [`loom_adapt`] — the adaptation loop: drift detection over the observed
+//!   query mix, bounded incremental migration planning, and epoch-published
+//!   shard rebuilds that never block reads.
 //!
 //! ## Quickstart: the `Session` façade
 //!
@@ -58,6 +61,7 @@
 
 pub mod session;
 
+pub use loom_adapt;
 pub use loom_core;
 pub use loom_graph;
 pub use loom_motif;
@@ -70,6 +74,7 @@ pub use session::{Serving, Session, SessionBuilder, SessionError, ShardedServing
 /// One-stop prelude for examples, tests and downstream experiments.
 pub mod prelude {
     pub use crate::session::{Serving, Session, SessionBuilder, SessionError, ShardedServing};
+    pub use loom_adapt::prelude::*;
     pub use loom_core::prelude::*;
     pub use loom_graph::prelude::*;
     pub use loom_motif::prelude::*;

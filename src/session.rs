@@ -37,6 +37,7 @@
 //! # }
 //! ```
 
+use loom_adapt::adaptive::{AdaptConfig, AdaptiveServing};
 use loom_graph::{GraphStream, LabelledGraph, StreamElement};
 use loom_motif::mining::MotifMiner;
 use loom_motif::workload::Workload;
@@ -371,6 +372,35 @@ impl Serving {
             workload: self.workload.clone(),
         }
     }
+
+    /// Stand up **adaptive** serving with `workers` worker shards: the
+    /// `loom-adapt` loop tracks the observed query mix against the session's
+    /// mined workload, and on drift incrementally migrates the placement —
+    /// rebuilding only the affected shards and publishing the result as a new
+    /// epoch, while in-flight queries keep their pinned snapshot. The engine
+    /// inherits the session's query mode, latency model and match limit like
+    /// [`Serving::sharded`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the session was built without a workload — drift is
+    /// measured against the mined mix, so adaptive serving requires one.
+    pub fn adaptive(&self, workers: usize, config: AdaptConfig) -> SessionResult<AdaptiveServing> {
+        let Some(workload) = &self.workload else {
+            return Err(SessionError::MissingWorkload("adaptive serving"));
+        };
+        let serve = ServeConfig::new(workers)
+            .with_mode(self.executor.mode())
+            .with_latency(self.executor.latency_model())
+            .with_match_limit(self.executor.match_limit());
+        Ok(AdaptiveServing::new(
+            self.store.graph().clone(),
+            self.store.partitioning().clone(),
+            workload.clone(),
+            serve,
+            config,
+        ))
+    }
 }
 
 /// The concurrent serving half of a session: an immutable sharded snapshot
@@ -481,6 +511,38 @@ mod tests {
         // An explicit workload still works.
         let metrics = serving.execute(&paper_example_workload(), 10, 1);
         assert_eq!(metrics.queries_executed, 10);
+    }
+
+    #[test]
+    fn adaptive_serving_stands_up_through_the_facade() {
+        let graph = paper_example_graph();
+        let workload = paper_example_workload();
+        let spec =
+            PartitionerSpec::Loom(LoomConfig::new(2, graph.vertex_count()).with_window_size(4));
+        let mut session = Session::builder(spec).workload(workload).build().unwrap();
+        session
+            .ingest_stream(&GraphStream::from_graph(&graph, &StreamOrder::Bfs))
+            .unwrap();
+        let serving = session.serve(graph).unwrap();
+        let workload = paper_example_workload();
+        let mut adaptive = serving.adaptive(2, AdaptConfig::default()).unwrap();
+        let (report, outcome) = adaptive.serve(&workload, 50, 5).unwrap();
+        assert_eq!(report.queries, 50);
+        // Matching traffic: no adaptation fires.
+        assert!(outcome.is_none());
+        assert_eq!(adaptive.current_epoch(), 1);
+    }
+
+    #[test]
+    fn adaptive_serving_without_workload_is_rejected() {
+        let graph = paper_example_graph();
+        let spec = PartitionerSpec::Ldg(LdgConfig::new(2, graph.vertex_count()));
+        let mut session = Session::builder(spec).build().unwrap();
+        session
+            .ingest_stream(&GraphStream::from_graph(&graph, &StreamOrder::Bfs))
+            .unwrap();
+        let serving = session.serve(graph).unwrap();
+        assert!(serving.adaptive(2, AdaptConfig::default()).is_err());
     }
 
     #[test]
