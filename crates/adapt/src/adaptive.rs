@@ -26,7 +26,10 @@ use loom_serve::engine::{ServeConfig, ServeEngine};
 use loom_serve::epoch::EpochStore;
 use loom_serve::metrics::ServeReport;
 use loom_serve::shard::ShardedStore;
+use loom_sim::engine::{QueryEngine, QueryRequest, QueryResponse};
+use loom_sim::plan::PlanCache;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Configuration for [`AdaptiveServing`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -107,6 +110,15 @@ impl AdaptiveServing {
             adaptations: 0,
             total_moved: 0,
         }
+    }
+
+    /// Builder-style plan cache: the serving engine underneath (router and
+    /// workers alike) executes the cache's compiled plans instead of
+    /// re-deriving matching orders per run.
+    #[must_use]
+    pub fn with_plan_cache(mut self, plans: Arc<PlanCache>) -> Self {
+        self.engine = std::mem::take(&mut self.engine).with_plan_cache(plans);
+        self
     }
 
     /// The live placement (kept in lock-step with the published snapshots).
@@ -233,6 +245,28 @@ impl AdaptiveServing {
     }
 }
 
+/// The read-only serving path of the unified engine API: requests execute
+/// against the **current** epoch's snapshots (each query pins the epoch
+/// live at its execution), sampling from the *mined* workload mix.
+///
+/// `run` never adapts — it neither observes the mix nor migrates — so it is
+/// safe to call concurrently with external epoch readers; drifted live
+/// traffic goes through [`AdaptiveServing::serve`], which closes the loop.
+/// Metric parity: for the same request, `run` returns exactly the metrics
+/// of [`loom_serve::engine::ServeEngine::serve_epochs`] over the mined
+/// workload at the current epoch.
+impl QueryEngine for AdaptiveServing {
+    fn run(&self, request: QueryRequest) -> QueryResponse {
+        self.engine
+            .run_request_epochs(&self.epochs, self.tracker.workload(), request)
+            .1
+    }
+
+    fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.engine.plan_cache()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +294,29 @@ mod tests {
         .unwrap()])
         .unwrap();
         (g, part, workload)
+    }
+
+    #[test]
+    fn query_engine_run_matches_the_legacy_epoch_path() {
+        let (g, part, workload) = fixture();
+        let adaptive = AdaptiveServing::new(
+            g,
+            part,
+            workload.clone(),
+            ServeConfig::new(2),
+            AdaptConfig::default(),
+        );
+        let request = QueryRequest::workload(60).with_seed(11);
+        let response = adaptive.run(request);
+        let legacy = adaptive
+            .engine
+            .serve_epochs(&adaptive.epochs, &workload, 60, 11);
+        assert_eq!(response.metrics, legacy.aggregate);
+        // Read-only: no adaptation, no epoch churn, no observation.
+        assert_eq!(adaptive.current_epoch(), 1);
+        assert_eq!(adaptive.adaptations(), 0);
+        assert_eq!(adaptive.tracker().batches(), 0);
+        assert!(adaptive.plan_cache().is_none());
     }
 
     #[test]

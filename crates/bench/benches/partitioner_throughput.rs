@@ -10,6 +10,11 @@
 //! is driven with chunk sizes {1, 64, 1024}, so per-element ingestion
 //! (chunk 1) is compared against amortised batch ingestion on identical
 //! work (the resulting partitionings are identical by contract).
+//!
+//! The `planned_execution/*` group closes the pipeline: the partitionings
+//! produced above serve the motif workload through a **shared pre-compiled
+//! plan cache**, so the end-to-end numbers reflect the amortized
+//! compile-once path rather than per-query order derivation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use loom_bench::scenarios;
@@ -23,7 +28,11 @@ use loom_partition::ldg::LdgConfig;
 use loom_partition::offline::{MultilevelConfig, MultilevelPartitioner};
 use loom_partition::spec::{LoomConfig, PartitionerRegistry, PartitionerSpec};
 use loom_partition::traits::{partition_stream, partition_stream_batched};
+use loom_sim::executor::{QueryExecutor, QueryMode};
+use loom_sim::plan::{GraphStatistics, PlanCache, QueryPlanner};
+use loom_sim::store::PartitionedStore;
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn specs(n: usize, m: usize) -> Vec<PartitionerSpec> {
     vec![
@@ -98,5 +107,38 @@ fn bench_batched_ingest(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_partitioners, bench_batched_ingest);
+fn bench_planned_execution(c: &mut Criterion) {
+    let (registry, graph, stream) = setup();
+    let (n, m) = (graph.vertex_count(), graph.edge_count());
+    let workload = scenarios::motif_workload();
+    // Compiled once, reused by every timed execution below — the amortized
+    // plan-cache path the serving stack runs.
+    let plans = Arc::new(PlanCache::compile(
+        &QueryPlanner::default(),
+        &workload,
+        &GraphStatistics::from_graph(&graph),
+    ));
+    let executor = QueryExecutor::default()
+        .with_mode(QueryMode::Rooted { seed_count: 3 })
+        .with_plan_cache(Arc::clone(&plans));
+
+    let mut group = c.benchmark_group("planned_execution");
+    group.sample_size(10);
+    for spec in specs(n, m) {
+        let mut partitioner = registry.build(&spec).expect("buildable spec");
+        let partitioning = partition_stream(partitioner.as_mut(), &stream).expect("ok");
+        let store = PartitionedStore::new(graph.clone(), partitioning);
+        group.bench_with_input(BenchmarkId::new(spec.name(), n), &store, |b, store| {
+            b.iter(|| black_box(executor.execute_workload(store, &workload, 50, 11)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partitioners,
+    bench_batched_ingest,
+    bench_planned_execution
+);
 criterion_main!(benches);

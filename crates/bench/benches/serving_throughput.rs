@@ -11,6 +11,11 @@
 //! `BENCH_serving.json` at the workspace root: a machine-readable
 //! `shards × partitioner → {qps, p99}` table so the perf trajectory of the
 //! serving layer has data points across PRs.
+//!
+//! Every serve run routes through a **shared pre-compiled plan cache** (one
+//! plan per workload query, compiled once in setup), so the numbers reflect
+//! the amortized compile-once path the engine runs in production — not
+//! per-query order derivation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use loom_bench::scenarios;
@@ -26,6 +31,7 @@ use loom_serve::engine::{ServeConfig, ServeEngine};
 use loom_serve::metrics::ServeReport;
 use loom_serve::shard::ShardedStore;
 use loom_sim::executor::QueryMode;
+use loom_sim::plan::{GraphStatistics, PlanCache, QueryPlanner};
 use std::hint::black_box;
 use std::path::Path;
 use std::sync::Arc;
@@ -39,12 +45,20 @@ fn mode() -> QueryMode {
     QueryMode::Rooted { seed_count: 3 }
 }
 
+/// The stores under test, labelled by partitioner name.
+type LabelledStores = Vec<(&'static str, Arc<ShardedStore>)>;
+
 /// Build the two stores under test: the same graph stream partitioned by
-/// Hash and by LOOM.
-fn setup() -> (Workload, Vec<(&'static str, Arc<ShardedStore>)>) {
+/// Hash and by LOOM, plus the workload's plans compiled once.
+fn setup() -> (Workload, Arc<PlanCache>, LabelledStores) {
     let graph = scenarios::social_graph(3_000, 7);
     let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 1 });
     let workload = scenarios::motif_workload();
+    let plans = Arc::new(PlanCache::compile(
+        &QueryPlanner::default(),
+        &workload,
+        &GraphStatistics::from_graph(&graph),
+    ));
     let tpstry = MotifMiner::default()
         .mine(&workload)
         .expect("mining succeeds");
@@ -76,11 +90,17 @@ fn setup() -> (Workload, Vec<(&'static str, Arc<ShardedStore>)>) {
             )
         })
         .collect();
-    (workload, stores)
+    (workload, plans, stores)
 }
 
-fn serve(store: &Arc<ShardedStore>, workload: &Workload, shards: usize) -> ServeReport {
+fn serve(
+    store: &Arc<ShardedStore>,
+    workload: &Workload,
+    plans: &Arc<PlanCache>,
+    shards: usize,
+) -> ServeReport {
     ServeEngine::new(ServeConfig::new(shards).with_mode(mode()))
+        .with_plan_cache(Arc::clone(plans))
         .serve_batch(store, workload, SAMPLES, SEED)
 }
 
@@ -104,12 +124,16 @@ fn cell(partitioner: &str, shards: usize, report: &ServeReport) -> String {
 }
 
 /// Sweep the grid once, print the table, persist `BENCH_serving.json`.
-fn sweep_and_persist(workload: &Workload, stores: &[(&'static str, Arc<ShardedStore>)]) {
+fn sweep_and_persist(
+    workload: &Workload,
+    plans: &Arc<PlanCache>,
+    stores: &[(&'static str, Arc<ShardedStore>)],
+) {
     let mut cells = Vec::new();
     for (name, store) in stores {
         let mut baseline = 0.0f64;
         for &shards in &SHARD_COUNTS {
-            let report = serve(store, workload, shards);
+            let report = serve(store, workload, plans, shards);
             if shards == 1 {
                 baseline = report.aggregate_qps();
             }
@@ -127,7 +151,7 @@ fn sweep_and_persist(workload: &Workload, stores: &[(&'static str, Arc<ShardedSt
     let json = format!(
         "{{\n  \"bench\": \"serving_throughput\",\n  \"samples\": {SAMPLES},\n  \
          \"seed\": {SEED},\n  \"partitions\": {PARTITIONS},\n  \"mode\": \
-         \"rooted(seed_count=3)\",\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"rooted(seed_count=3)\",\n  \"plan_cache\": true,\n  \"results\": [\n{}\n  ]\n}}\n",
         cells.join(",\n")
     );
     // The bench runs with the package as cwd; the JSON belongs at the
@@ -140,15 +164,15 @@ fn sweep_and_persist(workload: &Workload, stores: &[(&'static str, Arc<ShardedSt
 }
 
 fn bench_serving(c: &mut Criterion) {
-    let (workload, stores) = setup();
-    sweep_and_persist(&workload, &stores);
+    let (workload, plans, stores) = setup();
+    sweep_and_persist(&workload, &plans, &stores);
 
     let mut group = c.benchmark_group("serving_throughput");
     group.sample_size(3);
     for (name, store) in &stores {
         for &shards in &SHARD_COUNTS {
             group.bench_with_input(BenchmarkId::new(*name, shards), &shards, |b, &shards| {
-                b.iter(|| black_box(serve(store, &workload, shards)))
+                b.iter(|| black_box(serve(store, &workload, &plans, shards)))
             });
         }
     }

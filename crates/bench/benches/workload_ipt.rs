@@ -1,5 +1,8 @@
 //! E-T2 companion bench: executing the pattern-matching workload against a
 //! partitioned store (the inter-partition traversal measurement itself).
+//! Executions route through a pre-compiled shared plan cache — the
+//! amortized compile-once path; `query_planning` measures the amortization
+//! itself.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use loom_bench::scenarios;
@@ -10,8 +13,10 @@ use loom_motif::mining::MotifMiner;
 use loom_partition::ldg::{LdgConfig, LdgPartitioner};
 use loom_partition::traits::partition_stream;
 use loom_sim::executor::QueryExecutor;
+use loom_sim::plan::{GraphStatistics, PlanCache, QueryPlanner};
 use loom_sim::store::PartitionedStore;
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_execution(c: &mut Criterion) {
     let (graph, workload) = scenarios::motif_scenario(3_000, 150, 5);
@@ -34,7 +39,14 @@ fn bench_execution(c: &mut Criterion) {
         PartitionedStore::new(graph.clone(), partitioning)
     };
 
-    let executor = QueryExecutor::default().with_match_limit(2_000);
+    let plans = Arc::new(PlanCache::compile(
+        &QueryPlanner::default(),
+        &workload,
+        &GraphStatistics::from_graph(&graph),
+    ));
+    let executor = QueryExecutor::default()
+        .with_match_limit(2_000)
+        .with_plan_cache(plans);
     let mut group = c.benchmark_group("workload_ipt");
     group.sample_size(10);
     for (name, store) in [("ldg", &ldg_store), ("loom", &loom_store)] {

@@ -402,7 +402,13 @@ fn f1(scale: Scale) -> Vec<Table> {
         .mine(&workload)
         .expect("mining succeeds");
     let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 7 });
-    let executor = QueryExecutor::default();
+    // One compiled plan per workload query, reused across every window cell.
+    let plans = std::sync::Arc::new(loom_sim::plan::PlanCache::compile(
+        &loom_sim::plan::QueryPlanner::default(),
+        &workload,
+        &loom_sim::plan::GraphStatistics::from_graph(&graph),
+    ));
+    let executor = QueryExecutor::default().with_plan_cache(plans);
     let mut table = Table::new(
         "E-F1: LOOM window size sweep (motif-planted graph, k = 8)",
         &[
@@ -454,7 +460,12 @@ fn f2(scale: Scale) -> Vec<Table> {
         .mine(&workload)
         .expect("mining succeeds");
     let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 7 });
-    let executor = QueryExecutor::default();
+    let plans = std::sync::Arc::new(loom_sim::plan::PlanCache::compile(
+        &loom_sim::plan::QueryPlanner::default(),
+        &workload,
+        &loom_sim::plan::GraphStatistics::from_graph(&graph),
+    ));
+    let executor = QueryExecutor::default().with_plan_cache(plans);
     let mut table = Table::new(
         "E-F2: motif frequency threshold sweep (generated workload, k = 8)",
         &[

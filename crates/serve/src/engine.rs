@@ -3,15 +3,22 @@
 //! [`ServeEngine::serve_batch`] executes a sampled query load against a
 //! pinned [`ShardedStore`] snapshot; [`ServeEngine::serve_epochs`] does the
 //! same against an [`EpochStore`], pinning the *current* epoch per query so
-//! ingestion can keep publishing new snapshots mid-run. Both paths share the
-//! same machinery:
+//! ingestion can keep publishing new snapshots mid-run; and
+//! [`ServeEngine::run_request`] is the unified
+//! [`QueryRequest`] entry point behind the
+//! `QueryEngine` implementations. All paths share the same machinery:
 //!
-//! * the router resolves each query's home shard (label/partition index
-//!   lookup) and pushes it into that shard's bounded [`ShardQueue`] —
-//!   admission blocks when a queue is full (backpressure);
+//! * every workload query's compiled [`QueryPlan`](loom_sim::plan::QueryPlan) is resolved **once per
+//!   run** from the shared [`PlanCache`] (or compiled as a legacy plan when
+//!   no cache is wired in) — the router and every worker execute the same
+//!   instance, with zero per-call ordering derivation;
+//! * the router resolves each query's home shard from the plan's root label
+//!   ([`QueryRouter::home_shard_planned`]) and pushes it into that shard's
+//!   bounded [`ShardQueue`] — admission blocks when a queue is full
+//!   (backpressure);
 //! * one worker per shard (a `std::thread::scope` thread) drains its queue,
-//!   executing each query with the shared instrumented matcher
-//!   ([`loom_sim::matcher::execute_query`]) — the exact code path of the
+//!   executing each query's plan with the shared instrumented matcher
+//!   ([`loom_sim::matcher::execute_plan`]) — the exact code path of the
 //!   sequential executor, so the aggregate metrics are bit-identical to a
 //!   sequential run over the same `(workload, samples, seed)`;
 //! * per-query modelled latencies feed the [`ServeReport`] (per-shard QPS,
@@ -23,10 +30,10 @@ use crate::queue::ShardQueue;
 use crate::router::QueryRouter;
 use crate::shard::ShardedStore;
 use loom_motif::workload::Workload;
+use loom_sim::engine::{request_schedule, resolve_schedule_plans, QueryRequest, QueryResponse};
 use loom_sim::executor::{ExecutionMetrics, LatencyModel, QueryMode};
-use loom_sim::matcher::execute_query;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use loom_sim::matcher::{execute_plan, Embedding, ExecOptions};
+use loom_sim::plan::PlanCache;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -111,9 +118,23 @@ impl Default for ServeConfig {
 struct QueryTask {
     /// Index into the workload's query list.
     query: usize,
+    /// Position in the run's admission order (orders collected embeddings
+    /// deterministically across worker counts).
+    seq: usize,
     /// Deterministic root seed (`run_seed + seq + 1`, as in the sequential
     /// executor).
     root_seed: u64,
+}
+
+/// Effective per-run execution options: the engine config with any
+/// per-request overrides applied.
+#[derive(Debug, Clone, Copy)]
+struct RunOptions {
+    mode: QueryMode,
+    match_limit: usize,
+    traversal_budget: Option<usize>,
+    latency: LatencyModel,
+    collect: bool,
 }
 
 /// What one worker accumulated over its queue.
@@ -123,6 +144,9 @@ struct WorkerLog {
     execution: ExecutionMetrics,
     latencies: Vec<f64>,
     epochs: Vec<u64>,
+    /// Collected embeddings tagged by task sequence, so the merged cursor
+    /// order is independent of the worker count.
+    embeddings: Vec<(usize, Embedding)>,
 }
 
 impl WorkerLog {
@@ -154,15 +178,19 @@ impl Source<'_> {
 }
 
 /// The concurrent sharded serving engine.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ServeEngine {
     config: ServeConfig,
+    plans: Option<Arc<PlanCache>>,
 }
 
 impl ServeEngine {
     /// Create an engine from a config.
     pub fn new(config: ServeConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            plans: None,
+        }
     }
 
     /// The engine's configuration.
@@ -170,14 +198,28 @@ impl ServeEngine {
         &self.config
     }
 
+    /// Builder-style plan cache: the router and every worker execute the
+    /// cache's compiled plans instead of re-deriving matching orders per
+    /// run.
+    #[must_use]
+    pub fn with_plan_cache(mut self, plans: Arc<PlanCache>) -> Self {
+        self.plans = Some(plans);
+        self
+    }
+
+    /// The shared plan cache, if one is wired in.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.plans.as_ref()
+    }
+
     /// Serve `samples` queries drawn from `workload` (deterministically from
     /// `seed`) against one pinned snapshot.
     ///
     /// The sampled load and the per-query root seeds are exactly those of
     /// [`loom_sim::executor::QueryExecutor::execute_workload`], and each
-    /// query runs the same matcher, so the report's aggregate
-    /// [`ExecutionMetrics`] equal a sequential run's — the parity the
-    /// serving tests assert.
+    /// query runs the same compiled plan through the same matcher, so the
+    /// report's aggregate [`ExecutionMetrics`] equal a sequential run's —
+    /// the parity the serving tests assert.
     pub fn serve_batch(
         &self,
         store: &Arc<ShardedStore>,
@@ -185,7 +227,8 @@ impl ServeEngine {
         samples: usize,
         seed: u64,
     ) -> ServeReport {
-        self.run(Source::Pinned(store), workload, samples, seed)
+        let request = QueryRequest::workload(samples).with_seed(seed);
+        self.run(Source::Pinned(store), workload, request).0
     }
 
     /// Serve `samples` queries while ingestion concurrently publishes new
@@ -199,59 +242,110 @@ impl ServeEngine {
         samples: usize,
         seed: u64,
     ) -> ServeReport {
-        self.run(Source::Epochs(epochs), workload, samples, seed)
+        let request = QueryRequest::workload(samples).with_seed(seed);
+        self.run(Source::Epochs(epochs), workload, request).0
+    }
+
+    /// Execute a unified [`QueryRequest`] against one pinned snapshot and
+    /// return both the serving report and the request's
+    /// [`QueryResponse`] (metrics + match cursor).
+    pub fn run_request(
+        &self,
+        store: &Arc<ShardedStore>,
+        workload: &Workload,
+        request: QueryRequest,
+    ) -> (ServeReport, QueryResponse) {
+        self.run(Source::Pinned(store), workload, request)
+    }
+
+    /// Like [`ServeEngine::run_request`], but pinning each query to the
+    /// epoch current at its execution.
+    pub fn run_request_epochs(
+        &self,
+        epochs: &EpochStore,
+        workload: &Workload,
+        request: QueryRequest,
+    ) -> (ServeReport, QueryResponse) {
+        self.run(Source::Epochs(epochs), workload, request)
+    }
+
+    /// The effective run options for one request (engine config plus
+    /// overrides).
+    fn options_for(&self, request: &QueryRequest) -> RunOptions {
+        RunOptions {
+            mode: request.mode.unwrap_or(self.config.mode),
+            match_limit: request.match_limit.unwrap_or(self.config.match_limit),
+            traversal_budget: request.traversal_budget,
+            latency: self.config.latency,
+            collect: request.collect_matches,
+        }
     }
 
     fn run(
         &self,
         source: Source<'_>,
         workload: &Workload,
-        samples: usize,
-        seed: u64,
-    ) -> ServeReport {
+        request: QueryRequest,
+    ) -> (ServeReport, QueryResponse) {
         let started = Instant::now();
+        let options = self.options_for(&request);
         let workers = self.config.workers.max(1);
-        let router = QueryRouter::new(self.config.mode);
+        let router = QueryRouter::new(options.mode);
         let queues: Vec<ShardQueue<QueryTask>> = (0..workers)
             .map(|_| ShardQueue::new(self.config.queue_capacity))
             .collect();
 
-        // Sample the whole load up front (identical rng usage to the
-        // sequential executor: one workload draw per sample, root seed
-        // `seed + i + 1`).
-        let mut rng = StdRng::seed_from_u64(seed);
+        // Expand the load up front through the engine-shared schedule (the
+        // exact sampling and root-seed scheme of the sequential executor).
+        let schedule = request_schedule(workload, &request);
         let mut query_counts = vec![0usize; workload.len()];
-        let tasks: Vec<QueryTask> = (0..samples)
-            .map(|i| {
-                let query = workload.sample_index(&mut rng);
+        let tasks: Vec<QueryTask> = schedule
+            .iter()
+            .enumerate()
+            .map(|(seq, &(query, root_seed))| {
                 query_counts[query] += 1;
                 QueryTask {
                     query,
-                    root_seed: seed.wrapping_add(i as u64 + 1),
+                    seq,
+                    root_seed,
                 }
             })
             .collect();
+        let samples = tasks.len();
+
+        // One plan resolution per *distinct* scheduled query for the whole
+        // run — the router and every worker share these instances (and the
+        // structural guard in `resolve_plan` rejects id collisions).
+        let plans = resolve_schedule_plans(self.plans.as_ref(), workload, &schedule);
 
         let logs: Vec<WorkerLog> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let queue = &queues[w];
                     let source = &source;
+                    let plans = &plans;
                     scope.spawn(move || {
                         let mut log = WorkerLog::default();
                         while let Some(task) = queue.pop() {
                             // Pin one immutable snapshot for the whole query:
                             // an epoch swap mid-search is invisible.
                             let snapshot = source.pin();
-                            let metrics = execute_query(
+                            let plan = plans[task.query].as_ref().expect("scheduled plan");
+                            let exec = execute_plan(
                                 snapshot.as_ref(),
-                                &workload.queries()[task.query],
-                                self.config.mode,
-                                self.config.match_limit,
-                                self.config.latency,
-                                task.root_seed,
+                                plan,
+                                &ExecOptions {
+                                    mode: options.mode,
+                                    match_limit: options.match_limit,
+                                    traversal_budget: options.traversal_budget,
+                                    latency: options.latency,
+                                    root_seed: task.root_seed,
+                                    collect: options.collect,
+                                },
                             );
-                            log.record(metrics, snapshot.epoch());
+                            log.record(exec.metrics, snapshot.epoch());
+                            log.embeddings
+                                .extend(exec.embeddings.into_iter().map(|e| (task.seq, e)));
                         }
                         log
                     })
@@ -264,11 +358,8 @@ impl ServeEngine {
                 // Route against the snapshot current at admission time.
                 let snapshot = source.pin();
                 for task in batch {
-                    let shard = router.home_shard(
-                        &snapshot,
-                        &workload.queries()[task.query],
-                        task.root_seed,
-                    );
+                    let plan = plans[task.query].as_ref().expect("scheduled plan");
+                    let shard = router.home_shard_planned(&snapshot, plan, task.root_seed);
                     let worker = shard.index() % workers;
                     // Err only if the queue is closed, which cannot happen
                     // before this loop finishes.
@@ -284,7 +375,7 @@ impl ServeEngine {
                 .collect()
         });
 
-        self.assemble(logs, &queues, samples, query_counts, started)
+        self.assemble(logs, &queues, samples, query_counts, started, &request)
     }
 
     fn assemble(
@@ -294,16 +385,19 @@ impl ServeEngine {
         samples: usize,
         query_counts: Vec<usize>,
         started: Instant,
-    ) -> ServeReport {
+        request: &QueryRequest,
+    ) -> (ServeReport, QueryResponse) {
         let mut aggregate = ExecutionMetrics::default();
         let mut all_latencies: Vec<f64> = Vec::with_capacity(samples);
         let mut epochs_observed: Vec<u64> = Vec::new();
+        let mut embeddings: Vec<(usize, Embedding)> = Vec::new();
         let mut shards = Vec::with_capacity(logs.len());
         let mut makespan_us = 0.0f64;
         for (w, mut log) in logs.into_iter().enumerate() {
             aggregate.merge(&log.execution);
             all_latencies.extend_from_slice(&log.latencies);
             epochs_observed.extend_from_slice(&log.epochs);
+            embeddings.append(&mut log.embeddings);
             let busy_us = log.execution.estimated_latency_us;
             makespan_us = makespan_us.max(busy_us);
             shards.push(ShardServeMetrics {
@@ -318,9 +412,13 @@ impl ServeEngine {
         }
         epochs_observed.sort_unstable();
         epochs_observed.dedup();
+        // Deterministic cursor order: admission order, then discovery order
+        // within one execution (the per-task order is already stable, and
+        // sort_by_key is stable) — identical to a sequential run.
+        embeddings.sort_by_key(|&(seq, _)| seq);
         let p50 = quantile(&mut all_latencies, 0.50);
         let p99 = quantile(&mut all_latencies, 0.99);
-        ServeReport {
+        let report = ServeReport {
             shards,
             aggregate,
             queries: samples,
@@ -330,7 +428,13 @@ impl ServeEngine {
             p99_latency_us: p99,
             epochs_observed,
             query_counts,
-        }
+        };
+        let response = QueryResponse::from_engine(
+            aggregate,
+            embeddings.into_iter().map(|(_, e)| e).collect(),
+            request.collect_matches,
+        );
+        (report, response)
     }
 }
 
@@ -341,6 +445,7 @@ mod tests {
     use loom_graph::Label;
     use loom_motif::query::{PatternQuery, QueryId};
     use loom_partition::partition::{PartitionId, Partitioning};
+    use loom_sim::plan::{GraphStatistics, QueryPlanner};
 
     fn l(x: u32) -> Label {
         Label::new(x)
@@ -457,5 +562,70 @@ mod tests {
             assert!(shard.max_queue_depth <= 4);
         }
         assert_eq!(report.aggregate.queries_executed, 100);
+    }
+
+    #[test]
+    fn plan_cache_is_shared_by_router_and_workers() {
+        let (store, workload) = fixture();
+        // Same graph the fixture shards.
+        let stats = GraphStatistics::from_graph(&path_graph(12, &[l(0), l(1), l(2)]));
+        let cache = Arc::new(PlanCache::compile(
+            &QueryPlanner::default(),
+            &workload,
+            &stats,
+        ));
+        let engine = ServeEngine::new(ServeConfig::new(2)).with_plan_cache(Arc::clone(&cache));
+        assert!(engine.plan_cache().is_some());
+        let uncached = ServeEngine::new(ServeConfig::new(2));
+        let a = engine.serve_batch(&store, &workload, 60, 5);
+        let b = uncached.serve_batch(&store, &workload, 60, 5);
+        // One lookup per workload query per run, not per sample.
+        assert_eq!(cache.hits(), workload.len());
+        assert_eq!(cache.misses(), 0);
+        // Cached and legacy plans agree on these symmetric-statistics
+        // queries, so the metrics line up apart from plan provenance.
+        assert_eq!(a.aggregate.total_traversals, b.aggregate.total_traversals);
+        assert_eq!(a.aggregate.matches_found, b.aggregate.matches_found);
+    }
+
+    #[test]
+    fn run_request_collects_embeddings_deterministically_across_workers() {
+        let (store, workload) = fixture();
+        let request = QueryRequest::workload(30)
+            .with_seed(9)
+            .collect_matches(true);
+        let (_, one) =
+            ServeEngine::new(ServeConfig::new(1)).run_request(&store, &workload, request);
+        let (_, four) =
+            ServeEngine::new(ServeConfig::new(4)).run_request(&store, &workload, request);
+        assert_eq!(one.metrics, four.metrics);
+        let a: Vec<_> = one.into_cursor().collect();
+        let b: Vec<_> = four.into_cursor().collect();
+        assert_eq!(a, b, "cursor order must not depend on the worker count");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn single_query_requests_run_only_that_query() {
+        let (store, workload) = fixture();
+        let engine = ServeEngine::new(ServeConfig::new(2));
+        let (report, response) = engine.run_request(
+            &store,
+            &workload,
+            QueryRequest::query(QueryId::new(1))
+                .with_samples(20)
+                .with_seed(3),
+        );
+        assert_eq!(report.queries, 20);
+        assert_eq!(report.query_counts, vec![0, 20]);
+        assert_eq!(response.metrics.queries_executed, 20);
+        // Unknown ids run nothing.
+        let (empty, _) = engine.run_request(
+            &store,
+            &workload,
+            QueryRequest::query(QueryId::new(42)).with_samples(5),
+        );
+        assert_eq!(empty.queries, 0);
+        assert_eq!(empty.aggregate, ExecutionMetrics::default());
     }
 }

@@ -1,20 +1,24 @@
 //! The query router: anchor each query on its home shard.
 //!
-//! A rooted pattern query enters the engine as `(query, root_seed)`. The
-//! router resolves the roots the matcher will anchor on — the same
-//! deterministic label-index lookup the matcher itself performs
-//! ([`loom_sim::matcher::root_candidates`]) — maps each root to the shard
-//! hosting it, and dispatches the query to the shard hosting the **most**
-//! roots (vote ties broken deterministically by the root seed, so no shard is
-//! systematically favoured). Queries with no assigned roots at all are spread
-//! by `root_seed % shards`, so unmatched queries round-robin across shards
-//! instead of piling onto a single one.
+//! A rooted pattern query enters the engine as `(plan, root_seed)`. The
+//! router consumes the **compiled plan's root label** — the same plan the
+//! executing worker will run, fetched once per query set from the shared
+//! [`PlanCache`](loom_sim::plan::PlanCache) — so routing performs no
+//! matching-order derivation at all (the double derivation the plan
+//! redesign removed). It resolves the roots the matcher will anchor on via
+//! the plan-driven [`loom_sim::matcher::plan_roots`] lookup, maps each root
+//! to the shard hosting it, and dispatches the query to the shard hosting
+//! the **most** roots (vote ties broken deterministically by the root seed,
+//! so no shard is systematically favoured). Queries with no assigned roots
+//! at all are spread by `root_seed % shards`, so unmatched queries
+//! round-robin across shards instead of piling onto a single one.
 
 use crate::shard::ShardedStore;
 use loom_motif::query::PatternQuery;
 use loom_partition::partition::PartitionId;
 use loom_sim::executor::QueryMode;
-use loom_sim::matcher::{matching_order, root_candidates};
+use loom_sim::matcher::plan_roots;
+use loom_sim::plan::QueryPlan;
 
 /// Routes queries to home shards ahead of execution.
 #[derive(Debug, Clone, Copy)]
@@ -34,18 +38,39 @@ impl QueryRouter {
         self.mode
     }
 
-    /// The home shard for one `(query, root_seed)` execution: the shard
-    /// hosting the plurality of the roots the matcher will anchor on. Vote
-    /// ties are broken deterministically by `root_seed` (not towards a fixed
-    /// shard, which would systematically overload low shard ids). When *no*
-    /// vote lands on any shard (the query's root label is unindexed, or every
-    /// root is unassigned) the query is spread by `root_seed % shards`
-    /// explicitly — per-query root seeds are consecutive, so unmatched
-    /// queries round-robin across shards instead of hotspotting near shard 0.
+    /// The home shard for one `(query, root_seed)` execution — legacy entry
+    /// point for callers without a compiled plan: compiles a
+    /// [`QueryPlan::legacy`] on the spot and delegates to
+    /// [`QueryRouter::home_shard_planned`]. The serving engine resolves each
+    /// workload query's plan once per run and calls the planned variant
+    /// directly.
     pub fn home_shard(
         &self,
         store: &ShardedStore,
         query: &PatternQuery,
+        root_seed: u64,
+    ) -> PartitionId {
+        if query.graph().is_empty() {
+            let k = store.shard_count().max(1);
+            return PartitionId::new((root_seed % u64::from(k)) as u32);
+        }
+        self.home_shard_planned(store, &QueryPlan::legacy(query), root_seed)
+    }
+
+    /// The home shard for one `(plan, root_seed)` execution: the shard
+    /// hosting the plurality of the roots the matcher will anchor on —
+    /// resolved from the plan's pre-compiled root label, with no ordering
+    /// derivation. Vote ties are broken deterministically by `root_seed`
+    /// (not towards a fixed shard, which would systematically overload low
+    /// shard ids). When *no* vote lands on any shard (the plan's root label
+    /// is unindexed, or every root is unassigned) the query is spread by
+    /// `root_seed % shards` explicitly — per-query root seeds are
+    /// consecutive, so unmatched queries round-robin across shards instead
+    /// of hotspotting near shard 0.
+    pub fn home_shard_planned(
+        &self,
+        store: &ShardedStore,
+        plan: &QueryPlan,
         root_seed: u64,
     ) -> PartitionId {
         let k = store.shard_count().max(1);
@@ -55,19 +80,12 @@ impl QueryRouter {
                 // Every root-label vertex anchors the scan, so each shard's
                 // vote is just a count in its label index — no per-vertex
                 // home lookups.
-                let pattern = query.graph();
-                if !pattern.is_empty() {
-                    let order = matching_order(pattern);
-                    let root_label = pattern
-                        .label(order[0])
-                        .expect("pattern vertices are labelled");
-                    for (i, shard) in store.shards().iter().enumerate() {
-                        votes[i] = shard.vertices_with_label(root_label).len();
-                    }
+                for (i, shard) in store.shards().iter().enumerate() {
+                    votes[i] = shard.vertices_with_label(plan.root_label()).len();
                 }
             }
             QueryMode::Rooted { .. } => {
-                for root in root_candidates(store, query, self.mode, root_seed) {
+                for root in plan_roots(store, plan, self.mode, root_seed) {
                     if let Some(p) = store.home_shard(root) {
                         votes[p.index()] += 1;
                     }
@@ -76,7 +94,7 @@ impl QueryRouter {
         }
         let best = votes.iter().copied().max().expect("at least one shard");
         if best == 0 {
-            return PartitionId::new((root_seed % k as u64) as u32);
+            return PartitionId::new((root_seed % u64::from(k)) as u32);
         }
         let tied: Vec<usize> = (0..votes.len()).filter(|&i| votes[i] == best).collect();
         PartitionId::new(tied[root_seed as usize % tied.len()] as u32)
@@ -116,6 +134,26 @@ mod tests {
         let router = QueryRouter::new(QueryMode::FullEnumeration);
         assert_eq!(router.home_shard(&store, &query, 0), PartitionId::new(0));
         assert_eq!(router.home_shard(&store, &query, 1), PartitionId::new(1));
+    }
+
+    #[test]
+    fn planned_and_legacy_routing_agree_on_the_same_plan() {
+        let store = store();
+        let query = PatternQuery::path(QueryId::new(0), &[l(0), l(1)]).unwrap();
+        let plan = QueryPlan::legacy(&query);
+        for mode in [
+            QueryMode::FullEnumeration,
+            QueryMode::Rooted { seed_count: 2 },
+        ] {
+            let router = QueryRouter::new(mode);
+            for seed in 0..20 {
+                assert_eq!(
+                    router.home_shard(&store, &query, seed),
+                    router.home_shard_planned(&store, &plan, seed),
+                    "mode {mode:?} seed {seed}"
+                );
+            }
+        }
     }
 
     #[test]

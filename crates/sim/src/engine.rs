@@ -1,0 +1,496 @@
+//! The unified query-engine API: one request/response contract for every
+//! execution layer.
+//!
+//! A [`QueryRequest`] names what to run (one workload query or the sampled
+//! workload mix) and carries the per-request options — execution mode,
+//! match limit, traversal budget, whether to materialise embeddings. A
+//! [`QueryResponse`] returns the instrumented [`ExecutionMetrics`] (with
+//! plan provenance and the limited flag) plus a [`MatchCursor`]: a
+//! pull-based iterator over the concrete match embeddings, populated when
+//! the request asked for them.
+//!
+//! [`QueryEngine`] is the trait tying the layers together; the sequential
+//! [`SequentialEngine`] here, the sharded `loom-serve` engine and adaptive
+//! `loom-adapt` serving all implement it over the *same* compiled
+//! [`PlanCache`], which is what makes their answers
+//! comparable.
+
+use crate::executor::{ExecutionMetrics, QueryExecutor, QueryMode};
+use crate::matcher::{execute_plan, Embedding, ExecOptions};
+use crate::plan::{resolve_plan, PlanCache, QueryPlan};
+use crate::store::PartitionedStore;
+use loom_motif::query::QueryId;
+use loom_motif::workload::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// What a [`QueryRequest`] executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryTarget {
+    /// Sample queries from the engine's workload according to its
+    /// frequencies (the default).
+    #[default]
+    Workload,
+    /// Execute one specific workload query on every sample.
+    Query(QueryId),
+}
+
+/// One request against a [`QueryEngine`]: the target plus per-request
+/// options. Options left `None` fall back to the engine's configuration, so
+/// `QueryRequest::workload(n)` alone reproduces the legacy entry points
+/// exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryRequest {
+    /// What to execute.
+    pub target: QueryTarget,
+    /// Number of query executions.
+    pub samples: usize,
+    /// Deterministic seed: workload sampling and per-execution root seeds
+    /// (`seed + i + 1`, the scheme every engine shares) derive from it.
+    pub seed: u64,
+    /// Override of the engine's execution mode.
+    pub mode: Option<QueryMode>,
+    /// Override of the engine's per-execution match limit.
+    pub match_limit: Option<usize>,
+    /// Per-execution traversal budget; the search stops expanding once it
+    /// is reached and the metrics are flagged as limited.
+    pub traversal_budget: Option<usize>,
+    /// Materialise concrete embeddings for the response's [`MatchCursor`]
+    /// (bounded per execution by the match limit). Off by default: metrics
+    /// are collected either way.
+    pub collect_matches: bool,
+}
+
+impl Default for QueryRequest {
+    fn default() -> Self {
+        Self {
+            target: QueryTarget::Workload,
+            samples: 1,
+            seed: 0,
+            mode: None,
+            match_limit: None,
+            traversal_budget: None,
+            collect_matches: false,
+        }
+    }
+}
+
+impl QueryRequest {
+    /// A request sampling `samples` executions from the engine's workload.
+    pub fn workload(samples: usize) -> Self {
+        Self {
+            samples,
+            ..Self::default()
+        }
+    }
+
+    /// A request executing one specific workload query once.
+    pub fn query(id: QueryId) -> Self {
+        Self {
+            target: QueryTarget::Query(id),
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style sample count.
+    #[must_use]
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Builder-style deterministic seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style execution-mode override.
+    #[must_use]
+    pub fn with_mode(mut self, mode: QueryMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Builder-style match-limit override (minimum 1).
+    #[must_use]
+    pub fn with_match_limit(mut self, limit: usize) -> Self {
+        self.match_limit = Some(limit.max(1));
+        self
+    }
+
+    /// Builder-style traversal budget.
+    #[must_use]
+    pub fn with_traversal_budget(mut self, budget: usize) -> Self {
+        self.traversal_budget = Some(budget);
+        self
+    }
+
+    /// Builder-style embedding collection toggle.
+    #[must_use]
+    pub fn collect_matches(mut self, collect: bool) -> Self {
+        self.collect_matches = collect;
+        self
+    }
+}
+
+/// A pull-based cursor over the concrete match embeddings one request
+/// produced, in deterministic enumeration order (task order, then the
+/// search's discovery order — identical across engines and worker counts).
+///
+/// The cursor is a plain [`Iterator`]; the *early termination* happens in
+/// the search itself: a match limit or traversal budget stops enumeration
+/// the moment it is hit, so a limited run's cursor is cheap to produce, not
+/// merely cheap to consume.
+#[derive(Debug)]
+pub struct MatchCursor {
+    inner: std::vec::IntoIter<Embedding>,
+    collected: bool,
+}
+
+impl MatchCursor {
+    pub(crate) fn new(embeddings: Vec<Embedding>, collected: bool) -> Self {
+        Self {
+            inner: embeddings.into_iter(),
+            collected,
+        }
+    }
+
+    /// Whether the request asked for embeddings at all. An empty cursor
+    /// from a non-collecting request means "not materialised", not "no
+    /// matches" — check the metrics' match count for that.
+    pub fn is_collected(&self) -> bool {
+        self.collected
+    }
+
+    /// Embeddings remaining in the cursor.
+    pub fn remaining(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+impl Iterator for MatchCursor {
+    type Item = Embedding;
+
+    fn next(&mut self) -> Option<Embedding> {
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for MatchCursor {}
+
+/// What one request produced: the aggregate metrics plus the match cursor.
+#[derive(Debug)]
+pub struct QueryResponse {
+    /// Aggregate execution metrics over the request's samples, with plan
+    /// provenance and the matches-limited flag.
+    pub metrics: ExecutionMetrics,
+    cursor: MatchCursor,
+}
+
+impl QueryResponse {
+    pub(crate) fn new(
+        metrics: ExecutionMetrics,
+        embeddings: Vec<Embedding>,
+        collected: bool,
+    ) -> Self {
+        Self {
+            metrics,
+            cursor: MatchCursor::new(embeddings, collected),
+        }
+    }
+
+    /// Assemble a response from an engine implementation's raw parts — for
+    /// [`QueryEngine`] implementations outside this crate (the sharded and
+    /// adaptive engines). `collected` states whether the request asked for
+    /// embeddings; `embeddings` must be in deterministic enumeration order.
+    pub fn from_engine(
+        metrics: ExecutionMetrics,
+        embeddings: Vec<Embedding>,
+        collected: bool,
+    ) -> Self {
+        Self::new(metrics, embeddings, collected)
+    }
+
+    /// Whether any execution stopped early at a limit or budget.
+    pub fn matches_limited(&self) -> bool {
+        self.metrics.matches_limited
+    }
+
+    /// Consume the response into its match cursor.
+    pub fn into_cursor(self) -> MatchCursor {
+        self.cursor
+    }
+
+    /// Split the response into metrics and cursor.
+    pub fn into_parts(self) -> (ExecutionMetrics, MatchCursor) {
+        (self.metrics, self.cursor)
+    }
+}
+
+/// A query execution engine bound to a graph, a partitioning and a
+/// workload.
+///
+/// # Parity guarantee
+///
+/// Every implementation executes requests through the same compiled
+/// [`QueryPlan`]s and the same instrumented matcher
+/// ([`crate::matcher::execute_plan`]). Two engines presenting the same
+/// graph, the same partition assignment and the same plan cache therefore
+/// return **identical** [`ExecutionMetrics`] — and identical cursor
+/// contents in identical order — for the same [`QueryRequest`], regardless
+/// of how the engine parallelises the work (sequential loop, sharded
+/// worker pool, or epoch-pinned adaptive serving). The cross-engine parity
+/// suite in `tests/query_plan.rs` pins this contract.
+pub trait QueryEngine {
+    /// Execute one request and return its metrics and match cursor.
+    fn run(&self, request: QueryRequest) -> QueryResponse;
+
+    /// The compiled plan cache the engine executes from, when it has one.
+    fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        None
+    }
+}
+
+/// Run a request through the sequential executor — the shared
+/// Expand a request into its execution schedule: one `(workload query
+/// index, root seed)` per sample, in admission order.
+///
+/// Every engine shares this single expansion — workload targets consume the
+/// rng exactly as `QueryExecutor::execute_workload` (one draw per sample,
+/// root seed `seed + i + 1`), single-query targets repeat that query with
+/// the same seed scheme, and an unknown query id expands to nothing — so
+/// cross-engine parity can never drift on sampling.
+pub fn request_schedule(workload: &Workload, request: &QueryRequest) -> Vec<(usize, u64)> {
+    match request.target {
+        QueryTarget::Workload => {
+            let mut rng = StdRng::seed_from_u64(request.seed);
+            (0..request.samples)
+                .map(|i| {
+                    (
+                        workload.sample_index(&mut rng),
+                        request.seed.wrapping_add(i as u64 + 1),
+                    )
+                })
+                .collect()
+        }
+        QueryTarget::Query(id) => workload
+            .queries()
+            .iter()
+            .position(|q| q.id() == id)
+            .map(|index| {
+                (0..request.samples)
+                    .map(|i| (index, request.seed.wrapping_add(i as u64 + 1)))
+                    .collect()
+            })
+            // An unknown query id executes nothing: zero metrics, empty
+            // cursor — mirrored by every engine.
+            .unwrap_or_default(),
+    }
+}
+
+/// Resolve each scheduled query's plan exactly once: the one-resolution-
+/// per-distinct-query contract every engine shares (so cache hit counters
+/// behave identically whichever engine runs a request). Unscheduled
+/// workload slots stay `None`.
+pub fn resolve_schedule_plans(
+    cache: Option<&Arc<PlanCache>>,
+    workload: &Workload,
+    schedule: &[(usize, u64)],
+) -> Vec<Option<Arc<QueryPlan>>> {
+    let mut plans: Vec<Option<Arc<QueryPlan>>> = vec![None; workload.len()];
+    for &(index, _) in schedule {
+        if plans[index].is_none() {
+            plans[index] = Some(resolve_plan(cache, &workload.queries()[index]));
+        }
+    }
+    plans
+}
+
+/// Run a request through the sequential executor — the shared
+/// implementation behind [`SequentialEngine`], the `loom` façade's
+/// sequential serving handle and `QueryExecutor::execute_workload`.
+pub fn run_sequential(
+    executor: &QueryExecutor,
+    store: &PartitionedStore,
+    workload: &Workload,
+    request: QueryRequest,
+) -> QueryResponse {
+    // Per-request overrides are applied raw (no clamping), so the
+    // sequential and sharded engines resolve the same request to the same
+    // effective options — the parity guarantee depends on it.
+    let mode = request.mode.unwrap_or(executor.mode());
+    let match_limit = request.match_limit.unwrap_or(executor.match_limit());
+    let schedule = request_schedule(workload, &request);
+    let plans = resolve_schedule_plans(executor.plan_cache(), workload, &schedule);
+    let mut metrics = ExecutionMetrics::default();
+    let mut embeddings = Vec::new();
+    for (index, root_seed) in schedule {
+        let plan = plans[index].as_ref().expect("scheduled plan resolved");
+        let opts = ExecOptions {
+            mode,
+            match_limit,
+            traversal_budget: request.traversal_budget,
+            latency: executor.latency_model(),
+            root_seed,
+            collect: request.collect_matches,
+        };
+        let run = execute_plan(store, plan, &opts);
+        metrics.merge(&run.metrics);
+        embeddings.extend(run.embeddings);
+    }
+    QueryResponse::new(metrics, embeddings, request.collect_matches)
+}
+
+/// The sequential [`QueryEngine`]: a [`QueryExecutor`] bound to its store
+/// and workload, executing requests one after another on the calling
+/// thread. The reference implementation the concurrent engines are
+/// parity-tested against.
+#[derive(Debug, Clone)]
+pub struct SequentialEngine {
+    store: PartitionedStore,
+    workload: Workload,
+    executor: QueryExecutor,
+}
+
+impl SequentialEngine {
+    /// Bind an executor to a store and workload.
+    pub fn new(store: PartitionedStore, workload: Workload, executor: QueryExecutor) -> Self {
+        Self {
+            store,
+            workload,
+            executor,
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &PartitionedStore {
+        &self.store
+    }
+
+    /// The workload requests sample from.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The configured executor.
+    pub fn executor(&self) -> &QueryExecutor {
+        &self.executor
+    }
+}
+
+impl QueryEngine for SequentialEngine {
+    fn run(&self, request: QueryRequest) -> QueryResponse {
+        run_sequential(&self.executor, &self.store, &self.workload, request)
+    }
+
+    fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.executor.plan_cache()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{GraphStatistics, QueryPlanner};
+    use loom_graph::VertexId;
+    use loom_motif::fixtures::{paper_example_graph, paper_example_workload};
+    use loom_partition::partition::{PartitionId, Partitioning};
+
+    fn engine(cache: bool) -> SequentialEngine {
+        let graph = paper_example_graph();
+        let workload = paper_example_workload();
+        let mut part = Partitioning::new(2, 8).unwrap();
+        for v in 1..=8u64 {
+            part.assign(VertexId::new(v), PartitionId::new((v % 2) as u32))
+                .unwrap();
+        }
+        let mut executor = QueryExecutor::default();
+        if cache {
+            let stats = GraphStatistics::from_graph(&graph);
+            executor = executor.with_plan_cache(Arc::new(PlanCache::compile(
+                &QueryPlanner::default(),
+                &workload,
+                &stats,
+            )));
+        }
+        SequentialEngine::new(PartitionedStore::new(graph, part), workload, executor)
+    }
+
+    #[test]
+    fn workload_requests_match_the_legacy_executor_exactly() {
+        let engine = engine(false);
+        let response = engine.run(QueryRequest::workload(40).with_seed(3));
+        let legacy = engine
+            .executor()
+            .execute_workload(engine.store(), engine.workload(), 40, 3);
+        assert_eq!(response.metrics, legacy);
+        assert!(!response.into_cursor().is_collected());
+    }
+
+    #[test]
+    fn single_query_requests_collect_embeddings() {
+        let engine = engine(true);
+        let id = engine.workload().queries()[0].id();
+        let response = engine.run(QueryRequest::query(id).collect_matches(true));
+        assert_eq!(response.metrics.queries_executed, 1);
+        let found = response.metrics.matches_found;
+        assert!(found > 0);
+        let cursor = response.into_cursor();
+        assert!(cursor.is_collected());
+        assert_eq!(cursor.remaining(), found);
+        assert_eq!(cursor.len(), found);
+        assert_eq!(cursor.count(), found);
+    }
+
+    #[test]
+    fn unknown_query_ids_execute_nothing() {
+        let engine = engine(true);
+        let response = engine.run(QueryRequest::query(QueryId::new(404)).collect_matches(true));
+        assert_eq!(response.metrics, ExecutionMetrics::default());
+        let cursor = response.into_cursor();
+        assert!(cursor.is_collected());
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn request_overrides_mode_and_limit() {
+        let engine = engine(true);
+        let id = engine.workload().queries()[0].id();
+        let full = engine.run(QueryRequest::query(id));
+        let limited = engine.run(QueryRequest::query(id).with_match_limit(1));
+        assert_eq!(limited.metrics.matches_found, 1);
+        assert!(limited.matches_limited());
+        assert!(limited.metrics.total_traversals < full.metrics.total_traversals);
+        let rooted = engine.run(
+            QueryRequest::query(id)
+                .with_mode(QueryMode::Rooted { seed_count: 1 })
+                .with_seed(5),
+        );
+        assert!(rooted.metrics.total_traversals <= full.metrics.total_traversals);
+        // Budgets flag the run.
+        let budgeted = engine.run(QueryRequest::query(id).with_traversal_budget(1));
+        assert!(budgeted.matches_limited());
+    }
+
+    #[test]
+    fn plan_cache_is_exposed_and_reused() {
+        let engine = engine(true);
+        let cache = engine.plan_cache().expect("cache wired in").clone();
+        let hits_before = cache.hits();
+        engine.run(QueryRequest::workload(10).with_seed(1));
+        // One resolution per *distinct* sampled query per run, not per
+        // sample — the amortized contract every engine shares.
+        let first_run = cache.hits() - hits_before;
+        assert!(first_run >= 1 && first_run <= engine.workload().len());
+        engine.run(QueryRequest::workload(10).with_seed(1));
+        assert_eq!(cache.hits(), hits_before + 2 * first_run, "deterministic");
+        assert!(engine.executor().plan_cache().is_some());
+    }
+}

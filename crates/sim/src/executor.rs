@@ -9,13 +9,13 @@
 //! inter-partition traversals" the paper optimises; a simple latency model
 //! converts hop counts into an estimated query latency.
 
-use crate::matcher;
+use crate::matcher::{self, ExecOptions};
+use crate::plan::{PlanCache, PlanId, QueryPlan};
 use crate::store::PartitionedStore;
 use loom_motif::query::PatternQuery;
 use loom_motif::workload::Workload;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// How query executions are seeded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -69,6 +69,16 @@ pub struct ExecutionMetrics {
     pub local_only_queries: usize,
     /// Estimated total latency under the latency model, in microseconds.
     pub estimated_latency_us: f64,
+    /// Whether any aggregated execution stopped early — at its match limit
+    /// or its traversal budget — so the enumeration may be incomplete.
+    /// Reports must never silently compare a limited run against a full one;
+    /// this flag survives merging (a merge of limited and unlimited runs is
+    /// limited).
+    pub matches_limited: bool,
+    /// Provenance: the compiled plan every aggregated execution ran under,
+    /// or `None` when executions under *different* plans were merged (so a
+    /// blended row can never masquerade as a single plan's result).
+    pub plan: Option<PlanId>,
 }
 
 impl ExecutionMetrics {
@@ -111,6 +121,14 @@ impl ExecutionMetrics {
 
     /// Merge another metrics block into this one.
     pub fn merge(&mut self, other: &ExecutionMetrics) {
+        self.plan = if self.queries_executed == 0 {
+            other.plan
+        } else if other.queries_executed == 0 || self.plan == other.plan {
+            self.plan
+        } else {
+            None
+        };
+        self.matches_limited |= other.matches_limited;
         self.queries_executed += other.queries_executed;
         self.matches_found += other.matches_found;
         self.total_traversals += other.total_traversals;
@@ -130,6 +148,10 @@ pub struct QueryExecutor {
     max_matches_per_query: usize,
     /// How executions are seeded.
     mode: QueryMode,
+    /// Compiled plans shared with the router and the serving workers. When
+    /// absent, every execution compiles a legacy plan on the spot (the
+    /// pre-redesign behaviour, bit-identical metrics).
+    plans: Option<Arc<PlanCache>>,
 }
 
 impl Default for QueryExecutor {
@@ -138,6 +160,7 @@ impl Default for QueryExecutor {
             latency: LatencyModel::default(),
             max_matches_per_query: 10_000,
             mode: QueryMode::FullEnumeration,
+            plans: None,
         }
     }
 }
@@ -165,6 +188,15 @@ impl QueryExecutor {
         self
     }
 
+    /// Builder-style plan cache: executions of workload queries reuse the
+    /// compiled plans (shared with the router and serving workers) instead
+    /// of re-deriving a matching order per call.
+    #[must_use]
+    pub fn with_plan_cache(mut self, plans: Arc<PlanCache>) -> Self {
+        self.plans = Some(plans);
+        self
+    }
+
     /// The latency model in use.
     pub fn latency_model(&self) -> LatencyModel {
         self.latency
@@ -180,6 +212,29 @@ impl QueryExecutor {
         self.max_matches_per_query
     }
 
+    /// The shared plan cache, if one is wired in.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.plans.as_ref()
+    }
+
+    /// The compiled plan for a query: the cached instance when the cache
+    /// holds a structurally matching one, otherwise a legacy plan compiled
+    /// on the spot (see [`crate::plan::resolve_plan`]).
+    pub(crate) fn plan_for(&self, query: &PatternQuery) -> Arc<QueryPlan> {
+        crate::plan::resolve_plan(self.plans.as_ref(), query)
+    }
+
+    /// The execution options one seeded execution runs under.
+    pub(crate) fn exec_options(&self, root_seed: u64) -> ExecOptions {
+        ExecOptions {
+            mode: self.mode,
+            match_limit: self.max_matches_per_query,
+            latency: self.latency,
+            root_seed,
+            ..ExecOptions::default()
+        }
+    }
+
     /// Execute a single query and return its metrics. In rooted mode the
     /// roots are drawn deterministically from `root_seed`.
     pub fn execute_seeded(
@@ -188,14 +243,15 @@ impl QueryExecutor {
         query: &PatternQuery,
         root_seed: u64,
     ) -> ExecutionMetrics {
-        matcher::execute_query(
-            store,
-            query,
-            self.mode,
-            self.max_matches_per_query,
-            self.latency,
-            root_seed,
-        )
+        if query.graph().is_empty() {
+            return ExecutionMetrics {
+                queries_executed: 1,
+                local_only_queries: 1,
+                ..ExecutionMetrics::default()
+            };
+        }
+        let plan = self.plan_for(query);
+        matcher::execute_plan(store, &plan, &self.exec_options(root_seed)).metrics
     }
 
     /// Execute a single query with the default root seed. In
@@ -206,7 +262,10 @@ impl QueryExecutor {
 
     /// Execute `samples` queries drawn from the workload according to its
     /// frequencies (deterministic for a given seed) and return the aggregate
-    /// metrics. In rooted mode each sample is anchored at fresh random roots.
+    /// metrics. In rooted mode each sample is anchored at fresh random
+    /// roots. Delegates to the unified engine path
+    /// ([`crate::engine::run_sequential`]), so each distinct sampled query's
+    /// plan is resolved once per call, not once per sample.
     pub fn execute_workload(
         &self,
         store: &PartitionedStore,
@@ -214,14 +273,8 @@ impl QueryExecutor {
         samples: usize,
         seed: u64,
     ) -> ExecutionMetrics {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut total = ExecutionMetrics::default();
-        for sample in 0..samples {
-            let query = workload.sample(&mut rng);
-            let metrics = self.execute_seeded(store, query, seed.wrapping_add(sample as u64 + 1));
-            total.merge(&metrics);
-        }
-        total
+        let request = crate::engine::QueryRequest::workload(samples).with_seed(seed);
+        crate::engine::run_sequential(self, store, workload, request).metrics
     }
 }
 
@@ -408,6 +461,7 @@ mod tests {
             remote_traversals: 5,
             local_only_queries: 1,
             estimated_latency_us: 100.0,
+            ..ExecutionMetrics::default()
         };
         let b = ExecutionMetrics {
             queries_executed: 2,
@@ -416,6 +470,7 @@ mod tests {
             remote_traversals: 0,
             local_only_queries: 2,
             estimated_latency_us: 20.0,
+            ..ExecutionMetrics::default()
         };
         a.merge(&b);
         assert_eq!(a.queries_executed, 4);
@@ -428,6 +483,34 @@ mod tests {
             0.0
         );
         assert_eq!(ExecutionMetrics::default().mean_latency_us(), 0.0);
+    }
+
+    #[test]
+    fn merge_tracks_limit_flags_and_plan_provenance() {
+        use crate::plan::PlanId;
+        let run = |plan: Option<PlanId>, limited: bool| ExecutionMetrics {
+            queries_executed: 1,
+            plan,
+            matches_limited: limited,
+            ..ExecutionMetrics::default()
+        };
+        // An empty accumulator adopts the first run's provenance.
+        let mut acc = ExecutionMetrics::default();
+        acc.merge(&run(Some(PlanId(7)), false));
+        assert_eq!(acc.plan, Some(PlanId(7)));
+        assert!(!acc.matches_limited);
+        // Same plan keeps the id; a limited run taints the aggregate.
+        acc.merge(&run(Some(PlanId(7)), true));
+        assert_eq!(acc.plan, Some(PlanId(7)));
+        assert!(acc.matches_limited);
+        // A different plan blanks the provenance — a blended row must not
+        // claim a single plan identity.
+        acc.merge(&run(Some(PlanId(8)), false));
+        assert_eq!(acc.plan, None);
+        // Merging in a zero-query block changes nothing.
+        let before = acc;
+        acc.merge(&ExecutionMetrics::default());
+        assert_eq!(acc, before);
     }
 
     #[test]

@@ -12,13 +12,23 @@
 //!
 //! * [`store::PartitionedStore`] — the partitioned graph: vertex data plus a
 //!   routing table mapping every vertex to its host partition;
+//! * [`plan`] — compile-once query planning: the [`plan::QueryPlanner`]
+//!   cost-ranks candidate matching orders against graph statistics and the
+//!   [`plan::PlanCache`] shares the compiled [`plan::QueryPlan`]s (one per
+//!   workload query) with the router, the sequential executor and every
+//!   serving worker;
 //! * [`matcher`] — the reusable instrumented backtracking sub-graph matcher,
-//!   generic over the [`matcher::PatternStore`] storage abstraction so the
-//!   concurrent `loom-serve` engine executes the exact same search;
+//!   generic over the [`matcher::PatternStore`] storage abstraction and
+//!   driven by compiled plans ([`matcher::execute_plan`]) so the concurrent
+//!   `loom-serve` engine executes the exact same search;
 //! * [`executor`] — the sequential executor driving the matcher against a
 //!   [`store::PartitionedStore`], counting every traversal it performs and
 //!   whether the traversal stayed on the local partition or had to hop to a
 //!   remote one (with a configurable latency model);
+//! * [`engine`] — the unified [`engine::QueryEngine`] API:
+//!   [`engine::QueryRequest`] / [`engine::QueryResponse`] with a pull-based
+//!   [`engine::MatchCursor`] over concrete embeddings, implemented by the
+//!   sequential engine here and by the `loom-serve` / `loom-adapt` layers;
 //! * [`drift`] — the two-phase drifting-workload scenario (disjoint hot
 //!   motif families per phase) driving the `loom-adapt` adaptation story;
 //! * [`runner`] — the experiment driver: generate graph + workload, stream
@@ -32,26 +42,36 @@
 #![warn(rust_2018_idioms)]
 
 pub mod drift;
+pub mod engine;
 pub mod executor;
 pub mod growth;
 pub mod matcher;
+pub mod plan;
 pub mod report;
 pub mod runner;
 pub mod store;
 
 pub use drift::DriftScenario;
+pub use engine::{MatchCursor, QueryEngine, QueryRequest, QueryResponse, QueryTarget};
 pub use executor::{ExecutionMetrics, LatencyModel, QueryExecutor, QueryMode};
 pub use growth::{GrowthCheckpoint, GrowthScenario};
-pub use matcher::PatternStore;
+pub use matcher::{Embedding, PatternStore};
+pub use plan::{GraphStatistics, PlanCache, PlanId, PlanStrategy, QueryPlan, QueryPlanner};
 pub use runner::{ExperimentResult, ExperimentRunner, PartitionerKind};
 pub use store::PartitionedStore;
 
 /// Convenient re-exports for the experiment binary and examples.
 pub mod prelude {
     pub use crate::drift::DriftScenario;
+    pub use crate::engine::{
+        MatchCursor, QueryEngine, QueryRequest, QueryResponse, QueryTarget, SequentialEngine,
+    };
     pub use crate::executor::{ExecutionMetrics, LatencyModel, QueryExecutor, QueryMode};
     pub use crate::growth::{GrowthCheckpoint, GrowthScenario};
-    pub use crate::matcher::PatternStore;
+    pub use crate::matcher::{Embedding, PatternStore};
+    pub use crate::plan::{
+        GraphStatistics, PlanCache, PlanId, PlanStrategy, QueryPlan, QueryPlanner,
+    };
     pub use crate::report::{Table, TableRow};
     pub use crate::runner::{
         ExperimentConfig, ExperimentResult, ExperimentRunner, PartitionerKind,

@@ -7,16 +7,26 @@
 //! (hash-map adjacency for the simulator, partition-major CSR slices for the
 //! serving engine) without copy-pasting the matching logic.
 //!
-//! The search is a VF2-style backtracking enumeration (the same semantics as
-//! `loom_motif::isomorphism`) instrumented to record every *traversal* it
-//! performs: each expansion from a matched vertex to a candidate neighbour
-//! either stays on the local partition or hops to a remote one. The remote
-//! fraction is exactly the "probability of inter-partition traversals" the
-//! paper optimises; the [`LatencyModel`] converts hop counts into an
-//! estimated query latency.
+//! Since the query-plan redesign the search is **plan-driven**:
+//! [`execute_plan`] consumes a pre-compiled
+//! [`QueryPlan`] — matching order, root label,
+//! per-position labels/degrees and binding edges all materialised at
+//! compile time — so an execution performs zero ordering work. The legacy
+//! [`execute_query`] entry point survives as a thin wrapper that compiles a
+//! [`QueryPlan::legacy`] on the spot and produces bit-identical metrics to
+//! the pre-plan code path.
+//!
+//! The search itself is a VF2-style backtracking enumeration (the same
+//! semantics as `loom_motif::isomorphism`) instrumented to record every
+//! *traversal* it performs: each expansion from a matched vertex to a
+//! candidate neighbour either stays on the local partition or hops to a
+//! remote one. The remote fraction is exactly the "probability of
+//! inter-partition traversals" the paper optimises; the [`LatencyModel`]
+//! converts hop counts into an estimated query latency.
 
 use crate::executor::{ExecutionMetrics, LatencyModel, QueryMode};
-use loom_graph::fxhash::{FxHashMap, FxHashSet};
+use crate::plan::QueryPlan;
+use loom_graph::fxhash::FxHashSet;
 use loom_graph::{Label, VertexId};
 use loom_motif::query::PatternQuery;
 use rand::rngs::StdRng;
@@ -29,7 +39,7 @@ use rand::{Rng, SeedableRng};
 /// sorted by vertex id, and `is_remote_traversal` treats vertices without a
 /// partition assignment as remote to everyone. Two stores presenting the same
 /// graph and partitioning produce **identical** [`ExecutionMetrics`] for the
-/// same `(query, mode, seed)` — the property the serving-engine parity tests
+/// same `(plan, mode, seed)` — the property the serving-engine parity tests
 /// assert.
 pub trait PatternStore {
     /// The label of a vertex, if present.
@@ -50,68 +60,55 @@ pub trait PatternStore {
 }
 
 /// Order pattern vertices so each one (after the first) touches an earlier
-/// one — identical to the ordering used by `loom_motif::isomorphism`. The
-/// first entry determines the root label a rooted query is anchored on, which
-/// is why the serving-engine router calls this too.
+/// one — identical to the ordering used by `loom_motif::isomorphism`. This is
+/// the *legacy* single-heuristic ordering; the
+/// [`QueryPlanner`](crate::plan::QueryPlanner) cost-ranks one such ordering
+/// per candidate root and compiles the winner into a reusable plan.
 pub fn matching_order(pattern: &loom_graph::LabelledGraph) -> Vec<VertexId> {
-    let mut order = Vec::with_capacity(pattern.vertex_count());
-    let mut placed: FxHashSet<VertexId> = FxHashSet::default();
-    let vertices = pattern.vertices_sorted();
-    while placed.len() < pattern.vertex_count() {
-        let next = vertices
-            .iter()
-            .copied()
-            .filter(|v| !placed.contains(v))
-            .max_by_key(|&v| {
-                let connectivity = pattern
-                    .neighbors(v)
-                    .iter()
-                    .filter(|n| placed.contains(n))
-                    .count();
-                (connectivity, pattern.degree(v), std::cmp::Reverse(v.raw()))
-            })
-            .expect("unplaced vertex exists");
-        placed.insert(next);
-        order.push(next);
-    }
-    order
+    // Seed at the (degree, lowest-id)-maximal vertex — with nothing placed
+    // yet, that is exactly what the greedy rule picks first — then let the
+    // shared greedy selection in `plan` finish the order.
+    let Some(start) = pattern
+        .vertices_sorted()
+        .into_iter()
+        .max_by_key(|&v| (pattern.degree(v), std::cmp::Reverse(v.raw())))
+    else {
+        return Vec::new();
+    };
+    crate::plan::greedy_order_from(pattern, start)
 }
 
-/// The root vertices one query execution is anchored on, in execution order.
-///
-/// In [`QueryMode::FullEnumeration`] this is every vertex carrying the root
-/// label; in [`QueryMode::Rooted`] it is `seed_count` vertices drawn
-/// deterministically from `root_seed` (sorted, de-duplicated) — the seeds an
-/// index lookup would hand a graph database. The serving-engine router uses
-/// the same function to decide a query's home shard.
+/// The root vertices one query execution is anchored on, in execution order
+/// — the legacy entry point, deriving the matching order on the spot. The
+/// router and engines now resolve roots from a compiled plan via
+/// [`plan_roots`]; this remains for callers without one.
 pub fn root_candidates<S: PatternStore + ?Sized>(
     store: &S,
     query: &PatternQuery,
     mode: QueryMode,
     root_seed: u64,
 ) -> Vec<VertexId> {
-    let pattern = query.graph();
-    if pattern.is_empty() {
+    if query.graph().is_empty() {
         return Vec::new();
     }
-    let order = matching_order(pattern);
-    roots_for_order(store, pattern, &order, mode, root_seed)
+    plan_roots(store, &QueryPlan::legacy(query), mode, root_seed)
 }
 
-/// [`root_candidates`] with the matching order already computed — the path
-/// [`execute_query`] takes so the order is derived once per execution, not
-/// twice.
-fn roots_for_order<S: PatternStore + ?Sized>(
+/// The root vertices an execution of `plan` is anchored on, resolved from
+/// the plan's pre-compiled root label — no ordering derivation.
+///
+/// In [`QueryMode::FullEnumeration`] this is every vertex carrying the root
+/// label; in [`QueryMode::Rooted`] it is `seed_count` vertices drawn
+/// deterministically from `root_seed` (sorted, de-duplicated) — the seeds an
+/// index lookup would hand a graph database. The serving-engine router uses
+/// the same function to decide a query's home shard.
+pub fn plan_roots<S: PatternStore + ?Sized>(
     store: &S,
-    pattern: &loom_graph::LabelledGraph,
-    order: &[VertexId],
+    plan: &QueryPlan,
     mode: QueryMode,
     root_seed: u64,
 ) -> Vec<VertexId> {
-    let root_label = pattern
-        .label(order[0])
-        .expect("pattern vertices are labelled");
-    let candidates = store.vertices_with_label(root_label);
+    let candidates = store.vertices_with_label(plan.root_label());
     match mode {
         QueryMode::FullEnumeration => candidates.to_vec(),
         QueryMode::Rooted { seed_count } => {
@@ -130,12 +127,91 @@ fn roots_for_order<S: PatternStore + ?Sized>(
     }
 }
 
-/// Execute one pattern query against a store and return its metrics.
-///
-/// This is the single code path behind both the sequential executor and the
-/// concurrent serving engine: root selection per [`root_candidates`], then an
-/// instrumented backtracking search from each root, with `match_limit`
-/// capping the total embeddings enumerated across roots.
+/// One concrete match: the assignment of pattern vertices to data vertices,
+/// sorted by pattern vertex id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Embedding {
+    pairs: Vec<(VertexId, VertexId)>,
+}
+
+impl Embedding {
+    fn new(mut pairs: Vec<(VertexId, VertexId)>) -> Self {
+        pairs.sort_unstable_by_key(|&(pattern, _)| pattern);
+        Self { pairs }
+    }
+
+    /// The data vertex a pattern vertex maps to.
+    pub fn image_of(&self, pattern_vertex: VertexId) -> Option<VertexId> {
+        self.pairs
+            .binary_search_by_key(&pattern_vertex, |&(p, _)| p)
+            .ok()
+            .map(|i| self.pairs[i].1)
+    }
+
+    /// Iterate over `(pattern vertex, data vertex)` pairs, sorted by
+    /// pattern vertex id.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// Number of bound pattern vertices.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the embedding binds no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Per-execution options for [`execute_plan`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Root selection mode.
+    pub mode: QueryMode,
+    /// Cap on embeddings enumerated (the search stops early at the cap).
+    pub match_limit: usize,
+    /// Optional cap on total traversals; the search stops expanding once it
+    /// is reached (and the metrics flag the run as limited).
+    pub traversal_budget: Option<usize>,
+    /// Latency cost model charged per traversal.
+    pub latency: LatencyModel,
+    /// Deterministic seed for rooted-mode root selection.
+    pub root_seed: u64,
+    /// Whether to materialise the concrete embeddings (bounded by
+    /// `match_limit`) for a `MatchCursor`; metrics are collected either way.
+    pub collect: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self {
+            mode: QueryMode::FullEnumeration,
+            match_limit: 10_000,
+            traversal_budget: None,
+            latency: LatencyModel::default(),
+            root_seed: 0,
+            collect: false,
+        }
+    }
+}
+
+/// What one plan execution produced: the instrumented metrics plus the
+/// collected embeddings (empty unless [`ExecOptions::collect`] was set).
+#[derive(Debug, Clone)]
+pub struct PlanExecution {
+    /// Instrumented execution metrics, with plan provenance attached.
+    pub metrics: ExecutionMetrics,
+    /// Concrete match embeddings, in enumeration order.
+    pub embeddings: Vec<Embedding>,
+}
+
+/// Execute one pattern query against a store and return its metrics — the
+/// legacy entry point, compiling a [`QueryPlan::legacy`] on the spot.
+/// Bit-identical metrics to the pre-plan code path; engines that hold a
+/// [`PlanCache`](crate::plan::PlanCache) call [`execute_plan`] directly and
+/// skip the per-call compilation.
 pub fn execute_query<S: PatternStore + ?Sized>(
     store: &S,
     query: &PatternQuery,
@@ -144,36 +220,79 @@ pub fn execute_query<S: PatternStore + ?Sized>(
     latency: LatencyModel,
     root_seed: u64,
 ) -> ExecutionMetrics {
-    let pattern = query.graph();
+    if query.graph().is_empty() {
+        return ExecutionMetrics {
+            queries_executed: 1,
+            local_only_queries: 1,
+            ..ExecutionMetrics::default()
+        };
+    }
+    let plan = QueryPlan::legacy(query);
+    let opts = ExecOptions {
+        mode,
+        match_limit,
+        latency,
+        root_seed,
+        ..ExecOptions::default()
+    };
+    execute_plan(store, &plan, &opts).metrics
+}
+
+/// Execute a pre-compiled plan against a store.
+///
+/// This is the single code path behind the sequential executor, the
+/// concurrent serving engine and adaptive serving: root selection per
+/// [`plan_roots`], then an instrumented backtracking search from each root
+/// driven entirely by the plan's pre-compiled binding edges, with
+/// `match_limit` (and the optional traversal budget) stopping the search
+/// early. Identical `(store, plan, options)` always produce identical
+/// results, whichever engine executes them.
+pub fn execute_plan<S: PatternStore + ?Sized>(
+    store: &S,
+    plan: &QueryPlan,
+    opts: &ExecOptions,
+) -> PlanExecution {
     let mut metrics = ExecutionMetrics {
         queries_executed: 1,
+        plan: Some(plan.id()),
         ..ExecutionMetrics::default()
     };
-    if pattern.is_empty() {
+    let mut embeddings = Vec::new();
+    if plan.is_empty() {
         metrics.local_only_queries = 1;
-        return metrics;
+        return PlanExecution {
+            metrics,
+            embeddings,
+        };
     }
-    let order = matching_order(pattern);
-    let candidates = roots_for_order(store, pattern, &order, mode, root_seed);
+    // No clamping: a zero limit is a no-op probe, exactly as the pre-plan
+    // search behaved (engine builders clamp their own defaults to >= 1).
+    let match_limit = opts.match_limit;
+    let traversal_budget = opts.traversal_budget.unwrap_or(usize::MAX);
+    let candidates = plan_roots(store, plan, opts.mode, opts.root_seed);
 
-    let mut search = Search {
+    let mut search = PlanSearch {
         store,
-        pattern,
-        order: &order,
-        mapping: FxHashMap::default(),
+        plan,
+        mapping: vec![VertexId::new(u64::MAX); plan.len()],
         used: FxHashSet::default(),
         metrics: &mut metrics,
         match_limit,
+        traversal_budget,
+        out: if opts.collect {
+            Some(&mut embeddings)
+        } else {
+            None
+        },
     };
     for root in candidates {
         // Routing the query to the partition hosting the seed vertex is
         // free; expansion from there is what costs traversals.
-        search.mapping.insert(order[0], root);
+        search.mapping[0] = root;
         search.used.insert(root);
         search.extend(1);
-        search.mapping.remove(&order[0]);
         search.used.remove(&root);
-        if search.metrics.matches_found >= search.match_limit {
+        if search.exhausted() {
             break;
         }
     }
@@ -181,85 +300,79 @@ pub fn execute_query<S: PatternStore + ?Sized>(
     if metrics.remote_traversals == 0 {
         metrics.local_only_queries = 1;
     }
-    metrics.estimated_latency_us = metrics.remote_traversals as f64 * latency.remote_hop_us
-        + (metrics.total_traversals - metrics.remote_traversals) as f64 * latency.local_hop_us;
-    metrics
+    metrics.matches_limited =
+        metrics.matches_found >= match_limit || metrics.total_traversals >= traversal_budget;
+    metrics.estimated_latency_us = metrics.remote_traversals as f64 * opts.latency.remote_hop_us
+        + (metrics.total_traversals - metrics.remote_traversals) as f64 * opts.latency.local_hop_us;
+    PlanExecution {
+        metrics,
+        embeddings,
+    }
 }
 
-struct Search<'a, S: PatternStore + ?Sized> {
+struct PlanSearch<'a, S: PatternStore + ?Sized> {
     store: &'a S,
-    pattern: &'a loom_graph::LabelledGraph,
-    order: &'a [VertexId],
-    mapping: FxHashMap<VertexId, VertexId>,
+    plan: &'a QueryPlan,
+    /// Data vertex bound at each order position; positions `< depth` valid.
+    mapping: Vec<VertexId>,
     used: FxHashSet<VertexId>,
     metrics: &'a mut ExecutionMetrics,
     match_limit: usize,
+    traversal_budget: usize,
+    out: Option<&'a mut Vec<Embedding>>,
 }
 
-impl<S: PatternStore + ?Sized> Search<'_, S> {
+impl<S: PatternStore + ?Sized> PlanSearch<'_, S> {
+    fn exhausted(&self) -> bool {
+        self.metrics.matches_found >= self.match_limit
+            || self.metrics.total_traversals >= self.traversal_budget
+    }
+
     fn extend(&mut self, depth: usize) {
-        if self.metrics.matches_found >= self.match_limit {
+        if self.exhausted() {
             return;
         }
-        if depth == self.order.len() {
+        if depth == self.plan.len() {
             self.metrics.matches_found += 1;
+            if let Some(out) = self.out.as_deref_mut() {
+                out.push(Embedding::new(
+                    self.plan
+                        .order()
+                        .iter()
+                        .copied()
+                        .zip(self.mapping.iter().copied())
+                        .collect(),
+                ));
+            }
             return;
         }
-        let pv = self.order[depth];
-        let p_label = self.pattern.label(pv).expect("pattern vertex labelled");
-        let p_degree = self.pattern.degree(pv);
-        let matched_neighbours: Vec<VertexId> = self
-            .pattern
-            .neighbors(pv)
-            .iter()
-            .copied()
-            .filter(|n| self.mapping.contains_key(n))
-            .collect();
+        let bindings = self.plan.bindings(depth);
         // Expansion anchor: the first already-matched pattern neighbour. The
         // distributed engine fetches the anchor's adjacency list and follows
         // each candidate edge — that is the traversal we meter.
-        let store = self.store;
-        let Some(&anchor) = matched_neighbours.first() else {
+        let Some(&anchor_position) = bindings.first() else {
             // Disconnected pattern component: re-seed from the label index
             // (costless routing, like the root seed).
-            let candidates = store.vertices_with_label(p_label);
+            let candidates = self.store.vertices_with_label(self.plan.label_at(depth));
             for &tv in candidates {
-                self.try_candidate(pv, tv, p_label, p_degree, &matched_neighbours, None, depth);
-                if self.metrics.matches_found >= self.match_limit {
+                self.try_candidate(depth, tv, None);
+                if self.exhausted() {
                     return;
                 }
             }
             return;
         };
-        let anchor_image = self.mapping[&anchor];
-        let candidates = store.neighbors(anchor_image);
+        let anchor_image = self.mapping[anchor_position];
+        let candidates = self.store.neighbors(anchor_image);
         for &tv in candidates {
-            self.try_candidate(
-                pv,
-                tv,
-                p_label,
-                p_degree,
-                &matched_neighbours,
-                Some(anchor_image),
-                depth,
-            );
-            if self.metrics.matches_found >= self.match_limit {
+            self.try_candidate(depth, tv, Some(anchor_image));
+            if self.exhausted() {
                 return;
             }
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn try_candidate(
-        &mut self,
-        pv: VertexId,
-        tv: VertexId,
-        p_label: Label,
-        p_degree: usize,
-        matched_neighbours: &[VertexId],
-        anchor_image: Option<VertexId>,
-        depth: usize,
-    ) {
+    fn try_candidate(&mut self, depth: usize, tv: VertexId, anchor_image: Option<VertexId>) {
         // Following the edge anchor → candidate is one traversal, local or
         // remote depending on where the two vertices live.
         if let Some(anchor) = anchor_image {
@@ -271,23 +384,22 @@ impl<S: PatternStore + ?Sized> Search<'_, S> {
         if self.used.contains(&tv) {
             return;
         }
-        if self.store.label(tv) != Some(p_label) {
+        if self.store.label(tv) != Some(self.plan.label_at(depth)) {
             return;
         }
-        if self.store.neighbors(tv).len() < p_degree {
+        if self.store.neighbors(tv).len() < self.plan.degree_at(depth) {
             return;
         }
-        let consistent = matched_neighbours.iter().all(|n| {
-            let image = self.mapping[n];
+        let consistent = self.plan.bindings(depth).iter().all(|&position| {
+            let image = self.mapping[position];
             self.store.contains_edge(tv, image)
         });
         if !consistent {
             return;
         }
-        self.mapping.insert(pv, tv);
+        self.mapping[depth] = tv;
         self.used.insert(tv);
         self.extend(depth + 1);
-        self.mapping.remove(&pv);
         self.used.remove(&tv);
     }
 }
@@ -297,6 +409,7 @@ mod tests {
     use super::*;
     use crate::store::PartitionedStore;
     use loom_graph::generators::regular::path_graph;
+    use loom_graph::LabelledGraph;
     use loom_motif::query::QueryId;
     use loom_partition::partition::{PartitionId, Partitioning};
 
@@ -329,6 +442,115 @@ mod tests {
         assert_eq!(metrics.matches_found, 1);
         assert!(metrics.total_traversals >= 2);
         assert!(metrics.remote_traversals >= 1);
+        assert!(!metrics.matches_limited);
+        assert_eq!(metrics.plan, Some(QueryPlan::legacy(&query).id()));
+    }
+
+    #[test]
+    fn execute_plan_matches_the_legacy_wrapper_exactly() {
+        let store = path_store();
+        let query = PatternQuery::path(QueryId::new(0), &[l(0), l(1), l(2)]).unwrap();
+        let plan = QueryPlan::legacy(&query);
+        for mode in [
+            QueryMode::FullEnumeration,
+            QueryMode::Rooted { seed_count: 2 },
+        ] {
+            for seed in 0..5u64 {
+                let wrapped =
+                    execute_query(&store, &query, mode, 10_000, LatencyModel::default(), seed);
+                let planned = execute_plan(
+                    &store,
+                    &plan,
+                    &ExecOptions {
+                        mode,
+                        root_seed: seed,
+                        ..ExecOptions::default()
+                    },
+                );
+                assert_eq!(wrapped, planned.metrics, "mode {mode:?} seed {seed}");
+                assert!(planned.embeddings.is_empty(), "collect defaults off");
+            }
+        }
+    }
+
+    #[test]
+    fn collected_embeddings_are_real_matches() {
+        let store = path_store();
+        let query = PatternQuery::path(QueryId::new(0), &[l(0), l(1), l(2)]).unwrap();
+        let plan = QueryPlan::legacy(&query);
+        let run = execute_plan(
+            &store,
+            &plan,
+            &ExecOptions {
+                collect: true,
+                ..ExecOptions::default()
+            },
+        );
+        assert_eq!(run.embeddings.len(), run.metrics.matches_found);
+        for embedding in &run.embeddings {
+            assert_eq!(embedding.len(), query.vertex_count());
+            for (pattern_v, data_v) in embedding.iter() {
+                assert_eq!(
+                    store.label(data_v),
+                    query.graph().label(pattern_v),
+                    "labels must line up"
+                );
+                assert_eq!(embedding.image_of(pattern_v), Some(data_v));
+            }
+            assert!(!embedding.is_empty());
+            assert_eq!(embedding.image_of(VertexId::new(9_999)), None);
+        }
+    }
+
+    #[test]
+    fn traversal_budget_stops_the_search_and_flags_the_run() {
+        // A hub with many leaves explodes in traversals; a budget of 3 cuts
+        // the scan short and the metrics say so.
+        let mut g = LabelledGraph::new();
+        let hub = g.add_vertex(l(0));
+        for _ in 0..50 {
+            let leaf = g.add_vertex(l(1));
+            g.add_edge(hub, leaf).unwrap();
+        }
+        let mut part = Partitioning::new(1, 64).unwrap();
+        for v in g.vertices_sorted() {
+            part.assign(v, PartitionId::new(0)).unwrap();
+        }
+        let store = PartitionedStore::new(g, part);
+        let query = PatternQuery::path(QueryId::new(0), &[l(0), l(1)]).unwrap();
+        let plan = QueryPlan::legacy(&query);
+        let unlimited = execute_plan(&store, &plan, &ExecOptions::default());
+        let budgeted = execute_plan(
+            &store,
+            &plan,
+            &ExecOptions {
+                traversal_budget: Some(3),
+                ..ExecOptions::default()
+            },
+        );
+        assert_eq!(budgeted.metrics.total_traversals, 3);
+        assert!(budgeted.metrics.matches_limited);
+        assert!(budgeted.metrics.total_traversals < unlimited.metrics.total_traversals);
+        assert!(!unlimited.metrics.matches_limited);
+    }
+
+    #[test]
+    fn zero_match_limit_is_a_no_op_probe() {
+        // Legacy parity: a zero limit never expanded anything — no matches,
+        // no traversals — and the plan path preserves that exactly.
+        let store = path_store();
+        let query = PatternQuery::path(QueryId::new(0), &[l(0), l(1), l(2)]).unwrap();
+        let metrics = execute_query(
+            &store,
+            &query,
+            QueryMode::FullEnumeration,
+            0,
+            LatencyModel::default(),
+            0,
+        );
+        assert_eq!(metrics.matches_found, 0);
+        assert_eq!(metrics.total_traversals, 0);
+        assert!(metrics.matches_limited, "a zero-limit run is limited");
     }
 
     #[test]
@@ -339,6 +561,12 @@ mod tests {
         // The matching order anchors on the higher-degree l(1) vertex.
         assert_eq!(roots.len(), 1);
         assert_eq!(store.label(roots[0]), Some(l(1)));
+        // The plan-driven resolution agrees.
+        let plan = QueryPlan::legacy(&query);
+        assert_eq!(
+            plan_roots(&store, &plan, QueryMode::FullEnumeration, 0),
+            roots
+        );
     }
 
     #[test]

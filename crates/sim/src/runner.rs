@@ -10,6 +10,7 @@
 //! them out across scoped threads.
 
 use crate::executor::{ExecutionMetrics, LatencyModel, QueryExecutor, QueryMode};
+use crate::plan::{GraphStatistics, PlanCache, PlanStrategy, QueryPlanner};
 use crate::store::PartitionedStore;
 use loom_core::{workload_registry, LoomConfig};
 use loom_graph::ordering::StreamOrder;
@@ -28,6 +29,7 @@ use loom_partition::traits::partition_stream_batched;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Errors produced while running an experiment.
@@ -147,6 +149,10 @@ pub struct ExperimentConfig {
     /// (batched and per-element ingestion are contractually identical; this
     /// only affects throughput).
     pub chunk_size: usize,
+    /// How workload queries are compiled into plans. The plans are compiled
+    /// once per `(graph, workload)` pair and shared across every
+    /// partitioner's execution run.
+    pub plan_strategy: PlanStrategy,
 }
 
 impl ExperimentConfig {
@@ -162,6 +168,7 @@ impl ExperimentConfig {
             latency: LatencyModel::default(),
             query_mode: QueryMode::Rooted { seed_count: 4 },
             chunk_size: loom_partition::traits::DEFAULT_BATCH_SIZE,
+            plan_strategy: PlanStrategy::default(),
         }
     }
 }
@@ -291,9 +298,20 @@ impl ExperimentRunner {
         self.run_one_with_registry(kind, graph, stream, ordering_name, workload, &registry)
     }
 
+    /// Compile the workload's plans once against this graph's statistics —
+    /// shared by every partitioner's execution run, so the planning cost is
+    /// amortised from per-execution to per-workload.
+    pub fn plan_cache(&self, graph: &LabelledGraph, workload: &Workload) -> Arc<PlanCache> {
+        let stats = GraphStatistics::from_graph(graph);
+        let planner = QueryPlanner::new(self.config.plan_strategy);
+        Arc::new(PlanCache::compile(&planner, workload, &stats))
+    }
+
     /// Like [`ExperimentRunner::run_one`], but with a pre-built registry so
     /// the timed partitioning region covers partitioning work only (registry
     /// construction clones the workload summary and stays outside the clock).
+    /// Compiles a fresh plan cache; use
+    /// [`ExperimentRunner::run_one_with_plans`] to share one across runs.
     ///
     /// # Errors
     ///
@@ -307,12 +325,43 @@ impl ExperimentRunner {
         workload: &Workload,
         registry: &PartitionerRegistry,
     ) -> SimResult<ExperimentResult> {
+        let plans = self.plan_cache(graph, workload);
+        self.run_one_with_plans(
+            kind,
+            graph,
+            stream,
+            ordering_name,
+            workload,
+            registry,
+            &plans,
+        )
+    }
+
+    /// Like [`ExperimentRunner::run_one_with_registry`], but executing the
+    /// sampled workload through a pre-compiled shared plan cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioner failures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_one_with_plans(
+        &self,
+        kind: PartitionerKind,
+        graph: &LabelledGraph,
+        stream: &GraphStream,
+        ordering_name: &str,
+        workload: &Workload,
+        registry: &PartitionerRegistry,
+        plans: &Arc<PlanCache>,
+    ) -> SimResult<ExperimentResult> {
         let start = Instant::now();
         let partitioning = self.partition_with_registry(kind, graph, stream, registry)?;
         let partition_time_ms = start.elapsed().as_secs_f64() * 1_000.0;
 
         let store = PartitionedStore::new(graph.clone(), partitioning.clone());
-        let executor = QueryExecutor::new(self.config.latency).with_mode(self.config.query_mode);
+        let executor = QueryExecutor::new(self.config.latency)
+            .with_mode(self.config.query_mode)
+            .with_plan_cache(Arc::clone(plans));
         let execution = executor.execute_workload(
             &store,
             workload,
@@ -345,6 +394,9 @@ impl ExperimentRunner {
     ) -> SimResult<Vec<ExperimentResult>> {
         let tpstry = self.mine_workload(workload)?;
         let registry = workload_registry(&tpstry);
+        // One compiled plan per workload query, shared by every partitioner
+        // run below — the compile-once contract.
+        let plans = self.plan_cache(graph, workload);
         let stream = GraphStream::from_graph(graph, order);
         let ordering_name = order.name();
 
@@ -354,14 +406,16 @@ impl ExperimentRunner {
                 let results = &results;
                 let stream = &stream;
                 let registry = &registry;
+                let plans = &plans;
                 scope.spawn(move || {
-                    let outcome = self.run_one_with_registry(
+                    let outcome = self.run_one_with_plans(
                         kind,
                         graph,
                         stream,
                         ordering_name,
                         workload,
                         registry,
+                        plans,
                     );
                     results.lock().push((index, outcome));
                 });

@@ -117,7 +117,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let partitioning = serving.partitioning();
         let quality = partitioning.quality(&graph);
         let kept = intact(partitioning);
-        let metrics = serving.execute_workload(100, 3)?;
+        let metrics = serving
+            .run(QueryRequest::workload(100).with_seed(3))
+            .metrics;
         println!(
             "  {name:5} fraud structures intact: {kept}/{} | cut={:.3} imbalance={:.3} | \
              ipt probability={:.3} local-only={:.1}% mean latency={:.0} µs",

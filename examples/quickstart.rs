@@ -90,8 +90,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let quality = partitioning.quality(&graph);
         println!("  {quality}");
 
-        // ── 4. Execute the workload against the partitioned store ───────
-        let metrics = serving.execute_workload(600, 7)?;
+        // ── 4. Execute the workload against the partitioned store through
+        //      the unified engine API (plans were compiled once at serve).
+        let metrics = serving
+            .run(QueryRequest::workload(600).with_seed(7))
+            .metrics;
         println!(
             "  {name:5} inter-partition traversal probability = {:.3}, \
              local-only queries = {:.1}%, mean latency = {:.1} µs",

@@ -67,7 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut baseline = 0.0;
     for workers in [1usize, 2, 4, 8] {
         let sharded = serving.sharded(workers);
-        let report = sharded.serve_workload(600, 42)?;
+        // Full per-shard report through the unified request API; the
+        // compiled plans are shared by the router and every worker.
+        let (report, _) = sharded.serve_request(QueryRequest::workload(600).with_seed(42));
         if workers == 1 {
             baseline = report.aggregate_qps();
         }
@@ -98,7 +100,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     hash_session.ingest_stream(&stream)?;
     let hash_serving = hash_session.serve(graph.clone())?;
     for (name, handle) in [("hash", &hash_serving), ("loom", &serving)] {
-        let report = handle.sharded(4).serve_workload(600, 42)?;
+        let (report, _) = handle
+            .sharded(4)
+            .serve_request(QueryRequest::workload(600).with_seed(42));
         println!(
             "  {name:5}: {:>9.0} qps, p99 {:>8.1} µs, remote hops {:.1}%",
             report.aggregate_qps(),

@@ -27,7 +27,10 @@
 //!
 //! [`session::Session`] is the one entry point tying the pipeline together —
 //! mine the workload, build any partitioner from a declarative spec, ingest
-//! the stream in batches, then serve queries against the partitioned graph:
+//! the stream in batches, then compile the workload's query plans **once**
+//! and serve [`QueryRequest`](loom_sim::engine::QueryRequest)s against the
+//! partitioned graph through the unified
+//! [`QueryEngine`](loom_sim::engine::QueryEngine) API:
 //!
 //! ```
 //! use loom::prelude::*;
@@ -45,11 +48,18 @@
 //! session.ingest_stream(&stream)?;
 //!
 //! let serving = session.serve(graph)?;
-//! let metrics = serving.execute_workload(500, 42)?;
+//! let response = serving.run(QueryRequest::workload(500).with_seed(42));
 //! println!(
 //!     "inter-partition traversal probability: {:.3}",
-//!     metrics.inter_partition_probability()
+//!     response.metrics.inter_partition_probability()
 //! );
+//!
+//! // Concrete matches stream out of a pull-based cursor.
+//! let first = serving.workload().expect("has workload").queries()[0].id();
+//! let matches = serving.run(QueryRequest::query(first).collect_matches(true));
+//! for embedding in matches.into_cursor().take(3) {
+//!     println!("match: {:?}", embedding.iter().collect::<Vec<_>>());
+//! }
 //! # Ok(())
 //! # }
 //! ```

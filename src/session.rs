@@ -9,11 +9,14 @@
 //!    `Box<dyn Partitioner>`;
 //! 3. **ingest** — stream elements are fed in batches
 //!    ([`Session::ingest_stream`] chunks a whole [`GraphStream`]);
-//! 4. **serve** — [`Session::serve`] flushes the partitioner and hands the
-//!    partitioned graph to a [`PartitionedStore`] + [`QueryExecutor`] pair
-//!    for query execution; [`Serving::sharded`] additionally freezes the
-//!    store into a `loom-serve` [`ShardedStore`] and stands up the
-//!    concurrent worker-shard engine behind the same metrics.
+//! 4. **plan** — [`Session::serve`] compiles every workload query **once**
+//!    into a [`QueryPlan`](loom_sim::plan::QueryPlan) against the graph's
+//!    statistics, shared through an `Arc<PlanCache>` by every layer below;
+//! 5. **serve** — the partitioned graph goes into a [`PartitionedStore`] +
+//!    [`QueryExecutor`] pair behind the unified [`QueryEngine`] API;
+//!    [`Serving::sharded`] additionally freezes the store into a
+//!    `loom-serve` [`ShardedStore`] and stands up the concurrent
+//!    worker-shard engine — same plans, same metrics.
 //!
 //! ```
 //! use loom::session::Session;
@@ -31,8 +34,8 @@
 //! session.ingest_stream(&stream)?;
 //!
 //! let serving = session.serve(graph)?;
-//! let metrics = serving.execute_workload(100, 7)?;
-//! assert!(metrics.inter_partition_probability() <= 1.0);
+//! let response = serving.run(QueryRequest::workload(100).with_seed(7));
+//! assert!(response.metrics.inter_partition_probability() <= 1.0);
 //! # Ok(())
 //! # }
 //! ```
@@ -49,7 +52,9 @@ use loom_partition::PartitionError;
 use loom_serve::engine::{ServeConfig, ServeEngine};
 use loom_serve::metrics::ServeReport;
 use loom_serve::shard::ShardedStore;
+use loom_sim::engine::{run_sequential, QueryEngine, QueryRequest, QueryResponse};
 use loom_sim::executor::{ExecutionMetrics, LatencyModel, QueryExecutor, QueryMode};
+use loom_sim::plan::{GraphStatistics, PlanCache, PlanStrategy, QueryPlanner};
 use loom_sim::store::PartitionedStore;
 use std::fmt;
 use std::sync::Arc;
@@ -114,6 +119,7 @@ pub struct SessionBuilder {
     latency: LatencyModel,
     query_mode: QueryMode,
     match_limit: Option<usize>,
+    plan_strategy: PlanStrategy,
 }
 
 impl SessionBuilder {
@@ -157,6 +163,15 @@ impl SessionBuilder {
         self
     }
 
+    /// How workload queries are compiled into plans at [`Session::serve`]
+    /// (default [`PlanStrategy::CostRanked`]; [`PlanStrategy::Legacy`]
+    /// reproduces the pre-planner matching order bit-for-bit).
+    #[must_use]
+    pub fn plan_strategy(mut self, strategy: PlanStrategy) -> Self {
+        self.plan_strategy = strategy;
+        self
+    }
+
     /// Mine the workload (if any) and build the partitioner from its spec.
     ///
     /// # Errors
@@ -185,6 +200,7 @@ impl SessionBuilder {
             latency: self.latency,
             query_mode: self.query_mode,
             match_limit: self.match_limit,
+            plan_strategy: self.plan_strategy,
         })
     }
 }
@@ -199,6 +215,7 @@ pub struct Session {
     latency: LatencyModel,
     query_mode: QueryMode,
     match_limit: Option<usize>,
+    plan_strategy: PlanStrategy,
 }
 
 impl fmt::Debug for Session {
@@ -222,6 +239,7 @@ impl Session {
             latency: LatencyModel::default(),
             query_mode: QueryMode::default(),
             match_limit: None,
+            plan_strategy: PlanStrategy::default(),
         }
     }
 
@@ -287,7 +305,9 @@ impl Session {
         Ok(self.partitioner.finish()?)
     }
 
-    /// Finish partitioning and hand off to the serving layer: the partitioned
+    /// Finish partitioning and hand off to the serving layer: every workload
+    /// query is compiled **once** into a plan against the graph's statistics
+    /// (the compile-once step every engine below reuses), and the partitioned
     /// `graph` goes into a [`PartitionedStore`] with a [`QueryExecutor`]
     /// configured from the session.
     ///
@@ -296,26 +316,36 @@ impl Session {
     /// Propagates partitioner assignment errors from the final flush.
     pub fn serve(mut self, graph: LabelledGraph) -> SessionResult<Serving> {
         let partitioning = self.partitioner.finish()?;
+        let plans = self.workload.as_ref().map(|workload| {
+            let stats = GraphStatistics::from_graph(&graph);
+            let planner = QueryPlanner::new(self.plan_strategy);
+            Arc::new(PlanCache::compile(&planner, workload, &stats))
+        });
         let store = PartitionedStore::new(graph, partitioning);
         let mut executor = QueryExecutor::new(self.latency).with_mode(self.query_mode);
         if let Some(limit) = self.match_limit {
             executor = executor.with_match_limit(limit);
         }
+        if let Some(plans) = &plans {
+            executor = executor.with_plan_cache(Arc::clone(plans));
+        }
         Ok(Serving {
             store,
             executor,
             workload: self.workload,
+            plans,
         })
     }
 }
 
 /// The serving half of a session: a partitioned store plus an instrumented
-/// query executor.
+/// query executor, sharing the session's compiled plan cache.
 #[derive(Debug, Clone)]
 pub struct Serving {
     store: PartitionedStore,
     executor: QueryExecutor,
     workload: Option<Workload>,
+    plans: Option<Arc<PlanCache>>,
 }
 
 impl Serving {
@@ -334,6 +364,17 @@ impl Serving {
         &self.executor
     }
 
+    /// The compiled plan cache every engine spawned from this handle shares
+    /// (`None` when the session has no workload to compile).
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.plans.as_ref()
+    }
+
+    /// The session's workload, if one was configured.
+    pub fn workload(&self) -> Option<&Workload> {
+        self.workload.as_ref()
+    }
+
     /// Execute `samples` queries drawn from the session's workload and report
     /// traversal-locality metrics.
     ///
@@ -341,16 +382,22 @@ impl Serving {
     ///
     /// Fails when the session was built without a workload (use
     /// [`Serving::execute`] with an explicit workload instead).
+    #[deprecated(
+        note = "route through the unified engine API: `run(QueryRequest::workload(samples).with_seed(seed)).metrics`"
+    )]
     pub fn execute_workload(&self, samples: usize, seed: u64) -> SessionResult<ExecutionMetrics> {
-        let Some(workload) = &self.workload else {
+        if self.workload.is_none() {
             return Err(SessionError::MissingWorkload("executing the workload"));
-        };
+        }
         Ok(self
-            .executor
-            .execute_workload(&self.store, workload, samples, seed))
+            .run(QueryRequest::workload(samples).with_seed(seed))
+            .metrics)
     }
 
-    /// Execute `samples` queries drawn from an explicit workload.
+    /// Execute `samples` queries drawn from an explicit workload. Queries
+    /// matching the session workload (by id *and* structure) reuse its
+    /// compiled plans; structurally foreign queries — even under colliding
+    /// ids — are planned on the spot with the legacy heuristic.
     pub fn execute(&self, workload: &Workload, samples: usize, seed: u64) -> ExecutionMetrics {
         self.executor
             .execute_workload(&self.store, workload, samples, seed)
@@ -358,17 +405,22 @@ impl Serving {
 
     /// Freeze the store into a [`ShardedStore`] and stand up the concurrent
     /// serving engine with `workers` worker shards. The engine inherits the
-    /// session's query mode, latency model and match limit, so its aggregate
-    /// metrics are directly comparable to (in fact, identical to) the
-    /// sequential [`Serving::execute_workload`] path for the same load.
+    /// session's query mode, latency model, match limit **and compiled plan
+    /// cache**, so its aggregate metrics are directly comparable to (in
+    /// fact, identical to) the sequential [`Serving::run`] path for the
+    /// same request.
     pub fn sharded(&self, workers: usize) -> ShardedServing {
         let config = ServeConfig::new(workers)
             .with_mode(self.executor.mode())
             .with_latency(self.executor.latency_model())
             .with_match_limit(self.executor.match_limit());
+        let mut engine = ServeEngine::new(config);
+        if let Some(plans) = &self.plans {
+            engine = engine.with_plan_cache(Arc::clone(plans));
+        }
         ShardedServing {
             store: Arc::new(ShardedStore::from_store(&self.store)),
-            engine: ServeEngine::new(config),
+            engine,
             workload: self.workload.clone(),
         }
     }
@@ -393,13 +445,40 @@ impl Serving {
             .with_mode(self.executor.mode())
             .with_latency(self.executor.latency_model())
             .with_match_limit(self.executor.match_limit());
-        Ok(AdaptiveServing::new(
+        let mut adaptive = AdaptiveServing::new(
             self.store.graph().clone(),
             self.store.partitioning().clone(),
             workload.clone(),
             serve,
             config,
-        ))
+        );
+        if let Some(plans) = &self.plans {
+            adaptive = adaptive.with_plan_cache(Arc::clone(plans));
+        }
+        Ok(adaptive)
+    }
+}
+
+/// The sequential face of the unified engine API: requests run on the
+/// calling thread through the session's [`QueryExecutor`], its
+/// [`PartitionedStore`] and the shared compiled plan cache.
+///
+/// Sessions without a workload return an empty response for workload
+/// requests (there is nothing to sample).
+impl QueryEngine for Serving {
+    fn run(&self, request: QueryRequest) -> QueryResponse {
+        match &self.workload {
+            Some(workload) => run_sequential(&self.executor, &self.store, workload, request),
+            None => QueryResponse::from_engine(
+                ExecutionMetrics::default(),
+                Vec::new(),
+                request.collect_matches,
+            ),
+        }
+    }
+
+    fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.plans.as_ref()
     }
 }
 
@@ -431,19 +510,56 @@ impl ShardedServing {
     ///
     /// Fails when the session was built without a workload (use
     /// [`ShardedServing::serve`] with an explicit workload instead).
+    #[deprecated(
+        note = "route through the unified engine API: `run(QueryRequest::workload(samples).with_seed(seed))`, or `serve_request` for the full per-shard report"
+    )]
     pub fn serve_workload(&self, samples: usize, seed: u64) -> SessionResult<ServeReport> {
-        let Some(workload) = &self.workload else {
+        if self.workload.is_none() {
             return Err(SessionError::MissingWorkload("serving the workload"));
-        };
+        }
         Ok(self
-            .engine
-            .serve_batch(&self.store, workload, samples, seed))
+            .serve_request(QueryRequest::workload(samples).with_seed(seed))
+            .0)
     }
 
-    /// Serve `samples` queries drawn from an explicit workload.
+    /// Serve `samples` queries drawn from an explicit workload. Queries
+    /// matching the session workload (by id *and* structure) reuse its
+    /// compiled plans; structurally foreign queries — even under colliding
+    /// ids — are planned on the spot with the legacy heuristic.
     pub fn serve(&self, workload: &Workload, samples: usize, seed: u64) -> ServeReport {
         self.engine
             .serve_batch(&self.store, workload, samples, seed)
+    }
+
+    /// Execute a unified [`QueryRequest`] and return both the per-shard
+    /// [`ServeReport`] and the request's [`QueryResponse`]. Sessions without
+    /// a workload serve an empty report.
+    pub fn serve_request(&self, request: QueryRequest) -> (ServeReport, QueryResponse) {
+        match &self.workload {
+            Some(workload) => self.engine.run_request(&self.store, workload, request),
+            None => (
+                ServeReport::default(),
+                QueryResponse::from_engine(
+                    ExecutionMetrics::default(),
+                    Vec::new(),
+                    request.collect_matches,
+                ),
+            ),
+        }
+    }
+}
+
+/// The concurrent face of the unified engine API: requests are routed and
+/// executed across the worker shards from the same compiled plans as the
+/// sequential path, so for any request `run` returns **identical** metrics
+/// (and cursor contents) to [`Serving::run`] over the same session.
+impl QueryEngine for ShardedServing {
+    fn run(&self, request: QueryRequest) -> QueryResponse {
+        self.serve_request(request).1
+    }
+
+    fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.engine.plan_cache()
     }
 }
 
@@ -475,9 +591,16 @@ mod tests {
             serving.partitioning().assigned_count(),
             graph.vertex_count()
         );
-        let metrics = serving.execute_workload(200, 7).unwrap();
-        assert_eq!(metrics.queries_executed, 200);
-        assert!(metrics.inter_partition_probability() <= 1.0);
+        // Plans were compiled once per workload query at serve() time.
+        let cache = serving
+            .plan_cache()
+            .expect("workload session compiles plans");
+        assert_eq!(cache.len(), 3);
+        let response = serving.run(QueryRequest::workload(200).with_seed(7));
+        assert_eq!(response.metrics.queries_executed, 200);
+        assert!(response.metrics.inter_partition_probability() <= 1.0);
+        // One resolution per distinct sampled query — observably reused.
+        assert!(cache.hits() >= 1 && cache.hits() <= cache.len());
     }
 
     #[test]
@@ -499,6 +622,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn serving_without_workload_rejects_execute_workload() {
         let graph = paper_example_graph();
         let spec = PartitionerSpec::Ldg(LdgConfig::new(2, graph.vertex_count()));
@@ -508,9 +632,39 @@ mod tests {
             .unwrap();
         let serving = session.serve(graph).unwrap();
         assert!(serving.execute_workload(10, 1).is_err());
+        assert!(serving.plan_cache().is_none(), "no workload, no plans");
+        // The unified API serves an empty response instead of failing.
+        let response = serving.run(QueryRequest::workload(10));
+        assert_eq!(response.metrics.queries_executed, 0);
         // An explicit workload still works.
         let metrics = serving.execute(&paper_example_workload(), 10, 1);
         assert_eq!(metrics.queries_executed, 10);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_unified_api_exactly() {
+        let graph = paper_example_graph();
+        let workload = paper_example_workload();
+        let spec =
+            PartitionerSpec::Loom(LoomConfig::new(2, graph.vertex_count()).with_window_size(4));
+        let mut session = Session::builder(spec).workload(workload).build().unwrap();
+        session
+            .ingest_stream(&GraphStream::from_graph(&graph, &StreamOrder::Bfs))
+            .unwrap();
+        let serving = session.serve(graph).unwrap();
+        let request = QueryRequest::workload(60).with_seed(9);
+        assert_eq!(
+            serving.execute_workload(60, 9).unwrap(),
+            serving.run(request).metrics
+        );
+        let sharded = serving.sharded(2);
+        assert_eq!(
+            sharded.serve_workload(60, 9).unwrap().aggregate,
+            sharded.run(request).metrics
+        );
+        // Sequential and sharded answers agree request-for-request.
+        assert_eq!(serving.run(request).metrics, sharded.run(request).metrics);
     }
 
     #[test]

@@ -22,11 +22,20 @@ fn readme_usage_snippet_compiles_and_runs() -> Result<(), Box<dyn std::error::Er
     let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
     session.ingest_stream(&stream)?;
 
-    // 3. Measure what the workload actually pays on that partitioning.
+    // 3. Measure what the workload actually pays on that partitioning —
+    //    plans are compiled once at serve() and every request reuses them.
     let serving = session.serve(graph)?;
-    let metrics = serving.execute_workload(1_000, 42)?;
+    let metrics = serving
+        .run(QueryRequest::workload(1_000).with_seed(42))
+        .metrics;
     assert!(metrics.inter_partition_probability() <= 1.0);
     assert_eq!(metrics.queries_executed, 1_000);
+
+    // 4. Stream concrete matches for one query through the cursor.
+    let q = serving.workload().expect("workload set").queries()[0].id();
+    let response = serving.run(QueryRequest::query(q).collect_matches(true));
+    let found = response.metrics.matches_found;
+    assert_eq!(response.into_cursor().count(), found);
     Ok(())
 }
 

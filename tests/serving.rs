@@ -139,12 +139,18 @@ fn session_facade_drives_the_sharded_engine() {
         .ingest_stream(&GraphStream::from_graph(&graph, &StreamOrder::Bfs))
         .unwrap();
     let serving = session.serve(graph).unwrap();
-    let sequential = serving.execute_workload(80, 21).unwrap();
+    let request = QueryRequest::workload(80).with_seed(21);
+    let sequential = serving.run(request).metrics;
 
     let sharded = serving.sharded(4);
-    let report = sharded.serve_workload(80, 21).unwrap();
+    let (report, response) = sharded.serve_request(request);
     assert_eq!(report.aggregate, sequential);
+    assert_eq!(response.metrics, sequential);
     assert!(report.p99_latency_us >= report.p50_latency_us);
+    // Both handles expose the same compiled plan cache instance.
+    let a = serving.plan_cache().expect("plans compiled");
+    let b = sharded.plan_cache().expect("plans shared");
+    assert!(std::sync::Arc::ptr_eq(a, b));
     // Explicit-workload path agrees as well.
     let explicit = sharded.serve(&workload, 80, 21);
     assert_eq!(explicit.aggregate, sequential);
