@@ -26,6 +26,7 @@ use loom_serve::engine::{ServeConfig, ServeEngine};
 use loom_serve::epoch::EpochStore;
 use loom_serve::metrics::ServeReport;
 use loom_serve::shard::ShardedStore;
+use loom_sim::context::{CancelToken, RequestContext};
 use loom_sim::engine::{QueryEngine, QueryRequest, QueryResponse};
 use loom_sim::plan::PlanCache;
 use serde::{Deserialize, Serialize};
@@ -85,6 +86,11 @@ pub struct AdaptiveServing {
     config: AdaptConfig,
     adaptations: usize,
     total_moved: usize,
+    /// Cancellation token covering the current serving round. An adaptation
+    /// pass fires it before migrating — in-flight executions running under
+    /// it unwind cooperatively against their pinned (pre-migration)
+    /// snapshot — and swaps in a fresh token for the next round.
+    round_cancel: CancelToken,
 }
 
 impl AdaptiveServing {
@@ -109,6 +115,7 @@ impl AdaptiveServing {
             config,
             adaptations: 0,
             total_moved: 0,
+            round_cancel: CancelToken::new(),
         }
     }
 
@@ -152,6 +159,16 @@ impl AdaptiveServing {
         self.total_moved
     }
 
+    /// The cancellation token covering the current serving round. Execute
+    /// long-lived queries under a context carrying a clone of it
+    /// (`RequestContext::unbounded().with_cancel(...)`) to have the next
+    /// adaptation pass cancel them cooperatively instead of letting them
+    /// finish against a placement that is about to be migrated away. Rotated
+    /// (fired and replaced) at the start of every [`AdaptiveServing::adapt_now`].
+    pub fn round_token(&self) -> CancelToken {
+        self.round_cancel.clone()
+    }
+
     /// Serve `samples` queries from the *live* workload, track the observed
     /// mix, and — when it has drifted past the threshold — run one adaptation
     /// pass before returning. Queries in flight keep their pinned snapshot;
@@ -171,9 +188,13 @@ impl AdaptiveServing {
         samples: usize,
         seed: u64,
     ) -> Result<(ServeReport, Option<AdaptOutcome>)> {
-        let report = self
+        // The batch runs under the round token, so a concurrent adaptation
+        // (another handle firing the round) unwinds it cooperatively.
+        let ctx = RequestContext::unbounded().with_cancel(self.round_cancel.clone());
+        let request = QueryRequest::workload(samples).with_seed(seed);
+        let (report, _) = self
             .engine
-            .serve_epochs(&self.epochs, workload, samples, seed);
+            .run_request_epochs_ctx(&self.epochs, workload, request, &ctx);
         self.tracker.observe(&report);
         let outcome = if self.tracker.is_drifted() {
             Some(self.adapt_now()?)
@@ -198,6 +219,11 @@ impl AdaptiveServing {
     ///
     /// Propagates placement errors from applying a migration plan.
     pub fn adapt_now(&mut self) -> Result<AdaptOutcome> {
+        // Cancel whatever is still executing under the old round before the
+        // placement moves underneath it; the replacement token covers the
+        // rounds served against the migrated snapshot.
+        let retired = std::mem::replace(&mut self.round_cancel, CancelToken::new());
+        retired.cancel();
         let drift_before = self.tracker.drift();
         let hot = self.tracker.hot_label_weights();
         let mut moves: Vec<(VertexId, PartitionId)> = Vec::new();
@@ -256,9 +282,9 @@ impl AdaptiveServing {
 /// of [`loom_serve::engine::ServeEngine::serve_epochs`] over the mined
 /// workload at the current epoch.
 impl QueryEngine for AdaptiveServing {
-    fn run(&self, request: QueryRequest) -> QueryResponse {
+    fn run_ctx(&self, request: QueryRequest, ctx: &RequestContext) -> QueryResponse {
         self.engine
-            .run_request_epochs(&self.epochs, self.tracker.workload(), request)
+            .run_request_epochs_ctx(&self.epochs, self.tracker.workload(), request, ctx)
             .1
     }
 
@@ -399,6 +425,34 @@ mod tests {
         let (_, outcome) = adaptive.serve(&live, 100, 4).unwrap();
         assert!(outcome.is_some(), "repair continues on the next batch");
         assert!(adaptive.total_moved() >= 2);
+    }
+
+    #[test]
+    fn adapt_now_fires_and_rotates_the_round_token() {
+        let (g, part, workload) = fixture();
+        let mut adaptive = AdaptiveServing::new(
+            g,
+            part,
+            workload,
+            ServeConfig::new(2),
+            AdaptConfig::default(),
+        );
+        let old_round = adaptive.round_token();
+        assert!(!old_round.is_cancelled());
+        assert!(old_round.is_linked_to(&adaptive.round_token()));
+        adaptive.tracker.observe_counts(&[200]);
+        adaptive.adapt_now().unwrap();
+        // Executions under the retired round observe the cancellation; the
+        // fresh round's token is unfired and unlinked.
+        assert!(old_round.is_cancelled());
+        let new_round = adaptive.round_token();
+        assert!(!new_round.is_cancelled());
+        assert!(!new_round.is_linked_to(&old_round));
+        // A cancelled-round request unwinds with zero traversals.
+        let ctx = RequestContext::unbounded().with_cancel(old_round);
+        let response = adaptive.run_ctx(QueryRequest::workload(10).with_seed(2), &ctx);
+        assert!(response.metrics.cancelled);
+        assert_eq!(response.metrics.total_traversals, 0);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Serving-engine throughput: shard-count sweep, Hash vs LOOM.
+//! Serving-engine throughput: shard-count sweep, Hash vs LOOM, and the
+//! message-passing transport's overhead against a direct-call baseline.
 //!
 //! The paper's claim — a workload-aware partitioning lets an online store
 //! serve pattern queries faster — measured as throughput: the same rooted
@@ -7,10 +8,18 @@
 //! modelled makespan of the busiest shard, with the `loom-sim` latency model
 //! charging every remote hop) is recorded per cell.
 //!
+//! Since the serving engine moved to message-passing shard workers behind
+//! `ShardTransport`, the bench also records the transport's cost at 4 shards
+//! against the direct-call sequential executor on the same partitioning:
+//! the modelled-QPS regression (which parity pins at zero — both paths
+//! execute identical metrics) and the wall-clock cost of the two paths.
+//!
 //! Besides the Criterion-style wall-clock timings, the bench emits
 //! `BENCH_serving.json` at the workspace root: a machine-readable
-//! `shards × partitioner → {qps, p99}` table so the perf trajectory of the
-//! serving layer has data points across PRs.
+//! `shards × partitioner → {qps, p99}` table plus the transport-overhead
+//! records, so the perf trajectory of the serving layer has data points
+//! across PRs. Setting `LOOM_BENCH_FAST=1` (the CI smoke mode) shrinks the
+//! graph and sample counts.
 //!
 //! Every serve run routes through a **shared pre-compiled plan cache** (one
 //! plan per workload query, compiled once in setup), so the numbers reflect
@@ -30,28 +39,50 @@ use loom_partition::traits::partition_stream;
 use loom_serve::engine::{ServeConfig, ServeEngine};
 use loom_serve::metrics::ServeReport;
 use loom_serve::shard::ShardedStore;
-use loom_sim::executor::QueryMode;
+use loom_sim::executor::{QueryExecutor, QueryMode};
 use loom_sim::plan::{GraphStatistics, PlanCache, QueryPlanner};
+use loom_sim::store::PartitionedStore;
 use std::hint::black_box;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const PARTITIONS: u32 = 8;
-const SAMPLES: usize = 400;
 const SEED: u64 = 42;
+/// The shard count the transport-overhead record is taken at.
+const OVERHEAD_SHARDS: usize = 4;
+
+fn fast_mode() -> bool {
+    std::env::var("LOOM_BENCH_FAST").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn sizes() -> (usize, usize) {
+    if fast_mode() {
+        (600, 80)
+    } else {
+        (3_000, 400)
+    }
+}
 
 fn mode() -> QueryMode {
     QueryMode::Rooted { seed_count: 3 }
 }
 
-/// The stores under test, labelled by partitioner name.
-type LabelledStores = Vec<(&'static str, Arc<ShardedStore>)>;
+/// One partitioning under test: the frozen sharded snapshot for the serving
+/// engine plus the equivalent `PartitionedStore` for the direct-call
+/// sequential baseline.
+struct StoreUnderTest {
+    name: &'static str,
+    sharded: Arc<ShardedStore>,
+    direct: PartitionedStore,
+}
 
 /// Build the two stores under test: the same graph stream partitioned by
 /// Hash and by LOOM, plus the workload's plans compiled once.
-fn setup() -> (Workload, Arc<PlanCache>, LabelledStores) {
-    let graph = scenarios::social_graph(3_000, 7);
+fn setup() -> (Workload, Arc<PlanCache>, Vec<StoreUnderTest>) {
+    let (vertices, _) = sizes();
+    let graph = scenarios::social_graph(vertices, 7);
     let stream = GraphStream::from_graph(&graph, &StreamOrder::Random { seed: 1 });
     let workload = scenarios::motif_workload();
     let plans = Arc::new(PlanCache::compile(
@@ -84,10 +115,11 @@ fn setup() -> (Workload, Arc<PlanCache>, LabelledStores) {
             let mut partitioner = registry.build(&spec).expect("buildable spec");
             let partitioning =
                 partition_stream(partitioner.as_mut(), &stream).expect("stream partitions");
-            (
+            StoreUnderTest {
                 name,
-                Arc::new(ShardedStore::from_parts(&graph, &partitioning)),
-            )
+                sharded: Arc::new(ShardedStore::from_parts(&graph, &partitioning)),
+                direct: PartitionedStore::new(graph.clone(), partitioning),
+            }
         })
         .collect();
     (workload, plans, stores)
@@ -98,10 +130,11 @@ fn serve(
     workload: &Workload,
     plans: &Arc<PlanCache>,
     shards: usize,
+    samples: usize,
 ) -> ServeReport {
     ServeEngine::new(ServeConfig::new(shards).with_mode(mode()))
         .with_plan_cache(Arc::clone(plans))
-        .serve_batch(store, workload, SAMPLES, SEED)
+        .serve_batch(store, workload, samples, SEED)
 }
 
 /// One JSON result cell.
@@ -123,36 +156,118 @@ fn cell(partitioner: &str, shards: usize, report: &ServeReport) -> String {
     )
 }
 
+/// Measure the transport engine at [`OVERHEAD_SHARDS`] against the
+/// direct-call sequential executor on the same partitioning and request
+/// schedule, and return the JSON record.
+///
+/// The modelled-QPS comparison uses the serial modelled latency on both
+/// sides (total latency-model cost of the executed work), so it isolates
+/// what the message-passing refactor could have changed: the *answers*. The
+/// two paths share the matcher and the schedule, so parity pins the
+/// regression at zero; the record exists so any future divergence shows up
+/// in the JSON trail. Wall-clock times capture the physical cost of the
+/// transport hop.
+fn transport_overhead(
+    store: &StoreUnderTest,
+    workload: &Workload,
+    plans: &Arc<PlanCache>,
+    samples: usize,
+) -> String {
+    let executor = QueryExecutor::default()
+        .with_mode(mode())
+        .with_plan_cache(Arc::clone(plans));
+    let direct_started = Instant::now();
+    let direct = executor.execute_workload(&store.direct, workload, samples, SEED);
+    let direct_wall_ms = direct_started.elapsed().as_secs_f64() * 1e3;
+
+    let transport_started = Instant::now();
+    let report = serve(&store.sharded, workload, plans, OVERHEAD_SHARDS, samples);
+    let transport_wall_ms = transport_started.elapsed().as_secs_f64() * 1e3;
+
+    let serial_qps = |latency_us: f64| {
+        if latency_us > 0.0 {
+            samples as f64 / (latency_us / 1e6)
+        } else {
+            0.0
+        }
+    };
+    let direct_qps = serial_qps(direct.estimated_latency_us);
+    let transport_qps = serial_qps(report.aggregate.estimated_latency_us);
+    let regression = if direct_qps > 0.0 {
+        1.0 - transport_qps / direct_qps
+    } else {
+        0.0
+    };
+    assert_eq!(
+        report.aggregate, direct,
+        "{}: transport aggregate diverged from the direct-call baseline",
+        store.name
+    );
+    assert!(
+        regression.abs() <= 0.05,
+        "{}: modelled-QPS regression {regression:.4} exceeds the 5% budget",
+        store.name
+    );
+    println!(
+        "serving_throughput transport-overhead {}/{OVERHEAD_SHARDS}: modelled regression \
+         {:.2}%, direct {direct_wall_ms:.1} ms vs transport {transport_wall_ms:.1} ms wall",
+        store.name,
+        regression * 100.0,
+    );
+    format!(
+        concat!(
+            "    {{\"partitioner\": \"{}\", \"shards\": {}, ",
+            "\"direct_modelled_qps\": {:.2}, \"transport_modelled_qps\": {:.2}, ",
+            "\"modelled_qps_regression\": {:.4}, \"direct_wall_ms\": {:.2}, ",
+            "\"transport_wall_ms\": {:.2}}}"
+        ),
+        store.name,
+        OVERHEAD_SHARDS,
+        direct_qps,
+        transport_qps,
+        regression,
+        direct_wall_ms,
+        transport_wall_ms,
+    )
+}
+
 /// Sweep the grid once, print the table, persist `BENCH_serving.json`.
 fn sweep_and_persist(
     workload: &Workload,
     plans: &Arc<PlanCache>,
-    stores: &[(&'static str, Arc<ShardedStore>)],
+    stores: &[StoreUnderTest],
+    samples: usize,
 ) {
     let mut cells = Vec::new();
-    for (name, store) in stores {
+    let mut overhead = Vec::new();
+    for store in stores {
         let mut baseline = 0.0f64;
         for &shards in &SHARD_COUNTS {
-            let report = serve(store, workload, plans, shards);
+            let report = serve(&store.sharded, workload, plans, shards, samples);
             if shards == 1 {
                 baseline = report.aggregate_qps();
             }
             println!(
-                "serving_throughput {name}/{shards}: {:.0} qps (x{:.2} vs 1 shard), \
+                "serving_throughput {}/{shards}: {:.0} qps (x{:.2} vs 1 shard), \
                  p99 {:.0} us, remote hops {:.1}%",
+                store.name,
                 report.aggregate_qps(),
                 report.aggregate_qps() / baseline.max(f64::MIN_POSITIVE),
                 report.p99_latency_us,
                 report.remote_hop_fraction() * 100.0,
             );
-            cells.push(cell(name, shards, &report));
+            cells.push(cell(store.name, shards, &report));
         }
+        overhead.push(transport_overhead(store, workload, plans, samples));
     }
     let json = format!(
-        "{{\n  \"bench\": \"serving_throughput\",\n  \"samples\": {SAMPLES},\n  \
+        "{{\n  \"bench\": \"serving_throughput\",\n  \"samples\": {samples},\n  \
          \"seed\": {SEED},\n  \"partitions\": {PARTITIONS},\n  \"mode\": \
-         \"rooted(seed_count=3)\",\n  \"plan_cache\": true,\n  \"results\": [\n{}\n  ]\n}}\n",
-        cells.join(",\n")
+         \"rooted(seed_count=3)\",\n  \"plan_cache\": true,\n  \"fast\": {},\n  \
+         \"results\": [\n{}\n  ],\n  \"transport_overhead\": [\n{}\n  ]\n}}\n",
+        fast_mode(),
+        cells.join(",\n"),
+        overhead.join(",\n")
     );
     // The bench runs with the package as cwd; the JSON belongs at the
     // workspace root next to the other reports.
@@ -165,15 +280,20 @@ fn sweep_and_persist(
 
 fn bench_serving(c: &mut Criterion) {
     let (workload, plans, stores) = setup();
-    sweep_and_persist(&workload, &plans, &stores);
+    let (_, samples) = sizes();
+    sweep_and_persist(&workload, &plans, &stores, samples);
 
     let mut group = c.benchmark_group("serving_throughput");
     group.sample_size(3);
-    for (name, store) in &stores {
+    for store in &stores {
         for &shards in &SHARD_COUNTS {
-            group.bench_with_input(BenchmarkId::new(*name, shards), &shards, |b, &shards| {
-                b.iter(|| black_box(serve(store, &workload, &plans, shards)))
-            });
+            group.bench_with_input(
+                BenchmarkId::new(store.name, shards),
+                &shards,
+                |b, &shards| {
+                    b.iter(|| black_box(serve(&store.sharded, &workload, &plans, shards, samples)))
+                },
+            );
         }
     }
     group.finish();

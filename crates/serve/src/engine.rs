@@ -1,41 +1,68 @@
-//! The concurrent serving engine: router + per-shard worker pool.
+//! The concurrent serving engine: a message-passing coordinator over
+//! independent shard workers.
 //!
 //! [`ServeEngine::serve_batch`] executes a sampled query load against a
 //! pinned [`ShardedStore`] snapshot; [`ServeEngine::serve_epochs`] does the
-//! same against an [`EpochStore`], pinning the *current* epoch per query so
-//! ingestion can keep publishing new snapshots mid-run; and
-//! [`ServeEngine::run_request`] is the unified
-//! [`QueryRequest`] entry point behind the
-//! `QueryEngine` implementations. All paths share the same machinery:
+//! same against an [`EpochStore`], with workers re-pinning on epoch
+//! publication notices so ingestion can keep publishing new snapshots
+//! mid-run; and [`ServeEngine::run_request`] /
+//! [`ServeEngine::run_request_ctx`] are the unified [`QueryRequest`] entry
+//! points behind the `QueryEngine` implementations. All paths share the
+//! same machinery:
 //!
-//! * every workload query's compiled [`QueryPlan`](loom_sim::plan::QueryPlan) is resolved **once per
+//! * every workload query's compiled [`QueryPlan`] is resolved **once per
 //!   run** from the shared [`PlanCache`] (or compiled as a legacy plan when
 //!   no cache is wired in) — the router and every worker execute the same
 //!   instance, with zero per-call ordering derivation;
-//! * the router resolves each query's home shard from the plan's root label
-//!   ([`QueryRouter::home_shard_planned`]) and pushes it into that shard's
-//!   bounded [`ShardQueue`] — admission blocks when a queue is full
-//!   (backpressure);
-//! * one worker per shard (a `std::thread::scope` thread) drains its queue,
-//!   executing each query's plan with the shared instrumented matcher
-//!   ([`loom_sim::matcher::execute_plan`]) — the exact code path of the
-//!   sequential executor, so the aggregate metrics are bit-identical to a
-//!   sequential run over the same `(workload, samples, seed)`;
+//! * the coordinator (this thread) routes each query to its home shard
+//!   ([`QueryRouter::home_shard_planned`]) and **sends it as a message**
+//!   over that worker's [`ShardTransport`] endpoint — admission applies
+//!   deadline-aware backpressure: a full worker inbox blocks the send until
+//!   the request's deadline and then rejects it (counted per shard) instead
+//!   of wedging forever;
+//! * one worker per shard (a `std::thread::scope` thread running the
+//!   private worker event loop) pins its snapshot at spawn, executes each
+//!   routed query with the shared instrumented matcher under the request's
+//!   [`RequestContext`] — the exact code path of the sequential executor, so
+//!   aggregate metrics stay bit-identical to a sequential run for unbounded
+//!   requests — and streams `Done` results back;
+//! * the coordinator owns **only transport endpoints**: results, per-shard
+//!   reports, epoch notices and halo sub-query handoffs all arrive as
+//!   messages on its inbox, never through shared memory;
 //! * per-query modelled latencies feed the [`ServeReport`] (per-shard QPS,
-//!   p50/p99, remote-hop fraction, queue depth).
+//!   p50/p99, remote-hop fraction, queue depth, queue-wait p99, rejects).
 
 use crate::epoch::EpochStore;
 use crate::metrics::{quantile, ServeReport, ShardServeMetrics};
-use crate::queue::ShardQueue;
 use crate::router::QueryRouter;
 use crate::shard::ShardedStore;
+use crate::transport::{
+    InProcEndpoint, InProcTransport, QueryDoneMsg, QueryTaskMsg, RecvError, ShardMsg,
+    ShardReportMsg, ShardTransport, SubQueryMsg, TransportError,
+};
+use crate::worker::{worker_loop, WorkerSetup};
 use loom_motif::workload::Workload;
+use loom_sim::context::{CancelToken, RequestContext};
 use loom_sim::engine::{request_schedule, resolve_schedule_plans, QueryRequest, QueryResponse};
 use loom_sim::executor::{ExecutionMetrics, LatencyModel, QueryMode};
-use loom_sim::matcher::{execute_plan, Embedding, ExecOptions};
-use loom_sim::plan::PlanCache;
+use loom_sim::matcher::Embedding;
+use loom_sim::plan::{PlanCache, QueryPlan};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How long one blocked admission push waits before the coordinator drains
+/// its inbox and retries (keeps result consumption going while a worker's
+/// queue is full, which is what makes the protocol deadlock-free).
+const ADMIT_SLICE: Duration = Duration::from_millis(1);
+
+/// Receive slice while awaiting completions (bounds the latency of relay
+/// flushes and cancellation broadcasts).
+const PUMP_SLICE: Duration = Duration::from_millis(10);
+
+/// Give up waiting for worker progress after this long with no message —
+/// converts a crashed worker into a loud join panic instead of a hang.
+const STALL_LIMIT: Duration = Duration::from_secs(30);
 
 /// Configuration for a [`ServeEngine`].
 #[derive(Debug, Clone, Copy)]
@@ -44,8 +71,9 @@ pub struct ServeConfig {
     /// count from 1 to the partition count makes sense (more workers than
     /// partitions leaves the excess idle).
     pub workers: usize,
-    /// Bound on each shard queue; a full queue blocks admission
-    /// (backpressure) instead of growing an unbounded backlog.
+    /// Bound on each worker's transport inbox; a full inbox blocks admission
+    /// (backpressure) until the request's deadline instead of growing an
+    /// unbounded backlog.
     pub queue_capacity: usize,
     /// How many queries the router samples and routes per admission batch.
     pub batch_size: usize,
@@ -55,6 +83,13 @@ pub struct ServeConfig {
     pub match_limit: usize,
     /// Latency cost model charged per traversal.
     pub latency: LatencyModel,
+    /// When true (and serving a pinned snapshot), workers hand halo-crossing
+    /// anchor roots off to the worker owning them as sub-query messages
+    /// instead of traversing replicated halo state themselves. Off by
+    /// default: the handoff executes each borrowed root as its own matcher
+    /// run, so per-query metrics under tight match limits can differ from
+    /// the single-execution path.
+    pub halo_handoff: bool,
 }
 
 impl ServeConfig {
@@ -68,6 +103,7 @@ impl ServeConfig {
             mode: QueryMode::Rooted { seed_count: 4 },
             match_limit: 10_000,
             latency: LatencyModel::default(),
+            halo_handoff: false,
         }
     }
 
@@ -105,6 +141,14 @@ impl ServeConfig {
         self.batch_size = batch_size.max(1);
         self
     }
+
+    /// Builder-style halo sub-query handoff (see
+    /// [`ServeConfig::halo_handoff`]).
+    #[must_use]
+    pub fn with_halo_handoff(mut self, enabled: bool) -> Self {
+        self.halo_handoff = enabled;
+        self
+    }
 }
 
 impl Default for ServeConfig {
@@ -113,43 +157,47 @@ impl Default for ServeConfig {
     }
 }
 
-/// One routed unit of work: the `seq`-th sampled query of the run.
-#[derive(Debug, Clone, Copy)]
-struct QueryTask {
-    /// Index into the workload's query list.
-    query: usize,
-    /// Position in the run's admission order (orders collected embeddings
-    /// deterministically across worker counts).
-    seq: usize,
-    /// Deterministic root seed (`run_seed + seq + 1`, as in the sequential
-    /// executor).
-    root_seed: u64,
-}
-
 /// Effective per-run execution options: the engine config with any
 /// per-request overrides applied.
 #[derive(Debug, Clone, Copy)]
-struct RunOptions {
-    mode: QueryMode,
-    match_limit: usize,
-    traversal_budget: Option<usize>,
-    latency: LatencyModel,
-    collect: bool,
+pub(crate) struct RunOptions {
+    pub(crate) mode: QueryMode,
+    pub(crate) match_limit: usize,
+    pub(crate) traversal_budget: Option<usize>,
+    pub(crate) latency: LatencyModel,
+    pub(crate) collect: bool,
 }
 
-/// What one worker accumulated over its queue.
+/// Where workers pin their snapshots from.
+pub(crate) enum Source<'a> {
+    /// One snapshot for the whole run.
+    Pinned(&'a Arc<ShardedStore>),
+    /// The epoch store; workers pin at spawn and re-pin on publication
+    /// notices.
+    Epochs(&'a EpochStore),
+}
+
+impl Source<'_> {
+    pub(crate) fn pin(&self) -> Arc<ShardedStore> {
+        match self {
+            Source::Pinned(store) => Arc::clone(store),
+            Source::Epochs(epochs) => epochs.load(),
+        }
+    }
+}
+
+/// What the coordinator accumulated for one worker shard, built entirely
+/// from `Done` messages (plus admission rejections it issued itself).
 #[derive(Debug, Default)]
-struct WorkerLog {
+struct CoordLog {
     queries: usize,
     execution: ExecutionMetrics,
     latencies: Vec<f64>,
     epochs: Vec<u64>,
-    /// Collected embeddings tagged by task sequence, so the merged cursor
-    /// order is independent of the worker count.
-    embeddings: Vec<(usize, Embedding)>,
+    rejected: usize,
 }
 
-impl WorkerLog {
+impl CoordLog {
     fn record(&mut self, metrics: ExecutionMetrics, epoch: u64) {
         self.queries += 1;
         self.latencies.push(metrics.estimated_latency_us);
@@ -160,19 +208,284 @@ impl WorkerLog {
     }
 }
 
-/// Where workers pin their snapshots from.
-enum Source<'a> {
-    /// One snapshot for the whole run.
-    Pinned(&'a Arc<ShardedStore>),
-    /// The latest epoch at execution time, pinned per query.
-    Epochs(&'a EpochStore),
+/// A handoff query awaiting its pieces: the home execution plus one partial
+/// per sub-query the home worker issued, arriving in any order.
+#[derive(Debug, Default)]
+struct PendingQuery {
+    home_done: bool,
+    expected: u32,
+    received: u32,
+    epoch: u64,
+    acc: ExecutionMetrics,
 }
 
-impl Source<'_> {
-    fn pin(&self) -> Arc<ShardedStore> {
-        match self {
-            Source::Pinned(store) => Arc::clone(store),
-            Source::Epochs(epochs) => epochs.load(),
+/// The run coordinator: owns the coordinator-side transport endpoints and
+/// every piece of run state; all worker interaction is messages.
+struct Coordinator<'a> {
+    links: &'a [InProcEndpoint],
+    plans: &'a [Option<Arc<QueryPlan>>],
+    cancel: &'a CancelToken,
+    handoff: bool,
+    logs: Vec<CoordLog>,
+    embeddings: Vec<(u64, u64, Embedding)>,
+    pending: HashMap<u64, PendingQuery>,
+    /// seq → (home worker, workload query); populated only on handoff runs.
+    meta: HashMap<u64, (usize, usize)>,
+    relays: VecDeque<SubQueryMsg>,
+    reports: Vec<Option<ShardReportMsg>>,
+    outstanding: usize,
+    forwarded_epoch: u64,
+    cancel_sent: bool,
+}
+
+impl<'a> Coordinator<'a> {
+    fn new(
+        links: &'a [InProcEndpoint],
+        plans: &'a [Option<Arc<QueryPlan>>],
+        cancel: &'a CancelToken,
+        handoff: bool,
+    ) -> Self {
+        let workers = links.len();
+        Self {
+            links,
+            plans,
+            cancel,
+            handoff,
+            logs: (0..workers).map(|_| CoordLog::default()).collect(),
+            embeddings: Vec::new(),
+            pending: HashMap::new(),
+            meta: HashMap::new(),
+            relays: VecDeque::new(),
+            reports: vec![None; workers],
+            outstanding: 0,
+            forwarded_epoch: 0,
+            cancel_sent: false,
+        }
+    }
+
+    /// Send one routed query to its home worker, draining the inbox between
+    /// backpressure slices. With a deadline, a push that stays blocked past
+    /// it rejects the request (recorded as `deadline_exceeded` with zero
+    /// traversals, and counted in the shard's `rejected`).
+    fn admit(&mut self, worker: usize, task: QueryTaskMsg, deadline: Option<Instant>, epoch: u64) {
+        if self.handoff {
+            self.meta.insert(task.seq, (worker, task.query as usize));
+        }
+        let mut msg = ShardMsg::Query(task);
+        loop {
+            self.poll_cancel();
+            let slice = Instant::now() + ADMIT_SLICE;
+            let attempt = Some(deadline.map_or(slice, |d| d.min(slice)));
+            match self.links[worker].send(msg, attempt) {
+                Ok(()) => {
+                    self.outstanding += 1;
+                    return;
+                }
+                Err(TransportError::Timeout(back)) => {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        if let ShardMsg::Query(task) = *back {
+                            self.reject(worker, &task, epoch);
+                        }
+                        return;
+                    }
+                    msg = *back;
+                    self.drain();
+                }
+                // The transport only closes during teardown, after admission.
+                Err(TransportError::Closed(_)) => return,
+            }
+        }
+    }
+
+    /// Account an admission rejection: the request still appears in the
+    /// aggregate — one executed query, zero traversals, `deadline_exceeded`
+    /// — exactly the shape the matcher's pre-flight check produces, but the
+    /// shard's `rejected` counter says the queue, not the matcher, spent
+    /// the budget.
+    fn reject(&mut self, worker: usize, task: &QueryTaskMsg, epoch: u64) {
+        self.meta.remove(&task.seq);
+        let metrics = ExecutionMetrics {
+            queries_executed: 1,
+            local_only_queries: 1,
+            matches_limited: true,
+            deadline_exceeded: true,
+            plan: self.plans[task.query as usize].as_ref().map(|p| p.id()),
+            ..ExecutionMetrics::default()
+        };
+        let log = &mut self.logs[worker];
+        log.rejected += 1;
+        log.execution.merge(&metrics);
+        if log.epochs.last() != Some(&epoch) {
+            log.epochs.push(epoch);
+        }
+    }
+
+    /// Broadcast a cancellation notice once the run's token fires. In-proc
+    /// workers share the token and unwind without it; the message keeps the
+    /// protocol complete for transports without shared memory.
+    fn poll_cancel(&mut self) {
+        if !self.cancel_sent && self.cancel.is_cancelled() {
+            self.cancel_sent = true;
+            for link in self.links {
+                let _ = link.try_send(ShardMsg::Cancel);
+            }
+        }
+    }
+
+    /// Consume everything currently in the inbox, then flush queued relays.
+    fn drain(&mut self) {
+        while let Ok(msg) = self.links[0].recv(Some(Instant::now())) {
+            self.handle(msg);
+        }
+        self.flush_relays();
+    }
+
+    /// Forward queued sub-query handoffs to their target workers without
+    /// blocking (a full target retries on the next drain).
+    fn flush_relays(&mut self) {
+        while let Some(sub) = self.relays.pop_front() {
+            let target = (sub.target_worker as usize) % self.links.len();
+            match self.links[target].try_send(ShardMsg::SubQuery(sub)) {
+                Ok(()) => {}
+                Err(err) => {
+                    if let ShardMsg::SubQuery(sub) = err.into_msg() {
+                        self.relays.push_front(sub);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, msg: ShardMsg) {
+        match msg {
+            ShardMsg::Done(done) => self.handle_done(done),
+            ShardMsg::SubQuery(sub) => self.relays.push_back(sub),
+            ShardMsg::EpochPublished { epoch } => {
+                if epoch > self.forwarded_epoch {
+                    self.forwarded_epoch = epoch;
+                    // Best effort: a worker with a full inbox misses this
+                    // notice but catches the next one.
+                    for link in self.links {
+                        let _ = link.try_send(ShardMsg::EpochPublished { epoch });
+                    }
+                }
+            }
+            ShardMsg::Report(report) => {
+                let worker = report.worker as usize;
+                if worker < self.reports.len() {
+                    self.reports[worker] = Some(report);
+                }
+            }
+            // Coordinator-bound traffic only; these go the other way.
+            ShardMsg::Query(_) | ShardMsg::Cancel | ShardMsg::Finish => {}
+        }
+    }
+
+    fn handle_done(&mut self, done: QueryDoneMsg) {
+        let QueryDoneMsg {
+            worker,
+            seq,
+            epoch,
+            partial,
+            handoffs,
+            metrics,
+            embeddings,
+        } = done;
+        self.embeddings
+            .extend(embeddings.into_iter().map(|(key, e)| (seq, key, e)));
+        if partial || handoffs > 0 {
+            let entry = self.pending.entry(seq).or_default();
+            entry.acc.merge(&metrics);
+            if partial {
+                entry.received += 1;
+            } else {
+                entry.home_done = true;
+                entry.expected = handoffs;
+                entry.epoch = epoch;
+            }
+            if entry.home_done && entry.received >= entry.expected {
+                self.complete_pending(seq);
+            }
+        } else {
+            self.logs[worker as usize].record(metrics, epoch);
+            self.outstanding -= 1;
+        }
+    }
+
+    /// All pieces of a handoff query arrived: normalise the merged raw
+    /// metrics back into one per-query record (the per-root executions each
+    /// counted themselves as a query) and charge it to the home shard.
+    fn complete_pending(&mut self, seq: u64) {
+        let pending = self.pending.remove(&seq).expect("pending handoff query");
+        let (worker, query) = self.meta.remove(&seq).expect("admitted handoff query");
+        let acc = pending.acc;
+        let metrics = ExecutionMetrics {
+            queries_executed: 1,
+            matches_found: acc.matches_found,
+            total_traversals: acc.total_traversals,
+            remote_traversals: acc.remote_traversals,
+            local_only_queries: usize::from(acc.remote_traversals == 0),
+            estimated_latency_us: acc.estimated_latency_us,
+            matches_limited: acc.matches_limited,
+            deadline_exceeded: acc.deadline_exceeded,
+            cancelled: acc.cancelled,
+            plan: self.plans[query].as_ref().map(|p| p.id()),
+        };
+        self.logs[worker].record(metrics, pending.epoch);
+        self.outstanding -= 1;
+    }
+
+    /// Pump the inbox until every admitted query has completed.
+    fn await_completion(&mut self) {
+        let mut last_progress = Instant::now();
+        while self.outstanding > 0 {
+            self.poll_cancel();
+            self.flush_relays();
+            match self.links[0].recv(Some(Instant::now() + PUMP_SLICE)) {
+                Ok(msg) => {
+                    last_progress = Instant::now();
+                    self.handle(msg);
+                }
+                Err(RecvError::Timeout) => {
+                    if last_progress.elapsed() > STALL_LIMIT {
+                        break;
+                    }
+                }
+                Err(RecvError::Disconnected) => break,
+            }
+        }
+    }
+
+    /// Tell every worker the run is over and collect their shard reports.
+    fn finish(&mut self) {
+        for worker in 0..self.links.len() {
+            let mut msg = ShardMsg::Finish;
+            loop {
+                match self.links[worker].send(msg, Some(Instant::now() + ADMIT_SLICE)) {
+                    Ok(()) => break,
+                    Err(TransportError::Timeout(back)) => {
+                        msg = *back;
+                        self.drain();
+                    }
+                    Err(TransportError::Closed(_)) => break,
+                }
+            }
+        }
+        let mut last_progress = Instant::now();
+        while self.reports.iter().any(Option::is_none) {
+            match self.links[0].recv(Some(Instant::now() + PUMP_SLICE)) {
+                Ok(msg) => {
+                    last_progress = Instant::now();
+                    self.handle(msg);
+                }
+                Err(RecvError::Timeout) => {
+                    if last_progress.elapsed() > STALL_LIMIT {
+                        break;
+                    }
+                }
+                Err(RecvError::Disconnected) => break,
+            }
         }
     }
 }
@@ -228,13 +541,20 @@ impl ServeEngine {
         seed: u64,
     ) -> ServeReport {
         let request = QueryRequest::workload(samples).with_seed(seed);
-        self.run(Source::Pinned(store), workload, request).0
+        self.run(
+            Source::Pinned(store),
+            workload,
+            request,
+            &RequestContext::unbounded(),
+        )
+        .0
     }
 
     /// Serve `samples` queries while ingestion concurrently publishes new
-    /// epochs into `epochs`. Each query pins the epoch current at its
-    /// execution and observes only that snapshot (no torn reads); the report
-    /// lists every epoch the run touched.
+    /// epochs into `epochs`. Workers pin a snapshot at spawn and re-pin on
+    /// each epoch-publication notice; a query observes exactly one epoch
+    /// end-to-end (no torn reads) and the report lists every epoch the run
+    /// touched.
     pub fn serve_epochs(
         &self,
         epochs: &EpochStore,
@@ -243,7 +563,13 @@ impl ServeEngine {
         seed: u64,
     ) -> ServeReport {
         let request = QueryRequest::workload(samples).with_seed(seed);
-        self.run(Source::Epochs(epochs), workload, request).0
+        self.run(
+            Source::Epochs(epochs),
+            workload,
+            request,
+            &RequestContext::unbounded(),
+        )
+        .0
     }
 
     /// Execute a unified [`QueryRequest`] against one pinned snapshot and
@@ -255,18 +581,44 @@ impl ServeEngine {
         workload: &Workload,
         request: QueryRequest,
     ) -> (ServeReport, QueryResponse) {
-        self.run(Source::Pinned(store), workload, request)
+        self.run_request_ctx(store, workload, request, &RequestContext::unbounded())
     }
 
-    /// Like [`ServeEngine::run_request`], but pinning each query to the
-    /// epoch current at its execution.
+    /// Like [`ServeEngine::run_request`], under an explicit
+    /// [`RequestContext`]: the effective deadline is the earlier of the
+    /// context's and the request's, and firing the context's cancel token
+    /// cooperatively unwinds every in-flight worker execution.
+    pub fn run_request_ctx(
+        &self,
+        store: &Arc<ShardedStore>,
+        workload: &Workload,
+        request: QueryRequest,
+        ctx: &RequestContext,
+    ) -> (ServeReport, QueryResponse) {
+        self.run(Source::Pinned(store), workload, request, ctx)
+    }
+
+    /// Like [`ServeEngine::run_request`], but serving from an
+    /// [`EpochStore`] (workers re-pin on epoch publication notices).
     pub fn run_request_epochs(
         &self,
         epochs: &EpochStore,
         workload: &Workload,
         request: QueryRequest,
     ) -> (ServeReport, QueryResponse) {
-        self.run(Source::Epochs(epochs), workload, request)
+        self.run_request_epochs_ctx(epochs, workload, request, &RequestContext::unbounded())
+    }
+
+    /// Like [`ServeEngine::run_request_epochs`], under an explicit
+    /// [`RequestContext`].
+    pub fn run_request_epochs_ctx(
+        &self,
+        epochs: &EpochStore,
+        workload: &Workload,
+        request: QueryRequest,
+        ctx: &RequestContext,
+    ) -> (ServeReport, QueryResponse) {
+        self.run(Source::Epochs(epochs), workload, request, ctx)
     }
 
     /// The effective run options for one request (engine config plus
@@ -286,28 +638,37 @@ impl ServeEngine {
         source: Source<'_>,
         workload: &Workload,
         request: QueryRequest,
+        ctx: &RequestContext,
     ) -> (ServeReport, QueryResponse) {
         let started = Instant::now();
         let options = self.options_for(&request);
         let workers = self.config.workers.max(1);
         let router = QueryRouter::new(options.mode);
-        let queues: Vec<ShardQueue<QueryTask>> = (0..workers)
-            .map(|_| ShardQueue::new(self.config.queue_capacity))
-            .collect();
+        let effective = ctx.tightened_by(request.deadline);
+        // Handoff is gated to pinned snapshots: it requires the router and
+        // every worker to agree on root ownership, which an epoch swap
+        // between admission and execution would break.
+        let handoff = self.config.halo_handoff && matches!(source, Source::Pinned(_));
+        // `Instant`s do not cross the transport; per-task deadlines ride as
+        // microseconds relative to the run start both sides hold.
+        let deadline_us = effective
+            .deadline
+            .map(|d| d.saturating_duration_since(started).as_micros() as u64);
 
         // Expand the load up front through the engine-shared schedule (the
         // exact sampling and root-seed scheme of the sequential executor).
         let schedule = request_schedule(workload, &request);
         let mut query_counts = vec![0usize; workload.len()];
-        let tasks: Vec<QueryTask> = schedule
+        let tasks: Vec<QueryTaskMsg> = schedule
             .iter()
             .enumerate()
             .map(|(seq, &(query, root_seed))| {
                 query_counts[query] += 1;
-                QueryTask {
-                    query,
-                    seq,
+                QueryTaskMsg {
+                    seq: seq as u64,
+                    query: query as u32,
                     root_seed,
+                    deadline_us,
                 }
             })
             .collect();
@@ -318,70 +679,88 @@ impl ServeEngine {
         // structural guard in `resolve_plan` rejects id collisions).
         let plans = resolve_schedule_plans(self.plans.as_ref(), workload, &schedule);
 
-        let logs: Vec<WorkerLog> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let queue = &queues[w];
-                    let source = &source;
-                    let plans = &plans;
-                    scope.spawn(move || {
-                        let mut log = WorkerLog::default();
-                        while let Some(task) = queue.pop() {
-                            // Pin one immutable snapshot for the whole query:
-                            // an epoch swap mid-search is invisible.
-                            let snapshot = source.pin();
-                            let plan = plans[task.query].as_ref().expect("scheduled plan");
-                            let exec = execute_plan(
-                                snapshot.as_ref(),
-                                plan,
-                                &ExecOptions {
-                                    mode: options.mode,
-                                    match_limit: options.match_limit,
-                                    traversal_budget: options.traversal_budget,
-                                    latency: options.latency,
-                                    root_seed: task.root_seed,
-                                    collect: options.collect,
-                                },
-                            );
-                            log.record(exec.metrics, snapshot.epoch());
-                            log.embeddings
-                                .extend(exec.embeddings.into_iter().map(|e| (task.seq, e)));
-                        }
-                        log
-                    })
-                })
-                .collect();
+        let hub = InProcTransport::hub(workers, self.config.queue_capacity);
+        // Epoch publications reach workers as broadcast messages: the store
+        // notifies the coordinator's inbox, the coordinator relays.
+        let subscription = match &source {
+            Source::Epochs(epochs) => Some((*epochs, epochs.subscribe(hub.notice_sink()))),
+            Source::Pinned(_) => None,
+        };
 
-            // The router runs on this thread: route each admission batch to
-            // its home shards, blocking on full queues (backpressure).
+        let (logs, reports, embeddings) = std::thread::scope(|scope| {
+            for (w, endpoint) in hub.workers.iter().enumerate() {
+                let source = &source;
+                let plans = &plans;
+                let cancel = effective.cancel.clone();
+                scope.spawn(move || {
+                    worker_loop(
+                        endpoint,
+                        source,
+                        WorkerSetup {
+                            worker: w as u32,
+                            workers: workers as u32,
+                            options,
+                            handoff,
+                            plans,
+                            run_start: started,
+                            cancel,
+                        },
+                    );
+                });
+            }
+
+            let mut coordinator =
+                Coordinator::new(&hub.coordinator, &plans, &effective.cancel, handoff);
             for batch in tasks.chunks(self.config.batch_size) {
                 // Route against the snapshot current at admission time.
                 let snapshot = source.pin();
                 for task in batch {
-                    let plan = plans[task.query].as_ref().expect("scheduled plan");
+                    let plan = plans[task.query as usize].as_ref().expect("scheduled plan");
                     let shard = router.home_shard_planned(&snapshot, plan, task.root_seed);
                     let worker = shard.index() % workers;
-                    // Err only if the queue is closed, which cannot happen
-                    // before this loop finishes.
-                    let _ = queues[worker].push(*task);
+                    coordinator.admit(worker, task.clone(), effective.deadline, snapshot.epoch());
                 }
             }
-            for queue in &queues {
-                queue.close();
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
+            coordinator.await_completion();
+            coordinator.finish();
+            // Tear the run down: closing the shared inbox ends the epoch
+            // subscription's delivery path too.
+            hub.coordinator[0].shutdown();
+            (
+                coordinator.logs,
+                coordinator.reports,
+                coordinator.embeddings,
+            )
         });
 
-        self.assemble(logs, &queues, samples, query_counts, started, &request)
+        if let Some((epochs, id)) = subscription {
+            epochs.unsubscribe(id);
+        }
+
+        let depths: Vec<usize> = hub
+            .coordinator
+            .iter()
+            .map(|l| l.peer_inbox_depth())
+            .collect();
+        self.assemble(
+            logs,
+            reports,
+            depths,
+            embeddings,
+            samples,
+            query_counts,
+            started,
+            &request,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         &self,
-        logs: Vec<WorkerLog>,
-        queues: &[ShardQueue<QueryTask>],
+        logs: Vec<CoordLog>,
+        reports: Vec<Option<ShardReportMsg>>,
+        depths: Vec<usize>,
+        mut embeddings: Vec<(u64, u64, Embedding)>,
         samples: usize,
         query_counts: Vec<usize>,
         started: Instant,
@@ -390,14 +769,12 @@ impl ServeEngine {
         let mut aggregate = ExecutionMetrics::default();
         let mut all_latencies: Vec<f64> = Vec::with_capacity(samples);
         let mut epochs_observed: Vec<u64> = Vec::new();
-        let mut embeddings: Vec<(usize, Embedding)> = Vec::new();
         let mut shards = Vec::with_capacity(logs.len());
         let mut makespan_us = 0.0f64;
         for (w, mut log) in logs.into_iter().enumerate() {
             aggregate.merge(&log.execution);
             all_latencies.extend_from_slice(&log.latencies);
             epochs_observed.extend_from_slice(&log.epochs);
-            embeddings.append(&mut log.embeddings);
             let busy_us = log.execution.estimated_latency_us;
             makespan_us = makespan_us.max(busy_us);
             shards.push(ShardServeMetrics {
@@ -407,15 +784,21 @@ impl ServeEngine {
                 p99_latency_us: quantile(&mut log.latencies, 0.99),
                 execution: log.execution,
                 busy_us,
-                max_queue_depth: queues[w].max_depth(),
+                max_queue_depth: depths.get(w).copied().unwrap_or(0),
+                queue_wait_p99_us: reports
+                    .get(w)
+                    .and_then(Option::as_ref)
+                    .map_or(0.0, |r| r.queue_wait_p99_us),
+                rejected: log.rejected,
             });
         }
         epochs_observed.sort_unstable();
         epochs_observed.dedup();
-        // Deterministic cursor order: admission order, then discovery order
-        // within one execution (the per-task order is already stable, and
-        // sort_by_key is stable) — identical to a sequential run.
-        embeddings.sort_by_key(|&(seq, _)| seq);
+        // Deterministic cursor order: admission order, then enumeration
+        // order within one execution (the per-embedding order key covers
+        // handoff partials racing each other) — identical to a sequential
+        // run.
+        embeddings.sort_by_key(|&(seq, key, _)| (seq, key));
         let p50 = quantile(&mut all_latencies, 0.50);
         let p99 = quantile(&mut all_latencies, 0.99);
         let report = ServeReport {
@@ -431,7 +814,7 @@ impl ServeEngine {
         };
         let response = QueryResponse::from_engine(
             aggregate,
-            embeddings.into_iter().map(|(_, e)| e).collect(),
+            embeddings.into_iter().map(|(_, _, e)| e).collect(),
             request.collect_matches,
         );
         (report, response)
@@ -477,6 +860,8 @@ mod tests {
         assert_eq!(report.shards.iter().map(|s| s.queries).sum::<usize>(), 50);
         assert!(report.wall_clock_us > 0.0);
         assert_eq!(report.epochs_observed, vec![0]);
+        // Unbounded requests are never rejected at admission.
+        assert!(report.shards.iter().all(|s| s.rejected == 0));
     }
 
     #[test]
@@ -627,5 +1012,61 @@ mod tests {
         );
         assert_eq!(empty.queries, 0);
         assert_eq!(empty.aggregate, ExecutionMetrics::default());
+    }
+
+    #[test]
+    fn expired_deadlines_reject_or_short_circuit_without_traversals() {
+        let (store, workload) = fixture();
+        let engine = ServeEngine::new(ServeConfig::new(2));
+        let request = QueryRequest::workload(20)
+            .with_seed(4)
+            .with_deadline(Instant::now() - Duration::from_secs(1));
+        let (report, response) = engine.run_request(&store, &workload, request);
+        assert_eq!(report.queries, 20);
+        assert_eq!(report.aggregate.queries_executed, 20);
+        assert_eq!(report.aggregate.total_traversals, 0);
+        assert!(report.aggregate.deadline_exceeded);
+        assert!(report.aggregate.matches_limited);
+        assert!(response.metrics.deadline_exceeded);
+        assert_eq!(response.metrics.matches_found, 0);
+    }
+
+    #[test]
+    fn cancelled_context_unwinds_and_flags_the_report() {
+        let (store, workload) = fixture();
+        let engine = ServeEngine::new(ServeConfig::new(2));
+        let ctx = RequestContext::unbounded();
+        ctx.cancel.cancel();
+        let (report, response) = engine.run_request_ctx(
+            &store,
+            &workload,
+            QueryRequest::workload(15).with_seed(6),
+            &ctx,
+        );
+        assert_eq!(report.aggregate.queries_executed, 15);
+        assert_eq!(report.aggregate.total_traversals, 0);
+        assert!(report.aggregate.cancelled);
+        assert!(response.metrics.cancelled);
+    }
+
+    #[test]
+    fn halo_handoff_matches_direct_execution_on_unbounded_runs() {
+        let (store, workload) = fixture();
+        let direct = ServeEngine::new(ServeConfig::new(4));
+        let handoff = ServeEngine::new(ServeConfig::new(4).with_halo_handoff(true));
+        let request = QueryRequest::workload(40)
+            .with_seed(8)
+            .collect_matches(true);
+        let (dr, dresp) = direct.run_request(&store, &workload, request);
+        let (hr, hresp) = handoff.run_request(&store, &workload, request);
+        assert_eq!(dr.queries, hr.queries);
+        assert_eq!(
+            dr.aggregate.matches_found, hr.aggregate.matches_found,
+            "handoff must find the same matches"
+        );
+        assert_eq!(dr.aggregate.queries_executed, hr.aggregate.queries_executed);
+        let a: Vec<_> = dresp.into_cursor().collect();
+        let b: Vec<_> = hresp.into_cursor().collect();
+        assert_eq!(a, b, "handoff must preserve the cursor order");
     }
 }

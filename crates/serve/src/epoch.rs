@@ -9,17 +9,51 @@
 //! *pinned* snapshot, so a query observes exactly one epoch end-to-end —
 //! never a torn mix of two — and reads never wait on an in-progress ingest
 //! batch.
+//!
+//! Since the transport refactor, publication is additionally **broadcast**:
+//! interested parties register an [`EpochSink`] and each [`EpochStore::publish`]
+//! notifies every registered sink with the fresh epoch number. The serving
+//! coordinator registers a sink that enqueues an epoch-publication message
+//! on its own transport inbox and relays it to the shard workers — workers
+//! re-pin their snapshot on the *notice*, not by peeking at shared state
+//! mid-query, which is what keeps the message layer socket-ready.
 
 use crate::shard::ShardedStore;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// A subscriber to epoch publications.
+///
+/// `notify` runs on the publisher's thread, after the swap is visible, and
+/// must not block: sinks that forward into bounded channels drop the notice
+/// when the channel is full (any notice merely says "something newer than
+/// what you pinned exists"; a dropped one is superseded by the next publish
+/// or by the next explicit [`EpochStore::load`]).
+pub trait EpochSink: Send + Sync {
+    /// A new snapshot with this epoch number is now loadable.
+    fn notify(&self, epoch: u64);
+}
+
+/// Handle returned by [`EpochStore::subscribe`]; pass it back to
+/// [`EpochStore::unsubscribe`] when the subscriber goes away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriptionId(u64);
 
 /// A shared, atomically swappable handle to the current serving snapshot.
 #[derive(Debug)]
 pub struct EpochStore {
     current: RwLock<Arc<ShardedStore>>,
     epoch: AtomicU64,
+    #[allow(clippy::type_complexity)]
+    sinks: Mutex<Vec<(u64, Arc<dyn EpochSink>)>>,
+    next_sink: AtomicU64,
+}
+
+impl std::fmt::Debug for dyn EpochSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("EpochSink")
+    }
 }
 
 impl EpochStore {
@@ -28,6 +62,8 @@ impl EpochStore {
         Self {
             current: RwLock::new(Arc::new(initial.with_epoch(1))),
             epoch: AtomicU64::new(1),
+            sinks: Mutex::new(Vec::new()),
+            next_sink: AtomicU64::new(0),
         }
     }
 
@@ -56,14 +92,49 @@ impl EpochStore {
     /// the counter bump, so the snapshot left behind is always the one with
     /// the highest epoch.
     pub fn publish(&self, store: ShardedStore) -> u64 {
-        let mut current = self.current.write();
-        // Exclusive via the write lock (the previous publisher's store
-        // happens-before this load through lock acquisition), so a plain
-        // Relaxed read sees the latest value.
-        let epoch = self.epoch.load(Ordering::Relaxed) + 1;
-        *current = Arc::new(store.with_epoch(epoch));
-        self.epoch.store(epoch, Ordering::Release);
+        let epoch = {
+            let mut current = self.current.write();
+            // Exclusive via the write lock (the previous publisher's store
+            // happens-before this load through lock acquisition), so a plain
+            // Relaxed read sees the latest value.
+            let epoch = self.epoch.load(Ordering::Relaxed) + 1;
+            *current = Arc::new(store.with_epoch(epoch));
+            self.epoch.store(epoch, Ordering::Release);
+            epoch
+        };
+        // Broadcast outside the write lock: a sink that loads the snapshot
+        // from inside `notify` must not deadlock against the publisher, and
+        // readers should never wait on sink fan-out.
+        let sinks: Vec<Arc<dyn EpochSink>> = {
+            let registered = self.sinks.lock();
+            registered
+                .iter()
+                .map(|(_, sink)| Arc::clone(sink))
+                .collect()
+        };
+        for sink in sinks {
+            sink.notify(epoch);
+        }
         epoch
+    }
+
+    /// Register a sink notified on every subsequent publish. Returns the id
+    /// to [`EpochStore::unsubscribe`] with.
+    pub fn subscribe(&self, sink: Arc<dyn EpochSink>) -> SubscriptionId {
+        let id = self.next_sink.fetch_add(1, Ordering::Relaxed);
+        self.sinks.lock().push((id, sink));
+        SubscriptionId(id)
+    }
+
+    /// Remove a previously registered sink. Unknown ids are a no-op (the
+    /// sink may already have been removed).
+    pub fn unsubscribe(&self, id: SubscriptionId) {
+        self.sinks.lock().retain(|(sid, _)| *sid != id.0);
+    }
+
+    /// How many sinks are currently subscribed.
+    pub fn subscriber_count(&self) -> usize {
+        self.sinks.lock().len()
     }
 
     /// The epoch number of the latest published snapshot. Never trails the
@@ -112,6 +183,47 @@ mod tests {
         assert_eq!(pinned.vertex_count(), 4);
         assert_eq!(pinned.epoch(), 1);
         assert_eq!(epochs.load().vertex_count(), 8);
+    }
+
+    #[test]
+    fn sinks_receive_each_publish_and_unsubscribe_stops_them() {
+        use std::sync::Mutex as StdMutex;
+        #[derive(Default)]
+        struct Recorder(StdMutex<Vec<u64>>);
+        impl EpochSink for Recorder {
+            fn notify(&self, epoch: u64) {
+                self.0.lock().unwrap().push(epoch);
+            }
+        }
+        let epochs = EpochStore::new(snapshot(4));
+        let recorder = Arc::new(Recorder::default());
+        let id = epochs.subscribe(Arc::clone(&recorder) as Arc<dyn EpochSink>);
+        assert_eq!(epochs.subscriber_count(), 1);
+        epochs.publish(snapshot(6));
+        epochs.publish(snapshot(8));
+        assert_eq!(*recorder.0.lock().unwrap(), vec![2, 3]);
+        epochs.unsubscribe(id);
+        assert_eq!(epochs.subscriber_count(), 0);
+        epochs.publish(snapshot(10));
+        assert_eq!(*recorder.0.lock().unwrap(), vec![2, 3]);
+        // Unsubscribing twice is a harmless no-op.
+        epochs.unsubscribe(id);
+    }
+
+    #[test]
+    fn sinks_may_load_the_snapshot_they_were_notified_about() {
+        // A sink that loads from inside `notify` must observe at least the
+        // epoch it was told about (broadcast happens after the swap, outside
+        // the write lock).
+        struct Loader(Arc<EpochStore>);
+        impl EpochSink for Loader {
+            fn notify(&self, epoch: u64) {
+                assert!(self.0.load().epoch() >= epoch);
+            }
+        }
+        let epochs = Arc::new(EpochStore::new(snapshot(4)));
+        epochs.subscribe(Arc::new(Loader(Arc::clone(&epochs))));
+        assert_eq!(epochs.publish(snapshot(6)), 2);
     }
 
     #[test]

@@ -12,19 +12,32 @@
 //!   boundary-vertex halo;
 //! * [`router`] — [`router::QueryRouter`]: anchors each rooted pattern query
 //!   on its home shard via the label/partition indexes;
-//! * [`engine`] — [`engine::ServeEngine`]: a `std::thread::scope` worker
-//!   pool, one worker per shard, fed through bounded per-shard
-//!   [`queue::ShardQueue`]s (admission blocks when a queue fills —
-//!   backpressure), executing queries with the shared instrumented matcher
-//!   from `loom-sim`;
+//! * [`transport`] — [`transport::ShardTransport`]: the object-safe,
+//!   wire-shaped message channel between the coordinator and each worker.
+//!   Everything that crosses it is a serde-serializable
+//!   [`transport::ShardMsg`] (routed queries, halo sub-query handoffs,
+//!   results, shard reports, epoch notices) — no shared-memory handle ever
+//!   does. [`transport::InProcTransport`] is the bounded-channel in-process
+//!   implementation;
+//! * [`engine`] — [`engine::ServeEngine`]: the run coordinator. It routes
+//!   queries and owns only transport endpoints; one independent worker event
+//!   loop per shard (a `std::thread::scope` thread) executes them with the
+//!   shared instrumented matcher from `loom-sim` under each request's
+//!   [`RequestContext`](loom_sim::context::RequestContext) — deadlines and
+//!   cancellation unwind searches cooperatively mid-backtrack. Admission
+//!   applies deadline-aware backpressure: a full worker inbox rejects the
+//!   request at its deadline instead of wedging;
 //! * [`epoch`] — [`epoch::EpochStore`]: ingest-while-serve via epoch-swapped
 //!   snapshots — the streaming partitioner keeps ingesting and periodically
 //!   publishes a new immutable shard set through an `arc-swap`-style pointer,
 //!   so queries pin one epoch end-to-end and reads never block on writes.
+//!   Publications are broadcast to registered [`epoch::EpochSink`]s; the
+//!   serving coordinator relays them to workers as messages.
 //!
 //! [`metrics::ServeReport`] summarises a run: per-shard QPS, p50/p99 modelled
 //! latency (from the `loom-sim` [`LatencyModel`](loom_sim::executor::LatencyModel)),
-//! remote-hop fraction and peak queue depth.
+//! remote-hop fraction, peak queue depth, queue-wait p99 and admission
+//! rejects.
 //!
 //! ```
 //! use loom_serve::prelude::*;
@@ -63,20 +76,27 @@ pub mod metrics;
 pub mod queue;
 pub mod router;
 pub mod shard;
+pub mod transport;
+mod worker;
 
 pub use engine::{ServeConfig, ServeEngine};
-pub use epoch::EpochStore;
+pub use epoch::{EpochSink, EpochStore, SubscriptionId};
 pub use metrics::{ServeReport, ShardServeMetrics};
 pub use queue::ShardQueue;
 pub use router::QueryRouter;
 pub use shard::{MigratedStore, Shard, ShardedStore};
+pub use transport::{
+    InProcEndpoint, InProcHub, InProcTransport, QueryDoneMsg, QueryTaskMsg, RecvError, ShardMsg,
+    ShardReportMsg, ShardTransport, SubQueryMsg, TransportError, TransportStats,
+};
 
 /// Convenient re-exports for examples, tests and the umbrella crate.
 pub mod prelude {
     pub use crate::engine::{ServeConfig, ServeEngine};
-    pub use crate::epoch::EpochStore;
+    pub use crate::epoch::{EpochSink, EpochStore};
     pub use crate::metrics::{ServeReport, ShardServeMetrics};
     pub use crate::queue::ShardQueue;
     pub use crate::router::QueryRouter;
     pub use crate::shard::{MigratedStore, Shard, ShardedStore};
+    pub use crate::transport::{InProcTransport, ShardMsg, ShardTransport};
 }

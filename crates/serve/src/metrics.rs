@@ -30,6 +30,16 @@ pub struct ShardServeMetrics {
     /// Deepest the shard's work queue got (bounded by the configured
     /// capacity; hitting the bound means backpressure engaged).
     pub max_queue_depth: usize,
+    /// 99th-percentile wall-clock wait of this shard's messages between
+    /// enqueue and dequeue, µs — the queueing delay backpressure added on
+    /// top of execution time.
+    pub queue_wait_p99_us: f64,
+    /// Requests routed to this shard but rejected at admission because the
+    /// queue stayed full past the request deadline. Rejected requests still
+    /// count in the aggregate (flagged `deadline_exceeded`, zero
+    /// traversals); this counter says the *queue*, not the matcher, spent
+    /// their budget.
+    pub rejected: usize,
 }
 
 impl ShardServeMetrics {

@@ -9,6 +9,37 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Why a deadline-aware push was refused. The rejected item is handed back
+/// in both cases, so callers can re-route or account for it.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue stayed full past the deadline (backpressure held the whole
+    /// time) — the admission-control signal a stuck worker produces instead
+    /// of wedging the router forever.
+    Timeout(T),
+    /// The queue has been closed.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// Recover the item the queue refused.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Timeout(item) | PushError::Closed(item) => item,
+        }
+    }
+}
+
+/// Why a deadline-aware pop returned empty-handed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopError {
+    /// Nothing arrived before the deadline; the queue is still open.
+    Timeout,
+    /// The queue is closed *and* drained — no item will ever arrive.
+    Closed,
+}
 
 /// A bounded multi-producer / multi-consumer FIFO queue.
 ///
@@ -75,6 +106,90 @@ impl<T> ShardQueue<T> {
         state.max_depth = state.max_depth.max(state.items.len());
         self.not_empty.notify_one();
         Ok(())
+    }
+
+    /// Push an item, blocking while the queue is full but only until
+    /// `deadline` (`None` blocks indefinitely, like [`ShardQueue::push`]).
+    ///
+    /// This is the backpressure fix for admission control: a stuck or slow
+    /// consumer used to wedge a blocking `push` forever; a deadline-aware
+    /// producer gets the item back as [`PushError::Timeout`] and can reject
+    /// the request instead.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Timeout`] when the queue stayed full until the deadline,
+    /// [`PushError::Closed`] when the queue has been closed; both return the
+    /// item.
+    pub fn push_deadline(&self, item: T, deadline: Option<Instant>) -> Result<(), PushError<T>> {
+        let mut state = self.lock();
+        while state.items.len() >= self.capacity && !state.closed {
+            match deadline {
+                None => {
+                    state = self
+                        .not_full
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(PushError::Timeout(item));
+                    }
+                    state = self
+                        .not_full
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+            }
+        }
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        state.items.push_back(item);
+        state.max_depth = state.max_depth.max(state.items.len());
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pop the next item, blocking while the queue is empty but only until
+    /// `deadline` (`None` blocks indefinitely, like [`ShardQueue::pop`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PopError::Timeout`] when nothing arrived by the deadline,
+    /// [`PopError::Closed`] once the queue is closed and drained.
+    pub fn pop_deadline(&self, deadline: Option<Instant>) -> Result<T, PopError> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Ok(item);
+            }
+            if state.closed {
+                return Err(PopError::Closed);
+            }
+            match deadline {
+                None => {
+                    state = self
+                        .not_empty
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(PopError::Timeout);
+                    }
+                    state = self
+                        .not_empty
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+            }
+        }
     }
 
     /// Pop the next item, blocking while the queue is empty. Returns `None`
@@ -163,6 +278,46 @@ mod tests {
         assert_eq!(produced.load(Ordering::SeqCst), 100);
         // The bounded queue never grew beyond its capacity.
         assert!(q.max_depth() <= 2);
+    }
+
+    #[test]
+    fn timed_push_rejects_when_backpressure_holds_past_the_deadline() {
+        use std::time::Duration;
+        let q = ShardQueue::new(1);
+        q.push(1).unwrap();
+        // Full queue + already-expired deadline: immediate rejection, item
+        // handed back.
+        let expired = Instant::now() - Duration::from_millis(1);
+        match q.push_deadline(2, Some(expired)) {
+            Err(PushError::Timeout(item)) => assert_eq!(item, 2),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        // A short future deadline also times out while nobody consumes.
+        let soon = Instant::now() + Duration::from_millis(5);
+        assert_eq!(q.push_deadline(3, Some(soon)), Err(PushError::Timeout(3)));
+        // Space frees up: the timed push succeeds within its deadline.
+        assert_eq!(q.pop(), Some(1));
+        let ample = Instant::now() + Duration::from_secs(5);
+        assert_eq!(q.push_deadline(4, Some(ample)), Ok(()));
+        assert_eq!(q.pop(), Some(4));
+        // Closed queues report Closed, not Timeout.
+        q.close();
+        assert_eq!(q.push_deadline(5, Some(ample)), Err(PushError::Closed(5)));
+        assert_eq!(PushError::Closed(5).into_inner(), 5);
+    }
+
+    #[test]
+    fn timed_pop_distinguishes_timeout_from_closed() {
+        use std::time::Duration;
+        let q: ShardQueue<u32> = ShardQueue::new(2);
+        let soon = Instant::now() + Duration::from_millis(5);
+        assert_eq!(q.pop_deadline(Some(soon)), Err(PopError::Timeout));
+        q.push(9).unwrap();
+        assert_eq!(q.pop_deadline(Some(soon)), Ok(9));
+        q.close();
+        assert_eq!(q.pop_deadline(Some(soon)), Err(PopError::Closed));
+        // `None` deadline behaves like the blocking pop on a closed queue.
+        assert_eq!(q.pop_deadline(None), Err(PopError::Closed));
     }
 
     #[test]

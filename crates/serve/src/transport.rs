@@ -1,0 +1,535 @@
+//! The shard transport: message-passing between the serving coordinator and
+//! its shard workers.
+//!
+//! Before this layer existed, "distributed" serving was a rewrite: workers
+//! shared one address space, reached into shared queues and peeked at a
+//! shared `RwLock` for epoch swaps. [`ShardTransport`] puts a wire-shaped
+//! boundary in between. Everything that crosses it is a [`ShardMsg`] — a
+//! routed query request, a halo-crossing sub-query handoff, a per-shard
+//! metric report, an epoch-publication notice — and every payload is plain
+//! serde-serializable data: vertex ids, seeds, metric structs, relative
+//! deadlines in microseconds. **No `Arc<ShardedStore>` or any other
+//! shared-memory handle crosses the trait**; a worker's snapshot is handed
+//! to it at spawn and refreshed when an [`ShardMsg::EpochPublished`] notice
+//! arrives, never by dereferencing shared state mid-run. Swapping the
+//! in-process implementation ([`InProcTransport`]) for a socket is a
+//! transport change, not an engine rewrite — which is the whole point.
+//!
+//! The in-process implementation is a hub: one bounded [`ShardQueue`] per
+//! worker (coordinator → worker) plus one shared inbox every worker sends
+//! into (worker → coordinator). Sends are deadline-aware — backpressure can
+//! reject instead of wedging admission — and the receive side measures the
+//! wall-clock time each message sat queued, which is where the per-shard
+//! `queue_wait_p99` figure comes from.
+
+use crate::epoch::EpochSink;
+use crate::queue::{PopError, PushError, ShardQueue};
+use loom_graph::VertexId;
+use loom_sim::executor::ExecutionMetrics;
+use loom_sim::matcher::Embedding;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One routed query execution: coordinator → home worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryTaskMsg {
+    /// Position in the run's admission order; results are re-assembled (and
+    /// the match cursor ordered) by this sequence number.
+    pub seq: u64,
+    /// Index into the workload's query list (both sides hold the same
+    /// compiled plan table for the run).
+    pub query: u32,
+    /// Deterministic root seed (`run_seed + seq + 1`, the scheme every
+    /// engine shares).
+    pub root_seed: u64,
+    /// Request deadline as microseconds since the run's start instant, or
+    /// `None` for unbounded. `Instant`s do not serialise; a run-relative
+    /// offset survives a wire hop and both ends reconstruct the absolute
+    /// deadline from their copy of the run start.
+    pub deadline_us: Option<u64>,
+}
+
+/// A halo-crossing sub-query handoff: the home worker ships the roots it
+/// does **not** own to the worker that owns them (relayed through the
+/// coordinator), instead of traversing into replicated halo state itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubQueryMsg {
+    /// Admission sequence of the parent query.
+    pub seq: u64,
+    /// Index into the workload's query list.
+    pub query: u32,
+    /// Worker that should execute these roots.
+    pub target_worker: u32,
+    /// Worker that issued the handoff (the query's home).
+    pub origin_worker: u32,
+    /// `(rank, root)` pairs: `rank` is the root's position in the parent
+    /// execution's full candidate list, so merged embeddings keep the exact
+    /// enumeration order a single-worker execution would produce.
+    pub roots: Vec<(u32, VertexId)>,
+    /// Parent request deadline, microseconds since run start.
+    pub deadline_us: Option<u64>,
+}
+
+/// One finished (or partial) execution: worker → coordinator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryDoneMsg {
+    /// Worker that executed this piece.
+    pub worker: u32,
+    /// Admission sequence of the query.
+    pub seq: u64,
+    /// Epoch of the snapshot the piece executed against.
+    pub epoch: u64,
+    /// `true` for a sub-query partial; `false` for the home execution.
+    pub partial: bool,
+    /// Number of sub-query handoffs the home execution issued (home results
+    /// only); the coordinator completes the query once it holds the home
+    /// result plus this many partials.
+    pub handoffs: u32,
+    /// Metrics of this piece (raw; the coordinator normalises per-query
+    /// counts when merging handoff partials).
+    pub metrics: ExecutionMetrics,
+    /// Collected embeddings tagged with an order key (root rank and
+    /// discovery index), so the merged cursor is deterministic however the
+    /// pieces raced.
+    pub embeddings: Vec<(u64, Embedding)>,
+}
+
+/// End-of-run shard summary: worker → coordinator, in reply to
+/// [`ShardMsg::Finish`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardReportMsg {
+    /// Reporting worker.
+    pub worker: u32,
+    /// Queries the worker executed (home executions; sub-query partials are
+    /// accounted to their home query).
+    pub queries: usize,
+    /// Median wall-clock time messages sat in this worker's inbox, µs.
+    pub queue_wait_p50_us: f64,
+    /// 99th-percentile wall-clock inbox wait, µs.
+    pub queue_wait_p99_us: f64,
+    /// Deepest the worker's inbox got.
+    pub max_inbox_depth: usize,
+}
+
+/// Everything that crosses a [`ShardTransport`]: plain serialisable data,
+/// never a shared-memory handle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ShardMsg {
+    /// Coordinator → worker: execute one routed query.
+    Query(QueryTaskMsg),
+    /// Worker → coordinator → worker: halo-crossing sub-query handoff. A
+    /// worker addresses the message; the coordinator relays it to
+    /// `target_worker` (workers hold no direct links to each other).
+    SubQuery(SubQueryMsg),
+    /// Worker → coordinator: a query (or sub-query partial) finished.
+    Done(QueryDoneMsg),
+    /// Worker → coordinator: final shard summary, in reply to `Finish`.
+    Report(ShardReportMsg),
+    /// Broadcast: a new snapshot epoch is loadable. Workers re-pin on this
+    /// notice instead of peeking at shared state.
+    EpochPublished {
+        /// The freshly published epoch number.
+        epoch: u64,
+    },
+    /// Coordinator → worker: cooperatively cancel the current run's
+    /// in-flight executions.
+    Cancel,
+    /// Coordinator → worker: no more work is coming; reply with `Report`
+    /// and exit.
+    Finish,
+}
+
+/// Why a send was refused; the undelivered message is handed back (boxed,
+/// so the error stays pointer-sized on the happy path).
+#[derive(Debug)]
+pub enum TransportError {
+    /// The peer's inbox stayed full past the send deadline (backpressure).
+    Timeout(Box<ShardMsg>),
+    /// The endpoint (or its peer) has shut down.
+    Closed(Box<ShardMsg>),
+}
+
+impl TransportError {
+    /// Recover the message the transport refused to carry.
+    pub fn into_msg(self) -> ShardMsg {
+        match self {
+            TransportError::Timeout(msg) | TransportError::Closed(msg) => *msg,
+        }
+    }
+}
+
+/// Why a receive returned empty-handed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// Nothing arrived before the deadline; the endpoint is still live.
+    Timeout,
+    /// The endpoint has shut down and its backlog is drained.
+    Disconnected,
+}
+
+/// Counters and queue-wait quantiles one endpoint observed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Messages sent through this endpoint.
+    pub sent: usize,
+    /// Messages received by this endpoint.
+    pub received: usize,
+    /// Deepest this endpoint's receive queue got.
+    pub max_recv_depth: usize,
+    /// Median wall-clock time received messages spent queued, µs.
+    pub queue_wait_p50_us: f64,
+    /// 99th-percentile wall-clock time received messages spent queued, µs.
+    pub queue_wait_p99_us: f64,
+}
+
+/// An object-safe, duplex message channel between the serving coordinator
+/// and one shard worker.
+///
+/// The contract is deliberately wire-shaped: every [`ShardMsg`] payload is
+/// serde-serializable plain data, deadlines are explicit per call, and the
+/// only shared state between the two ends of a conversation is whatever the
+/// implementation carries *inside* itself. An implementation backed by a
+/// socket pair satisfies the same trait; the in-process one is
+/// [`InProcTransport`].
+pub trait ShardTransport: Send + Sync {
+    /// Send a message, blocking under backpressure until `deadline`
+    /// (`None` blocks indefinitely).
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Timeout`] if the peer's inbox stayed full past the
+    /// deadline, [`TransportError::Closed`] if the link is down; both hand
+    /// the message back.
+    fn send(&self, msg: ShardMsg, deadline: Option<Instant>) -> Result<(), TransportError>;
+
+    /// Receive the next message, blocking until `deadline` (`None` blocks
+    /// indefinitely).
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Timeout`] if nothing arrived in time,
+    /// [`RecvError::Disconnected`] once the link is down and drained.
+    fn recv(&self, deadline: Option<Instant>) -> Result<ShardMsg, RecvError>;
+
+    /// Non-blocking send: deliver only if the peer's inbox has room right
+    /// now. Used for notices that are safe to drop (epoch publications,
+    /// cancellation nudges whose state also travels out-of-band).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardTransport::send`] with an immediate deadline.
+    fn try_send(&self, msg: ShardMsg) -> Result<(), TransportError> {
+        self.send(msg, Some(Instant::now()))
+    }
+
+    /// Tear down this endpoint's receive side: pending messages are still
+    /// drained, further sends *to* this endpoint fail, and blocked receivers
+    /// wake up.
+    fn shutdown(&self);
+
+    /// Counters and queue-wait quantiles this endpoint observed. The
+    /// default is all-zero for implementations that do not measure.
+    fn stats(&self) -> TransportStats {
+        TransportStats::default()
+    }
+}
+
+/// A queued message plus its enqueue instant (for queue-wait accounting).
+/// The envelope is in-process plumbing, not part of the wire shape — a
+/// socket implementation would timestamp on receipt instead.
+#[derive(Debug)]
+struct Envelope {
+    msg: ShardMsg,
+    enqueued: Instant,
+}
+
+/// One end of an in-process shard link: a pair of bounded [`ShardQueue`]s
+/// (send side and receive side) plus receive-wait accounting.
+#[derive(Debug)]
+pub struct InProcEndpoint {
+    tx: Arc<ShardQueue<Envelope>>,
+    rx: Arc<ShardQueue<Envelope>>,
+    sent: AtomicUsize,
+    received: AtomicUsize,
+    waits_us: parking_lot::Mutex<Vec<f64>>,
+}
+
+impl InProcEndpoint {
+    fn new(tx: Arc<ShardQueue<Envelope>>, rx: Arc<ShardQueue<Envelope>>) -> Self {
+        Self {
+            tx,
+            rx,
+            sent: AtomicUsize::new(0),
+            received: AtomicUsize::new(0),
+            waits_us: parking_lot::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Deepest the *send-side* queue (the peer's inbox) got — the
+    /// coordinator reads this per worker for the serving report.
+    pub fn peer_inbox_depth(&self) -> usize {
+        self.tx.max_depth()
+    }
+}
+
+impl ShardTransport for InProcEndpoint {
+    fn send(&self, msg: ShardMsg, deadline: Option<Instant>) -> Result<(), TransportError> {
+        let envelope = Envelope {
+            msg,
+            enqueued: Instant::now(),
+        };
+        match self.tx.push_deadline(envelope, deadline) {
+            Ok(()) => {
+                self.sent.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(PushError::Timeout(envelope)) => {
+                Err(TransportError::Timeout(Box::new(envelope.msg)))
+            }
+            Err(PushError::Closed(envelope)) => Err(TransportError::Closed(Box::new(envelope.msg))),
+        }
+    }
+
+    fn recv(&self, deadline: Option<Instant>) -> Result<ShardMsg, RecvError> {
+        match self.rx.pop_deadline(deadline) {
+            Ok(envelope) => {
+                self.received.fetch_add(1, Ordering::Relaxed);
+                self.waits_us
+                    .lock()
+                    .push(envelope.enqueued.elapsed().as_secs_f64() * 1e6);
+                Ok(envelope.msg)
+            }
+            Err(PopError::Timeout) => Err(RecvError::Timeout),
+            Err(PopError::Closed) => Err(RecvError::Disconnected),
+        }
+    }
+
+    fn shutdown(&self) {
+        self.rx.close();
+    }
+
+    fn stats(&self) -> TransportStats {
+        let mut waits = self.waits_us.lock().clone();
+        TransportStats {
+            sent: self.sent.load(Ordering::Relaxed),
+            received: self.received.load(Ordering::Relaxed),
+            max_recv_depth: self.rx.max_depth(),
+            queue_wait_p50_us: crate::metrics::quantile(&mut waits, 0.50),
+            queue_wait_p99_us: crate::metrics::quantile(&mut waits, 0.99),
+        }
+    }
+}
+
+/// An [`EpochSink`] that turns each publication into a non-blocking
+/// [`ShardMsg::EpochPublished`] notice on the coordinator's inbox. Dropped
+/// when the inbox is full or closed — a notice only says "something newer
+/// exists" and is superseded by the next publish.
+#[derive(Debug)]
+pub struct InboxNoticeSink {
+    inbox: Arc<ShardQueue<Envelope>>,
+}
+
+impl EpochSink for InboxNoticeSink {
+    fn notify(&self, epoch: u64) {
+        let envelope = Envelope {
+            msg: ShardMsg::EpochPublished { epoch },
+            enqueued: Instant::now(),
+        };
+        let _ = self.inbox.push_deadline(envelope, Some(Instant::now()));
+    }
+}
+
+/// The wired-up in-process transport for one serving run: one coordinator
+/// endpoint per worker plus the matching worker endpoints. All
+/// worker→coordinator traffic lands in a single shared inbox (the
+/// [`ShardQueue`] is multi-producer), which every coordinator endpoint
+/// receives from.
+#[derive(Debug)]
+pub struct InProcHub {
+    /// Coordinator-side endpoints, indexed by worker: endpoint `i` sends to
+    /// worker `i`'s inbox and receives from the shared coordinator inbox.
+    pub coordinator: Vec<InProcEndpoint>,
+    /// Worker-side endpoints, indexed by worker: endpoint `i` receives from
+    /// its own inbox and sends to the shared coordinator inbox.
+    pub workers: Vec<InProcEndpoint>,
+    inbox: Arc<ShardQueue<Envelope>>,
+}
+
+impl InProcHub {
+    /// An [`EpochSink`] feeding epoch-publication notices into the
+    /// coordinator's inbox.
+    pub fn notice_sink(&self) -> Arc<InboxNoticeSink> {
+        Arc::new(InboxNoticeSink {
+            inbox: Arc::clone(&self.inbox),
+        })
+    }
+}
+
+/// Factory for the in-process [`ShardTransport`] implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct InProcTransport;
+
+impl InProcTransport {
+    /// Build a coordinator↔workers hub: `workers` bounded per-worker inboxes
+    /// of `capacity` entries each, plus a shared coordinator inbox sized so
+    /// workers returning results do not deadlock against a coordinator that
+    /// is momentarily busy routing.
+    pub fn hub(workers: usize, capacity: usize) -> InProcHub {
+        let workers = workers.max(1);
+        let capacity = capacity.max(1);
+        // Every worker can have its whole inbox's worth of results plus a
+        // report in flight; the coordinator drains aggressively, but sizing
+        // the inbox for the worst case keeps the protocol deadlock-free by
+        // construction rather than by timing.
+        let inbox = Arc::new(ShardQueue::new(workers * (capacity + 2)));
+        let mut coordinator = Vec::with_capacity(workers);
+        let mut worker_ends = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let worker_inbox = Arc::new(ShardQueue::new(capacity));
+            coordinator.push(InProcEndpoint::new(
+                Arc::clone(&worker_inbox),
+                Arc::clone(&inbox),
+            ));
+            worker_ends.push(InProcEndpoint::new(Arc::clone(&inbox), worker_inbox));
+        }
+        InProcHub {
+            coordinator,
+            workers: worker_ends,
+            inbox,
+        }
+    }
+
+    /// A simple duplex endpoint pair (a ↔ b) for tests and tools.
+    pub fn pair(capacity: usize) -> (InProcEndpoint, InProcEndpoint) {
+        let ab = Arc::new(ShardQueue::new(capacity.max(1)));
+        let ba = Arc::new(ShardQueue::new(capacity.max(1)));
+        (
+            InProcEndpoint::new(Arc::clone(&ab), Arc::clone(&ba)),
+            InProcEndpoint::new(ba, ab),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// The trait must stay object-safe: the worker loop takes
+    /// `&dyn ShardTransport`.
+    #[test]
+    fn shard_transport_is_object_safe() {
+        let (a, _b) = InProcTransport::pair(2);
+        let dynamic: &dyn ShardTransport = &a;
+        dynamic.send(ShardMsg::Finish, None).unwrap();
+        let _: Option<Box<dyn ShardTransport>> = None;
+    }
+
+    #[test]
+    fn pair_roundtrips_messages_in_order() {
+        let (a, b) = InProcTransport::pair(4);
+        a.send(ShardMsg::EpochPublished { epoch: 7 }, None).unwrap();
+        a.send(ShardMsg::Cancel, None).unwrap();
+        assert_eq!(b.recv(None), Ok(ShardMsg::EpochPublished { epoch: 7 }));
+        assert_eq!(b.recv(None), Ok(ShardMsg::Cancel));
+        let stats = b.stats();
+        assert_eq!(stats.received, 2);
+        assert!(stats.queue_wait_p99_us >= stats.queue_wait_p50_us);
+        assert_eq!(a.stats().sent, 2);
+    }
+
+    #[test]
+    fn sends_time_out_under_backpressure_and_fail_after_shutdown() {
+        let (a, b) = InProcTransport::pair(1);
+        a.send(ShardMsg::Finish, None).unwrap();
+        let deadline = Instant::now() + Duration::from_millis(5);
+        match a.send(ShardMsg::Cancel, Some(deadline)) {
+            Err(TransportError::Timeout(msg)) => assert_eq!(*msg, ShardMsg::Cancel),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert!(matches!(
+            a.try_send(ShardMsg::Cancel),
+            Err(TransportError::Timeout(_))
+        ));
+        // Shutdown closes b's receive side: the backlog drains, then sends
+        // to b fail as Closed.
+        b.shutdown();
+        assert_eq!(b.recv(None), Ok(ShardMsg::Finish));
+        assert_eq!(b.recv(None), Err(RecvError::Disconnected));
+        match a.send(ShardMsg::Cancel, None) {
+            Err(TransportError::Closed(msg)) => {
+                assert_eq!(*msg, ShardMsg::Cancel);
+                assert_eq!(TransportError::Closed(msg).into_msg(), ShardMsg::Cancel);
+            }
+            other => panic!("expected closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_deadline_distinguishes_timeout_from_disconnect() {
+        let (a, b) = InProcTransport::pair(2);
+        let deadline = Instant::now() + Duration::from_millis(5);
+        assert_eq!(b.recv(Some(deadline)), Err(RecvError::Timeout));
+        a.send(ShardMsg::Finish, None).unwrap();
+        assert_eq!(
+            b.recv(Some(Instant::now() + Duration::from_secs(5))),
+            Ok(ShardMsg::Finish)
+        );
+    }
+
+    #[test]
+    fn hub_routes_worker_traffic_into_one_coordinator_inbox() {
+        let hub = InProcTransport::hub(3, 4);
+        assert_eq!(hub.coordinator.len(), 3);
+        assert_eq!(hub.workers.len(), 3);
+        for (w, endpoint) in hub.workers.iter().enumerate() {
+            endpoint
+                .send(
+                    ShardMsg::Report(ShardReportMsg {
+                        worker: w as u32,
+                        queries: w,
+                        queue_wait_p50_us: 0.0,
+                        queue_wait_p99_us: 0.0,
+                        max_inbox_depth: 0,
+                    }),
+                    None,
+                )
+                .unwrap();
+        }
+        // Any coordinator endpoint receives from the shared inbox.
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            match hub.coordinator[0].recv(None) {
+                Ok(ShardMsg::Report(report)) => seen.push(report.worker),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+        // Coordinator → worker links are private per worker.
+        hub.coordinator[1].send(ShardMsg::Finish, None).unwrap();
+        assert_eq!(hub.workers[1].recv(None), Ok(ShardMsg::Finish));
+        assert_eq!(
+            hub.workers[0].recv(Some(Instant::now())),
+            Err(RecvError::Timeout)
+        );
+        assert!(hub.coordinator[1].peer_inbox_depth() >= 1);
+    }
+
+    #[test]
+    fn notice_sink_drops_when_the_inbox_is_full() {
+        let hub = InProcTransport::hub(1, 1);
+        let sink = hub.notice_sink();
+        // Capacity of the shared inbox for one worker at capacity 1 is 3.
+        for epoch in 0..10 {
+            crate::epoch::EpochSink::notify(&*sink, epoch);
+        }
+        let mut got = 0;
+        while hub.coordinator[0].recv(Some(Instant::now())).is_ok() {
+            got += 1;
+        }
+        assert!((1..=3).contains(&got), "bounded, drop-on-full: got {got}");
+    }
+}

@@ -15,8 +15,9 @@
 //! [`PlanCache`], which is what makes their answers
 //! comparable.
 
+use crate::context::RequestContext;
 use crate::executor::{ExecutionMetrics, QueryExecutor, QueryMode};
-use crate::matcher::{execute_plan, Embedding, ExecOptions};
+use crate::matcher::{execute_plan_ctx, Embedding, ExecOptions};
 use crate::plan::{resolve_plan, PlanCache, QueryPlan};
 use crate::store::PartitionedStore;
 use loom_motif::query::QueryId;
@@ -24,6 +25,7 @@ use loom_motif::workload::Workload;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// What a [`QueryRequest`] executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,6 +62,12 @@ pub struct QueryRequest {
     /// (bounded per execution by the match limit). Off by default: metrics
     /// are collected either way.
     pub collect_matches: bool,
+    /// Wall-clock deadline for the whole request. Executions past it unwind
+    /// cooperatively and the response metrics are flagged
+    /// `deadline_exceeded`; `None` (the default) is unbounded. Engines
+    /// combine this with any [`RequestContext`] deadline by taking the
+    /// earlier of the two.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for QueryRequest {
@@ -72,6 +80,7 @@ impl Default for QueryRequest {
             match_limit: None,
             traversal_budget: None,
             collect_matches: false,
+            deadline: None,
         }
     }
 }
@@ -133,6 +142,19 @@ impl QueryRequest {
     pub fn collect_matches(mut self, collect: bool) -> Self {
         self.collect_matches = collect;
         self
+    }
+
+    /// Builder-style absolute wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Builder-style relative deadline (`now + timeout`).
+    #[must_use]
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
     }
 }
 
@@ -249,8 +271,19 @@ impl QueryResponse {
 /// worker pool, or epoch-pinned adaptive serving). The cross-engine parity
 /// suite in `tests/query_plan.rs` pins this contract.
 pub trait QueryEngine {
-    /// Execute one request and return its metrics and match cursor.
-    fn run(&self, request: QueryRequest) -> QueryResponse;
+    /// Execute one request under an explicit [`RequestContext`]: the
+    /// context's deadline is tightened by the request's own (the earlier of
+    /// the two wins) and its cancellation token can unwind every execution
+    /// of the request mid-run. An unbounded context reproduces [`Self::run`]
+    /// exactly.
+    fn run_ctx(&self, request: QueryRequest, ctx: &RequestContext) -> QueryResponse;
+
+    /// Execute one request and return its metrics and match cursor. The
+    /// request's own deadline (if any) still applies; cancellation requires
+    /// [`Self::run_ctx`].
+    fn run(&self, request: QueryRequest) -> QueryResponse {
+        self.run_ctx(request, &RequestContext::unbounded())
+    }
 
     /// The compiled plan cache the engine executes from, when it has one.
     fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
@@ -322,11 +355,33 @@ pub fn run_sequential(
     workload: &Workload,
     request: QueryRequest,
 ) -> QueryResponse {
+    run_sequential_ctx(
+        executor,
+        store,
+        workload,
+        request,
+        &RequestContext::unbounded(),
+    )
+}
+
+/// [`run_sequential`] under an explicit [`RequestContext`]: every scheduled
+/// execution observes the context's deadline (tightened by the request's
+/// own) and cancellation token; executions scheduled after the cut are
+/// pre-flighted away at zero traversal cost, so they still count in
+/// `queries_executed` but do no work.
+pub fn run_sequential_ctx(
+    executor: &QueryExecutor,
+    store: &PartitionedStore,
+    workload: &Workload,
+    request: QueryRequest,
+    ctx: &RequestContext,
+) -> QueryResponse {
     // Per-request overrides are applied raw (no clamping), so the
     // sequential and sharded engines resolve the same request to the same
     // effective options — the parity guarantee depends on it.
     let mode = request.mode.unwrap_or(executor.mode());
     let match_limit = request.match_limit.unwrap_or(executor.match_limit());
+    let ctx = ctx.tightened_by(request.deadline);
     let schedule = request_schedule(workload, &request);
     let plans = resolve_schedule_plans(executor.plan_cache(), workload, &schedule);
     let mut metrics = ExecutionMetrics::default();
@@ -341,7 +396,7 @@ pub fn run_sequential(
             root_seed,
             collect: request.collect_matches,
         };
-        let run = execute_plan(store, plan, &opts);
+        let run = execute_plan_ctx(store, plan, &opts, &ctx);
         metrics.merge(&run.metrics);
         embeddings.extend(run.embeddings);
     }
@@ -386,8 +441,8 @@ impl SequentialEngine {
 }
 
 impl QueryEngine for SequentialEngine {
-    fn run(&self, request: QueryRequest) -> QueryResponse {
-        run_sequential(&self.executor, &self.store, &self.workload, request)
+    fn run_ctx(&self, request: QueryRequest, ctx: &RequestContext) -> QueryResponse {
+        run_sequential_ctx(&self.executor, &self.store, &self.workload, request, ctx)
     }
 
     fn plan_cache(&self) -> Option<&Arc<PlanCache>> {

@@ -69,12 +69,19 @@ pub struct ExecutionMetrics {
     pub local_only_queries: usize,
     /// Estimated total latency under the latency model, in microseconds.
     pub estimated_latency_us: f64,
-    /// Whether any aggregated execution stopped early — at its match limit
-    /// or its traversal budget — so the enumeration may be incomplete.
-    /// Reports must never silently compare a limited run against a full one;
-    /// this flag survives merging (a merge of limited and unlimited runs is
-    /// limited).
+    /// Whether any aggregated execution stopped early — at its match limit,
+    /// its traversal budget, a deadline or a cancellation — so the
+    /// enumeration may be incomplete. Reports must never silently compare a
+    /// limited run against a full one; this flag survives merging (a merge
+    /// of limited and unlimited runs is limited).
     pub matches_limited: bool,
+    /// Whether any aggregated execution was cut short by its wall-clock
+    /// deadline (see [`crate::context::RequestContext`]). The metrics up to
+    /// the cut are still reported — partial answers, honestly flagged.
+    pub deadline_exceeded: bool,
+    /// Whether any aggregated execution unwound because its
+    /// [`crate::context::CancelToken`] fired mid-run.
+    pub cancelled: bool,
     /// Provenance: the compiled plan every aggregated execution ran under,
     /// or `None` when executions under *different* plans were merged (so a
     /// blended row can never masquerade as a single plan's result).
@@ -129,6 +136,8 @@ impl ExecutionMetrics {
             None
         };
         self.matches_limited |= other.matches_limited;
+        self.deadline_exceeded |= other.deadline_exceeded;
+        self.cancelled |= other.cancelled;
         self.queries_executed += other.queries_executed;
         self.matches_found += other.matches_found;
         self.total_traversals += other.total_traversals;

@@ -29,6 +29,10 @@
 //!   [`engine::QueryRequest`] / [`engine::QueryResponse`] with a pull-based
 //!   [`engine::MatchCursor`] over concrete embeddings, implemented by the
 //!   sequential engine here and by the `loom-serve` / `loom-adapt` layers;
+//! * [`context`] — per-request deadlines and cooperative cancellation
+//!   ([`context::RequestContext`] / [`context::CancelToken`]), threaded from
+//!   every engine into the matcher's traversal-budget check so an expired
+//!   deadline or a fired token unwinds a search mid-backtrack;
 //! * [`drift`] — the two-phase drifting-workload scenario (disjoint hot
 //!   motif families per phase) driving the `loom-adapt` adaptation story;
 //! * [`runner`] — the experiment driver: generate graph + workload, stream
@@ -41,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod context;
 pub mod drift;
 pub mod engine;
 pub mod executor;
@@ -51,6 +56,7 @@ pub mod report;
 pub mod runner;
 pub mod store;
 
+pub use context::{CancelToken, RequestContext};
 pub use drift::DriftScenario;
 pub use engine::{MatchCursor, QueryEngine, QueryRequest, QueryResponse, QueryTarget};
 pub use executor::{ExecutionMetrics, LatencyModel, QueryExecutor, QueryMode};
@@ -62,6 +68,7 @@ pub use store::PartitionedStore;
 
 /// Convenient re-exports for the experiment binary and examples.
 pub mod prelude {
+    pub use crate::context::{CancelToken, RequestContext};
     pub use crate::drift::DriftScenario;
     pub use crate::engine::{
         MatchCursor, QueryEngine, QueryRequest, QueryResponse, QueryTarget, SequentialEngine,

@@ -24,6 +24,7 @@
 //! inter-partition traversals" the paper optimises; the [`LatencyModel`]
 //! converts hop counts into an estimated query latency.
 
+use crate::context::{CancelToken, RequestContext};
 use crate::executor::{ExecutionMetrics, LatencyModel, QueryMode};
 use crate::plan::QueryPlan;
 use loom_graph::fxhash::FxHashSet;
@@ -31,6 +32,15 @@ use loom_graph::{Label, VertexId};
 use loom_motif::query::PatternQuery;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// How many traversals the search performs between wall-clock deadline
+/// checks. `Instant::now()` is far cheaper than a remote hop but not free;
+/// polling every traversal would tax the no-deadline hot path for nothing,
+/// while a stride of 64 bounds the overshoot past a deadline to a few
+/// microseconds of extra expansion.
+const DEADLINE_CHECK_STRIDE: u32 = 64;
 
 /// Storage abstraction the matcher runs against.
 ///
@@ -128,8 +138,9 @@ pub fn plan_roots<S: PatternStore + ?Sized>(
 }
 
 /// One concrete match: the assignment of pattern vertices to data vertices,
-/// sorted by pattern vertex id.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// sorted by pattern vertex id. Serde-serializable so a match can cross a
+/// shard-transport boundary inside a result message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Embedding {
     pairs: Vec<(VertexId, VertexId)>,
 }
@@ -252,6 +263,47 @@ pub fn execute_plan<S: PatternStore + ?Sized>(
     plan: &QueryPlan,
     opts: &ExecOptions,
 ) -> PlanExecution {
+    run_plan(store, plan, opts, None, None)
+}
+
+/// Execute a pre-compiled plan under a [`RequestContext`]: identical to
+/// [`execute_plan`] for an unbounded context, but an expired deadline or a
+/// fired cancellation token cooperatively unwinds the backtracking search at
+/// its next traversal check and flags the partial metrics
+/// (`deadline_exceeded` / `cancelled`). A context that is already expired or
+/// cancelled on entry performs **zero** traversals.
+pub fn execute_plan_ctx<S: PatternStore + ?Sized>(
+    store: &S,
+    plan: &QueryPlan,
+    opts: &ExecOptions,
+    ctx: &RequestContext,
+) -> PlanExecution {
+    run_plan(store, plan, opts, Some(ctx), None)
+}
+
+/// Execute a pre-compiled plan anchored at an explicit root set instead of
+/// resolving [`plan_roots`] — the building block for halo-crossing sub-query
+/// handoff, where a home shard executes only the roots it owns and ships the
+/// rest to their owning shards. Roots are executed in slice order; callers
+/// wanting parity with [`execute_plan_ctx`] pass a sorted, de-duplicated
+/// subset of that execution's root candidates.
+pub fn execute_plan_with_roots<S: PatternStore + ?Sized>(
+    store: &S,
+    plan: &QueryPlan,
+    opts: &ExecOptions,
+    ctx: &RequestContext,
+    roots: &[VertexId],
+) -> PlanExecution {
+    run_plan(store, plan, opts, Some(ctx), Some(roots))
+}
+
+fn run_plan<S: PatternStore + ?Sized>(
+    store: &S,
+    plan: &QueryPlan,
+    opts: &ExecOptions,
+    ctx: Option<&RequestContext>,
+    roots: Option<&[VertexId]>,
+) -> PlanExecution {
     let mut metrics = ExecutionMetrics {
         queries_executed: 1,
         plan: Some(plan.id()),
@@ -269,39 +321,63 @@ pub fn execute_plan<S: PatternStore + ?Sized>(
     // search behaved (engine builders clamp their own defaults to >= 1).
     let match_limit = opts.match_limit;
     let traversal_budget = opts.traversal_budget.unwrap_or(usize::MAX);
-    let candidates = plan_roots(store, plan, opts.mode, opts.root_seed);
 
-    let mut search = PlanSearch {
-        store,
-        plan,
-        mapping: vec![VertexId::new(u64::MAX); plan.len()],
-        used: FxHashSet::default(),
-        metrics: &mut metrics,
-        match_limit,
-        traversal_budget,
-        out: if opts.collect {
-            Some(&mut embeddings)
-        } else {
-            None
-        },
-    };
-    for root in candidates {
-        // Routing the query to the partition hosting the seed vertex is
-        // free; expansion from there is what costs traversals.
-        search.mapping[0] = root;
-        search.used.insert(root);
-        search.extend(1);
-        search.used.remove(&root);
-        if search.exhausted() {
-            break;
+    // Pre-flight: a context that is already cancelled or past its deadline
+    // does no work at all — zero traversals, honestly flagged.
+    if let Some(ctx) = ctx {
+        if ctx.is_cancelled() {
+            metrics.cancelled = true;
+        } else if ctx.is_expired() {
+            metrics.deadline_exceeded = true;
+        }
+    }
+
+    if !(metrics.cancelled || metrics.deadline_exceeded) {
+        let resolved;
+        let candidates: &[VertexId] = match roots {
+            Some(explicit) => explicit,
+            None => {
+                resolved = plan_roots(store, plan, opts.mode, opts.root_seed);
+                &resolved
+            }
+        };
+        let mut search = PlanSearch {
+            store,
+            plan,
+            mapping: vec![VertexId::new(u64::MAX); plan.len()],
+            used: FxHashSet::default(),
+            metrics: &mut metrics,
+            match_limit,
+            traversal_budget,
+            deadline: ctx.and_then(|c| c.deadline),
+            cancel: ctx.map(|c| &c.cancel),
+            deadline_ticks: 0,
+            out: if opts.collect {
+                Some(&mut embeddings)
+            } else {
+                None
+            },
+        };
+        for &root in candidates {
+            // Routing the query to the partition hosting the seed vertex is
+            // free; expansion from there is what costs traversals.
+            search.mapping[0] = root;
+            search.used.insert(root);
+            search.extend(1);
+            search.used.remove(&root);
+            if search.exhausted() {
+                break;
+            }
         }
     }
 
     if metrics.remote_traversals == 0 {
         metrics.local_only_queries = 1;
     }
-    metrics.matches_limited =
-        metrics.matches_found >= match_limit || metrics.total_traversals >= traversal_budget;
+    metrics.matches_limited = metrics.matches_found >= match_limit
+        || metrics.total_traversals >= traversal_budget
+        || metrics.deadline_exceeded
+        || metrics.cancelled;
     metrics.estimated_latency_us = metrics.remote_traversals as f64 * opts.latency.remote_hop_us
         + (metrics.total_traversals - metrics.remote_traversals) as f64 * opts.latency.local_hop_us;
     PlanExecution {
@@ -319,6 +395,12 @@ struct PlanSearch<'a, S: PatternStore + ?Sized> {
     metrics: &'a mut ExecutionMetrics,
     match_limit: usize,
     traversal_budget: usize,
+    /// Wall-clock cut-off, polled every [`DEADLINE_CHECK_STRIDE`] traversals.
+    deadline: Option<Instant>,
+    /// Cooperative cancellation token, polled on every traversal (one
+    /// relaxed atomic load). `None` when executing without a context.
+    cancel: Option<&'a CancelToken>,
+    deadline_ticks: u32,
     out: Option<&'a mut Vec<Embedding>>,
 }
 
@@ -326,6 +408,31 @@ impl<S: PatternStore + ?Sized> PlanSearch<'_, S> {
     fn exhausted(&self) -> bool {
         self.metrics.matches_found >= self.match_limit
             || self.metrics.total_traversals >= self.traversal_budget
+            || self.metrics.deadline_exceeded
+            || self.metrics.cancelled
+    }
+
+    /// Poll the request context. Rides the same early-exit machinery as the
+    /// traversal budget: setting a flag makes [`Self::exhausted`] true and
+    /// the search unwinds at the next expansion, keeping whatever partial
+    /// metrics it accumulated so far.
+    #[inline]
+    fn observe_context(&mut self) {
+        if let Some(cancel) = self.cancel {
+            if cancel.is_cancelled() {
+                self.metrics.cancelled = true;
+                return;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            self.deadline_ticks += 1;
+            if self.deadline_ticks >= DEADLINE_CHECK_STRIDE {
+                self.deadline_ticks = 0;
+                if Instant::now() >= deadline {
+                    self.metrics.deadline_exceeded = true;
+                }
+            }
+        }
     }
 
     fn extend(&mut self, depth: usize) {
@@ -379,6 +486,10 @@ impl<S: PatternStore + ?Sized> PlanSearch<'_, S> {
             self.metrics.total_traversals += 1;
             if self.store.is_remote_traversal(anchor, tv) {
                 self.metrics.remote_traversals += 1;
+            }
+            self.observe_context();
+            if self.metrics.cancelled || self.metrics.deadline_exceeded {
+                return;
             }
         }
         if self.used.contains(&tv) {

@@ -17,8 +17,10 @@
 //! * [`loom_sim`] — the distributed query-execution simulator, the shared
 //!   instrumented pattern matcher and the experiment runner;
 //! * [`loom_serve`] — the concurrent sharded serving engine: partition-major
-//!   CSR shards with boundary halos, a home-shard query router with bounded
-//!   per-shard work queues, and ingest-while-serve epoch snapshots;
+//!   CSR shards with boundary halos, a home-shard query router, message-passing
+//!   shard workers behind the wire-shaped
+//!   [`ShardTransport`](loom_serve::transport::ShardTransport) channel, and
+//!   ingest-while-serve epoch snapshots;
 //! * [`loom_adapt`] — the adaptation loop: drift detection over the observed
 //!   query mix, bounded incremental migration planning, and epoch-published
 //!   shard rebuilds that never block reads.
@@ -60,6 +62,15 @@
 //! for embedding in matches.into_cursor().take(3) {
 //!     println!("match: {:?}", embedding.iter().collect::<Vec<_>>());
 //! }
+//!
+//! // Requests can carry a deadline; expired searches unwind cooperatively
+//! // and flag the partial result instead of running to completion.
+//! let bounded = serving.run(
+//!     QueryRequest::workload(500)
+//!         .with_seed(42)
+//!         .with_timeout(std::time::Duration::from_millis(50)),
+//! );
+//! assert!(bounded.metrics.queries_executed == 500);
 //! # Ok(())
 //! # }
 //! ```

@@ -52,7 +52,8 @@ use loom_partition::PartitionError;
 use loom_serve::engine::{ServeConfig, ServeEngine};
 use loom_serve::metrics::ServeReport;
 use loom_serve::shard::ShardedStore;
-use loom_sim::engine::{run_sequential, QueryEngine, QueryRequest, QueryResponse};
+use loom_sim::context::RequestContext;
+use loom_sim::engine::{run_sequential_ctx, QueryEngine, QueryRequest, QueryResponse};
 use loom_sim::executor::{ExecutionMetrics, LatencyModel, QueryExecutor, QueryMode};
 use loom_sim::plan::{GraphStatistics, PlanCache, PlanStrategy, QueryPlanner};
 use loom_sim::store::PartitionedStore;
@@ -375,25 +376,6 @@ impl Serving {
         self.workload.as_ref()
     }
 
-    /// Execute `samples` queries drawn from the session's workload and report
-    /// traversal-locality metrics.
-    ///
-    /// # Errors
-    ///
-    /// Fails when the session was built without a workload (use
-    /// [`Serving::execute`] with an explicit workload instead).
-    #[deprecated(
-        note = "route through the unified engine API: `run(QueryRequest::workload(samples).with_seed(seed)).metrics`"
-    )]
-    pub fn execute_workload(&self, samples: usize, seed: u64) -> SessionResult<ExecutionMetrics> {
-        if self.workload.is_none() {
-            return Err(SessionError::MissingWorkload("executing the workload"));
-        }
-        Ok(self
-            .run(QueryRequest::workload(samples).with_seed(seed))
-            .metrics)
-    }
-
     /// Execute `samples` queries drawn from an explicit workload. Queries
     /// matching the session workload (by id *and* structure) reuse its
     /// compiled plans; structurally foreign queries — even under colliding
@@ -461,14 +443,18 @@ impl Serving {
 
 /// The sequential face of the unified engine API: requests run on the
 /// calling thread through the session's [`QueryExecutor`], its
-/// [`PartitionedStore`] and the shared compiled plan cache.
+/// [`PartitionedStore`] and the shared compiled plan cache. The
+/// [`RequestContext`]'s deadline and cancellation token are observed by
+/// every scheduled execution.
 ///
 /// Sessions without a workload return an empty response for workload
 /// requests (there is nothing to sample).
 impl QueryEngine for Serving {
-    fn run(&self, request: QueryRequest) -> QueryResponse {
+    fn run_ctx(&self, request: QueryRequest, ctx: &RequestContext) -> QueryResponse {
         match &self.workload {
-            Some(workload) => run_sequential(&self.executor, &self.store, workload, request),
+            Some(workload) => {
+                run_sequential_ctx(&self.executor, &self.store, workload, request, ctx)
+            }
             None => QueryResponse::from_engine(
                 ExecutionMetrics::default(),
                 Vec::new(),
@@ -502,26 +488,6 @@ impl ShardedServing {
         &self.engine
     }
 
-    /// Serve `samples` queries drawn from the session's workload across the
-    /// worker shards and report per-shard QPS, latency percentiles and
-    /// remote-hop fractions.
-    ///
-    /// # Errors
-    ///
-    /// Fails when the session was built without a workload (use
-    /// [`ShardedServing::serve`] with an explicit workload instead).
-    #[deprecated(
-        note = "route through the unified engine API: `run(QueryRequest::workload(samples).with_seed(seed))`, or `serve_request` for the full per-shard report"
-    )]
-    pub fn serve_workload(&self, samples: usize, seed: u64) -> SessionResult<ServeReport> {
-        if self.workload.is_none() {
-            return Err(SessionError::MissingWorkload("serving the workload"));
-        }
-        Ok(self
-            .serve_request(QueryRequest::workload(samples).with_seed(seed))
-            .0)
-    }
-
     /// Serve `samples` queries drawn from an explicit workload. Queries
     /// matching the session workload (by id *and* structure) reuse its
     /// compiled plans; structurally foreign queries — even under colliding
@@ -535,8 +501,22 @@ impl ShardedServing {
     /// [`ServeReport`] and the request's [`QueryResponse`]. Sessions without
     /// a workload serve an empty report.
     pub fn serve_request(&self, request: QueryRequest) -> (ServeReport, QueryResponse) {
+        self.serve_request_ctx(request, &RequestContext::unbounded())
+    }
+
+    /// Like [`ShardedServing::serve_request`], under an explicit
+    /// [`RequestContext`]: the context's deadline (tightened by the
+    /// request's own) bounds admission and execution, and firing its cancel
+    /// token cooperatively unwinds every in-flight worker.
+    pub fn serve_request_ctx(
+        &self,
+        request: QueryRequest,
+        ctx: &RequestContext,
+    ) -> (ServeReport, QueryResponse) {
         match &self.workload {
-            Some(workload) => self.engine.run_request(&self.store, workload, request),
+            Some(workload) => self
+                .engine
+                .run_request_ctx(&self.store, workload, request, ctx),
             None => (
                 ServeReport::default(),
                 QueryResponse::from_engine(
@@ -554,8 +534,8 @@ impl ShardedServing {
 /// sequential path, so for any request `run` returns **identical** metrics
 /// (and cursor contents) to [`Serving::run`] over the same session.
 impl QueryEngine for ShardedServing {
-    fn run(&self, request: QueryRequest) -> QueryResponse {
-        self.serve_request(request).1
+    fn run_ctx(&self, request: QueryRequest, ctx: &RequestContext) -> QueryResponse {
+        self.serve_request_ctx(request, ctx).1
     }
 
     fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
@@ -622,8 +602,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn serving_without_workload_rejects_execute_workload() {
+    fn serving_without_workload_serves_empty_responses() {
         let graph = paper_example_graph();
         let spec = PartitionerSpec::Ldg(LdgConfig::new(2, graph.vertex_count()));
         let mut session = Session::builder(spec).build().unwrap();
@@ -631,7 +610,6 @@ mod tests {
             .ingest_stream(&GraphStream::from_graph(&graph, &StreamOrder::Bfs))
             .unwrap();
         let serving = session.serve(graph).unwrap();
-        assert!(serving.execute_workload(10, 1).is_err());
         assert!(serving.plan_cache().is_none(), "no workload, no plans");
         // The unified API serves an empty response instead of failing.
         let response = serving.run(QueryRequest::workload(10));
@@ -642,8 +620,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_unified_api_exactly() {
+    fn unified_api_agrees_across_engines_and_reports() {
         let graph = paper_example_graph();
         let workload = paper_example_workload();
         let spec =
@@ -654,17 +631,47 @@ mod tests {
             .unwrap();
         let serving = session.serve(graph).unwrap();
         let request = QueryRequest::workload(60).with_seed(9);
-        assert_eq!(
-            serving.execute_workload(60, 9).unwrap(),
-            serving.run(request).metrics
-        );
         let sharded = serving.sharded(2);
+        // The per-shard report's aggregate is the response's metrics.
+        let (report, response) = sharded.serve_request(request);
+        assert_eq!(report.aggregate, response.metrics);
+        assert!(report.shards.iter().all(|s| s.rejected == 0));
+        // Sequential and sharded answers agree request-for-request, and an
+        // unbounded context reproduces `run` exactly.
+        assert_eq!(serving.run(request).metrics, sharded.run(request).metrics);
         assert_eq!(
-            sharded.serve_workload(60, 9).unwrap().aggregate,
+            serving
+                .run_ctx(request, &RequestContext::unbounded())
+                .metrics,
             sharded.run(request).metrics
         );
-        // Sequential and sharded answers agree request-for-request.
-        assert_eq!(serving.run(request).metrics, sharded.run(request).metrics);
+    }
+
+    #[test]
+    fn deadline_bounded_request_flags_the_response() {
+        let graph = paper_example_graph();
+        let workload = paper_example_workload();
+        let spec =
+            PartitionerSpec::Loom(LoomConfig::new(2, graph.vertex_count()).with_window_size(4));
+        let mut session = Session::builder(spec).workload(workload).build().unwrap();
+        session
+            .ingest_stream(&GraphStream::from_graph(&graph, &StreamOrder::Bfs))
+            .unwrap();
+        let serving = session.serve(graph).unwrap();
+        let expired = std::time::Instant::now() - std::time::Duration::from_secs(1);
+        let request = QueryRequest::workload(25)
+            .with_seed(3)
+            .with_deadline(expired);
+        let response = serving.run(request);
+        assert_eq!(response.metrics.queries_executed, 25);
+        assert_eq!(response.metrics.total_traversals, 0);
+        assert!(response.metrics.deadline_exceeded);
+        // The sharded engine reports the same short-circuit.
+        let sharded = serving.sharded(2);
+        let sharded_response = sharded.run(request);
+        assert_eq!(sharded_response.metrics.queries_executed, 25);
+        assert_eq!(sharded_response.metrics.total_traversals, 0);
+        assert!(sharded_response.metrics.deadline_exceeded);
     }
 
     #[test]

@@ -212,3 +212,28 @@ fn rooted_and_full_query_modes_are_both_available() {
     assert!(rooted.total_traversals <= full.total_traversals);
     assert_eq!(full.queries_executed, rooted.queries_executed);
 }
+
+/// The transport layer's wire-shape contract: every message that crosses
+/// `ShardTransport` is a plain serde-serializable value (no shared-memory
+/// handle), and the trait itself is object-safe — the properties that make
+/// the in-process transport socket-ready by construction.
+#[test]
+fn shard_transport_messages_are_wire_shaped_and_object_safe() {
+    fn assert_wire<T: serde::Serialize + for<'de> serde::Deserialize<'de> + Send + 'static>() {}
+    assert_wire::<ShardMsg>();
+    assert_wire::<loom_serve::QueryTaskMsg>();
+    assert_wire::<loom_serve::SubQueryMsg>();
+    assert_wire::<loom_serve::QueryDoneMsg>();
+    assert_wire::<loom_serve::ShardReportMsg>();
+
+    // Object safety: the trait is usable behind a dyn pointer, and a pair of
+    // in-process endpoints round-trips a message through it.
+    let (a, b) = InProcTransport::pair(4);
+    let transport: &dyn ShardTransport = &a;
+    transport
+        .send(ShardMsg::EpochPublished { epoch: 3 }, None)
+        .unwrap();
+    let received = b.recv(None).unwrap();
+    assert_eq!(received, ShardMsg::EpochPublished { epoch: 3 });
+    transport.shutdown();
+}

@@ -1,0 +1,369 @@
+//! Integration suite for the message-passing transport layer and
+//! per-request deadlines / cooperative cancellation.
+//!
+//! Four properties matter:
+//!
+//! * **parity** — the coordinator/worker message protocol is an
+//!   implementation detail: for unbounded requests the transport-backed
+//!   engine returns metrics (and match cursors) identical to the sequential
+//!   executor at every worker count;
+//! * **deadlines** — an already-expired deadline short-circuits every
+//!   execution at zero traversal cost, and a mid-run deadline measurably
+//!   cuts traversals while flagging the partial result;
+//! * **cancellation** — firing a request's cancel token unwinds in-flight
+//!   searches without ever tearing an epoch pin, even while new epochs are
+//!   being published concurrently;
+//! * **monotonicity** — a cancelled execution never finds *more* matches
+//!   than the same execution left to run (property-based).
+
+use loom::prelude::*;
+use loom_graph::generators::{barabasi_albert, GeneratorConfig};
+use loom_partition::hash::HashConfig;
+use loom_partition::spec::LoomConfig;
+use loom_sim::matcher::{execute_plan_ctx, ExecOptions};
+use loom_sim::plan::GraphStatistics;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn l(x: u32) -> Label {
+    Label::new(x)
+}
+
+fn social_graph(vertices: usize, seed: u64) -> LabelledGraph {
+    barabasi_albert(
+        GeneratorConfig {
+            vertices,
+            label_count: 4,
+            seed,
+        },
+        3,
+    )
+    .expect("valid BA parameters")
+}
+
+fn motif_workload() -> Workload {
+    let q_path = PatternQuery::path(QueryId::new(0), &[l(0), l(1), l(2)]).unwrap();
+    let q_cycle = PatternQuery::cycle(QueryId::new(1), &[l(0), l(1), l(0), l(1)]).unwrap();
+    let q_edge = PatternQuery::path(QueryId::new(2), &[l(0), l(1)]).unwrap();
+    Workload::new(vec![(q_path, 4.0), (q_cycle, 2.0), (q_edge, 1.0)]).unwrap()
+}
+
+fn partitioned(graph: &LabelledGraph, spec: PartitionerSpec, workload: &Workload) -> Partitioning {
+    let mut session = Session::builder(spec)
+        .workload(workload.clone())
+        .build()
+        .unwrap();
+    session
+        .ingest_stream(&GraphStream::from_graph(graph, &StreamOrder::Bfs))
+        .unwrap();
+    session.into_partitioning().unwrap()
+}
+
+/// (a) Message-passing execution is metric- and cursor-identical to the
+/// sequential executor for unbounded requests, at every worker count.
+#[test]
+fn transport_engine_matches_sequential_for_unbounded_requests() {
+    let graph = social_graph(500, 11);
+    let workload = motif_workload();
+    let partitioning = partitioned(
+        &graph,
+        PartitionerSpec::Loom(LoomConfig::new(8, graph.vertex_count()).with_window_size(64)),
+        &workload,
+    );
+    let mode = QueryMode::Rooted { seed_count: 3 };
+    let sequential_store = PartitionedStore::new(graph.clone(), partitioning.clone());
+    let executor = QueryExecutor::default().with_mode(mode);
+    let expected = executor.execute_workload(&sequential_store, &workload, 150, 42);
+
+    let sharded = Arc::new(ShardedStore::from_parts(&graph, &partitioning));
+    for workers in [1usize, 2, 3, 4, 8] {
+        let engine = ServeEngine::new(ServeConfig::new(workers).with_mode(mode));
+        let request = QueryRequest::workload(150).with_seed(42);
+        let (report, response) =
+            engine.run_request_ctx(&sharded, &workload, request, &RequestContext::unbounded());
+        assert_eq!(
+            report.aggregate, expected,
+            "workers={workers}: transport aggregate diverged from sequential"
+        );
+        assert_eq!(response.metrics, expected);
+        assert!(!response.metrics.deadline_exceeded);
+        assert!(!response.metrics.cancelled);
+        assert_eq!(report.shards.iter().map(|s| s.rejected).sum::<usize>(), 0);
+    }
+}
+
+/// The match cursor is worker-count invariant too: collected embeddings come
+/// back in the same global order regardless of how shards interleave.
+#[test]
+fn collected_matches_are_worker_count_invariant() {
+    let graph = social_graph(300, 7);
+    let workload = motif_workload();
+    let partitioning = partitioned(
+        &graph,
+        PartitionerSpec::Hash(HashConfig::new(4, graph.vertex_count())),
+        &workload,
+    );
+    let sharded = Arc::new(ShardedStore::from_parts(&graph, &partitioning));
+    let request = QueryRequest::workload(40)
+        .with_seed(5)
+        .collect_matches(true);
+    let collect = |workers: usize| {
+        ServeEngine::new(ServeConfig::new(workers).with_mode(QueryMode::Rooted { seed_count: 2 }))
+            .run_request(&sharded, &workload, request)
+            .1
+            .into_cursor()
+            .map(|e| e.iter().collect::<Vec<_>>())
+            .collect::<Vec<_>>()
+    };
+    let one = collect(1);
+    assert!(!one.is_empty());
+    assert_eq!(one, collect(3));
+    assert_eq!(one, collect(8));
+}
+
+/// (b) An already-expired deadline returns zero traversals on every query,
+/// flagged `deadline_exceeded` — whether it arrives on the request or on the
+/// caller's context.
+#[test]
+fn expired_deadline_short_circuits_at_zero_traversals() {
+    let graph = social_graph(300, 13);
+    let workload = motif_workload();
+    let partitioning = partitioned(
+        &graph,
+        PartitionerSpec::Hash(HashConfig::new(4, graph.vertex_count())),
+        &workload,
+    );
+    let sharded = Arc::new(ShardedStore::from_parts(&graph, &partitioning));
+    let engine = ServeEngine::new(ServeConfig::new(4).with_mode(QueryMode::FullEnumeration));
+    let expired = Instant::now() - Duration::from_secs(1);
+
+    // Deadline on the request.
+    let request = QueryRequest::workload(30)
+        .with_seed(3)
+        .with_deadline(expired);
+    let (report, response) =
+        engine.run_request_ctx(&sharded, &workload, request, &RequestContext::unbounded());
+    assert_eq!(response.metrics.queries_executed, 30);
+    assert_eq!(response.metrics.total_traversals, 0);
+    assert_eq!(response.metrics.matches_found, 0);
+    assert!(response.metrics.deadline_exceeded);
+    assert!(!response.metrics.cancelled);
+    assert_eq!(report.aggregate, response.metrics);
+
+    // Same deadline on the context instead: identical outcome.
+    let ctx = RequestContext::unbounded().with_deadline(expired);
+    let (_, via_ctx) = engine.run_request_ctx(
+        &sharded,
+        &workload,
+        QueryRequest::workload(30).with_seed(3),
+        &ctx,
+    );
+    assert_eq!(via_ctx.metrics, response.metrics);
+}
+
+/// A mid-run deadline measurably cuts traversals relative to the unbounded
+/// run while still accounting for every scheduled query.
+#[test]
+fn mid_run_deadline_cuts_traversals() {
+    let graph = social_graph(700, 19);
+    let workload = motif_workload();
+    let partitioning = partitioned(
+        &graph,
+        PartitionerSpec::Hash(HashConfig::new(4, graph.vertex_count())),
+        &workload,
+    );
+    let sharded = Arc::new(ShardedStore::from_parts(&graph, &partitioning));
+    let engine = ServeEngine::new(ServeConfig::new(2).with_mode(QueryMode::FullEnumeration));
+    let samples = 300;
+
+    let unbounded = engine
+        .run_request(
+            &sharded,
+            &workload,
+            QueryRequest::workload(samples).with_seed(17),
+        )
+        .1;
+    assert!(unbounded.metrics.total_traversals > 0);
+
+    let bounded = engine
+        .run_request(
+            &sharded,
+            &workload,
+            QueryRequest::workload(samples)
+                .with_seed(17)
+                .with_timeout(Duration::from_millis(1)),
+        )
+        .1;
+    assert_eq!(bounded.metrics.queries_executed, samples);
+    assert!(bounded.metrics.deadline_exceeded);
+    assert!(
+        bounded.metrics.total_traversals < unbounded.metrics.total_traversals,
+        "1ms deadline did not cut traversals: {} vs {}",
+        bounded.metrics.total_traversals,
+        unbounded.metrics.total_traversals
+    );
+    assert!(bounded.metrics.matches_found <= unbounded.metrics.matches_found);
+}
+
+/// (c) Cancelling mid-run never tears an epoch pin: with a publisher
+/// swapping epochs concurrently and the cancel token firing mid-run, every
+/// query still pins exactly one *published* epoch and the run unwinds
+/// cooperatively instead of wedging.
+#[test]
+fn cancelling_mid_run_never_tears_an_epoch_pin() {
+    let graph = social_graph(600, 23);
+    let workload = motif_workload();
+    let partitioning = partitioned(
+        &graph,
+        PartitionerSpec::Hash(HashConfig::new(4, graph.vertex_count())),
+        &workload,
+    );
+    let epochs = EpochStore::new(ShardedStore::from_parts(&graph, &partitioning));
+    let engine = ServeEngine::new(ServeConfig::new(4).with_mode(QueryMode::FullEnumeration));
+    let cancel = CancelToken::new();
+    let ctx = RequestContext::unbounded().with_cancel(cancel.clone());
+
+    let (report, response) = std::thread::scope(|scope| {
+        let epochs_ref = &epochs;
+        let publisher = scope.spawn({
+            let graph = graph.clone();
+            let partitioning = partitioning.clone();
+            move || {
+                for _ in 0..5 {
+                    epochs_ref.publish(ShardedStore::from_parts(&graph, &partitioning));
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+            }
+        });
+        let canceller = scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            cancel.cancel();
+        });
+        let out = engine.run_request_epochs_ctx(
+            &epochs,
+            &workload,
+            QueryRequest::workload(500).with_seed(29),
+            &ctx,
+        );
+        publisher.join().expect("publisher panicked");
+        canceller.join().expect("canceller panicked");
+        out
+    });
+
+    // Every scheduled query was accounted for and pinned a published epoch.
+    assert_eq!(response.metrics.queries_executed, 500);
+    let last = epochs.current_epoch();
+    assert!(!report.epochs_observed.is_empty());
+    assert!(report.epochs_observed.iter().all(|&e| e >= 1 && e <= last));
+    // The cancel landed mid-run (a full 500-sample enumeration takes far
+    // longer than 2ms) and unwound cooperatively.
+    assert!(response.metrics.cancelled);
+    // The store still serves correctly after the cancelled run.
+    let after = engine.serve_epochs(&epochs, &workload, 50, 31);
+    assert_eq!(after.aggregate.queries_executed, 50);
+    assert!(!after.aggregate.cancelled);
+}
+
+/// Halo sub-query handoff is answer-preserving: the same matches and query
+/// count as direct per-shard execution, with the cursor bit-identical.
+#[test]
+fn halo_handoff_preserves_answers() {
+    let graph = social_graph(400, 31);
+    let workload = motif_workload();
+    let partitioning = partitioned(
+        &graph,
+        PartitionerSpec::Loom(LoomConfig::new(4, graph.vertex_count()).with_window_size(64)),
+        &workload,
+    );
+    let sharded = Arc::new(ShardedStore::from_parts(&graph, &partitioning));
+    let mode = QueryMode::Rooted { seed_count: 3 };
+    let request = QueryRequest::workload(60)
+        .with_seed(9)
+        .collect_matches(true);
+
+    let direct = ServeEngine::new(ServeConfig::new(4).with_mode(mode))
+        .run_request(&sharded, &workload, request)
+        .1;
+    let handoff = ServeEngine::new(ServeConfig::new(4).with_mode(mode).with_halo_handoff(true))
+        .run_request(&sharded, &workload, request)
+        .1;
+    assert_eq!(
+        handoff.metrics.queries_executed,
+        direct.metrics.queries_executed
+    );
+    assert_eq!(handoff.metrics.matches_found, direct.metrics.matches_found);
+    let direct_matches: Vec<_> = direct
+        .into_cursor()
+        .map(|e| e.iter().collect::<Vec<_>>())
+        .collect();
+    let handoff_matches: Vec<_> = handoff
+        .into_cursor()
+        .map(|e| e.iter().collect::<Vec<_>>())
+        .collect();
+    assert_eq!(direct_matches, handoff_matches);
+}
+
+/// The per-shard report carries the transport's queue instrumentation:
+/// queue-wait percentiles are finite and ordered, and unbounded runs are
+/// never rejected at admission.
+#[test]
+fn shard_reports_carry_queue_wait_instrumentation() {
+    let graph = social_graph(400, 37);
+    let workload = motif_workload();
+    let partitioning = partitioned(
+        &graph,
+        PartitionerSpec::Hash(HashConfig::new(4, graph.vertex_count())),
+        &workload,
+    );
+    let sharded = Arc::new(ShardedStore::from_parts(&graph, &partitioning));
+    let engine = ServeEngine::new(
+        ServeConfig::new(4)
+            .with_mode(QueryMode::Rooted { seed_count: 2 })
+            .with_queue_capacity(2),
+    );
+    let report = engine.serve_batch(&sharded, &workload, 200, 41);
+    assert_eq!(report.aggregate.queries_executed, 200);
+    for shard in &report.shards {
+        assert!(shard.queue_wait_p99_us.is_finite());
+        assert!(shard.queue_wait_p99_us >= 0.0);
+        assert_eq!(shard.rejected, 0, "unbounded run rejected requests");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (d) Cooperative cancellation is monotone: a cancelled execution never
+    /// finds more matches than the identical uncancelled execution.
+    #[test]
+    fn cancelled_never_finds_more_matches(seed in 0u64..500, samples in 1usize..6) {
+        let graph = social_graph(120, seed);
+        let workload = motif_workload();
+        let stats = GraphStatistics::from_graph(&graph);
+        let planner = QueryPlanner::new(PlanStrategy::CostRanked);
+        let partitioning = partitioned(
+            &graph,
+            PartitionerSpec::Hash(HashConfig::new(2, graph.vertex_count())),
+            &workload,
+        );
+        let store = PartitionedStore::new(graph, partitioning);
+        let fired = CancelToken::new();
+        fired.cancel();
+        let cancelled_ctx = RequestContext::unbounded().with_cancel(fired);
+        for (i, query) in workload.queries().iter().take(samples).enumerate() {
+            let plan = planner.plan(query, &stats);
+            let opts = ExecOptions {
+                mode: QueryMode::Rooted { seed_count: 2 },
+                root_seed: seed.wrapping_add(i as u64),
+                ..ExecOptions::default()
+            };
+            let free = execute_plan_ctx(&store, &plan, &opts, &RequestContext::unbounded());
+            let cut = execute_plan_ctx(&store, &plan, &opts, &cancelled_ctx);
+            prop_assert!(cut.metrics.matches_found <= free.metrics.matches_found);
+            prop_assert!(cut.metrics.total_traversals <= free.metrics.total_traversals);
+            prop_assert!(cut.metrics.cancelled);
+            prop_assert!(!free.metrics.cancelled);
+        }
+    }
+}
