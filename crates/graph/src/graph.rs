@@ -42,6 +42,69 @@ impl LabelledGraph {
         }
     }
 
+    /// Rebuild a graph from explicit per-vertex adjacency lists (e.g. when
+    /// loading a checkpoint blob), **preserving each list's order** as the
+    /// graph's neighbour-iteration order. This matters because downstream
+    /// CSR snapshots inherit [`LabelledGraph::neighbors`] order, and match
+    /// enumeration (and therefore match-limited metrics) follows it: a
+    /// recovered graph reproduces traversals bit-for-bit only if the lists
+    /// come back in the exact order they were serialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingVertex`] if a list references an id with
+    /// no entry of its own, [`GraphError::SelfLoop`] for `v ∈ adj(v)`,
+    /// [`GraphError::DuplicateEdge`] if a neighbour repeats within one list,
+    /// and [`GraphError::Parse`] if an edge does not appear in **both**
+    /// endpoints' lists (the symmetry a well-formed undirected serialization
+    /// guarantees).
+    pub fn from_adjacency_lists<I>(lists: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (VertexId, Label, Vec<VertexId>)>,
+    {
+        let mut graph = Self::new();
+        let mut adjacency: FxHashMap<VertexId, Vec<VertexId>> = FxHashMap::default();
+        for (v, label, neighbours) in lists {
+            graph.insert_vertex(v, label);
+            adjacency.insert(v, neighbours);
+        }
+        // Each undirected edge must be named once by each endpoint: count
+        // directed appearances and demand exactly two per edge key.
+        let mut seen_directed: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+        for (&v, neighbours) in &adjacency {
+            for &u in neighbours {
+                if u == v {
+                    return Err(GraphError::SelfLoop(v));
+                }
+                if !graph.labels.contains_key(&u) {
+                    return Err(GraphError::MissingVertex(u));
+                }
+                if !seen_directed.insert((v, u)) {
+                    return Err(GraphError::DuplicateEdge(v, u));
+                }
+                graph.edges.insert(EdgeKey::new(v, u));
+            }
+        }
+        for &key in &graph.edges {
+            if !seen_directed.contains(&(key.lo, key.hi))
+                || !seen_directed.contains(&(key.hi, key.lo))
+            {
+                return Err(GraphError::Parse {
+                    line: 0,
+                    message: format!(
+                        "asymmetric adjacency: edge ({}, {}) is missing from one endpoint's list",
+                        key.lo, key.hi
+                    ),
+                });
+            }
+        }
+        // Install the lists verbatim — order preserved.
+        for (v, neighbours) in adjacency {
+            graph.adjacency.insert(v, neighbours);
+        }
+        Ok(graph)
+    }
+
     /// Add a new vertex with the given label, returning its freshly allocated
     /// id (ids allocated this way are dense and increasing).
     pub fn add_vertex(&mut self, label: Label) -> VertexId {
@@ -454,6 +517,64 @@ mod tests {
         let sorted = g.vertices_sorted();
         assert_eq!(sorted.len(), 10);
         assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn from_adjacency_lists_preserves_neighbour_order() {
+        // Build a graph whose adjacency order differs from sorted order,
+        // then round-trip it through explicit lists.
+        let mut g = LabelledGraph::new();
+        for i in 0..4 {
+            g.insert_vertex(VertexId::new(i), Label::new(i as u32));
+        }
+        // Edge insertion order drives neighbour order: 0 sees 3, then 1.
+        g.add_edge(VertexId::new(0), VertexId::new(3)).unwrap();
+        g.add_edge(VertexId::new(0), VertexId::new(1)).unwrap();
+        g.add_edge(VertexId::new(2), VertexId::new(1)).unwrap();
+        let lists: Vec<_> = g
+            .vertices_sorted()
+            .into_iter()
+            .map(|v| (v, g.label(v).unwrap(), g.neighbors(v).to_vec()))
+            .collect();
+        let rebuilt = LabelledGraph::from_adjacency_lists(lists).unwrap();
+        assert_eq!(rebuilt.vertex_count(), g.vertex_count());
+        assert_eq!(rebuilt.edge_count(), g.edge_count());
+        for v in g.vertices_sorted() {
+            assert_eq!(rebuilt.neighbors(v), g.neighbors(v), "order of {v}");
+            assert_eq!(rebuilt.label(v), g.label(v));
+        }
+        assert_eq!(rebuilt.edges_sorted(), g.edges_sorted());
+        // Fresh ids continue after the largest explicit id.
+        assert_eq!(rebuilt.clone().add_vertex(Label::new(0)).raw(), 4);
+    }
+
+    #[test]
+    fn from_adjacency_lists_rejects_malformed_input() {
+        let v = |i: u64| VertexId::new(i);
+        let l = Label::new(0);
+        // Neighbour with no vertex entry.
+        assert!(matches!(
+            LabelledGraph::from_adjacency_lists(vec![(v(0), l, vec![v(9)])]),
+            Err(GraphError::MissingVertex(_))
+        ));
+        // Self-loop.
+        assert!(matches!(
+            LabelledGraph::from_adjacency_lists(vec![(v(0), l, vec![v(0)])]),
+            Err(GraphError::SelfLoop(_))
+        ));
+        // Repeated neighbour within one list.
+        assert!(matches!(
+            LabelledGraph::from_adjacency_lists(vec![
+                (v(0), l, vec![v(1), v(1)]),
+                (v(1), l, vec![v(0)]),
+            ]),
+            Err(GraphError::DuplicateEdge(_, _))
+        ));
+        // Asymmetric edge: 0 lists 1 but 1 does not list 0.
+        assert!(matches!(
+            LabelledGraph::from_adjacency_lists(vec![(v(0), l, vec![v(1)]), (v(1), l, vec![]),]),
+            Err(GraphError::Parse { .. })
+        ));
     }
 
     #[test]

@@ -1,11 +1,19 @@
-//! Edge-list IO.
+//! Edge-list IO and the binary codec substrate.
 //!
-//! Two formats are supported:
+//! Two graph formats are supported:
 //!
 //! * a human-readable text format (`V <id> <label-name>` and `E <id> <id>`
 //!   lines, `#` comments), convenient for fixtures and examples;
 //! * a compact little-endian binary format built on [`bytes`], convenient for
 //!   shipping generated graphs between benchmark runs.
+//!
+//! The module additionally provides the checksummed-frame primitives the
+//! durability layer (`loom-store`) builds its write-ahead log and checkpoint
+//! blobs on: [`crc32`] (CRC-32/ISO-HDLC) and the
+//! [`put_frame`]/[`take_frame`] length-prefixed frame codec. A frame is
+//! `[len: u32 le][crc32(payload): u32 le][payload]`; a reader that hits a
+//! torn or bit-flipped frame gets a clean `Err` with nothing consumed, so a
+//! torn log tail can be truncated at the last good frame boundary.
 
 use crate::error::{GraphError, Result};
 use crate::graph::LabelledGraph;
@@ -94,6 +102,104 @@ fn parse_u64(token: Option<&str>, line: usize, what: &str) -> Result<u64> {
 const BINARY_MAGIC: u32 = 0x4C4F_4F4D; // "LOOM"
 const BINARY_VERSION: u32 = 1;
 
+/// Bytes per serialized vertex record (`u64` id + `u32` label).
+const VERTEX_RECORD_BYTES: u64 = 12;
+/// Bytes per serialized edge record (two `u64` endpoints).
+const EDGE_RECORD_BYTES: u64 = 16;
+
+/// Lookup table for the reflected CRC-32 polynomial `0xEDB88320`
+/// (CRC-32/ISO-HDLC, the zlib/Ethernet checksum), built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32/ISO-HDLC of `bytes` (the zlib `crc32`; `crc32(b"123456789") ==
+/// 0xCBF4_3926`). Used to checksum WAL records, checkpoint blobs and
+/// manifests in the durability layer.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Append one checksummed frame — `[len: u32 le][crc32: u32 le][payload]` —
+/// to `buf`.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds `u32::MAX` bytes (a frame is a bounded
+/// record, not a container format).
+pub fn put_frame(buf: &mut BytesMut, payload: &[u8]) {
+    let len = u32::try_from(payload.len()).expect("frame payload fits in u32");
+    buf.put_u32_le(len);
+    buf.put_u32_le(crc32(payload));
+    buf.put_slice(payload);
+}
+
+/// Take one checksummed frame off the front of `bytes` and return its
+/// payload.
+///
+/// Returns `Ok(None)` when `bytes` is empty (a clean end); `Err` when the
+/// header or payload is truncated, the payload length exceeds `max_len`
+/// (guarding against absurd allocations from a corrupt length prefix), or
+/// the checksum does not match. On `Err`, `bytes` is left exactly as it was,
+/// so the caller knows the offset of the last good frame boundary.
+pub fn take_frame(bytes: &mut Bytes, max_len: usize) -> Result<Option<Bytes>> {
+    if bytes.remaining() == 0 {
+        return Ok(None);
+    }
+    let corrupt = |message: String| GraphError::Parse { line: 0, message };
+    // Peek the whole frame without consuming: a bad frame must leave `bytes`
+    // untouched so the caller can locate the last good frame boundary.
+    let view = bytes.as_slice();
+    if view.len() < 8 {
+        return Err(corrupt(format!(
+            "torn frame header: {} trailing bytes",
+            view.len()
+        )));
+    }
+    let len = u32::from_le_bytes(view[0..4].try_into().expect("4 bytes")) as usize;
+    let want = u32::from_le_bytes(view[4..8].try_into().expect("4 bytes"));
+    if len > max_len {
+        return Err(corrupt(format!(
+            "frame length {len} exceeds the {max_len}-byte limit"
+        )));
+    }
+    if view.len() - 8 < len {
+        return Err(corrupt(format!(
+            "torn frame payload: header promises {len} bytes, {} remain",
+            view.len() - 8
+        )));
+    }
+    let payload = view[8..8 + len].to_vec();
+    let got = crc32(&payload);
+    if got != want {
+        return Err(corrupt(format!(
+            "frame checksum mismatch (expected 0x{want:08x}, got 0x{got:08x})"
+        )));
+    }
+    bytes.take_bytes(8 + len);
+    Ok(Some(Bytes::from(payload)))
+}
+
 /// Serialise a graph into the compact binary format.
 pub fn to_binary(graph: &LabelledGraph) -> Bytes {
     let mut buf = BytesMut::with_capacity(16 + graph.vertex_count() * 12 + graph.edge_count() * 16);
@@ -139,9 +245,26 @@ pub fn from_binary(mut bytes: Bytes) -> Result<LabelledGraph> {
             message: format!("unsupported binary version {version}"),
         });
     }
-    let vertex_count = bytes.get_u64_le() as usize;
-    let edge_count = bytes.get_u64_le() as usize;
-    need(bytes.remaining(), vertex_count * 12 + edge_count * 16)?;
+    let vertex_count = bytes.get_u64_le();
+    let edge_count = bytes.get_u64_le();
+    // Checked arithmetic throughout: a bit-flipped count must produce a clean
+    // parse error, never a wrapped length check (which would let the record
+    // loop underflow the buffer) or an attempt to reserve petabytes.
+    let body = vertex_count
+        .checked_mul(VERTEX_RECORD_BYTES)
+        .and_then(|v| edge_count.checked_mul(EDGE_RECORD_BYTES).map(|e| (v, e)))
+        .and_then(|(v, e)| v.checked_add(e))
+        .and_then(|total| usize::try_from(total).ok())
+        .ok_or_else(|| GraphError::Parse {
+            line: 0,
+            message: format!(
+                "implausible binary graph header: {vertex_count} vertices, {edge_count} edges"
+            ),
+        })?;
+    need(bytes.remaining(), body)?;
+    // The length check above bounds both counts by the actual payload size,
+    // so these casts cannot truncate and the reservations cannot exceed it.
+    let (vertex_count, edge_count) = (vertex_count as usize, edge_count as usize);
     let mut graph = LabelledGraph::with_capacity(vertex_count, edge_count);
     for _ in 0..vertex_count {
         let id = bytes.get_u64_le();
@@ -229,5 +352,128 @@ mod tests {
         buf.put_u64_le(0);
         buf.put_u64_le(0);
         assert!(from_binary(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_every_truncation_cleanly() {
+        let (g, _) = sample();
+        let full = to_binary(&g).as_slice().to_vec();
+        // Every strict prefix must parse to Err — never panic, never Ok.
+        for cut in 0..full.len() {
+            let truncated = Bytes::from(full[..cut].to_vec());
+            assert!(
+                from_binary(truncated).is_err(),
+                "prefix of {cut}/{} bytes parsed",
+                full.len()
+            );
+        }
+    }
+
+    #[test]
+    fn binary_survives_single_bit_flips() {
+        // Deterministic fuzz: flip one bit at a time across the whole blob.
+        // Any outcome is acceptable except a panic or an inconsistent graph;
+        // flips inside the counts/ids frequently *must* error, which the
+        // truncation maths has to survive without overflow.
+        let (g, _) = sample();
+        let full = to_binary(&g).as_slice().to_vec();
+        let mut parsed_ok = 0usize;
+        for byte in 0..full.len() {
+            for bit in 0..8 {
+                let mut flipped = full.clone();
+                flipped[byte] ^= 1 << bit;
+                if let Ok(parsed) = from_binary(Bytes::from(flipped)) {
+                    // Internally consistent even when the flip was benign
+                    // enough to parse (e.g. inside a label value).
+                    assert!(parsed.vertex_count() >= 1);
+                    parsed_ok += 1;
+                }
+            }
+        }
+        // Most flips corrupt structure; a handful only perturb payloads.
+        assert!(parsed_ok < full.len() * 8);
+    }
+
+    #[test]
+    fn binary_rejects_huge_counts_without_allocating() {
+        // A header promising u64::MAX vertices used to overflow the length
+        // check (wrapping to a small number) and then OOM in with_capacity.
+        for (v, e) in [
+            (u64::MAX, 0),
+            (0, u64::MAX),
+            (u64::MAX / 8, u64::MAX / 8),
+            (1 << 60, 1),
+        ] {
+            let mut buf = BytesMut::new();
+            buf.put_u32_le(super::BINARY_MAGIC);
+            buf.put_u32_le(super::BINARY_VERSION);
+            buf.put_u64_le(v);
+            buf.put_u64_le(e);
+            assert!(from_binary(buf.freeze()).is_err(), "({v}, {e}) accepted");
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"loom"), crc32(b"looM"));
+    }
+
+    #[test]
+    fn frames_roundtrip_and_survive_concatenation() {
+        let mut buf = BytesMut::new();
+        put_frame(&mut buf, b"first");
+        put_frame(&mut buf, b"");
+        put_frame(&mut buf, b"third record");
+        let mut bytes = buf.freeze();
+        assert_eq!(
+            take_frame(&mut bytes, 1024).unwrap().unwrap().as_slice(),
+            b"first"
+        );
+        assert_eq!(
+            take_frame(&mut bytes, 1024).unwrap().unwrap().as_slice(),
+            b""
+        );
+        assert_eq!(
+            take_frame(&mut bytes, 1024).unwrap().unwrap().as_slice(),
+            b"third record"
+        );
+        assert!(take_frame(&mut bytes, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_and_corrupt_frames_error_without_consuming() {
+        let mut buf = BytesMut::new();
+        put_frame(&mut buf, b"good");
+        let mut blob = buf.freeze().as_slice().to_vec();
+        // Append a torn second frame: header promising more than remains.
+        blob.extend_from_slice(&9999u32.to_le_bytes());
+        blob.extend_from_slice(&0u32.to_le_bytes());
+        blob.extend_from_slice(b"tail");
+        let mut bytes = Bytes::from(blob);
+        let before_good = bytes.remaining();
+        assert!(take_frame(&mut bytes, 1 << 20).unwrap().is_some());
+        assert_eq!(before_good - bytes.remaining(), 8 + 4);
+        let at_tear = bytes.remaining();
+        assert!(take_frame(&mut bytes, 1 << 20).is_err());
+        // Nothing consumed: the caller can truncate at this exact offset.
+        assert_eq!(bytes.remaining(), at_tear);
+
+        // A checksum flip errors too, also without consuming.
+        let mut buf = BytesMut::new();
+        put_frame(&mut buf, b"payload");
+        let mut flipped = buf.freeze().as_slice().to_vec();
+        *flipped.last_mut().unwrap() ^= 0x40;
+        let mut bytes = Bytes::from(flipped);
+        assert!(take_frame(&mut bytes, 1 << 20).is_err());
+        assert_eq!(bytes.remaining(), 8 + b"payload".len());
+
+        // A length prefix beyond the caller's limit is rejected before any
+        // allocation happens.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge.extend_from_slice(&0u32.to_le_bytes());
+        assert!(take_frame(&mut Bytes::from(huge), 1 << 20).is_err());
     }
 }

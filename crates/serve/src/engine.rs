@@ -777,6 +777,7 @@ impl ServeEngine {
             epochs_observed.extend_from_slice(&log.epochs);
             let busy_us = log.execution.estimated_latency_us;
             makespan_us = makespan_us.max(busy_us);
+            let epoch_seq = log.epochs.iter().copied().max().unwrap_or(0);
             shards.push(ShardServeMetrics {
                 shard: w as u32,
                 queries: log.queries,
@@ -790,6 +791,7 @@ impl ServeEngine {
                     .and_then(Option::as_ref)
                     .map_or(0.0, |r| r.queue_wait_p99_us),
                 rejected: log.rejected,
+                epoch_seq,
             });
         }
         epochs_observed.sort_unstable();

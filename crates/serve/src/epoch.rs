@@ -59,9 +59,19 @@ impl std::fmt::Debug for dyn EpochSink {
 impl EpochStore {
     /// Create an epoch store serving `initial` as epoch 1.
     pub fn new(initial: ShardedStore) -> Self {
+        Self::resume(initial, 1)
+    }
+
+    /// Create an epoch store serving `initial` stamped with an explicit
+    /// `epoch` — the recovery path: a store rebuilt from a checkpoint keeps
+    /// its pre-crash `epoch_seq`, so the sequence numbers in
+    /// [`crate::metrics::ShardServeMetrics`] and in checkpoint manifests stay
+    /// monotonic (and diffable) across a restart. The next
+    /// [`EpochStore::publish`] is stamped `epoch + 1`.
+    pub fn resume(initial: ShardedStore, epoch: u64) -> Self {
         Self {
-            current: RwLock::new(Arc::new(initial.with_epoch(1))),
-            epoch: AtomicU64::new(1),
+            current: RwLock::new(Arc::new(initial.with_epoch(epoch))),
+            epoch: AtomicU64::new(epoch),
             sinks: Mutex::new(Vec::new()),
             next_sink: AtomicU64::new(0),
         }

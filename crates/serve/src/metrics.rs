@@ -40,6 +40,11 @@ pub struct ShardServeMetrics {
     /// traversals); this counter says the *queue*, not the matcher, spent
     /// their budget.
     pub rejected: usize,
+    /// The highest epoch sequence number this shard's queries were pinned to
+    /// (0 for a shard that served nothing). Epoch sequences are monotonic
+    /// across restarts — a recovered store resumes at its checkpointed
+    /// `epoch_seq` — so recovered-vs-live runs are diffable by this number.
+    pub epoch_seq: u64,
 }
 
 impl ShardServeMetrics {

@@ -117,6 +117,14 @@ impl Shard {
             .unwrap_or(&[])
     }
 
+    /// Iterate over the shard's label index: `(label, home vertices sorted
+    /// by id)` in arbitrary label order. Checkpoint encoders sort by label
+    /// for a deterministic blob; query paths use
+    /// [`Shard::vertices_with_label`] instead.
+    pub fn label_index(&self) -> impl Iterator<Item = (Label, &[VertexId])> {
+        self.label_index.iter().map(|(&l, vs)| (l, vs.as_slice()))
+    }
+
     /// Home vertices with at least one remote neighbour, sorted by id.
     pub fn boundary(&self) -> &[VertexId] {
         &self.boundary
@@ -463,8 +471,74 @@ impl ShardedStore {
         (stored + unassigned) as f64 / self.order.len() as f64
     }
 
+    /// Borrowed view of shard `p`'s contiguous slice of the CSR arena
+    /// (home vertices, labels and adjacency in arena order), for checkpoint
+    /// blob extraction. `None` for an out-of-range partition.
+    pub fn shard_slice(&self, p: PartitionId) -> Option<ArenaSlice<'_>> {
+        self.shards.get(p.index()).map(|s| ArenaSlice {
+            store: self,
+            range: s.range.clone(),
+        })
+    }
+
+    /// Borrowed view of the unassigned tail of the arena: vertices the
+    /// partitioner had not placed when the snapshot was frozen (e.g. still
+    /// buffered in a streaming window). Empty when everything is assigned.
+    pub fn unassigned_slice(&self) -> ArenaSlice<'_> {
+        let start = self.shards.last().map(|s| s.range.end).unwrap_or(0);
+        ArenaSlice {
+            store: self,
+            range: start..self.order.len(),
+        }
+    }
+
     fn position(&self, v: VertexId) -> Option<usize> {
         self.position_of.get(&v).map(|&p| p as usize)
+    }
+}
+
+/// A borrowed, contiguous slice of a [`ShardedStore`]'s partition-major CSR
+/// arena: either one shard's home vertices ([`ShardedStore::shard_slice`])
+/// or the unassigned tail ([`ShardedStore::unassigned_slice`]). The
+/// durability layer serializes exactly these views into checkpoint blobs.
+#[derive(Debug, Clone)]
+pub struct ArenaSlice<'a> {
+    store: &'a ShardedStore,
+    range: Range<usize>,
+}
+
+impl<'a> ArenaSlice<'a> {
+    /// Number of vertices in the slice.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Whether the slice holds no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// The slice's vertex ids, in arena order (ascending id within a shard).
+    pub fn vertices(&self) -> &'a [VertexId] {
+        &self.store.order[self.range.clone()]
+    }
+
+    /// The slice's vertex labels, parallel to [`ArenaSlice::vertices`].
+    pub fn labels(&self) -> &'a [Label] {
+        &self.store.labels[self.range.clone()]
+    }
+
+    /// Adjacency of the `i`-th vertex of the slice, in the data graph's
+    /// stable iteration order (the order the arena stores and traversals
+    /// follow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn neighbors(&self, i: usize) -> &'a [VertexId] {
+        assert!(i < self.range.len(), "slice index out of range");
+        let pos = self.range.start + i;
+        &self.store.targets[self.store.offsets[pos]..self.store.offsets[pos + 1]]
     }
 }
 

@@ -1,0 +1,88 @@
+//! Error type for the durability layer.
+
+use loom_graph::GraphError;
+use loom_partition::PartitionError;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Errors produced while writing or recovering durable state.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system IO failure, annotated with the path involved.
+    Io {
+        /// The file or directory the operation touched.
+        path: PathBuf,
+        /// The underlying `std::io` error, stringified.
+        source: String,
+    },
+    /// On-disk state failed validation: bad magic, checksum mismatch, a
+    /// manifest that does not parse, or a blob that does not round-trip.
+    Corrupt {
+        /// The file or directory that failed validation.
+        path: PathBuf,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// Rebuilding the graph from checkpoint blobs failed.
+    Graph(GraphError),
+    /// Rebuilding the partitioning from checkpoint blobs failed.
+    Partition(PartitionError),
+}
+
+impl StoreError {
+    pub(crate) fn io(path: &Path, err: std::io::Error) -> Self {
+        StoreError::Io {
+            path: path.to_path_buf(),
+            source: err.to_string(),
+        }
+    }
+
+    pub(crate) fn corrupt(path: &Path, detail: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            path: path.to_path_buf(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "io error on {}: {source}", path.display())
+            }
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt durable state at {}: {detail}", path.display())
+            }
+            StoreError::Graph(e) => write!(f, "checkpoint graph rebuild failed: {e}"),
+            StoreError::Partition(e) => {
+                write!(f, "checkpoint partitioning rebuild failed: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Graph(e) => Some(e),
+            StoreError::Partition(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for StoreError {
+    fn from(e: GraphError) -> Self {
+        StoreError::Graph(e)
+    }
+}
+
+impl From<PartitionError> for StoreError {
+    fn from(e: PartitionError) -> Self {
+        StoreError::Partition(e)
+    }
+}
+
+/// Result alias for the durability layer.
+pub type Result<T> = std::result::Result<T, StoreError>;

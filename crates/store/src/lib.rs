@@ -1,0 +1,62 @@
+//! # loom-store — durability for the LOOM serving stack
+//!
+//! The serving layer ([`loom-serve`](loom_serve)) keeps everything in
+//! memory: a crash loses the ingested graph, the partitioner's streaming
+//! state, and the epoch history. This crate adds the durability subsystem
+//! that makes restart-and-serve possible:
+//!
+//! * **Checkpoints** ([`checkpoint`]) — each published epoch can be
+//!   serialized as one CRC-checksummed blob per shard (the contiguous CSR
+//!   arena slice plus the shard's label index, boundary, and halo) under
+//!   `checkpoints/<epoch_seq>/`, with a `MANIFEST` written last and fsynced
+//!   so a torn checkpoint is simply invisible.
+//! * **Write-ahead log** ([`wal`]) — every ingested batch is appended as a
+//!   CRC-framed record and fsynced *before* it reaches the partitioner; a
+//!   crash mid-append leaves a torn tail that truncates cleanly back to the
+//!   last acknowledged batch.
+//! * **Background checkpointing** ([`sink`]) — a [`CheckpointSink`]
+//!   subscribes to the epoch store's publish broadcast and checkpoints each
+//!   new epoch off the ingest path, coalescing under pressure.
+//! * **Recovery** ([`recovery`]) — [`recover`] loads the newest valid
+//!   checkpoint (bit-verified against its manifest), truncates the WAL's
+//!   torn tail, and returns the acknowledged batch history; replaying it
+//!   through a fresh deterministic partitioner reproduces exact pre-crash
+//!   state, and serving resumes pinned at the original `epoch_seq`.
+//!
+//! The on-disk layout of a durability root:
+//!
+//! ```text
+//! <root>/
+//! ├── wal.log                       append-only, CRC-framed batches
+//! └── checkpoints/
+//!     ├── 0000000003/
+//!     │   ├── shard_0000.blob       CSR slice + label index + halo
+//!     │   ├── shard_0001.blob
+//!     │   ├── tail.blob             unassigned arena tail
+//!     │   └── MANIFEST              written last; names every blob + CRC
+//!     └── 0000000005/…
+//! ```
+//!
+//! Ordering rules: blobs are fsynced before the manifest; the manifest is
+//! written to a temp file, fsynced, renamed into place, and the directory
+//! fsynced — so `MANIFEST` present ⇒ checkpoint complete. WAL appends are
+//! fsynced before the batch is acknowledged to the partitioner.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod codec;
+pub mod error;
+pub mod recovery;
+pub mod sink;
+pub mod wal;
+
+pub use checkpoint::{
+    latest_checkpoint, load_checkpoint, write_checkpoint, BlobEntry, CheckpointMeta,
+    LoadedCheckpoint,
+};
+pub use codec::ShardBlob;
+pub use error::{Result, StoreError};
+pub use recovery::{recover, RecoveredState, RecoveryReport};
+pub use sink::CheckpointSink;
+pub use wal::{Wal, WalReplay, WAL_FILE};

@@ -23,7 +23,12 @@
 //!   ingest-while-serve epoch snapshots;
 //! * [`loom_adapt`] — the adaptation loop: drift detection over the observed
 //!   query mix, bounded incremental migration planning, and epoch-published
-//!   shard rebuilds that never block reads.
+//!   shard rebuilds that never block reads;
+//! * [`loom_store`] — the durability subsystem: CRC-framed write-ahead
+//!   logging of every ingested batch, background per-shard checkpoints with
+//!   a manifest-written-last atomicity rule, and restart-and-serve recovery
+//!   ([`SessionBuilder::with_durability`](session::SessionBuilder::with_durability)
+//!   / [`Session::recover`](session::Session::recover)).
 //!
 //! ## Quickstart: the `Session` façade
 //!
@@ -89,12 +94,15 @@ pub use loom_motif;
 pub use loom_partition;
 pub use loom_serve;
 pub use loom_sim;
+pub use loom_store;
 
-pub use session::{Serving, Session, SessionBuilder, SessionError, ShardedServing};
+pub use session::{Recovered, Serving, Session, SessionBuilder, SessionError, ShardedServing};
 
 /// One-stop prelude for examples, tests and downstream experiments.
 pub mod prelude {
-    pub use crate::session::{Serving, Session, SessionBuilder, SessionError, ShardedServing};
+    pub use crate::session::{
+        Recovered, Serving, Session, SessionBuilder, SessionError, ShardedServing,
+    };
     pub use loom_adapt::prelude::*;
     pub use loom_core::prelude::*;
     pub use loom_graph::prelude::*;

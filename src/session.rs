@@ -50,6 +50,7 @@ use loom_partition::spec::{PartitionerRegistry, PartitionerSpec};
 use loom_partition::traits::{Partitioner, PartitionerStats, DEFAULT_BATCH_SIZE};
 use loom_partition::PartitionError;
 use loom_serve::engine::{ServeConfig, ServeEngine};
+use loom_serve::epoch::{EpochStore, SubscriptionId};
 use loom_serve::metrics::ServeReport;
 use loom_serve::shard::ShardedStore;
 use loom_sim::context::RequestContext;
@@ -57,8 +58,12 @@ use loom_sim::engine::{run_sequential_ctx, QueryEngine, QueryRequest, QueryRespo
 use loom_sim::executor::{ExecutionMetrics, LatencyModel, QueryExecutor, QueryMode};
 use loom_sim::plan::{GraphStatistics, PlanCache, PlanStrategy, QueryPlanner};
 use loom_sim::store::PartitionedStore;
+use loom_store::recovery::RecoveryReport;
+use loom_store::{CheckpointSink, StoreError, Wal, WAL_FILE};
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Errors produced while building or driving a [`Session`].
 #[derive(Debug)]
@@ -69,6 +74,12 @@ pub enum SessionError {
     Motif(MotifError),
     /// An operation needed a workload but none was configured.
     MissingWorkload(&'static str),
+    /// The durability layer failed (IO error, corrupt on-disk state, …).
+    Store(StoreError),
+    /// Durable state on disk is inconsistent with the session configuration
+    /// (e.g. a checkpoint written by a different partitioner spec), or a
+    /// durability operation was invoked on a session without one.
+    Durability(String),
 }
 
 impl fmt::Display for SessionError {
@@ -82,6 +93,8 @@ impl fmt::Display for SessionError {
                     "{what} needs a workload: pass one via Session::builder(..).workload(..)"
                 )
             }
+            SessionError::Store(e) => write!(f, "durability failed: {e}"),
+            SessionError::Durability(detail) => write!(f, "durability mismatch: {detail}"),
         }
     }
 }
@@ -91,8 +104,15 @@ impl std::error::Error for SessionError {
         match self {
             SessionError::Partition(e) => Some(e),
             SessionError::Motif(e) => Some(e),
-            SessionError::MissingWorkload(_) => None,
+            SessionError::Store(e) => Some(e),
+            SessionError::MissingWorkload(_) | SessionError::Durability(_) => None,
         }
+    }
+}
+
+impl From<StoreError> for SessionError {
+    fn from(e: StoreError) -> Self {
+        SessionError::Store(e)
     }
 }
 
@@ -121,6 +141,7 @@ pub struct SessionBuilder {
     query_mode: QueryMode,
     match_limit: Option<usize>,
     plan_strategy: PlanStrategy,
+    durability: Option<PathBuf>,
 }
 
 impl SessionBuilder {
@@ -173,13 +194,21 @@ impl SessionBuilder {
         self
     }
 
-    /// Mine the workload (if any) and build the partitioner from its spec.
-    ///
-    /// # Errors
-    ///
-    /// Fails when the spec is [`PartitionerSpec::Loom`] but no workload was
-    /// given, when mining fails, or when the spec's configuration is invalid.
-    pub fn build(self) -> SessionResult<Session> {
+    /// Persist everything this session ingests under `root`: every batch is
+    /// written to a write-ahead log before it reaches the partitioner, and
+    /// every [`Session::checkpoint`] serializes the sharded store in the
+    /// background. A session built this way can be brought back after a
+    /// crash with [`Session::recover`].
+    #[must_use]
+    pub fn with_durability(mut self, root: impl Into<PathBuf>) -> Self {
+        self.durability = Some(root.into());
+        self
+    }
+
+    /// Build the partitioner this configuration describes (used by both
+    /// `build` and the recovery path, which replays the WAL through a fresh
+    /// instance).
+    fn make_partitioner(&self) -> SessionResult<Box<dyn Partitioner>> {
         let registry = match &self.workload {
             Some(workload) => {
                 let tpstry = MotifMiner::default().mine(workload)?;
@@ -192,9 +221,26 @@ impl SessionBuilder {
                 PartitionerRegistry::baselines()
             }
         };
-        let partitioner = registry.build(&self.spec)?;
+        Ok(registry.build(&self.spec)?)
+    }
+
+    /// Mine the workload (if any) and build the partitioner from its spec.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the spec is [`PartitionerSpec::Loom`] but no workload was
+    /// given, when mining fails, when the spec's configuration is invalid,
+    /// or — for durable sessions — when the durability root already holds
+    /// state (recover it with [`Session::recover`] instead of overwriting).
+    pub fn build(self) -> SessionResult<Session> {
+        let partitioner = self.make_partitioner()?;
+        let durable = match &self.durability {
+            Some(root) => Some(DurableState::create(root, &self, partitioner.name())?),
+            None => None,
+        };
         Ok(Session {
             partitioner,
+            durable,
             spec: self.spec,
             workload: self.workload,
             chunk_size: self.chunk_size,
@@ -204,12 +250,117 @@ impl SessionBuilder {
             plan_strategy: self.plan_strategy,
         })
     }
+
+    /// Recover a crashed durable session from this configuration's
+    /// durability root — shorthand for [`Session::recover`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::recover`].
+    pub fn recover(self) -> SessionResult<Recovered> {
+        Session::recover(self)
+    }
+}
+
+/// The durable half of a session: the write-ahead log, the incrementally
+/// materialised graph, and the background checkpoint sink subscribed to the
+/// epoch store.
+struct DurableState {
+    root: PathBuf,
+    wal: Wal,
+    graph: LabelledGraph,
+    epochs: Arc<EpochStore>,
+    sink: Arc<CheckpointSink>,
+    sub: Option<SubscriptionId>,
+}
+
+impl fmt::Debug for DurableState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurableState")
+            .field("root", &self.root)
+            .field("wal_records", &self.wal.records())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DurableState {
+    /// Stand up a **fresh** durability root: refuses to clobber one that
+    /// already holds a WAL (that state belongs to [`Session::recover`]).
+    fn create(root: &Path, builder: &SessionBuilder, spec_name: &str) -> SessionResult<Self> {
+        std::fs::create_dir_all(root).map_err(|e| {
+            SessionError::Store(StoreError::Io {
+                path: root.to_path_buf(),
+                source: e.to_string(),
+            })
+        })?;
+        let wal_path = root.join(WAL_FILE);
+        if wal_path.exists() {
+            return Err(SessionError::Durability(format!(
+                "{} already holds durable state; use Session::recover to resume it \
+                 (or point with_durability at a fresh directory)",
+                root.display()
+            )));
+        }
+        let wal = Wal::create(&wal_path)?;
+        let graph = LabelledGraph::new();
+        let seed = Partitioning::new(builder.spec.k(), 1)?;
+        let initial = ShardedStore::from_parts(&graph, &seed);
+        Self::attach(root, wal, graph, initial, 0, spec_name)
+    }
+
+    /// Wrap recovered (or fresh) state: resume the epoch counter at
+    /// `epoch_seq` and subscribe the background checkpoint sink.
+    fn attach(
+        root: &Path,
+        wal: Wal,
+        graph: LabelledGraph,
+        pinned: ShardedStore,
+        epoch_seq: u64,
+        spec_name: &str,
+    ) -> SessionResult<Self> {
+        let epochs = Arc::new(EpochStore::resume(pinned, epoch_seq));
+        let (sink, sub) = CheckpointSink::attach(&epochs, root, spec_name);
+        sink.set_wal_records(wal.records());
+        Ok(Self {
+            root: root.to_path_buf(),
+            wal,
+            graph,
+            epochs,
+            sink,
+            sub: Some(sub),
+        })
+    }
+
+    /// Mirror an acknowledged batch into the in-memory durable graph (same
+    /// idempotent semantics as `GraphStream::materialise`).
+    fn apply(&mut self, batch: &[StreamElement]) {
+        for element in batch {
+            match *element {
+                StreamElement::AddVertex { id, label } => {
+                    self.graph.insert_vertex(id, label);
+                }
+                StreamElement::AddEdge { source, target } => {
+                    let _ = self.graph.add_edge_idempotent(source, target);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for DurableState {
+    fn drop(&mut self) {
+        if let Some(sub) = self.sub.take() {
+            self.epochs.unsubscribe(sub);
+        }
+        self.sink.shutdown();
+    }
 }
 
 /// A live partitioning session: one partitioner consuming a graph stream,
 /// ready to hand the result off for query serving.
 pub struct Session {
     partitioner: Box<dyn Partitioner>,
+    durable: Option<DurableState>,
     spec: PartitionerSpec,
     workload: Option<Workload>,
     chunk_size: usize,
@@ -226,6 +377,7 @@ impl fmt::Debug for Session {
             .field("spec", &self.spec)
             .field("chunk_size", &self.chunk_size)
             .field("workload", &self.workload.is_some())
+            .field("durable", &self.durable.is_some())
             .finish()
     }
 }
@@ -241,6 +393,7 @@ impl Session {
             query_mode: QueryMode::default(),
             match_limit: None,
             plan_strategy: PlanStrategy::default(),
+            durability: None,
         }
     }
 
@@ -254,34 +407,109 @@ impl Session {
         self.partitioner.name()
     }
 
-    /// Feed a single stream element.
+    /// Feed a single stream element. On a durable session the element is
+    /// WAL-appended (and fsynced) as a one-element batch before the
+    /// partitioner sees it.
     ///
     /// # Errors
     ///
-    /// Propagates partitioner assignment errors.
+    /// Propagates partitioner assignment and WAL-append errors.
     pub fn ingest(&mut self, element: &StreamElement) -> SessionResult<()> {
-        Ok(self.partitioner.ingest(element)?)
+        self.ingest_batch(std::slice::from_ref(element))
     }
 
-    /// Feed a contiguous chunk of stream elements at once.
+    /// Feed a contiguous chunk of stream elements at once. On a durable
+    /// session the batch is WAL-appended (and fsynced) **before** it reaches
+    /// the partitioner — on `Ok`, the batch survives a crash.
     ///
     /// # Errors
     ///
-    /// Propagates partitioner assignment errors.
+    /// Propagates partitioner assignment and WAL-append errors.
     pub fn ingest_batch(&mut self, batch: &[StreamElement]) -> SessionResult<()> {
-        Ok(self.partitioner.ingest_batch(batch)?)
-    }
-
-    /// Feed a whole stream, chunked at the session's configured chunk size.
-    ///
-    /// # Errors
-    ///
-    /// Propagates partitioner assignment errors.
-    pub fn ingest_stream(&mut self, stream: &GraphStream) -> SessionResult<()> {
-        for chunk in stream.elements().chunks(self.chunk_size) {
-            self.partitioner.ingest_batch(chunk)?;
+        if let Some(durable) = self.durable.as_mut() {
+            durable.wal.append(batch)?;
+        }
+        self.partitioner.ingest_batch(batch)?;
+        if let Some(durable) = self.durable.as_mut() {
+            durable.apply(batch);
         }
         Ok(())
+    }
+
+    /// Feed a whole stream, chunked at the session's configured chunk size
+    /// (each chunk is one WAL record on a durable session).
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioner assignment and WAL-append errors.
+    pub fn ingest_stream(&mut self, stream: &GraphStream) -> SessionResult<()> {
+        let chunk_size = self.chunk_size;
+        for chunk in stream.elements().chunks(chunk_size) {
+            self.ingest_batch(chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Publish the current partitioning as a new serving epoch and hand it
+    /// to the background checkpoint sink; returns the epoch sequence. The
+    /// write happens off this thread — [`Session::sync_durability`] blocks
+    /// until it is on disk.
+    ///
+    /// # Errors
+    ///
+    /// Fails on sessions built without [`SessionBuilder::with_durability`].
+    pub fn checkpoint(&mut self) -> SessionResult<u64> {
+        if self.durable.is_none() {
+            return Err(SessionError::Durability(
+                "checkpoint() needs a durable session: configure with_durability(root)".into(),
+            ));
+        }
+        let snapshot = self.partitioner.snapshot();
+        let durable = self.durable.as_mut().expect("checked above");
+        let store = ShardedStore::from_parts(&durable.graph, &snapshot);
+        durable.sink.set_wal_records(durable.wal.records());
+        Ok(durable.epochs.publish(store))
+    }
+
+    /// Block until every published epoch has been checkpointed to disk, and
+    /// return the highest epoch written. Surfaces background write errors.
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-durable sessions, on checkpoint-write failures, and on
+    /// timeout.
+    pub fn sync_durability(&self, timeout: Duration) -> SessionResult<u64> {
+        let durable = self.durable.as_ref().ok_or_else(|| {
+            SessionError::Durability(
+                "sync_durability() needs a durable session: configure with_durability(root)".into(),
+            )
+        })?;
+        Ok(durable.sink.wait_idle(timeout)?)
+    }
+
+    /// Number of batches fsynced to the write-ahead log so far.
+    pub fn wal_records(&self) -> Option<u64> {
+        self.durable.as_ref().map(|d| d.wal.records())
+    }
+
+    /// Finish a **durable** session and serve the graph it ingested — the
+    /// durable layer mirrors every acknowledged batch, so no separate graph
+    /// argument is needed (compare [`Session::serve`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-durable sessions; propagates flush errors.
+    pub fn serve_ingested(self) -> SessionResult<Serving> {
+        let graph =
+            match self.durable.as_ref() {
+                Some(durable) => durable.graph.clone(),
+                None => return Err(SessionError::Durability(
+                    "serve_ingested() needs a durable session: configure with_durability(root) \
+                     or pass the graph to serve()"
+                        .into(),
+                )),
+            };
+        self.serve(graph)
     }
 
     /// A non-destructive copy of the partitioning built so far (buffered
@@ -336,6 +564,211 @@ impl Session {
             workload: self.workload,
             plans,
         })
+    }
+
+    /// Bring a crashed (or cleanly stopped) durable session back: load the
+    /// newest valid checkpoint under the builder's durability root —
+    /// bit-verified against its manifest — truncate the WAL's torn tail,
+    /// and replay the **full** acknowledged batch history through a fresh
+    /// partitioner built from the same configuration. Partitioners are
+    /// deterministic, so the replay reproduces the exact pre-crash state,
+    /// streaming window included; serving resumes pinned at the
+    /// checkpoint's original `epoch_seq`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the builder has no durability root, when on-disk state is
+    /// corrupt beyond the WAL's torn tail, when the checkpoint was written
+    /// by a different partitioner spec, or when replay hits an assignment
+    /// error.
+    pub fn recover(builder: SessionBuilder) -> SessionResult<Recovered> {
+        let root = builder.durability.clone().ok_or_else(|| {
+            SessionError::Durability(
+                "recover() needs a durability root: configure with_durability(root)".into(),
+            )
+        })?;
+        std::fs::create_dir_all(&root).map_err(|e| {
+            SessionError::Store(StoreError::Io {
+                path: root.clone(),
+                source: e.to_string(),
+            })
+        })?;
+        let state = loom_store::recover(&root)?;
+        let mut partitioner = builder.make_partitioner()?;
+        if let Some(checkpoint) = &state.checkpoint {
+            if checkpoint.meta.spec != partitioner.name() {
+                return Err(SessionError::Durability(format!(
+                    "checkpoint at {} was written by partitioner `{}`, but this session \
+                     is configured for `{}`",
+                    root.display(),
+                    checkpoint.meta.spec,
+                    partitioner.name()
+                )));
+            }
+            if checkpoint.meta.shards != builder.spec.k() {
+                return Err(SessionError::Durability(format!(
+                    "checkpoint at {} has {} shards, but this session is configured \
+                     for k = {}",
+                    root.display(),
+                    checkpoint.meta.shards,
+                    builder.spec.k()
+                )));
+            }
+        }
+
+        // Replay the full history: the WAL covers every acknowledged batch
+        // since the root was created, and batched ingestion is deterministic,
+        // so the fresh partitioner lands in the exact pre-crash state.
+        let mut graph = LabelledGraph::new();
+        for batch in &state.batches {
+            partitioner.ingest_batch(batch)?;
+            for element in batch {
+                match *element {
+                    StreamElement::AddVertex { id, label } => {
+                        graph.insert_vertex(id, label);
+                    }
+                    StreamElement::AddEdge { source, target } => {
+                        let _ = graph.add_edge_idempotent(source, target);
+                    }
+                }
+            }
+        }
+
+        let report = state.report.clone();
+        let (pinned_graph, pinned_partitioning, pinned_store) = match state.checkpoint {
+            Some(checkpoint) => (checkpoint.graph, checkpoint.partitioning, checkpoint.store),
+            None => {
+                let partitioning = partitioner.snapshot();
+                let store = ShardedStore::from_parts(&graph, &partitioning);
+                (graph.clone(), partitioning, store)
+            }
+        };
+        let durable = DurableState::attach(
+            &root,
+            state.wal,
+            graph,
+            pinned_store,
+            report.epoch_seq,
+            partitioner.name(),
+        )?;
+        let store = durable.epochs.load();
+        let session = Session {
+            partitioner,
+            durable: Some(durable),
+            spec: builder.spec,
+            workload: builder.workload,
+            chunk_size: builder.chunk_size,
+            latency: builder.latency,
+            query_mode: builder.query_mode,
+            match_limit: builder.match_limit,
+            plan_strategy: builder.plan_strategy,
+        };
+        Ok(Recovered {
+            session,
+            graph: pinned_graph,
+            partitioning: pinned_partitioning,
+            store,
+            report,
+        })
+    }
+}
+
+/// A durable session brought back by [`Session::recover`]: the live
+/// [`Session`] (ready to keep ingesting against the reopened WAL) plus the
+/// recovered checkpoint state, pinned at its pre-crash epoch, ready to
+/// serve.
+#[derive(Debug)]
+pub struct Recovered {
+    session: Session,
+    graph: LabelledGraph,
+    partitioning: Partitioning,
+    store: Arc<ShardedStore>,
+    report: RecoveryReport,
+}
+
+impl Recovered {
+    /// Epoch sequence serving resumes at (0 when no checkpoint existed).
+    pub fn epoch_seq(&self) -> u64 {
+        self.report.epoch_seq
+    }
+
+    /// What recovery found on disk.
+    pub fn report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// The recovered sharded store, bit-identical to the checkpointed one
+    /// and stamped with its original epoch.
+    pub fn store(&self) -> &Arc<ShardedStore> {
+        &self.store
+    }
+
+    /// The checkpointed graph (the WAL prefix the checkpoint had folded in).
+    pub fn graph(&self) -> &LabelledGraph {
+        &self.graph
+    }
+
+    /// The checkpointed vertex→partition assignment.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// The live session: keep ingesting (WAL-backed), checkpoint again, or
+    /// finish into serving.
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// Give up the recovered snapshot and keep only the live session.
+    pub fn into_session(self) -> Session {
+        self.session
+    }
+
+    /// Sequential serving over the recovered checkpoint state, configured
+    /// exactly like the original session (same latency model, query mode,
+    /// match limit, plan strategy — plans recompiled from the recovered
+    /// graph's statistics, which recovery restored bit-identically).
+    pub fn serving(&self) -> Serving {
+        let plans = self.session.workload.as_ref().map(|workload| {
+            let stats = GraphStatistics::from_graph(&self.graph);
+            let planner = QueryPlanner::new(self.session.plan_strategy);
+            Arc::new(PlanCache::compile(&planner, workload, &stats))
+        });
+        let store = PartitionedStore::new(self.graph.clone(), self.partitioning.clone());
+        let mut executor =
+            QueryExecutor::new(self.session.latency).with_mode(self.session.query_mode);
+        if let Some(limit) = self.session.match_limit {
+            executor = executor.with_match_limit(limit);
+        }
+        if let Some(plans) = &plans {
+            executor = executor.with_plan_cache(Arc::clone(plans));
+        }
+        Serving {
+            store,
+            executor,
+            workload: self.session.workload.clone(),
+            plans,
+        }
+    }
+
+    /// Concurrent serving over the recovered store with `workers` worker
+    /// shards — the store keeps its pre-crash `epoch_seq`, so per-shard
+    /// metrics are directly diffable against the pre-crash run.
+    pub fn sharded(&self, workers: usize) -> ShardedServing {
+        let serving = self.serving();
+        let config = ServeConfig::new(workers)
+            .with_mode(serving.executor.mode())
+            .with_latency(serving.executor.latency_model())
+            .with_match_limit(serving.executor.match_limit());
+        let mut engine = ServeEngine::new(config);
+        if let Some(plans) = &serving.plans {
+            engine = engine.with_plan_cache(Arc::clone(plans));
+        }
+        ShardedServing {
+            store: Arc::clone(&self.store),
+            engine,
+            workload: self.session.workload.clone(),
+        }
     }
 }
 

@@ -1,0 +1,383 @@
+//! Crash-matrix integration suite for the `loom-store` durability
+//! subsystem, driven through the `Session` façade:
+//!
+//! * **bit identity** — checkpoint → recover → re-encode reproduces every
+//!   shard blob byte-for-byte (property-based over random graphs);
+//! * **torn WAL tail** — a crash mid-append loses at most the unacknowledged
+//!   record: the tail is truncated, never papered over, and no records are
+//!   invented;
+//! * **torn checkpoint** — a crash mid-checkpoint (manifest never written)
+//!   leaves the previous checkpoint authoritative;
+//! * **restart-and-serve parity** — kill mid-ingest, `Session::recover`,
+//!   serve the same workload: identical match counts and aggregate metrics
+//!   to an uninterrupted session at the same checkpoint boundary, with the
+//!   pre-crash `epoch_seq` flowing into the serve report.
+
+use loom::loom_store::checkpoint::{CHECKPOINT_DIR, MANIFEST_FILE};
+use loom::loom_store::codec::{encode_shard, encode_tail};
+use loom::prelude::*;
+use loom_graph::generators::{barabasi_albert, GeneratorConfig};
+use loom_partition::partition::PartitionId;
+use loom_partition::spec::LoomConfig;
+use loom_serve::engine::{ServeConfig, ServeEngine};
+use loom_sim::plan::{GraphStatistics, PlanCache, PlanStrategy, QueryPlanner};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn l(x: u32) -> Label {
+    Label::new(x)
+}
+
+fn social_graph(vertices: usize, seed: u64) -> LabelledGraph {
+    barabasi_albert(
+        GeneratorConfig {
+            vertices,
+            label_count: 4,
+            seed,
+        },
+        3,
+    )
+    .expect("valid BA parameters")
+}
+
+fn motif_workload() -> Workload {
+    let q_path = PatternQuery::path(QueryId::new(0), &[l(0), l(1), l(2)]).unwrap();
+    let q_cycle = PatternQuery::cycle(QueryId::new(1), &[l(0), l(1), l(0), l(1)]).unwrap();
+    let q_edge = PatternQuery::path(QueryId::new(2), &[l(0), l(1)]).unwrap();
+    Workload::new(vec![(q_path, 4.0), (q_cycle, 2.0), (q_edge, 1.0)]).unwrap()
+}
+
+fn tmproot(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("loom-dur-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn loom_builder(graph: &LabelledGraph) -> SessionBuilder {
+    Session::builder(PartitionerSpec::Loom(
+        LoomConfig::new(3, graph.vertex_count()).with_window_size(8),
+    ))
+    .workload(motif_workload())
+    .chunk_size(40)
+}
+
+fn assignment_vec(partitioning: &Partitioning) -> Vec<(VertexId, PartitionId)> {
+    let mut pairs: Vec<_> = partitioning.assignments().collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Every shard blob (and the tail) of `a` re-encodes byte-identically to
+/// `b` — the strongest equality the checkpoint format defines.
+fn assert_bit_identical(a: &ShardedStore, b: &ShardedStore) {
+    assert_eq!(a.shard_count(), b.shard_count());
+    for p in 0..a.shard_count() {
+        let p = PartitionId::new(p);
+        assert_eq!(
+            encode_shard(a, p).unwrap(),
+            encode_shard(b, p).unwrap(),
+            "shard {p} blob differs"
+        );
+    }
+    assert_eq!(encode_tail(a), encode_tail(b), "tail blob differs");
+}
+
+#[test]
+fn kill_mid_ingest_recover_and_serve_identically() {
+    let root = tmproot("e2e");
+    let graph = social_graph(300, 11);
+    let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
+    let elements = stream.elements();
+    let cut = elements.len() * 2 / 3;
+
+    // Durable run: ingest two thirds, checkpoint, keep ingesting, then
+    // "crash" (drop without another checkpoint) with a torn WAL tail.
+    let mut session = loom_builder(&graph).with_durability(&root).build().unwrap();
+    session.ingest_batch(&elements[..cut]).unwrap();
+    let seq = session.checkpoint().unwrap();
+    assert_eq!(seq, 1);
+    assert_eq!(session.sync_durability(Duration::from_secs(30)).unwrap(), 1);
+    session.ingest_batch(&elements[cut..]).unwrap();
+    let acknowledged = session.wal_records().unwrap();
+    drop(session);
+    let wal_path = root.join("wal.log");
+    let mut raw = std::fs::read(&wal_path).unwrap();
+    raw.extend_from_slice(&[0xBE, 0xEF, 0x00]); // crash mid-append
+    std::fs::write(&wal_path, &raw).unwrap();
+
+    // Uninterrupted control at the same checkpoint boundary.
+    let mut control = loom_builder(&graph).build().unwrap();
+    control.ingest_batch(&elements[..cut]).unwrap();
+    let control_snapshot = control.snapshot();
+    let control_graph = GraphStream::from_elements(elements[..cut].to_vec()).materialise();
+    let control_store = ShardedStore::from_parts(&control_graph, &control_snapshot);
+
+    // Recover and compare.
+    let recovered = loom_builder(&graph)
+        .with_durability(&root)
+        .recover()
+        .unwrap();
+    let report = recovered.report();
+    assert_eq!(report.epoch_seq, 1);
+    assert!(report.checkpoint_found);
+    assert_eq!(report.wal_records, acknowledged);
+    assert_eq!(report.wal_records_in_checkpoint, 1);
+    assert_eq!(report.wal_truncated_bytes, 3);
+    assert_eq!(recovered.store().epoch(), 1);
+    assert_bit_identical(recovered.store(), &control_store);
+
+    // Restart-and-serve: identical reports — same match counts, same
+    // traversals, and the pre-crash epoch_seq on every serving shard. The
+    // control serves the *snapshot* store (buffered window vertices still
+    // unassigned, exactly as checkpointed) — `Serving::serve` would flush
+    // them, which is post-crash work the checkpoint never saw.
+    let samples = 200;
+    let recovered_report = recovered.sharded(2).serve(&motif_workload(), samples, 7);
+    let stats = GraphStatistics::from_graph(&control_graph);
+    let plans = Arc::new(PlanCache::compile(
+        &QueryPlanner::new(PlanStrategy::default()),
+        &motif_workload(),
+        &stats,
+    ));
+    // Mirror the engine configuration `Recovered::sharded` derives from the
+    // session's (default-configured) executor.
+    let executor = QueryExecutor::new(LatencyModel::default());
+    let control_engine = ServeEngine::new(
+        ServeConfig::new(2)
+            .with_mode(executor.mode())
+            .with_latency(executor.latency_model())
+            .with_match_limit(executor.match_limit()),
+    )
+    .with_plan_cache(plans);
+    let control_report =
+        control_engine.serve_batch(&Arc::new(control_store), &motif_workload(), samples, 7);
+    assert_eq!(recovered_report.aggregate, control_report.aggregate);
+    assert!(recovered_report.aggregate.matches_found > 0);
+    assert_eq!(recovered_report.queries, samples);
+    for shard in recovered_report
+        .shards
+        .iter()
+        .filter(|shard| shard.queries > 0)
+    {
+        assert_eq!(
+            shard.epoch_seq, 1,
+            "serving must stay pinned at recovery epoch"
+        );
+    }
+
+    // The recovered session keeps going: the next checkpoint continues the
+    // epoch sequence instead of restarting it.
+    let mut session = recovered.into_session();
+    session
+        .ingest(&StreamElement::AddVertex {
+            id: VertexId::new(1_000_000),
+            label: l(0),
+        })
+        .unwrap();
+    assert_eq!(session.checkpoint().unwrap(), 2);
+    assert_eq!(session.sync_durability(Duration::from_secs(30)).unwrap(), 2);
+    drop(session);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn torn_wal_tail_loses_only_the_unacknowledged_batch() {
+    let root = tmproot("torn-tail");
+    let graph = social_graph(120, 3);
+    let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
+    let mut session = loom_builder(&graph).with_durability(&root).build().unwrap();
+    session.ingest_stream(&stream).unwrap();
+    let acknowledged = session.wal_records().unwrap();
+    let ingested = session.stats().vertices_ingested;
+    drop(session);
+
+    // Crash mid-append: half a frame header, then half a "record" whose CRC
+    // cannot match.
+    let wal_path = root.join("wal.log");
+    let mut raw = std::fs::read(&wal_path).unwrap();
+    raw.extend_from_slice(&[0x40, 0x00, 0x00, 0x00, 0x12, 0x34, 0x56, 0x78, 0xAA, 0xBB]);
+    std::fs::write(&wal_path, &raw).unwrap();
+
+    let recovered = loom_builder(&graph)
+        .with_durability(&root)
+        .recover()
+        .unwrap();
+    assert_eq!(recovered.report().wal_records, acknowledged);
+    assert_eq!(recovered.report().wal_truncated_bytes, 10);
+    assert!(!recovered.report().checkpoint_found);
+    // Nothing invented: the replayed session saw exactly the acknowledged
+    // elements, and a second recovery is stable (truncation already done).
+    let mut session = recovered.into_session();
+    assert_eq!(session.stats().vertices_ingested, ingested);
+    assert_eq!(session.wal_records(), Some(acknowledged));
+    session.ingest_batch(&[]).unwrap();
+    drop(session);
+    let again = loom_builder(&graph)
+        .with_durability(&root)
+        .recover()
+        .unwrap();
+    assert_eq!(again.report().wal_records, acknowledged + 1);
+    assert_eq!(again.report().wal_truncated_bytes, 0);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn missing_manifest_falls_back_to_the_previous_checkpoint() {
+    let root = tmproot("torn-ckpt");
+    let graph = social_graph(150, 5);
+    let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
+    let elements = stream.elements();
+    let mut session = loom_builder(&graph).with_durability(&root).build().unwrap();
+    session
+        .ingest_batch(&elements[..elements.len() / 2])
+        .unwrap();
+    session.checkpoint().unwrap();
+    session
+        .ingest_batch(&elements[elements.len() / 2..])
+        .unwrap();
+    let seq = session.checkpoint().unwrap();
+    assert_eq!(seq, 2);
+    session.sync_durability(Duration::from_secs(30)).unwrap();
+    drop(session);
+
+    // Crash mid-checkpoint of epoch 2: its manifest never hit the disk.
+    let manifest = root
+        .join(CHECKPOINT_DIR)
+        .join(format!("{seq:010}"))
+        .join(MANIFEST_FILE);
+    std::fs::remove_file(&manifest).unwrap();
+
+    let recovered = loom_builder(&graph)
+        .with_durability(&root)
+        .recover()
+        .unwrap();
+    assert_eq!(recovered.epoch_seq(), 1);
+    assert_eq!(recovered.report().invalid_checkpoints_skipped, 1);
+    // The full WAL still replays: the live session lost nothing.
+    let mut session = recovered.into_session();
+    assert_eq!(session.stats().vertices_ingested, graph.vertex_count());
+    // And the next checkpoint seals a fresh epoch *after* the torn one.
+    assert_eq!(session.checkpoint().unwrap(), 2);
+    assert_eq!(session.sync_durability(Duration::from_secs(30)).unwrap(), 2);
+    drop(session);
+    let healed = loom_builder(&graph)
+        .with_durability(&root)
+        .recover()
+        .unwrap();
+    assert_eq!(healed.epoch_seq(), 2);
+    assert_eq!(healed.report().invalid_checkpoints_skipped, 0);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn builder_refuses_to_clobber_existing_durable_state() {
+    let root = tmproot("noclobber");
+    let graph = social_graph(60, 2);
+    let mut session = loom_builder(&graph).with_durability(&root).build().unwrap();
+    session
+        .ingest_stream(&GraphStream::from_graph(&graph, &StreamOrder::Bfs))
+        .unwrap();
+    drop(session);
+    let err = loom_builder(&graph)
+        .with_durability(&root)
+        .build()
+        .expect_err("existing WAL must not be clobbered");
+    assert!(matches!(err, SessionError::Durability(_)));
+    assert!(err.to_string().contains("recover"));
+    // Spec mismatch at recovery is equally rejected once a checkpoint exists.
+    let mut session = loom_builder(&graph)
+        .with_durability(&root)
+        .recover()
+        .unwrap()
+        .into_session();
+    session.checkpoint().unwrap();
+    session.sync_durability(Duration::from_secs(30)).unwrap();
+    drop(session);
+    let mismatched = Session::builder(PartitionerSpec::Hash(
+        loom_partition::hash::HashConfig::new(3, graph.vertex_count()),
+    ))
+    .with_durability(&root)
+    .recover();
+    assert!(matches!(mismatched, Err(SessionError::Durability(_))));
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn fresh_root_recovers_to_an_empty_session() {
+    let root = tmproot("fresh");
+    let graph = social_graph(80, 9);
+    let recovered = loom_builder(&graph)
+        .with_durability(&root)
+        .recover()
+        .unwrap();
+    assert_eq!(recovered.epoch_seq(), 0);
+    assert!(!recovered.report().checkpoint_found);
+    assert_eq!(recovered.store().vertex_count(), 0);
+    let mut session = recovered.into_session();
+    session
+        .ingest_stream(&GraphStream::from_graph(&graph, &StreamOrder::Bfs))
+        .unwrap();
+    assert_eq!(session.checkpoint().unwrap(), 1);
+    assert_eq!(session.sync_durability(Duration::from_secs(30)).unwrap(), 1);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Checkpoint → recover → re-encode is bit-identical for random graphs,
+    /// partitioner states, and checkpoint boundaries.
+    #[test]
+    fn checkpoint_recovery_roundtrips_bit_identically(
+        seed in 0u64..1000,
+        vertices in 40usize..140,
+        cut_percent in 30usize..100,
+    ) {
+        let root = tmproot(&format!("prop-{seed}-{vertices}-{cut_percent}"));
+        let graph = social_graph(vertices, seed);
+        let stream = GraphStream::from_graph(&graph, &StreamOrder::Bfs);
+        let elements = stream.elements();
+        let cut = (elements.len() * cut_percent / 100).max(1);
+
+        let mut session = loom_builder(&graph)
+            .with_durability(&root)
+            .build()
+            .unwrap();
+        session.ingest_batch(&elements[..cut]).unwrap();
+        session.checkpoint().unwrap();
+        session.sync_durability(Duration::from_secs(30)).unwrap();
+        session.ingest_batch(&elements[cut..]).unwrap();
+
+        let mut control = loom_builder(&graph).build().unwrap();
+        control.ingest_batch(&elements[..cut]).unwrap();
+        let control_graph =
+            GraphStream::from_elements(elements[..cut].to_vec()).materialise();
+        let control_store =
+            ShardedStore::from_parts(&control_graph, &control.snapshot());
+        drop(session);
+
+        let recovered = loom_builder(&graph)
+            .with_durability(&root)
+            .recover()
+            .unwrap();
+        prop_assert_eq!(recovered.epoch_seq(), 1);
+        assert_bit_identical(recovered.store(), &control_store);
+        // The replayed partitioner also reproduces the *current* (post-
+        // checkpoint) state: snapshots at the full stream agree.
+        control.ingest_batch(&elements[cut..]).unwrap();
+        let mut session = recovered.into_session();
+        prop_assert_eq!(
+            assignment_vec(&session.snapshot()),
+            assignment_vec(&control.snapshot())
+        );
+        prop_assert_eq!(
+            session.stats().vertices_ingested,
+            control.stats().vertices_ingested
+        );
+        session.ingest_batch(&[]).unwrap(); // still append-ready
+        drop(session);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}
