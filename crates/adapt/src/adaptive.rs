@@ -19,6 +19,7 @@
 use crate::tracker::{DriftConfig, WorkloadTracker};
 use loom_graph::{LabelledGraph, VertexId};
 use loom_motif::workload::Workload;
+use loom_obs::{stage, FlightKind, SpanTimer, Telemetry};
 use loom_partition::error::Result;
 use loom_partition::migrate::{MigrationConfig, MigrationPlanner};
 use loom_partition::partition::{PartitionId, Partitioning};
@@ -86,6 +87,10 @@ pub struct AdaptiveServing {
     config: AdaptConfig,
     adaptations: usize,
     total_moved: usize,
+    /// Optional telemetry: adaptation passes charge `adapt.plan` /
+    /// `adapt.migrate` spans and leave flight-recorder events; the serving
+    /// engine underneath is observed with the same handle.
+    telemetry: Option<Arc<Telemetry>>,
     /// Cancellation token covering the current serving round. An adaptation
     /// pass fires it before migrating — in-flight executions running under
     /// it unwind cooperatively against their pinned (pre-migration)
@@ -115,8 +120,20 @@ impl AdaptiveServing {
             config,
             adaptations: 0,
             total_moved: 0,
+            telemetry: None,
             round_cancel: CancelToken::new(),
         }
+    }
+
+    /// Builder-style telemetry: the serving engine underneath populates the
+    /// shard counters and stage histograms, and adaptation passes charge
+    /// `adapt.plan` / `adapt.migrate` spans plus [`FlightKind::Migrated`] and
+    /// [`FlightKind::EpochPublished`] flight-recorder events.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.engine = std::mem::take(&mut self.engine).with_telemetry(Arc::clone(&telemetry));
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// Builder-style plan cache: the serving engine underneath (router and
@@ -226,6 +243,11 @@ impl AdaptiveServing {
         retired.cancel();
         let drift_before = self.tracker.drift();
         let hot = self.tracker.hot_label_weights();
+        let plan_hist = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.stage_histogram(stage::ADAPT_PLAN));
+        let plan_span = SpanTimer::start(plan_hist.as_deref());
         let mut moves: Vec<(VertexId, PartitionId)> = Vec::new();
         let mut rounds = 0;
         let mut planner_ran_dry = false;
@@ -239,6 +261,7 @@ impl AdaptiveServing {
             moves.extend(plan.moves.iter().map(|m| (m.vertex, m.to)));
             plan.apply(&mut self.partitioning)?;
         }
+        drop(plan_span);
         if moves.is_empty() {
             // Nothing worth moving (the placement already suits the mix):
             // accept the observed mix as the new baseline so the same drift
@@ -253,8 +276,21 @@ impl AdaptiveServing {
                 epoch: self.epochs.current_epoch(),
             });
         }
+        let migrate_hist = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.stage_histogram(stage::ADAPT_MIGRATE));
+        let migrate_span = SpanTimer::start(migrate_hist.as_deref());
         let migrated = self.epochs.load().apply_migration(&moves);
         let epoch = self.epochs.publish(migrated.store);
+        drop(migrate_span);
+        if let Some(t) = &self.telemetry {
+            t.flight().record(FlightKind::Migrated {
+                moved: migrated.moved as u64,
+                epoch,
+            });
+            t.flight().record(FlightKind::EpochPublished { epoch });
+        }
         if planner_ran_dry {
             self.tracker.rebase();
         }

@@ -25,6 +25,12 @@
 //! plan per workload query, compiled once in setup), so the numbers reflect
 //! the amortized compile-once path the engine runs in production — not
 //! per-query order derivation.
+//!
+//! Since `loom-obs` landed, every engine here runs **with telemetry
+//! attached** — the numbers include the instrumented hot path. In full mode
+//! the sweep asserts the modelled QPS of every cell stays within 2% of the
+//! pre-instrumentation reference recorded by the previous two PRs, so
+//! telemetry cannot silently tax the serving layer.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use loom_bench::scenarios;
@@ -33,6 +39,7 @@ use loom_graph::ordering::StreamOrder;
 use loom_graph::GraphStream;
 use loom_motif::mining::MotifMiner;
 use loom_motif::workload::Workload;
+use loom_obs::Telemetry;
 use loom_partition::hash::HashConfig;
 use loom_partition::spec::{LoomConfig, PartitionerSpec};
 use loom_partition::traits::partition_stream;
@@ -52,6 +59,47 @@ const PARTITIONS: u32 = 8;
 const SEED: u64 = 42;
 /// The shard count the transport-overhead record is taken at.
 const OVERHEAD_SHARDS: usize = 4;
+
+/// Modelled aggregate QPS per `(partitioner, shards)` cell as recorded by
+/// the last two pre-instrumentation runs of this bench (full mode, same
+/// graph, seed, and plan cache). The modelled numbers are deterministic, so
+/// instrumentation may not move them by more than the 2% budget the issue
+/// allots to telemetry.
+const REFERENCE_QPS: [(&str, usize, f64); 8] = [
+    ("hash", 1, 24.04),
+    ("hash", 2, 46.87),
+    ("hash", 4, 85.28),
+    ("hash", 8, 123.69),
+    ("loom", 1, 32.24),
+    ("loom", 2, 61.76),
+    ("loom", 4, 104.02),
+    ("loom", 8, 193.22),
+];
+
+/// Maximum relative modelled-QPS drift any cell may show against
+/// [`REFERENCE_QPS`] with telemetry attached.
+const QPS_DRIFT_BUDGET: f64 = 0.02;
+
+/// Assert a full-mode cell's modelled QPS sits within the drift budget of
+/// the pre-instrumentation reference. Fast mode serves a different graph,
+/// so the reference does not apply there.
+fn assert_reference_qps(partitioner: &str, shards: usize, qps: f64) {
+    if fast_mode() {
+        return;
+    }
+    let (_, _, reference) = REFERENCE_QPS
+        .iter()
+        .find(|(name, n, _)| *name == partitioner && *n == shards)
+        .expect("every swept cell has a reference");
+    let drift = (qps / reference - 1.0).abs();
+    assert!(
+        drift <= QPS_DRIFT_BUDGET,
+        "{partitioner}/{shards}: modelled {qps:.2} qps drifts {:.2}% from the \
+         pre-instrumentation reference {reference:.2} (budget {:.0}%)",
+        drift * 100.0,
+        QPS_DRIFT_BUDGET * 100.0,
+    );
+}
 
 fn fast_mode() -> bool {
     std::env::var("LOOM_BENCH_FAST").is_ok_and(|v| v != "0" && !v.is_empty())
@@ -129,11 +177,13 @@ fn serve(
     store: &Arc<ShardedStore>,
     workload: &Workload,
     plans: &Arc<PlanCache>,
+    telemetry: &Arc<Telemetry>,
     shards: usize,
     samples: usize,
 ) -> ServeReport {
     ServeEngine::new(ServeConfig::new(shards).with_mode(mode()))
         .with_plan_cache(Arc::clone(plans))
+        .with_telemetry(Arc::clone(telemetry))
         .serve_batch(store, workload, samples, SEED)
 }
 
@@ -171,6 +221,7 @@ fn transport_overhead(
     store: &StoreUnderTest,
     workload: &Workload,
     plans: &Arc<PlanCache>,
+    telemetry: &Arc<Telemetry>,
     samples: usize,
 ) -> String {
     let executor = QueryExecutor::default()
@@ -181,7 +232,14 @@ fn transport_overhead(
     let direct_wall_ms = direct_started.elapsed().as_secs_f64() * 1e3;
 
     let transport_started = Instant::now();
-    let report = serve(&store.sharded, workload, plans, OVERHEAD_SHARDS, samples);
+    let report = serve(
+        &store.sharded,
+        workload,
+        plans,
+        telemetry,
+        OVERHEAD_SHARDS,
+        samples,
+    );
     let transport_wall_ms = transport_started.elapsed().as_secs_f64() * 1e3;
 
     let serial_qps = |latency_us: f64| {
@@ -236,6 +294,7 @@ fn sweep_and_persist(
     workload: &Workload,
     plans: &Arc<PlanCache>,
     stores: &[StoreUnderTest],
+    telemetry: &Arc<Telemetry>,
     samples: usize,
 ) {
     let mut cells = Vec::new();
@@ -243,10 +302,11 @@ fn sweep_and_persist(
     for store in stores {
         let mut baseline = 0.0f64;
         for &shards in &SHARD_COUNTS {
-            let report = serve(&store.sharded, workload, plans, shards, samples);
+            let report = serve(&store.sharded, workload, plans, telemetry, shards, samples);
             if shards == 1 {
                 baseline = report.aggregate_qps();
             }
+            assert_reference_qps(store.name, shards, report.aggregate_qps());
             println!(
                 "serving_throughput {}/{shards}: {:.0} qps (x{:.2} vs 1 shard), \
                  p99 {:.0} us, remote hops {:.1}%",
@@ -258,12 +318,15 @@ fn sweep_and_persist(
             );
             cells.push(cell(store.name, shards, &report));
         }
-        overhead.push(transport_overhead(store, workload, plans, samples));
+        overhead.push(transport_overhead(
+            store, workload, plans, telemetry, samples,
+        ));
     }
     let json = format!(
         "{{\n  \"bench\": \"serving_throughput\",\n  \"samples\": {samples},\n  \
          \"seed\": {SEED},\n  \"partitions\": {PARTITIONS},\n  \"mode\": \
-         \"rooted(seed_count=3)\",\n  \"plan_cache\": true,\n  \"fast\": {},\n  \
+         \"rooted(seed_count=3)\",\n  \"plan_cache\": true,\n  \"instrumented\": true,\n  \
+         \"fast\": {},\n  \
          \"results\": [\n{}\n  ],\n  \"transport_overhead\": [\n{}\n  ]\n}}\n",
         fast_mode(),
         cells.join(",\n"),
@@ -281,7 +344,8 @@ fn sweep_and_persist(
 fn bench_serving(c: &mut Criterion) {
     let (workload, plans, stores) = setup();
     let (_, samples) = sizes();
-    sweep_and_persist(&workload, &plans, &stores, samples);
+    let telemetry = Telemetry::new();
+    sweep_and_persist(&workload, &plans, &stores, &telemetry, samples);
 
     let mut group = c.benchmark_group("serving_throughput");
     group.sample_size(3);
@@ -291,7 +355,16 @@ fn bench_serving(c: &mut Criterion) {
                 BenchmarkId::new(store.name, shards),
                 &shards,
                 |b, &shards| {
-                    b.iter(|| black_box(serve(&store.sharded, &workload, &plans, shards, samples)))
+                    b.iter(|| {
+                        black_box(serve(
+                            &store.sharded,
+                            &workload,
+                            &plans,
+                            &telemetry,
+                            shards,
+                            samples,
+                        ))
+                    })
                 },
             );
         }

@@ -1,0 +1,142 @@
+//! Scoped spans: RAII guards charging wall-clock time into stage
+//! histograms.
+//!
+//! A [`SpanTimer`] is a zero-allocation guard: started against an optional
+//! histogram handle, it records the elapsed microseconds on drop. When the
+//! handle is `None` — a session built **without** observability — starting
+//! the span does not even read the clock, so the uninstrumented path pays a
+//! single branch: the bit-identical parity tests and the modelled-QPS
+//! numbers are untouched.
+//!
+//! The [`stage`] module is the stack's span catalogue: every instrumented
+//! stage charges into a histogram named by one of these constants, so
+//! dashboards and tests agree on the series names.
+
+use crate::hist::Histogram;
+use std::time::Instant;
+
+/// The stage-histogram catalogue: one metric id per instrumented stage.
+pub mod stage {
+    /// WAL append + fsync of one ingested batch (`Session::ingest_batch`).
+    pub const INGEST_WAL_APPEND: &str = "ingest.wal_append";
+    /// Partitioner ingestion of one batch (`Session::ingest_batch`).
+    pub const INGEST_PARTITION: &str = "ingest.partition";
+    /// Wall-clock time a routed message sat in a shard worker's inbox.
+    pub const SERVE_QUEUE_WAIT: &str = "serve.queue_wait";
+    /// One query execution on a shard worker (matcher run, wall clock).
+    pub const SERVE_EXECUTE: &str = "serve.execute";
+    /// One halo sub-query executed on behalf of another worker.
+    pub const SERVE_HALO_HANDOFF: &str = "serve.halo_handoff";
+    /// One checkpoint serialisation (blobs + manifest, fsyncs included).
+    pub const STORE_CHECKPOINT_WRITE: &str = "store.checkpoint_write";
+    /// One fsync on the durability path (WAL append or checkpoint file).
+    pub const STORE_FSYNC: &str = "store.fsync";
+    /// One migration-planning pass (`AdaptiveServing::adapt_now` rounds).
+    pub const ADAPT_PLAN: &str = "adapt.plan";
+    /// Applying a migration plan and rebuilding the affected shards.
+    pub const ADAPT_MIGRATE: &str = "adapt.migrate";
+
+    /// Every stage above, for exporters and smoke tests that assert the
+    /// catalogue is live.
+    pub const ALL: &[&str] = &[
+        INGEST_WAL_APPEND,
+        INGEST_PARTITION,
+        SERVE_QUEUE_WAIT,
+        SERVE_EXECUTE,
+        SERVE_HALO_HANDOFF,
+        STORE_CHECKPOINT_WRITE,
+        STORE_FSYNC,
+        ADAPT_PLAN,
+        ADAPT_MIGRATE,
+    ];
+}
+
+/// A scoped wall-clock timer charging into a stage histogram on drop.
+///
+/// Construct with [`SpanTimer::start`]; the borrow keeps the guard from
+/// outliving the handle it charges. `None` builds a no-op guard that never
+/// reads the clock.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+pub struct SpanTimer<'a> {
+    target: Option<(&'a Histogram, Instant)>,
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Start a span against `hist`, or a free no-op when `hist` is `None`.
+    #[inline]
+    pub fn start(hist: Option<&'a Histogram>) -> Self {
+        Self {
+            target: hist.map(|h| (h, Instant::now())),
+        }
+    }
+
+    /// Whether this span will record anything.
+    pub fn is_live(&self) -> bool {
+        self.target.is_some()
+    }
+
+    /// End the span now and return the elapsed microseconds it recorded
+    /// (`None` for a no-op span).
+    pub fn stop(mut self) -> Option<u64> {
+        self.finish()
+    }
+
+    #[inline]
+    fn finish(&mut self) -> Option<u64> {
+        self.target.take().map(|(hist, started)| {
+            let us = started.elapsed().as_micros() as u64;
+            hist.record(us);
+            us
+        })
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_charge_their_histogram_on_drop() {
+        let hist = Histogram::new();
+        {
+            let _span = SpanTimer::start(Some(&hist));
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(hist.count(), 1);
+        assert!(hist.quantile(1.0) >= 1_000, "recorded at least ~1ms");
+    }
+
+    #[test]
+    fn stop_returns_the_recorded_duration() {
+        let hist = Histogram::new();
+        let span = SpanTimer::start(Some(&hist));
+        let us = span.stop().expect("live span");
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.sum(), us);
+    }
+
+    #[test]
+    fn disabled_spans_are_no_ops() {
+        let span = SpanTimer::start(None);
+        assert!(!span.is_live());
+        assert_eq!(span.stop(), None);
+    }
+
+    #[test]
+    fn the_stage_catalogue_is_unique_and_dotted() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &name in stage::ALL {
+            assert!(name.contains('.'), "{name} is not stage-scoped");
+            assert!(seen.insert(name), "{name} appears twice");
+        }
+        assert_eq!(seen.len(), 9);
+    }
+}

@@ -33,7 +33,7 @@
 //!   p50/p99, remote-hop fraction, queue depth, queue-wait p99, rejects).
 
 use crate::epoch::EpochStore;
-use crate::metrics::{quantile, ServeReport, ShardServeMetrics};
+use crate::metrics::{sort_samples, sorted_quantile, ServeReport, ShardServeMetrics};
 use crate::router::QueryRouter;
 use crate::shard::ShardedStore;
 use crate::transport::{
@@ -42,6 +42,7 @@ use crate::transport::{
 };
 use crate::worker::{worker_loop, WorkerSetup};
 use loom_motif::workload::Workload;
+use loom_obs::{stage, Counter, FlightKind, Histogram, Telemetry};
 use loom_sim::context::{CancelToken, RequestContext};
 use loom_sim::engine::{request_schedule, resolve_schedule_plans, QueryRequest, QueryResponse};
 use loom_sim::executor::{ExecutionMetrics, LatencyModel, QueryMode};
@@ -195,12 +196,20 @@ struct CoordLog {
     latencies: Vec<f64>,
     epochs: Vec<u64>,
     rejected: usize,
+    /// Run-local latency histogram, present only when the run is observed:
+    /// the report's quantiles read from it, and it merges into the
+    /// registry's cumulative `serve.latency{shard}` series at assembly — so
+    /// live telemetry and the `ServeReport` literally share data.
+    hist: Option<Histogram>,
 }
 
 impl CoordLog {
     fn record(&mut self, metrics: ExecutionMetrics, epoch: u64) {
         self.queries += 1;
         self.latencies.push(metrics.estimated_latency_us);
+        if let Some(hist) = &self.hist {
+            hist.record_f64(metrics.estimated_latency_us);
+        }
         self.execution.merge(&metrics);
         if self.epochs.last() != Some(&epoch) {
             self.epochs.push(epoch);
@@ -226,6 +235,15 @@ struct Coordinator<'a> {
     plans: &'a [Option<Arc<QueryPlan>>],
     cancel: &'a CancelToken,
     handoff: bool,
+    /// Observability for the run, `None` on unobserved runs (whose code
+    /// path — including clock reads — is then identical to pre-telemetry).
+    telemetry: Option<&'a Telemetry>,
+    /// Pre-resolved `serve.admitted{shard}` counters (empty when
+    /// unobserved).
+    admitted_ctr: Vec<Counter>,
+    /// Pre-resolved `serve.rejected{shard}` counters (empty when
+    /// unobserved).
+    rejected_ctr: Vec<Counter>,
     logs: Vec<CoordLog>,
     embeddings: Vec<(u64, u64, Embedding)>,
     pending: HashMap<u64, PendingQuery>,
@@ -244,14 +262,37 @@ impl<'a> Coordinator<'a> {
         plans: &'a [Option<Arc<QueryPlan>>],
         cancel: &'a CancelToken,
         handoff: bool,
+        telemetry: Option<&'a Telemetry>,
     ) -> Self {
         let workers = links.len();
+        let counter = |name: &'static str, w: usize| {
+            telemetry
+                .expect("resolved only on observed runs")
+                .registry()
+                .counter(name, &[("shard", w.to_string())])
+        };
+        let (admitted_ctr, rejected_ctr) = if telemetry.is_some() {
+            (
+                (0..workers).map(|w| counter("serve.admitted", w)).collect(),
+                (0..workers).map(|w| counter("serve.rejected", w)).collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
         Self {
             links,
             plans,
             cancel,
             handoff,
-            logs: (0..workers).map(|_| CoordLog::default()).collect(),
+            telemetry,
+            admitted_ctr,
+            rejected_ctr,
+            logs: (0..workers)
+                .map(|_| CoordLog {
+                    hist: telemetry.map(|_| Histogram::new()),
+                    ..CoordLog::default()
+                })
+                .collect(),
             embeddings: Vec::new(),
             pending: HashMap::new(),
             meta: HashMap::new(),
@@ -271,6 +312,17 @@ impl<'a> Coordinator<'a> {
         if self.handoff {
             self.meta.insert(task.seq, (worker, task.query as usize));
         }
+        // On observed runs, flight-record the admission and remember when it
+        // started so a rejection can say how long the push stayed blocked.
+        // Unobserved runs skip even this clock read.
+        let admit_started = self.telemetry.map(|t| {
+            t.flight().record(FlightKind::Admitted {
+                request: task.seq,
+                shard: worker as u32,
+                epoch,
+            });
+            Instant::now()
+        });
         let mut msg = ShardMsg::Query(task);
         loop {
             self.poll_cancel();
@@ -279,12 +331,32 @@ impl<'a> Coordinator<'a> {
             match self.links[worker].send(msg, attempt) {
                 Ok(()) => {
                     self.outstanding += 1;
+                    if let Some(ctr) = self.admitted_ctr.get(worker) {
+                        ctr.inc();
+                    }
                     return;
                 }
                 Err(TransportError::Timeout(back)) => {
                     if deadline.is_some_and(|d| Instant::now() >= d) {
                         if let ShardMsg::Query(task) = *back {
+                            if let (Some(t), Some(started)) = (self.telemetry, admit_started) {
+                                t.flight().record(FlightKind::QueueWait {
+                                    request: task.seq,
+                                    shard: worker as u32,
+                                    waited_us: started.elapsed().as_micros() as u64,
+                                });
+                                t.flight().record(FlightKind::Rejected {
+                                    request: task.seq,
+                                    shard: worker as u32,
+                                    epoch,
+                                });
+                            }
                             self.reject(worker, &task, epoch);
+                            if let Some(t) = self.telemetry {
+                                // Rejection is a trigger: dump the timeline
+                                // leading up to it automatically.
+                                t.flight().latch("admission rejected");
+                            }
                         }
                         return;
                     }
@@ -317,6 +389,9 @@ impl<'a> Coordinator<'a> {
         log.execution.merge(&metrics);
         if log.epochs.last() != Some(&epoch) {
             log.epochs.push(epoch);
+        }
+        if let Some(ctr) = self.rejected_ctr.get(worker) {
+            ctr.inc();
         }
     }
 
@@ -364,6 +439,9 @@ impl<'a> Coordinator<'a> {
             ShardMsg::EpochPublished { epoch } => {
                 if epoch > self.forwarded_epoch {
                     self.forwarded_epoch = epoch;
+                    if let Some(t) = self.telemetry {
+                        t.flight().record(FlightKind::EpochPublished { epoch });
+                    }
                     // Best effort: a worker with a full inbox misses this
                     // notice but catches the next one.
                     for link in self.links {
@@ -408,8 +486,23 @@ impl<'a> Coordinator<'a> {
                 self.complete_pending(seq);
             }
         } else {
+            self.observe_done(worker as usize, seq, epoch, &metrics);
             self.logs[worker as usize].record(metrics, epoch);
             self.outstanding -= 1;
+        }
+    }
+
+    /// Flight-record a completed query that blew its deadline (and latch a
+    /// dump — the other automatic trigger besides admission rejection).
+    fn observe_done(&self, worker: usize, seq: u64, epoch: u64, metrics: &ExecutionMetrics) {
+        let Some(t) = self.telemetry else { return };
+        if metrics.deadline_exceeded {
+            t.flight().record(FlightKind::DeadlineExceeded {
+                request: seq,
+                shard: worker as u32,
+                epoch,
+            });
+            t.flight().latch("deadline exceeded");
         }
     }
 
@@ -432,6 +525,7 @@ impl<'a> Coordinator<'a> {
             cancelled: acc.cancelled,
             plan: self.plans[query].as_ref().map(|p| p.id()),
         };
+        self.observe_done(worker, seq, pending.epoch, &metrics);
         self.logs[worker].record(metrics, pending.epoch);
         self.outstanding -= 1;
     }
@@ -495,6 +589,7 @@ impl<'a> Coordinator<'a> {
 pub struct ServeEngine {
     config: ServeConfig,
     plans: Option<Arc<PlanCache>>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl ServeEngine {
@@ -503,12 +598,32 @@ impl ServeEngine {
         Self {
             config,
             plans: None,
+            telemetry: None,
         }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// Builder-style telemetry: runs charge stage histograms
+    /// (`serve.execute`, `serve.queue_wait`, `serve.halo_handoff`), keep
+    /// per-shard admitted/rejected counters and queue-depth gauges, report
+    /// latency quantiles from shared histograms, and flight-record the
+    /// admission/rejection/deadline/epoch timeline — with an automatic
+    /// [`loom_obs::FlightDump`] latched on deadline-exceeded or admission
+    /// rejection. Without this, runs stay bit-identical to an
+    /// uninstrumented engine.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The attached telemetry bundle, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Builder-style plan cache: the router and every worker execute the
@@ -679,7 +794,11 @@ impl ServeEngine {
         // structural guard in `resolve_plan` rejects id collisions).
         let plans = resolve_schedule_plans(self.plans.as_ref(), workload, &schedule);
 
-        let hub = InProcTransport::hub(workers, self.config.queue_capacity);
+        let hub = InProcTransport::hub_observed(
+            workers,
+            self.config.queue_capacity,
+            self.telemetry.as_deref(),
+        );
         // Epoch publications reach workers as broadcast messages: the store
         // notifies the coordinator's inbox, the coordinator relays.
         let subscription = match &source {
@@ -692,6 +811,14 @@ impl ServeEngine {
                 let source = &source;
                 let plans = &plans;
                 let cancel = effective.cancel.clone();
+                let exec_hist = self
+                    .telemetry
+                    .as_ref()
+                    .map(|t| t.shard_histogram(stage::SERVE_EXECUTE, w as u32));
+                let halo_hist = self
+                    .telemetry
+                    .as_ref()
+                    .map(|t| t.shard_histogram(stage::SERVE_HALO_HANDOFF, w as u32));
                 scope.spawn(move || {
                     worker_loop(
                         endpoint,
@@ -704,13 +831,20 @@ impl ServeEngine {
                             plans,
                             run_start: started,
                             cancel,
+                            exec_hist,
+                            halo_hist,
                         },
                     );
                 });
             }
 
-            let mut coordinator =
-                Coordinator::new(&hub.coordinator, &plans, &effective.cancel, handoff);
+            let mut coordinator = Coordinator::new(
+                &hub.coordinator,
+                &plans,
+                &effective.cancel,
+                handoff,
+                self.telemetry.as_deref(),
+            );
             for batch in tasks.chunks(self.config.batch_size) {
                 // Route against the snapshot current at admission time.
                 let snapshot = source.pin();
@@ -771,18 +905,43 @@ impl ServeEngine {
         let mut epochs_observed: Vec<u64> = Vec::new();
         let mut shards = Vec::with_capacity(logs.len());
         let mut makespan_us = 0.0f64;
+        // Observed runs read every latency quantile from histograms: the
+        // per-shard run-local ones below, and this run-aggregate merge of
+        // them. Unobserved runs keep the exact sort-once path, bit-identical
+        // to pre-telemetry output.
+        let run_hist = self.telemetry.as_ref().map(|_| Histogram::new());
         for (w, mut log) in logs.into_iter().enumerate() {
             aggregate.merge(&log.execution);
             all_latencies.extend_from_slice(&log.latencies);
             epochs_observed.extend_from_slice(&log.epochs);
             let busy_us = log.execution.estimated_latency_us;
             makespan_us = makespan_us.max(busy_us);
-            let epoch_seq = log.epochs.iter().copied().max().unwrap_or(0);
+            let (p50_latency_us, p99_latency_us) = match &log.hist {
+                Some(hist) => {
+                    run_hist.as_ref().expect("observed run").merge(hist);
+                    // Fold the run's samples into the cumulative
+                    // `serve.latency{shard}` series the exporters scrape.
+                    self.telemetry
+                        .as_ref()
+                        .expect("observed run")
+                        .registry()
+                        .histogram("serve.latency", &[("shard", w.to_string())])
+                        .merge(hist);
+                    (hist.quantile(0.50) as f64, hist.quantile(0.99) as f64)
+                }
+                None => {
+                    sort_samples(&mut log.latencies);
+                    (
+                        sorted_quantile(&log.latencies, 0.50),
+                        sorted_quantile(&log.latencies, 0.99),
+                    )
+                }
+            };
             shards.push(ShardServeMetrics {
                 shard: w as u32,
                 queries: log.queries,
-                p50_latency_us: quantile(&mut log.latencies, 0.50),
-                p99_latency_us: quantile(&mut log.latencies, 0.99),
+                p50_latency_us,
+                p99_latency_us,
                 execution: log.execution,
                 busy_us,
                 max_queue_depth: depths.get(w).copied().unwrap_or(0),
@@ -791,8 +950,15 @@ impl ServeEngine {
                     .and_then(Option::as_ref)
                     .map_or(0.0, |r| r.queue_wait_p99_us),
                 rejected: log.rejected,
-                epoch_seq,
+                epoch_seq: log.epochs.iter().copied().max(),
             });
+        }
+        if let Some(t) = self.telemetry.as_ref() {
+            for (w, depth) in depths.iter().enumerate() {
+                t.registry()
+                    .gauge("serve.queue_depth", &[("shard", w.to_string())])
+                    .raise(*depth as i64);
+            }
         }
         epochs_observed.sort_unstable();
         epochs_observed.dedup();
@@ -801,8 +967,16 @@ impl ServeEngine {
         // handoff partials racing each other) — identical to a sequential
         // run.
         embeddings.sort_by_key(|&(seq, key, _)| (seq, key));
-        let p50 = quantile(&mut all_latencies, 0.50);
-        let p99 = quantile(&mut all_latencies, 0.99);
+        let (p50, p99) = match &run_hist {
+            Some(hist) => (hist.quantile(0.50) as f64, hist.quantile(0.99) as f64),
+            None => {
+                sort_samples(&mut all_latencies);
+                (
+                    sorted_quantile(&all_latencies, 0.50),
+                    sorted_quantile(&all_latencies, 0.99),
+                )
+            }
+        };
         let report = ServeReport {
             shards,
             aggregate,
@@ -1049,6 +1223,45 @@ mod tests {
         assert_eq!(report.aggregate.total_traversals, 0);
         assert!(report.aggregate.cancelled);
         assert!(response.metrics.cancelled);
+    }
+
+    #[test]
+    fn observed_runs_populate_telemetry_without_changing_aggregates() {
+        let (store, workload) = fixture();
+        let telemetry = Telemetry::new();
+        let observed = ServeEngine::new(ServeConfig::new(2)).with_telemetry(Arc::clone(&telemetry));
+        let plain = ServeEngine::new(ServeConfig::new(2));
+        let a = observed.serve_batch(&store, &workload, 40, 3);
+        let b = plain.serve_batch(&store, &workload, 40, 3);
+        // Instrumentation must not perturb the modelled execution.
+        assert_eq!(a.aggregate, b.aggregate);
+        assert_eq!(a.queries, b.queries);
+        let snap = telemetry.snapshot();
+        let hist_count = |name: &str| {
+            snap.registry
+                .histograms
+                .iter()
+                .filter(|(k, _)| k.name == name)
+                .map(|(_, h)| h.count)
+                .sum::<u64>()
+        };
+        assert_eq!(hist_count(stage::SERVE_EXECUTE), 40);
+        assert_eq!(hist_count("serve.latency"), 40);
+        assert!(hist_count(stage::SERVE_QUEUE_WAIT) > 0);
+        let admitted: u64 = snap
+            .registry
+            .counters
+            .iter()
+            .filter(|(k, _)| k.name == "serve.admitted")
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(admitted, 40);
+        // Report quantiles come from the shared histograms: conservative
+        // (bucket upper bound ≥ the exact sorted answer) within 1/32.
+        assert!(a.p99_latency_us >= b.p99_latency_us);
+        assert!(a.p99_latency_us <= b.p99_latency_us.mul_add(1.0 + 1.0 / 32.0, 1.0));
+        // No trigger fired: nothing latched.
+        assert!(telemetry.flight().last_dump().is_none());
     }
 
     #[test]

@@ -40,11 +40,14 @@ pub struct ShardServeMetrics {
     /// traversals); this counter says the *queue*, not the matcher, spent
     /// their budget.
     pub rejected: usize,
-    /// The highest epoch sequence number this shard's queries were pinned to
-    /// (0 for a shard that served nothing). Epoch sequences are monotonic
-    /// across restarts — a recovered store resumes at its checkpointed
-    /// `epoch_seq` — so recovered-vs-live runs are diffable by this number.
-    pub epoch_seq: u64,
+    /// The highest epoch sequence number this shard's queries were pinned to,
+    /// or `None` for a shard that served nothing (an idle shard is thereby
+    /// distinguishable from one genuinely pinned at epoch 0). Epoch sequences
+    /// are monotonic across restarts — a recovered store resumes at its
+    /// checkpointed `epoch_seq` — so recovered-vs-live runs are diffable by
+    /// this number.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub epoch_seq: Option<u64>,
 }
 
 impl ShardServeMetrics {
@@ -118,20 +121,34 @@ impl ServeReport {
     }
 }
 
-/// The `q`-th quantile (0.0 ≤ q ≤ 1.0) of an unsorted latency sample, by the
-/// nearest-rank method. Returns 0.0 for an empty sample — the guard matters
-/// because idle shards (a worker that served zero queries) legitimately hand
-/// this function an empty latency vector; without it the computed rank would
-/// index `samples[0]` and panic.
-pub fn quantile(samples: &mut [f64], q: f64) -> f64 {
+/// Sort a latency sample in place, once, so any number of
+/// [`sorted_quantile`] reads follow for free. Callers that want p50 *and*
+/// p99 from one buffer pay one sort instead of one per quantile.
+pub fn sort_samples(samples: &mut [f64]) {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+}
+
+/// The `q`-th quantile (0.0 ≤ q ≤ 1.0) of an **already sorted** sample, by
+/// the nearest-rank method. Returns 0.0 for an empty sample — the guard
+/// matters because idle shards (a worker that served zero queries)
+/// legitimately hand this function an empty latency vector; without it the
+/// computed rank would index `samples[0]` and panic.
+pub fn sorted_quantile(samples: &[f64], q: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
     let rank = ((q.clamp(0.0, 1.0) * samples.len() as f64).ceil() as usize)
         .saturating_sub(1)
         .min(samples.len() - 1);
     samples[rank]
+}
+
+/// One-shot convenience: [`sort_samples`] then [`sorted_quantile`]. For a
+/// single quantile this is fine; for several from the same buffer, sort once
+/// and use [`sorted_quantile`] directly.
+pub fn quantile(samples: &mut [f64], q: f64) -> f64 {
+    sort_samples(samples);
+    sorted_quantile(samples, q)
 }
 
 #[cfg(test)]
@@ -145,6 +162,17 @@ mod tests {
         assert_eq!(quantile(&mut s, 0.99), 5.0);
         assert_eq!(quantile(&mut s, 0.0), 1.0);
         assert_eq!(quantile(&mut [], 0.5), 0.0);
+    }
+
+    #[test]
+    fn sort_once_answers_every_quantile() {
+        let mut s = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        sort_samples(&mut s);
+        assert_eq!(s, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(sorted_quantile(&s, 0.5), 3.0);
+        assert_eq!(sorted_quantile(&s, 0.99), 5.0);
+        assert_eq!(sorted_quantile(&s, 0.0), 1.0);
+        assert_eq!(sorted_quantile(&[], 0.99), 0.0);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 use crate::epoch::EpochSink;
 use crate::queue::{PopError, PushError, ShardQueue};
 use loom_graph::VertexId;
+use loom_obs::{stage, Histogram, Telemetry};
 use loom_sim::executor::ExecutionMetrics;
 use loom_sim::matcher::Embedding;
 use serde::{Deserialize, Serialize};
@@ -254,6 +255,10 @@ pub struct InProcEndpoint {
     sent: AtomicUsize,
     received: AtomicUsize,
     waits_us: parking_lot::Mutex<Vec<f64>>,
+    /// Live telemetry: each receive's queue wait also lands in this shared
+    /// `serve.queue_wait{shard}` histogram, so the series is scrapable
+    /// mid-run instead of only in the end-of-run report.
+    wait_hist: Option<Arc<Histogram>>,
 }
 
 impl InProcEndpoint {
@@ -264,7 +269,13 @@ impl InProcEndpoint {
             sent: AtomicUsize::new(0),
             received: AtomicUsize::new(0),
             waits_us: parking_lot::Mutex::new(Vec::new()),
+            wait_hist: None,
         }
+    }
+
+    fn observed(mut self, wait_hist: Option<Arc<Histogram>>) -> Self {
+        self.wait_hist = wait_hist;
+        self
     }
 
     /// Deepest the *send-side* queue (the peer's inbox) got — the
@@ -296,9 +307,11 @@ impl ShardTransport for InProcEndpoint {
         match self.rx.pop_deadline(deadline) {
             Ok(envelope) => {
                 self.received.fetch_add(1, Ordering::Relaxed);
-                self.waits_us
-                    .lock()
-                    .push(envelope.enqueued.elapsed().as_secs_f64() * 1e6);
+                let wait_us = envelope.enqueued.elapsed().as_secs_f64() * 1e6;
+                self.waits_us.lock().push(wait_us);
+                if let Some(hist) = &self.wait_hist {
+                    hist.record_f64(wait_us);
+                }
                 Ok(envelope.msg)
             }
             Err(PopError::Timeout) => Err(RecvError::Timeout),
@@ -312,12 +325,14 @@ impl ShardTransport for InProcEndpoint {
 
     fn stats(&self) -> TransportStats {
         let mut waits = self.waits_us.lock().clone();
+        // One sort answers both quantiles.
+        crate::metrics::sort_samples(&mut waits);
         TransportStats {
             sent: self.sent.load(Ordering::Relaxed),
             received: self.received.load(Ordering::Relaxed),
             max_recv_depth: self.rx.max_depth(),
-            queue_wait_p50_us: crate::metrics::quantile(&mut waits, 0.50),
-            queue_wait_p99_us: crate::metrics::quantile(&mut waits, 0.99),
+            queue_wait_p50_us: crate::metrics::sorted_quantile(&waits, 0.50),
+            queue_wait_p99_us: crate::metrics::sorted_quantile(&waits, 0.99),
         }
     }
 }
@@ -377,6 +392,18 @@ impl InProcTransport {
     /// workers returning results do not deadlock against a coordinator that
     /// is momentarily busy routing.
     pub fn hub(workers: usize, capacity: usize) -> InProcHub {
+        Self::hub_observed(workers, capacity, None)
+    }
+
+    /// Like [`InProcTransport::hub`], with live telemetry: each worker
+    /// endpoint's receives charge their queue wait into that shard's
+    /// `serve.queue_wait{shard}` histogram. `None` builds the exact
+    /// uninstrumented hub.
+    pub fn hub_observed(
+        workers: usize,
+        capacity: usize,
+        telemetry: Option<&Telemetry>,
+    ) -> InProcHub {
         let workers = workers.max(1);
         let capacity = capacity.max(1);
         // Every worker can have its whole inbox's worth of results plus a
@@ -386,13 +413,15 @@ impl InProcTransport {
         let inbox = Arc::new(ShardQueue::new(workers * (capacity + 2)));
         let mut coordinator = Vec::with_capacity(workers);
         let mut worker_ends = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        for w in 0..workers {
             let worker_inbox = Arc::new(ShardQueue::new(capacity));
             coordinator.push(InProcEndpoint::new(
                 Arc::clone(&worker_inbox),
                 Arc::clone(&inbox),
             ));
-            worker_ends.push(InProcEndpoint::new(Arc::clone(&inbox), worker_inbox));
+            let wait_hist = telemetry.map(|t| t.shard_histogram(stage::SERVE_QUEUE_WAIT, w as u32));
+            worker_ends
+                .push(InProcEndpoint::new(Arc::clone(&inbox), worker_inbox).observed(wait_hist));
         }
         InProcHub {
             coordinator,
@@ -516,6 +545,19 @@ mod tests {
             Err(RecvError::Timeout)
         );
         assert!(hub.coordinator[1].peer_inbox_depth() >= 1);
+    }
+
+    #[test]
+    fn observed_hub_charges_queue_waits_into_the_shard_histogram() {
+        let telemetry = Telemetry::new();
+        let hub = InProcTransport::hub_observed(2, 4, Some(&telemetry));
+        hub.coordinator[1].send(ShardMsg::Finish, None).unwrap();
+        assert_eq!(hub.workers[1].recv(None), Ok(ShardMsg::Finish));
+        let waits = telemetry.shard_histogram(stage::SERVE_QUEUE_WAIT, 1);
+        assert_eq!(waits.count(), 1);
+        // The other shard received nothing; its series stays empty.
+        let idle = telemetry.shard_histogram(stage::SERVE_QUEUE_WAIT, 0);
+        assert_eq!(idle.count(), 0);
     }
 
     #[test]

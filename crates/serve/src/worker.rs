@@ -17,6 +17,7 @@ use crate::transport::{
     QueryDoneMsg, QueryTaskMsg, RecvError, ShardMsg, ShardReportMsg, ShardTransport, SubQueryMsg,
 };
 use loom_graph::VertexId;
+use loom_obs::{Histogram, SpanTimer};
 use loom_sim::context::{CancelToken, RequestContext};
 use loom_sim::executor::ExecutionMetrics;
 use loom_sim::matcher::{
@@ -48,6 +49,12 @@ pub(crate) struct WorkerSetup<'a> {
     /// `ShardMsg::Cancel` fires it too, for transports where the two sides
     /// do not share memory).
     pub cancel: CancelToken,
+    /// `serve.execute{shard}` histogram each query execution's wall clock is
+    /// charged into; `None` (telemetry off) skips even the clock read.
+    pub exec_hist: Option<Arc<Histogram>>,
+    /// `serve.halo_handoff{shard}` histogram for borrowed-root sub-query
+    /// executions this worker runs on another query's behalf.
+    pub halo_hist: Option<Arc<Histogram>>,
 }
 
 impl WorkerSetup<'_> {
@@ -89,11 +96,15 @@ pub(crate) fn worker_loop(
         match msg {
             ShardMsg::Query(task) => {
                 executed += 1;
+                let span = SpanTimer::start(setup.exec_hist.as_deref());
                 let done = execute_query(transport, &snapshot, &setup, &task);
+                drop(span);
                 let _ = transport.send(ShardMsg::Done(done), None);
             }
             ShardMsg::SubQuery(sub) => {
+                let span = SpanTimer::start(setup.halo_hist.as_deref());
                 let done = execute_subquery(&snapshot, &setup, &sub);
+                drop(span);
                 let _ = transport.send(ShardMsg::Done(done), None);
             }
             ShardMsg::EpochPublished { .. } => {

@@ -10,6 +10,7 @@
 
 use crate::checkpoint::{write_checkpoint, CheckpointMeta};
 use crate::error::{Result, StoreError};
+use loom_obs::{stage, FlightKind, SpanTimer, Telemetry};
 use loom_serve::epoch::{EpochSink, EpochStore, SubscriptionId};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,6 +44,9 @@ pub struct CheckpointSink {
     spec: String,
     wal_records: AtomicU64,
     worker: Mutex<Option<JoinHandle<()>>>,
+    /// Optional telemetry: checkpoint writes charge `store.checkpoint_write`
+    /// and every sealed checkpoint leaves a flight-recorder event.
+    telemetry: Mutex<Option<Arc<Telemetry>>>,
 }
 
 impl std::fmt::Debug for CheckpointSink {
@@ -72,6 +76,7 @@ impl CheckpointSink {
             spec: spec.to_string(),
             wal_records: AtomicU64::new(0),
             worker: Mutex::new(None),
+            telemetry: Mutex::new(None),
         });
         let handle = {
             let sink = Arc::clone(&sink);
@@ -83,6 +88,13 @@ impl CheckpointSink {
         *sink.worker.lock().expect("worker slot") = Some(handle);
         let id = epochs.subscribe(Arc::clone(&sink) as Arc<dyn EpochSink>);
         (sink, id)
+    }
+
+    /// Observe this sink: subsequent checkpoint writes charge their wall
+    /// clock into the `store.checkpoint_write` histogram, and every sealed
+    /// checkpoint records a [`FlightKind::CheckpointSealed`] event.
+    pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
+        *self.telemetry.lock().expect("telemetry slot") = Some(telemetry);
     }
 
     /// Record the WAL position the *next* publish corresponds to. Call this
@@ -180,7 +192,21 @@ impl CheckpointSink {
         if snapshot.epoch() <= last_written {
             return Ok(None);
         }
-        write_checkpoint(&self.root, &snapshot, wal_records, &self.spec).map(Some)
+        let telemetry = self.telemetry.lock().expect("telemetry slot").clone();
+        let hist = telemetry
+            .as_ref()
+            .map(|t| t.stage_histogram(stage::STORE_CHECKPOINT_WRITE));
+        let span = SpanTimer::start(hist.as_deref());
+        let written = write_checkpoint(&self.root, &snapshot, wal_records, &self.spec);
+        drop(span);
+        let meta = written?;
+        if let Some(t) = &telemetry {
+            t.flight().record(FlightKind::CheckpointSealed {
+                epoch: meta.epoch_seq,
+                wal_records: meta.wal_records,
+            });
+        }
+        Ok(Some(meta))
     }
 }
 

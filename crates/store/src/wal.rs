@@ -13,9 +13,11 @@ use crate::error::{Result, StoreError};
 use bytes::{Bytes, BytesMut};
 use loom_graph::io::{put_frame, take_frame};
 use loom_graph::StreamElement;
+use loom_obs::{Histogram, SpanTimer};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// File name of the write-ahead log inside a durability root.
 pub const WAL_FILE: &str = "wal.log";
@@ -34,6 +36,9 @@ pub struct Wal {
     file: File,
     path: PathBuf,
     records: u64,
+    /// `store.fsync` histogram each append's write+sync wall clock is charged
+    /// into; `None` (telemetry off) skips even the clock read.
+    fsync_hist: Option<Arc<Histogram>>,
 }
 
 /// What [`Wal::replay`] recovered from disk.
@@ -67,7 +72,15 @@ impl Wal {
             file,
             path: path.to_path_buf(),
             records: 0,
+            fsync_hist: None,
         })
+    }
+
+    /// Charge every append's write+`fsync` wall clock into `hist` (the
+    /// session wires `store.fsync` here). Appends on an unobserved log take
+    /// no clock reads at all.
+    pub fn set_fsync_histogram(&mut self, hist: Arc<Histogram>) {
+        self.fsync_hist = Some(hist);
     }
 
     /// Replay the log at `path` without opening it for append. A missing
@@ -138,6 +151,7 @@ impl Wal {
             file,
             path: path.to_path_buf(),
             records: replay.records,
+            fsync_hist: None,
         };
         wal.file
             .seek(SeekFrom::End(0))
@@ -152,10 +166,13 @@ impl Wal {
         let mut framed = BytesMut::with_capacity(8 + payload.len());
         put_frame(&mut framed, payload.as_slice());
         let framed = framed.freeze();
-        self.file
+        let span = SpanTimer::start(self.fsync_hist.as_deref());
+        let synced = self
+            .file
             .write_all(framed.as_slice())
-            .and_then(|()| self.file.sync_data())
-            .map_err(|e| StoreError::io(&self.path, e))?;
+            .and_then(|()| self.file.sync_data());
+        drop(span);
+        synced.map_err(|e| StoreError::io(&self.path, e))?;
         self.records += 1;
         Ok(())
     }

@@ -28,7 +28,13 @@
 //!   logging of every ingested batch, background per-shard checkpoints with
 //!   a manifest-written-last atomicity rule, and restart-and-serve recovery
 //!   ([`SessionBuilder::with_durability`](session::SessionBuilder::with_durability)
-//!   / [`Session::recover`](session::Session::recover)).
+//!   / [`Session::recover`](session::Session::recover));
+//! * [`loom_obs`] — the telemetry subsystem: a lock-free metric registry
+//!   (counters, gauges, mergeable log-linear histograms with re-sort-free
+//!   quantiles), zero-alloc scoped spans charging stage wall-clock, a
+//!   flight recorder of structured events latched into dumps on deadline or
+//!   admission failures, and Prometheus / JSON-lines exporters — attached
+//!   per session via [`SessionBuilder::telemetry`](session::SessionBuilder::telemetry).
 //!
 //! ## Quickstart: the `Session` façade
 //!
@@ -91,6 +97,7 @@ pub use loom_adapt;
 pub use loom_core;
 pub use loom_graph;
 pub use loom_motif;
+pub use loom_obs;
 pub use loom_partition;
 pub use loom_serve;
 pub use loom_sim;
@@ -107,6 +114,7 @@ pub mod prelude {
     pub use loom_core::prelude::*;
     pub use loom_graph::prelude::*;
     pub use loom_motif::prelude::*;
+    pub use loom_obs::{stage, FlightKind, SpanTimer, Telemetry, TelemetrySnapshot};
     pub use loom_serve::prelude::*;
     pub use loom_sim::prelude::*;
 }

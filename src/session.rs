@@ -45,6 +45,7 @@ use loom_graph::{GraphStream, LabelledGraph, StreamElement};
 use loom_motif::mining::MotifMiner;
 use loom_motif::workload::Workload;
 use loom_motif::MotifError;
+use loom_obs::{stage, FlightKind, Histogram, SpanTimer, Telemetry};
 use loom_partition::partition::Partitioning;
 use loom_partition::spec::{PartitionerRegistry, PartitionerSpec};
 use loom_partition::traits::{Partitioner, PartitionerStats, DEFAULT_BATCH_SIZE};
@@ -142,6 +143,7 @@ pub struct SessionBuilder {
     match_limit: Option<usize>,
     plan_strategy: PlanStrategy,
     durability: Option<PathBuf>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl SessionBuilder {
@@ -205,6 +207,19 @@ impl SessionBuilder {
         self
     }
 
+    /// Observe this session with a [`Telemetry`] bundle: ingestion charges
+    /// `ingest.wal_append` / `ingest.partition` spans, the durable layer
+    /// charges `store.fsync` / `store.checkpoint_write` and leaves
+    /// checkpoint-seal flight events, and every engine spawned from the
+    /// session's [`Serving`] handle inherits the same bundle. Sessions built
+    /// without telemetry take **zero** extra clock reads and produce
+    /// bit-identical reports.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Build the partitioner this configuration describes (used by both
     /// `build` and the recovery path, which replays the WAL through a fresh
     /// instance).
@@ -241,6 +256,8 @@ impl SessionBuilder {
         Ok(Session {
             partitioner,
             durable,
+            ingest_spans: self.telemetry.as_deref().map(IngestSpans::resolve),
+            telemetry: self.telemetry,
             spec: self.spec,
             workload: self.workload,
             chunk_size: self.chunk_size,
@@ -305,21 +322,38 @@ impl DurableState {
         let graph = LabelledGraph::new();
         let seed = Partitioning::new(builder.spec.k(), 1)?;
         let initial = ShardedStore::from_parts(&graph, &seed);
-        Self::attach(root, wal, graph, initial, 0, spec_name)
+        Self::attach(
+            root,
+            wal,
+            graph,
+            initial,
+            0,
+            spec_name,
+            builder.telemetry.as_ref(),
+        )
     }
 
     /// Wrap recovered (or fresh) state: resume the epoch counter at
-    /// `epoch_seq` and subscribe the background checkpoint sink.
+    /// `epoch_seq`, subscribe the background checkpoint sink, and — when the
+    /// session is observed — point the WAL and the sink at the telemetry
+    /// bundle's `store.*` histograms.
     fn attach(
         root: &Path,
-        wal: Wal,
+        mut wal: Wal,
         graph: LabelledGraph,
         pinned: ShardedStore,
         epoch_seq: u64,
         spec_name: &str,
+        telemetry: Option<&Arc<Telemetry>>,
     ) -> SessionResult<Self> {
+        if let Some(t) = telemetry {
+            wal.set_fsync_histogram(t.stage_histogram(stage::STORE_FSYNC));
+        }
         let epochs = Arc::new(EpochStore::resume(pinned, epoch_seq));
         let (sink, sub) = CheckpointSink::attach(&epochs, root, spec_name);
+        if let Some(t) = telemetry {
+            sink.set_telemetry(Arc::clone(t));
+        }
         sink.set_wal_records(wal.records());
         Ok(Self {
             root: root.to_path_buf(),
@@ -356,11 +390,29 @@ impl Drop for DurableState {
     }
 }
 
+/// The ingest-stage histograms an observed session resolves once at build
+/// time, so the per-batch hot path is a handle deref, not a registry lookup.
+struct IngestSpans {
+    wal_append: Arc<Histogram>,
+    partition: Arc<Histogram>,
+}
+
+impl IngestSpans {
+    fn resolve(telemetry: &Telemetry) -> Self {
+        Self {
+            wal_append: telemetry.stage_histogram(stage::INGEST_WAL_APPEND),
+            partition: telemetry.stage_histogram(stage::INGEST_PARTITION),
+        }
+    }
+}
+
 /// A live partitioning session: one partitioner consuming a graph stream,
 /// ready to hand the result off for query serving.
 pub struct Session {
     partitioner: Box<dyn Partitioner>,
     durable: Option<DurableState>,
+    ingest_spans: Option<IngestSpans>,
+    telemetry: Option<Arc<Telemetry>>,
     spec: PartitionerSpec,
     workload: Option<Workload>,
     chunk_size: usize,
@@ -378,6 +430,7 @@ impl fmt::Debug for Session {
             .field("chunk_size", &self.chunk_size)
             .field("workload", &self.workload.is_some())
             .field("durable", &self.durable.is_some())
+            .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
 }
@@ -394,7 +447,13 @@ impl Session {
             match_limit: None,
             plan_strategy: PlanStrategy::default(),
             durability: None,
+            telemetry: None,
         }
+    }
+
+    /// The telemetry bundle observing this session, if any.
+    pub fn telemetry_handle(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// The spec the partitioner was built from.
@@ -427,9 +486,15 @@ impl Session {
     /// Propagates partitioner assignment and WAL-append errors.
     pub fn ingest_batch(&mut self, batch: &[StreamElement]) -> SessionResult<()> {
         if let Some(durable) = self.durable.as_mut() {
-            durable.wal.append(batch)?;
+            let span = SpanTimer::start(self.ingest_spans.as_ref().map(|s| &*s.wal_append));
+            let appended = durable.wal.append(batch);
+            drop(span);
+            appended?;
         }
-        self.partitioner.ingest_batch(batch)?;
+        let span = SpanTimer::start(self.ingest_spans.as_ref().map(|s| &*s.partition));
+        let ingested = self.partitioner.ingest_batch(batch);
+        drop(span);
+        ingested?;
         if let Some(durable) = self.durable.as_mut() {
             durable.apply(batch);
         }
@@ -563,6 +628,7 @@ impl Session {
             executor,
             workload: self.workload,
             plans,
+            telemetry: self.telemetry,
         })
     }
 
@@ -594,6 +660,13 @@ impl Session {
             })
         })?;
         let state = loom_store::recover(&root)?;
+        if let Some(t) = &builder.telemetry {
+            if state.report.wal_truncated_bytes > 0 {
+                t.flight().record(FlightKind::WalTruncated {
+                    bytes: state.report.wal_truncated_bytes,
+                });
+            }
+        }
         let mut partitioner = builder.make_partitioner()?;
         if let Some(checkpoint) = &state.checkpoint {
             if checkpoint.meta.spec != partitioner.name() {
@@ -650,11 +723,14 @@ impl Session {
             pinned_store,
             report.epoch_seq,
             partitioner.name(),
+            builder.telemetry.as_ref(),
         )?;
         let store = durable.epochs.load();
         let session = Session {
             partitioner,
             durable: Some(durable),
+            ingest_spans: builder.telemetry.as_deref().map(IngestSpans::resolve),
+            telemetry: builder.telemetry,
             spec: builder.spec,
             workload: builder.workload,
             chunk_size: builder.chunk_size,
@@ -748,6 +824,7 @@ impl Recovered {
             executor,
             workload: self.session.workload.clone(),
             plans,
+            telemetry: self.session.telemetry.clone(),
         }
     }
 
@@ -763,6 +840,9 @@ impl Recovered {
         let mut engine = ServeEngine::new(config);
         if let Some(plans) = &serving.plans {
             engine = engine.with_plan_cache(Arc::clone(plans));
+        }
+        if let Some(telemetry) = &serving.telemetry {
+            engine = engine.with_telemetry(Arc::clone(telemetry));
         }
         ShardedServing {
             store: Arc::clone(&self.store),
@@ -780,6 +860,7 @@ pub struct Serving {
     executor: QueryExecutor,
     workload: Option<Workload>,
     plans: Option<Arc<PlanCache>>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Serving {
@@ -809,6 +890,13 @@ impl Serving {
         self.workload.as_ref()
     }
 
+    /// The telemetry bundle inherited from the session, if any. Every engine
+    /// spawned from this handle ([`Serving::sharded`], [`Serving::adaptive`])
+    /// reports into it.
+    pub fn telemetry_handle(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
     /// Execute `samples` queries drawn from an explicit workload. Queries
     /// matching the session workload (by id *and* structure) reuse its
     /// compiled plans; structurally foreign queries — even under colliding
@@ -832,6 +920,9 @@ impl Serving {
         let mut engine = ServeEngine::new(config);
         if let Some(plans) = &self.plans {
             engine = engine.with_plan_cache(Arc::clone(plans));
+        }
+        if let Some(telemetry) = &self.telemetry {
+            engine = engine.with_telemetry(Arc::clone(telemetry));
         }
         ShardedServing {
             store: Arc::new(ShardedStore::from_store(&self.store)),
@@ -869,6 +960,9 @@ impl Serving {
         );
         if let Some(plans) = &self.plans {
             adaptive = adaptive.with_plan_cache(Arc::clone(plans));
+        }
+        if let Some(telemetry) = &self.telemetry {
+            adaptive = adaptive.with_telemetry(Arc::clone(telemetry));
         }
         Ok(adaptive)
     }

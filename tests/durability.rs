@@ -162,7 +162,8 @@ fn kill_mid_ingest_recover_and_serve_identically() {
         .filter(|shard| shard.queries > 0)
     {
         assert_eq!(
-            shard.epoch_seq, 1,
+            shard.epoch_seq,
+            Some(1),
             "serving must stay pinned at recovery epoch"
         );
     }
