@@ -17,7 +17,7 @@
 //! moves touched) and is published atomically through the epoch store.
 
 use crate::tracker::{DriftConfig, WorkloadTracker};
-use loom_graph::{LabelledGraph, VertexId};
+use loom_graph::{LabelledGraph, StreamElement, VertexId};
 use loom_motif::workload::Workload;
 use loom_obs::{stage, FlightKind, SpanTimer, Telemetry};
 use loom_partition::error::Result;
@@ -26,7 +26,7 @@ use loom_partition::partition::{PartitionId, Partitioning};
 use loom_serve::engine::{ServeConfig, ServeEngine};
 use loom_serve::epoch::EpochStore;
 use loom_serve::metrics::ServeReport;
-use loom_serve::shard::ShardedStore;
+use loom_serve::shard::{record_tombstone_gauges, ShardedStore};
 use loom_sim::context::{CancelToken, RequestContext};
 use loom_sim::engine::{QueryEngine, QueryRequest, QueryResponse};
 use loom_sim::plan::PlanCache;
@@ -71,6 +71,35 @@ pub struct AdaptOutcome {
     pub affected_shards: usize,
     /// The epoch the migrated snapshot was published under (unchanged when
     /// no move was applied).
+    pub epoch: u64,
+}
+
+/// What one mutation batch ([`AdaptiveServing::apply_mutations`]) did to the
+/// serving state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MutationOutcome {
+    /// Vertices tombstoned in the published snapshot.
+    pub removed_vertices: usize,
+    /// Edges tombstoned in the published snapshot.
+    pub removed_edges: usize,
+    /// Vertices relabelled in place.
+    pub relabelled: usize,
+    /// The epoch the tombstoned snapshot was published under (unchanged when
+    /// the batch touched nothing in the store).
+    pub epoch: u64,
+}
+
+/// What one epoch-compaction pass ([`AdaptiveServing::compact_now`]) did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompactOutcome {
+    /// Shards physically rewritten by the pass.
+    pub compacted_shards: usize,
+    /// Tombstoned vertices physically removed.
+    pub purged_vertices: usize,
+    /// Tombstoned adjacency slots physically reclaimed.
+    pub purged_slots: usize,
+    /// The epoch the compacted snapshot was published under (unchanged when
+    /// nothing crossed the threshold).
     pub epoch: u64,
 }
 
@@ -219,6 +248,105 @@ impl AdaptiveServing {
             None
         };
         Ok((report, outcome))
+    }
+
+    /// Apply a mutation batch to the live serving state: removed vertices
+    /// and edges leave the graph and the placement (so the planner can never
+    /// again propose moving a dead vertex), and the **published** snapshot
+    /// gets the matching tombstone marks — queries admitted after the publish
+    /// skip the dead entries without any shard rebuild, while in-flight
+    /// queries keep their pinned epoch. `AddVertex`/`AddEdge` elements are
+    /// ignored here: additions change shard layout and go through a full
+    /// republish (checkpoint or rebuild), not a tombstone pass.
+    ///
+    /// Reclaiming the tombstones' physical space is a separate, explicitly
+    /// triggered pass: [`AdaptiveServing::compact_now`].
+    pub fn apply_mutations(&mut self, batch: &[StreamElement]) -> MutationOutcome {
+        for element in batch {
+            match *element {
+                StreamElement::AddVertex { .. } | StreamElement::AddEdge { .. } => {}
+                StreamElement::RemoveVertex { id } => {
+                    if self.graph.remove_vertex(id) {
+                        self.partitioning.unassign(id);
+                    }
+                }
+                StreamElement::RemoveEdge { source, target } => {
+                    self.graph.remove_edge(source, target);
+                }
+                StreamElement::Relabel { id, label } => {
+                    let _ = self.graph.set_label(id, label);
+                }
+            }
+        }
+        let mutated = self.epochs.load().apply_mutations(batch);
+        let touched = mutated.removed_vertices + mutated.removed_edges + mutated.relabelled;
+        let epoch = if touched > 0 {
+            let epoch = self.epochs.publish(mutated.store);
+            if let Some(t) = &self.telemetry {
+                t.flight().record(FlightKind::EpochPublished { epoch });
+            }
+            epoch
+        } else {
+            self.epochs.current_epoch()
+        };
+        if let Some(t) = &self.telemetry {
+            record_tombstone_gauges(&self.epochs.load(), t);
+        }
+        MutationOutcome {
+            removed_vertices: mutated.removed_vertices,
+            removed_edges: mutated.removed_edges,
+            relabelled: mutated.relabelled,
+            epoch,
+        }
+    }
+
+    /// Run one epoch-compaction pass: rewrite every shard whose tombstone
+    /// fraction is at least `threshold` (dropping its dead vertices and
+    /// reclaiming its dead adjacency slots) and publish the result exactly
+    /// like a migration. Shards below the threshold are carried over
+    /// verbatim, tombstones and all — their queries keep skipping the marks.
+    ///
+    /// Compaction never moves a live vertex between shards, so — unlike
+    /// [`AdaptiveServing::adapt_now`] — it does not cancel the serving round:
+    /// in-flight queries finish against their pinned snapshot and observe
+    /// exactly the same matches.
+    pub fn compact_now(&mut self, threshold: f64) -> CompactOutcome {
+        let hist = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.stage_histogram(stage::SERVE_COMPACTION));
+        let span = SpanTimer::start(hist.as_deref());
+        let compacted = self.epochs.load().compact(threshold);
+        if compacted.compacted_shards.is_empty()
+            && compacted.purged_vertices == 0
+            && compacted.purged_slots == 0
+        {
+            drop(span);
+            return CompactOutcome {
+                compacted_shards: 0,
+                purged_vertices: 0,
+                purged_slots: 0,
+                epoch: self.epochs.current_epoch(),
+            };
+        }
+        let shards = compacted.compacted_shards.len();
+        let epoch = self.epochs.publish(compacted.store);
+        drop(span);
+        if let Some(t) = &self.telemetry {
+            t.flight().record(FlightKind::Compacted {
+                purged: compacted.purged_vertices as u64,
+                shards: shards as u32,
+                epoch,
+            });
+            t.flight().record(FlightKind::EpochPublished { epoch });
+            record_tombstone_gauges(&self.epochs.load(), t);
+        }
+        CompactOutcome {
+            compacted_shards: shards,
+            purged_vertices: compacted.purged_vertices,
+            purged_slots: compacted.purged_slots,
+            epoch,
+        }
     }
 
     /// Run one adaptation pass immediately, regardless of the drift flag:
@@ -525,5 +653,91 @@ mod tests {
         assert!(!adaptive.tracker.is_drifted(), "rebased");
         assert!(outcome.drift_before > 0.0);
         assert_eq!(outcome.drift_after, 0.0);
+    }
+
+    #[test]
+    fn mutations_tombstone_the_snapshot_and_starve_the_planner() {
+        let (g, part, workload) = fixture();
+        let dead = g.vertices_sorted()[0];
+        let mut adaptive = AdaptiveServing::new(
+            g,
+            part,
+            workload,
+            ServeConfig::new(2),
+            AdaptConfig::default(),
+        );
+        let outcome = adaptive.apply_mutations(&[StreamElement::RemoveVertex { id: dead }]);
+        assert_eq!(outcome.removed_vertices, 1);
+        assert_eq!(outcome.epoch, 2, "tombstone publish bumps the epoch");
+        // Dead everywhere: published snapshot, live graph, live placement.
+        let snapshot = adaptive.epochs().load();
+        assert_eq!(snapshot.home_shard(dead), None);
+        assert_eq!(snapshot.tombstoned_vertices(), 1);
+        assert!(adaptive.graph.label(dead).is_none());
+        assert!(adaptive.partitioning.assignments().all(|(v, _)| v != dead));
+        // A forced adaptation pass can no longer name the dead vertex: the
+        // migrated snapshot keeps it tombstoned and the placement keeps it
+        // unassigned.
+        adaptive.tracker.observe_counts(&[200]);
+        adaptive.adapt_now().unwrap();
+        assert_eq!(adaptive.epochs().load().home_shard(dead), None);
+        assert!(adaptive.partitioning.assignments().all(|(v, _)| v != dead));
+        // Idempotent: re-removing touches nothing and keeps the epoch.
+        let epoch = adaptive.current_epoch();
+        let again = adaptive.apply_mutations(&[StreamElement::RemoveVertex { id: dead }]);
+        assert_eq!(again.removed_vertices, 0);
+        assert_eq!(again.epoch, epoch);
+    }
+
+    #[test]
+    fn compact_now_reclaims_tombstones_and_publishes_like_a_migration() {
+        let (g, part, workload) = fixture();
+        let dead = g.vertices_sorted()[5];
+        let telemetry = Arc::new(Telemetry::new());
+        let mut adaptive = AdaptiveServing::new(
+            g,
+            part,
+            workload.clone(),
+            ServeConfig::new(2),
+            AdaptConfig::default(),
+        )
+        .with_telemetry(Arc::clone(&telemetry));
+        // Nothing tombstoned yet: compaction is a no-op and keeps the epoch.
+        let idle = adaptive.compact_now(0.0);
+        assert_eq!(idle.compacted_shards, 0);
+        assert_eq!(idle.epoch, 1);
+        assert_eq!(adaptive.current_epoch(), 1);
+        adaptive.apply_mutations(&[StreamElement::RemoveVertex { id: dead }]);
+        let before = adaptive
+            .engine
+            .serve_epochs(&adaptive.epochs, &workload, 100, 3);
+        let outcome = adaptive.compact_now(0.0);
+        assert_eq!(outcome.purged_vertices, 1);
+        assert!(outcome.purged_slots >= 2, "a path vertex frees both arcs");
+        assert!(outcome.compacted_shards >= 1);
+        assert_eq!(outcome.epoch, 3);
+        let snapshot = adaptive.epochs().load();
+        assert_eq!(snapshot.tombstoned_vertices(), 0);
+        for shard in snapshot.shards() {
+            assert_eq!(snapshot.tombstone_fraction(shard.id()), 0.0);
+        }
+        // Same answers over the compacted snapshot as over the tombstoned one.
+        let after = adaptive
+            .engine
+            .serve_epochs(&adaptive.epochs, &workload, 100, 3);
+        assert_eq!(
+            before.aggregate.matches_found,
+            after.aggregate.matches_found
+        );
+        assert_eq!(
+            before.aggregate.queries_executed,
+            after.aggregate.queries_executed
+        );
+        // The pass left its flight-recorder trail.
+        let dump = telemetry.flight().dump("test");
+        assert!(dump
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, FlightKind::Compacted { purged: 1, .. })));
     }
 }

@@ -313,6 +313,31 @@ impl LoomPartitioner {
                     EdgePlacement::OneInWindow { .. } | EdgePlacement::NeitherInWindow => {}
                 }
             }
+            StreamElement::RemoveVertex { id } => {
+                let buffered = self.window.contains(id);
+                // `delete` also purges external-edge bookkeeping pointing at
+                // an already-evicted vertex, so later LDG scores stop
+                // counting edges into a dead vertex.
+                self.window.delete(id);
+                if buffered {
+                    let removed: FxHashSet<VertexId> = [id].into_iter().collect();
+                    self.matcher.remove_vertices(&removed);
+                } else {
+                    self.partitioning.unassign(id);
+                }
+            }
+            StreamElement::RemoveEdge { source, target } => {
+                self.window.remove_edge(source, target);
+                // Matches built over the edge no longer exist in the graph.
+                self.matcher.remove_edge(source, target);
+            }
+            StreamElement::Relabel { id, label } => {
+                if self.window.relabel(id, label) {
+                    // Window matches containing the vertex carry signatures
+                    // computed from the old label.
+                    self.matcher.relabel(id);
+                }
+            }
         }
         Ok(())
     }
@@ -664,6 +689,80 @@ mod tests {
         let report = evaluate(&graph, &part);
         assert_eq!(report.total_edges, graph.edge_count());
         assert!(report.cut_ratio <= 1.0);
+    }
+
+    #[test]
+    fn mutation_stream_reclaims_window_and_load_accounting() {
+        use loom_graph::VertexId;
+        let tpstry = abc_tpstry();
+        // Tiny window so vertex 1 gets evicted (assigned) early.
+        let config = LoomConfig::new(2, 16).with_window_size(2);
+        let mut loom = LoomPartitioner::new(config, &tpstry).unwrap();
+        let add = |id: u64, label: u32| StreamElement::AddVertex {
+            id: VertexId::new(id),
+            label: l(label),
+        };
+        let edge = |a: u64, b: u64| StreamElement::AddEdge {
+            source: VertexId::new(a),
+            target: VertexId::new(b),
+        };
+        loom.ingest_batch(&[
+            add(1, 0),
+            add(2, 1),
+            edge(1, 2),
+            add(3, 2), // evicts vertex 1 -> assigned
+            edge(2, 3),
+        ])
+        .unwrap();
+        // The 1-2 ab match was assigned as a whole cluster at eviction time,
+        // leaving only vertex 3 buffered.
+        assert!(loom.partitioning().is_assigned(VertexId::new(1)));
+        assert!(loom.partitioning().is_assigned(VertexId::new(2)));
+        assert_eq!(loom.buffered(), 1);
+
+        // Deleting a buffered vertex frees window capacity and drops its
+        // matches; deleting an assigned vertex reclaims its load slot.
+        loom.ingest(&StreamElement::RemoveVertex {
+            id: VertexId::new(3),
+        })
+        .unwrap();
+        assert_eq!(loom.buffered(), 0);
+        assert!(loom
+            .matcher
+            .matches()
+            .iter()
+            .all(|m| !m.vertices.contains(&VertexId::new(3))));
+        loom.ingest(&StreamElement::RemoveVertex {
+            id: VertexId::new(1),
+        })
+        .unwrap();
+        assert!(!loom.partitioning().is_assigned(VertexId::new(1)));
+
+        // Edge removal and relabel keep the matcher consistent.
+        loom.ingest_batch(&[
+            add(4, 0),
+            edge(4, 2),
+            StreamElement::RemoveEdge {
+                source: VertexId::new(4),
+                target: VertexId::new(2),
+            },
+            StreamElement::Relabel {
+                id: VertexId::new(2),
+                label: l(3),
+            },
+        ])
+        .unwrap();
+        assert!(loom
+            .matcher
+            .matches()
+            .iter()
+            .all(|m| !m.vertices.contains(&VertexId::new(2))));
+        let part = loom.finish().unwrap();
+        // Vertices 2 and 4 remain buffered and get assigned at finish; 1 and
+        // 3 were deleted.
+        assert_eq!(part.assigned_count(), 2);
+        assert!(part.partition_of(VertexId::new(1)).is_none());
+        assert!(part.partition_of(VertexId::new(3)).is_none());
     }
 
     #[test]

@@ -250,6 +250,22 @@ impl StreamMotifMatcher {
             .retain(|m| !m.vertices.iter().any(|v| vertices.contains(v)));
     }
 
+    /// Drop every match whose matched sub-graph uses the edge `(a, b)` — the
+    /// edge has been removed from the evolving graph, so those sub-graphs no
+    /// longer exist. Surviving sub-structure is rediscovered by later window
+    /// edges through the ordinary growth pass.
+    pub fn remove_edge(&mut self, a: VertexId, b: VertexId) {
+        let edge = EdgeKey::new(a, b);
+        self.matches.retain(|m| !m.edges.contains(&edge));
+    }
+
+    /// Drop every match containing `v` after a relabel: their signatures were
+    /// computed from the old label and are no longer authoritative. Matches
+    /// the new label still supports are rediscovered as further edges arrive.
+    pub fn relabel(&mut self, v: VertexId) {
+        self.matches.retain(|m| !m.contains(v));
+    }
+
     /// The matches containing a vertex.
     pub fn matches_containing(&self, v: VertexId) -> impl Iterator<Item = &MotifMatch> + '_ {
         self.matches.iter().filter(move |m| m.contains(v))

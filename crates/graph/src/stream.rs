@@ -2,12 +2,17 @@
 //!
 //! A graph-stream is "an ordering over the elements of a dynamic, growing
 //! graph" (paper §1). We model it as a sequence of [`StreamElement`]s:
-//! vertex additions carrying the vertex label, and edge additions between
-//! vertices that have already appeared. Streaming partitioners consume the
-//! elements strictly in order and exactly once.
+//! vertex additions carrying the vertex label, edge additions between
+//! vertices that have already appeared, and — beyond the paper's insert-only
+//! model — vertex/edge **removals** and **relabels**, so the stream can
+//! express a graph that churns instead of only growing. Streaming
+//! partitioners consume the elements strictly in order and exactly once;
+//! mutations referencing vertices the stream never added (or already
+//! removed) are no-ops, so any interleaving replays cleanly.
 
+use crate::fxhash::FxHashSet;
 use crate::graph::LabelledGraph;
-use crate::ids::{Label, VertexId};
+use crate::ids::{EdgeKey, Label, VertexId};
 use crate::ordering::StreamOrder;
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +33,29 @@ pub enum StreamElement {
         /// Second endpoint (already streamed).
         target: VertexId,
     },
+    /// A previously streamed vertex leaving the graph, taking every incident
+    /// edge with it. Removing an unknown vertex is a no-op.
+    RemoveVertex {
+        /// The vertex to remove.
+        id: VertexId,
+    },
+    /// A previously streamed edge leaving the graph (endpoint order is
+    /// irrelevant — edges are undirected). Removing an unknown edge is a
+    /// no-op.
+    RemoveEdge {
+        /// First endpoint.
+        source: VertexId,
+        /// Second endpoint.
+        target: VertexId,
+    },
+    /// A previously streamed vertex changing its label in place. Relabelling
+    /// an unknown vertex is a no-op.
+    Relabel {
+        /// The vertex to relabel.
+        id: VertexId,
+        /// Its new label.
+        label: Label,
+    },
 }
 
 impl StreamElement {
@@ -40,14 +68,38 @@ impl StreamElement {
     pub fn is_edge(&self) -> bool {
         matches!(self, StreamElement::AddEdge { .. })
     }
+
+    /// Whether this element adds to the graph (vertex or edge addition).
+    pub fn is_add(&self) -> bool {
+        self.is_vertex() || self.is_edge()
+    }
+
+    /// Whether this element removes something from the graph.
+    pub fn is_removal(&self) -> bool {
+        matches!(
+            self,
+            StreamElement::RemoveVertex { .. } | StreamElement::RemoveEdge { .. }
+        )
+    }
+
+    /// Whether this element mutates existing state instead of adding
+    /// (removals and relabels).
+    pub fn is_mutation(&self) -> bool {
+        !self.is_add()
+    }
 }
 
 /// An ordered sequence of graph elements, replayable any number of times.
+///
+/// The vertex/edge counters track **distinct** vertices and edges ever
+/// added: a remove followed by a re-add of the same id counts once, and
+/// removals/relabels never inflate them — they are capacity hints for
+/// materialisation, not a live size (replay the stream for that).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct GraphStream {
     elements: Vec<StreamElement>,
-    vertex_count: usize,
-    edge_count: usize,
+    seen_vertices: FxHashSet<VertexId>,
+    seen_edges: FxHashSet<EdgeKey>,
 }
 
 impl GraphStream {
@@ -62,13 +114,11 @@ impl GraphStream {
     /// only reference previously streamed vertices (use
     /// [`GraphStream::from_graph`] for the common case).
     pub fn from_elements(elements: Vec<StreamElement>) -> Self {
-        let vertex_count = elements.iter().filter(|e| e.is_vertex()).count();
-        let edge_count = elements.len() - vertex_count;
-        Self {
-            elements,
-            vertex_count,
-            edge_count,
+        let mut stream = Self::default();
+        for element in elements {
+            stream.push(element);
         }
+        stream
     }
 
     /// Turn a static graph into a stream under the given vertex ordering.
@@ -129,30 +179,43 @@ impl GraphStream {
         self.elements.is_empty()
     }
 
-    /// Number of vertex additions in the stream.
+    /// Number of **distinct** vertices ever added by the stream (stable
+    /// across remove-then-readd of the same id).
     pub fn vertex_count(&self) -> usize {
-        self.vertex_count
+        self.seen_vertices.len()
     }
 
-    /// Number of edge additions in the stream.
+    /// Number of **distinct** edges ever added by the stream (stable across
+    /// remove-then-readd of the same endpoints).
     pub fn edge_count(&self) -> usize {
-        self.edge_count
+        self.seen_edges.len()
     }
 
-    /// Append an element (used by tests and by incremental/dynamic scenarios).
+    /// Append an element (used by tests and by incremental/dynamic
+    /// scenarios). Removals and relabels never disturb the distinct-add
+    /// counters, and re-adding a removed vertex or edge does not double
+    /// count it.
     pub fn push(&mut self, element: StreamElement) {
-        if element.is_vertex() {
-            self.vertex_count += 1;
-        } else {
-            self.edge_count += 1;
+        match element {
+            StreamElement::AddVertex { id, .. } => {
+                self.seen_vertices.insert(id);
+            }
+            StreamElement::AddEdge { source, target } => {
+                self.seen_edges.insert(EdgeKey::new(source, target));
+            }
+            StreamElement::RemoveVertex { .. }
+            | StreamElement::RemoveEdge { .. }
+            | StreamElement::Relabel { .. } => {}
         }
         self.elements.push(element);
     }
 
     /// Replay the stream into a [`LabelledGraph`]; useful for checking that a
-    /// stream faithfully reconstructs its source graph.
+    /// stream faithfully reconstructs its source graph. Mutations apply with
+    /// the same no-op-on-missing semantics partitioners use, so any element
+    /// interleaving materialises without panicking.
     pub fn materialise(&self) -> LabelledGraph {
-        let mut graph = LabelledGraph::with_capacity(self.vertex_count, self.edge_count);
+        let mut graph = LabelledGraph::with_capacity(self.vertex_count(), self.edge_count());
         for element in &self.elements {
             match *element {
                 StreamElement::AddVertex { id, label } => {
@@ -160,6 +223,15 @@ impl GraphStream {
                 }
                 StreamElement::AddEdge { source, target } => {
                     let _ = graph.add_edge_idempotent(source, target);
+                }
+                StreamElement::RemoveVertex { id } => {
+                    graph.remove_vertex(id);
+                }
+                StreamElement::RemoveEdge { source, target } => {
+                    graph.remove_edge(source, target);
+                }
+                StreamElement::Relabel { id, label } => {
+                    let _ = graph.set_label(id, label);
                 }
             }
         }
@@ -213,6 +285,7 @@ mod tests {
                     assert!(seen.contains(&source));
                     assert!(seen.contains(&target));
                 }
+                _ => unreachable!("from_graph emits additions only"),
             }
         }
     }
@@ -252,5 +325,113 @@ mod tests {
         };
         assert!(v.is_vertex() && !v.is_edge());
         assert!(e.is_edge() && !e.is_vertex());
+        assert!(v.is_add() && e.is_add());
+        let rv = StreamElement::RemoveVertex {
+            id: VertexId::new(0),
+        };
+        let re = StreamElement::RemoveEdge {
+            source: VertexId::new(0),
+            target: VertexId::new(1),
+        };
+        let rl = StreamElement::Relabel {
+            id: VertexId::new(0),
+            label: Label::new(2),
+        };
+        assert!(rv.is_removal() && re.is_removal() && !rl.is_removal());
+        assert!(rv.is_mutation() && re.is_mutation() && rl.is_mutation());
+        assert!(!rv.is_vertex() && !rv.is_edge() && !rv.is_add());
+    }
+
+    #[test]
+    fn distinct_counters_survive_remove_then_readd() {
+        let mut s = GraphStream::new();
+        let v = |i: u64| VertexId::new(i);
+        s.push(StreamElement::AddVertex {
+            id: v(0),
+            label: Label::new(0),
+        });
+        s.push(StreamElement::AddVertex {
+            id: v(1),
+            label: Label::new(1),
+        });
+        s.push(StreamElement::AddEdge {
+            source: v(0),
+            target: v(1),
+        });
+        s.push(StreamElement::RemoveEdge {
+            source: v(1),
+            target: v(0),
+        });
+        s.push(StreamElement::RemoveVertex { id: v(0) });
+        s.push(StreamElement::AddVertex {
+            id: v(0),
+            label: Label::new(3),
+        });
+        s.push(StreamElement::AddEdge {
+            source: v(0),
+            target: v(1),
+        });
+        s.push(StreamElement::Relabel {
+            id: v(1),
+            label: Label::new(4),
+        });
+        assert_eq!(s.vertex_count(), 2, "re-add counts once");
+        assert_eq!(s.edge_count(), 1, "re-add counts once");
+        assert_eq!(s.len(), 8);
+        // from_elements agrees with element-by-element push.
+        let rebuilt = GraphStream::from_elements(s.elements().to_vec());
+        assert_eq!(rebuilt.vertex_count(), 2);
+        assert_eq!(rebuilt.edge_count(), 1);
+    }
+
+    #[test]
+    fn materialise_applies_mutations_like_the_final_graph() {
+        let v = |i: u64| VertexId::new(i);
+        let s = GraphStream::from_elements(vec![
+            StreamElement::AddVertex {
+                id: v(0),
+                label: Label::new(0),
+            },
+            StreamElement::AddVertex {
+                id: v(1),
+                label: Label::new(1),
+            },
+            StreamElement::AddVertex {
+                id: v(2),
+                label: Label::new(2),
+            },
+            StreamElement::AddEdge {
+                source: v(0),
+                target: v(1),
+            },
+            StreamElement::AddEdge {
+                source: v(1),
+                target: v(2),
+            },
+            StreamElement::Relabel {
+                id: v(2),
+                label: Label::new(7),
+            },
+            StreamElement::RemoveEdge {
+                source: v(0),
+                target: v(1),
+            },
+            StreamElement::RemoveVertex { id: v(1) },
+            // No-ops: already removed / never added.
+            StreamElement::RemoveVertex { id: v(1) },
+            StreamElement::RemoveEdge {
+                source: v(5),
+                target: v(6),
+            },
+            StreamElement::Relabel {
+                id: v(9),
+                label: Label::new(0),
+            },
+        ]);
+        let g = s.materialise();
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.label(v(2)), Some(Label::new(7)));
+        assert!(!g.contains_vertex(v(1)));
     }
 }

@@ -84,6 +84,15 @@ pub enum FlightKind {
         /// Epoch the migrated snapshot was published under.
         epoch: u64,
     },
+    /// An epoch-compaction pass rewrote tombstone-heavy shards.
+    Compacted {
+        /// Tombstoned vertices physically removed.
+        purged: u64,
+        /// Shards rewritten by the pass.
+        shards: u32,
+        /// Epoch the compacted snapshot was published under.
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for FlightKind {
@@ -125,6 +134,13 @@ impl fmt::Display for FlightKind {
             FlightKind::WalTruncated { bytes } => write!(f, "wal-truncated bytes={bytes}"),
             FlightKind::Migrated { moved, epoch } => {
                 write!(f, "migrated moved={moved} epoch={epoch}")
+            }
+            FlightKind::Compacted {
+                purged,
+                shards,
+                epoch,
+            } => {
+                write!(f, "compacted purged={purged} shards={shards} epoch={epoch}")
             }
         }
     }

@@ -35,6 +35,12 @@ pub mod stage {
     pub const ADAPT_PLAN: &str = "adapt.plan";
     /// Applying a migration plan and rebuilding the affected shards.
     pub const ADAPT_MIGRATE: &str = "adapt.migrate";
+    /// Mirroring one ingested batch that carries deletes/relabels into the
+    /// durable graph (`Session::ingest_batch`).
+    pub const INGEST_APPLY_DELETE: &str = "ingest.apply_delete";
+    /// One epoch-compaction pass: rewriting tombstone-heavy shards and
+    /// publishing the compacted store.
+    pub const SERVE_COMPACTION: &str = "serve.compaction";
 
     /// Every stage above, for exporters and smoke tests that assert the
     /// catalogue is live.
@@ -48,6 +54,8 @@ pub mod stage {
         STORE_FSYNC,
         ADAPT_PLAN,
         ADAPT_MIGRATE,
+        INGEST_APPLY_DELETE,
+        SERVE_COMPACTION,
     ];
 }
 
@@ -137,6 +145,6 @@ mod tests {
             assert!(name.contains('.'), "{name} is not stage-scoped");
             assert!(seen.insert(name), "{name} appears twice");
         }
-        assert_eq!(seen.len(), 9);
+        assert_eq!(seen.len(), 11);
     }
 }

@@ -192,6 +192,42 @@ impl FennelPartitioner {
                     }
                 }
             }
+            StreamElement::RemoveVertex { id } => {
+                if self.pending.as_ref().is_some_and(|p| p.id == id) {
+                    // The vertex never got placed: drop the buffered decision
+                    // and recycle its neighbour buffer.
+                    let mut pending = self.pending.take().expect("checked above");
+                    pending.assigned_neighbours.clear();
+                    self.spare_neighbours = pending.assigned_neighbours;
+                } else {
+                    self.partitioning.unassign(id);
+                    if let Some(pending) = self.pending.as_mut() {
+                        pending.assigned_neighbours.retain(|&n| n != id);
+                    }
+                }
+            }
+            StreamElement::RemoveEdge { source, target } => {
+                if let Some(pending) = self.pending.as_mut() {
+                    let other = if source == pending.id {
+                        Some(target)
+                    } else if target == pending.id {
+                        Some(source)
+                    } else {
+                        None
+                    };
+                    if let Some(other) = other {
+                        // Remove one occurrence, mirroring the one push the
+                        // matching AddEdge performed.
+                        if let Some(pos) =
+                            pending.assigned_neighbours.iter().position(|&n| n == other)
+                        {
+                            pending.assigned_neighbours.swap_remove(pos);
+                        }
+                    }
+                }
+            }
+            // Fennel's objective never looks at labels.
+            StreamElement::Relabel { .. } => {}
         }
         Ok(())
     }
@@ -308,6 +344,30 @@ mod tests {
     fn name_is_stable() {
         let p = FennelPartitioner::new(FennelConfig::new(2, 10, 10)).unwrap();
         assert_eq!(p.name(), "fennel");
+    }
+
+    #[test]
+    fn removals_reclaim_capacity_under_the_hard_cap() {
+        use loom_graph::Label;
+        // Cap of 2 vertices per partition with k=2: four adds fill both
+        // partitions; a removal must free a slot the next vertex can take.
+        let mut p = FennelPartitioner::new(FennelConfig::new(2, 4, 4)).unwrap();
+        let add = |id: u64| StreamElement::AddVertex {
+            id: VertexId::new(id),
+            label: Label::new(0),
+        };
+        p.ingest_batch(&[add(0), add(1), add(2), add(3)]).unwrap();
+        p.ingest(&StreamElement::RemoveVertex {
+            id: VertexId::new(2),
+        })
+        .unwrap();
+        p.ingest(&add(4)).unwrap();
+        let finished = p.finish().unwrap();
+        assert_eq!(finished.assigned_count(), 4);
+        assert_eq!(finished.partition_of(VertexId::new(2)), None);
+        for part in finished.partitions() {
+            assert!(finished.size(part) <= 2, "hard cap respected after churn");
+        }
     }
 
     #[test]

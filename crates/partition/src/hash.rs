@@ -101,12 +101,22 @@ impl Partitioner for HashPartitioner {
     }
 
     fn ingest(&mut self, element: &StreamElement) -> Result<()> {
-        if let StreamElement::AddVertex { id, .. } = element {
-            self.stats.vertices_ingested += 1;
-            let target = self.target(id.raw());
-            self.partitioning.assign(*id, target)?;
-        } else {
-            self.stats.edges_ingested += 1;
+        match element {
+            StreamElement::AddVertex { id, .. } => {
+                self.stats.vertices_ingested += 1;
+                let target = self.target(id.raw());
+                self.partitioning.assign(*id, target)?;
+            }
+            StreamElement::AddEdge { .. } => {
+                self.stats.edges_ingested += 1;
+            }
+            StreamElement::RemoveVertex { id } => {
+                // Reclaim the load slot; a later re-add hashes to the same
+                // partition, so placement stays deterministic across churn.
+                self.partitioning.unassign(*id);
+            }
+            // Hash placement ignores edges and labels entirely.
+            StreamElement::RemoveEdge { .. } | StreamElement::Relabel { .. } => {}
         }
         Ok(())
     }
@@ -114,16 +124,25 @@ impl Partitioner for HashPartitioner {
     fn ingest_batch(&mut self, batch: &[StreamElement]) -> Result<()> {
         // Amortised fast path: grow the assignment table once for the whole
         // chunk, then place vertices in a tight loop. Edges never affect hash
-        // placement, so they are only counted.
+        // placement, so they are only counted; mutations run through the
+        // per-element transition.
         self.stats.batches_ingested += 1;
         let vertices = batch.iter().filter(|e| e.is_vertex()).count();
         self.partitioning.reserve(vertices);
         self.stats.vertices_ingested += vertices;
-        self.stats.edges_ingested += batch.len() - vertices;
+        self.stats.edges_ingested += batch.iter().filter(|e| e.is_edge()).count();
         for element in batch {
-            if let StreamElement::AddVertex { id, .. } = element {
-                let target = self.target(id.raw());
-                self.partitioning.assign(*id, target)?;
+            match element {
+                StreamElement::AddVertex { id, .. } => {
+                    let target = self.target(id.raw());
+                    self.partitioning.assign(*id, target)?;
+                }
+                StreamElement::RemoveVertex { id } => {
+                    self.partitioning.unassign(*id);
+                }
+                StreamElement::AddEdge { .. }
+                | StreamElement::RemoveEdge { .. }
+                | StreamElement::Relabel { .. } => {}
             }
         }
         Ok(())
@@ -217,6 +236,42 @@ mod tests {
                 assert_eq!(result.partition_of(v), Some(p), "chunk={chunk_size}");
             }
         }
+    }
+
+    #[test]
+    fn removals_reclaim_slots_and_readds_land_on_the_same_partition() {
+        use loom_graph::{Label, VertexId};
+        let mut p = HashPartitioner::new(4, 100).unwrap();
+        let add = |id: u64| StreamElement::AddVertex {
+            id: VertexId::new(id),
+            label: Label::new(0),
+        };
+        p.ingest_batch(&[add(0), add(1), add(2)]).unwrap();
+        let before = p.snapshot().partition_of(VertexId::new(1)).unwrap();
+        p.ingest(&StreamElement::RemoveVertex {
+            id: VertexId::new(1),
+        })
+        .unwrap();
+        assert_eq!(p.snapshot().assigned_count(), 2);
+        // Edge removals and relabels are no-ops for hash placement.
+        p.ingest_batch(&[
+            StreamElement::RemoveEdge {
+                source: VertexId::new(0),
+                target: VertexId::new(2),
+            },
+            StreamElement::Relabel {
+                id: VertexId::new(0),
+                label: Label::new(3),
+            },
+            add(1),
+        ])
+        .unwrap();
+        let snap = p.snapshot();
+        assert_eq!(snap.assigned_count(), 3);
+        assert_eq!(snap.partition_of(VertexId::new(1)), Some(before));
+        let stats = p.stats();
+        assert_eq!(stats.vertices_ingested, 4);
+        assert_eq!(stats.edges_ingested, 0, "mutations are not edges");
     }
 
     #[test]

@@ -171,6 +171,50 @@ impl LdgPartitioner {
                 // An edge between two already-assigned vertices does not
                 // change any placement decision for LDG.
             }
+            StreamElement::RemoveVertex { id } => {
+                if self.pending.as_ref().is_some_and(|p| p.id == id) {
+                    // The vertex never got placed: drop the buffered decision
+                    // and recycle its neighbour buffer.
+                    let mut pending = self.pending.take().expect("checked above");
+                    pending.assigned_neighbours.clear();
+                    self.spare_neighbours = pending.assigned_neighbours;
+                } else {
+                    self.partitioning.unassign(id);
+                    if let Some(pending) = self.pending.as_mut() {
+                        // The dead vertex must no longer pull the pending
+                        // vertex towards its old partition.
+                        pending.assigned_neighbours.retain(|&n| n != id);
+                    }
+                }
+            }
+            StreamElement::RemoveEdge { source, target } => {
+                if let Some(pending) = self.pending.as_mut() {
+                    let other = if source == pending.id {
+                        Some(target)
+                    } else if target == pending.id {
+                        Some(source)
+                    } else {
+                        None
+                    };
+                    if let Some(other) = other {
+                        // Remove one occurrence, mirroring the one push the
+                        // matching AddEdge performed.
+                        if let Some(pos) =
+                            pending.assigned_neighbours.iter().position(|&n| n == other)
+                        {
+                            pending.assigned_neighbours.swap_remove(pos);
+                        }
+                    }
+                }
+            }
+            StreamElement::Relabel { id, label } => {
+                if let Some(pending) = self.pending.as_mut() {
+                    if pending.id == id {
+                        pending.label = label;
+                    }
+                }
+                // Labels of already-placed vertices do not feed LDG's score.
+            }
         }
         Ok(())
     }
@@ -377,6 +421,62 @@ mod tests {
         assert_eq!(finished.assigned_count(), 1);
         assert_eq!(p.stats().buffered, 0);
         assert_eq!(p.stats().assigned, 0, "finish moves the result out");
+    }
+
+    #[test]
+    fn removals_update_pending_state_and_reclaim_load() {
+        use loom_graph::{Label, VertexId};
+        let mut p = LdgPartitioner::new(LdgConfig::new(2, 10)).unwrap();
+        let add = |id: u64| StreamElement::AddVertex {
+            id: VertexId::new(id),
+            label: Label::new(0),
+        };
+        let edge = |a: u64, b: u64| StreamElement::AddEdge {
+            source: VertexId::new(a),
+            target: VertexId::new(b),
+        };
+        // Removing the pending vertex itself drops the buffered decision.
+        p.ingest(&add(0)).unwrap();
+        p.ingest(&StreamElement::RemoveVertex {
+            id: VertexId::new(0),
+        })
+        .unwrap();
+        assert_eq!(p.stats().buffered, 0);
+        assert_eq!(p.finish().unwrap().assigned_count(), 0);
+
+        // Removing an assigned vertex reclaims its slot and stops it pulling
+        // the pending vertex towards its old partition.
+        let mut p = LdgPartitioner::new(LdgConfig::new(2, 10)).unwrap();
+        p.ingest_batch(&[add(0), add(1), edge(0, 1)]).unwrap();
+        p.ingest(&StreamElement::RemoveVertex {
+            id: VertexId::new(0),
+        })
+        .unwrap();
+        let finished = p.finish().unwrap();
+        assert_eq!(finished.assigned_count(), 1);
+        assert_eq!(finished.partition_of(VertexId::new(0)), None);
+
+        // RemoveEdge cancels exactly one matching AddEdge for the pending
+        // vertex; Relabel updates the buffered label without placing anything.
+        let mut p = LdgPartitioner::new(LdgConfig::new(2, 10)).unwrap();
+        p.ingest_batch(&[
+            add(0),
+            add(1),
+            edge(0, 1),
+            StreamElement::RemoveEdge {
+                source: VertexId::new(1),
+                target: VertexId::new(0),
+            },
+            StreamElement::Relabel {
+                id: VertexId::new(1),
+                label: Label::new(5),
+            },
+        ])
+        .unwrap();
+        let pending = p.pending.as_ref().unwrap();
+        assert!(pending.assigned_neighbours.is_empty());
+        assert_eq!(pending.label, Label::new(5));
+        assert_eq!(p.finish().unwrap().assigned_count(), 2);
     }
 
     #[test]

@@ -211,6 +211,16 @@ impl Partitioning {
         Ok(())
     }
 
+    /// Drop a vertex's assignment entirely, decrementing its partition's
+    /// size, and return the partition it was removed from. Used when the
+    /// stream deletes a vertex: the slot is reclaimed, so the id may later be
+    /// re-assigned (re-add after delete). Unassigned vertices are a no-op.
+    pub fn unassign(&mut self, v: VertexId) -> Option<PartitionId> {
+        let p = self.assignment.remove(&v)?;
+        self.sizes[p.index()] -= 1;
+        Some(p)
+    }
+
     /// Pre-reserve space for at least `additional` more assignments. Batched
     /// ingestion uses this to amortise hash-table growth across a chunk.
     pub fn reserve(&mut self, additional: usize) {
@@ -323,6 +333,23 @@ mod tests {
             part.assign(v(2), p(7)),
             Err(PartitionError::UnknownPartition { .. })
         ));
+    }
+
+    #[test]
+    fn unassign_reclaims_the_slot_for_readd() {
+        let mut part = Partitioning::new(2, 10).unwrap();
+        part.assign(v(1), p(0)).unwrap();
+        part.assign(v(2), p(0)).unwrap();
+        assert_eq!(part.unassign(v(1)), Some(p(0)));
+        assert_eq!(part.size(p(0)), 1);
+        assert_eq!(part.assigned_count(), 1);
+        assert!(!part.is_assigned(v(1)));
+        // Unknown vertex: no-op.
+        assert_eq!(part.unassign(v(9)), None);
+        // The id can be re-assigned after removal (re-add after delete).
+        part.assign(v(1), p(1)).unwrap();
+        assert_eq!(part.partition_of(v(1)), Some(p(1)));
+        assert_eq!(part.size(p(1)), 1);
     }
 
     #[test]

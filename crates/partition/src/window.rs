@@ -231,6 +231,110 @@ impl StreamWindow {
         })
     }
 
+    /// **Delete** a vertex from the stream — as opposed to
+    /// [`StreamWindow::remove`], which is an *eviction* (the vertex leaves
+    /// the buffer but stays in the graph, so its window edges become the
+    /// remaining members' external edges). Deletion drops the vertex and
+    /// every edge it carries from the window's bookkeeping entirely,
+    /// reclaiming its capacity slot. Works for both buffered vertices and
+    /// already-evicted ones that window members still hold external edges to.
+    /// Returns `true` if anything was dropped.
+    pub fn delete(&mut self, id: VertexId) -> bool {
+        if self.labels.remove(&id).is_some() {
+            // Buffered: drop the vertex, its window edges and its external
+            // edges without handing anything to the remaining members.
+            self.order.retain(|&v| v != id);
+            let window_neighbours = self.window_adj.remove(&id).unwrap_or_default();
+            let external_neighbours = self.external_adj.remove(&id).unwrap_or_default();
+            for &u in &external_neighbours {
+                if let Some(rev) = self.external_rev.get_mut(&u) {
+                    if let Some(pos) = rev.iter().position(|&m| m == id) {
+                        rev.swap_remove(pos);
+                    }
+                    if rev.is_empty() {
+                        self.external_rev.remove(&u);
+                    }
+                }
+            }
+            for &n in &window_neighbours {
+                if let Some(adj) = self.window_adj.get_mut(&n) {
+                    adj.retain(|&u| u != id);
+                }
+            }
+            true
+        } else if let Some(members) = self.external_rev.remove(&id) {
+            // Already evicted: the members' external edges to it vanish, so
+            // later LDG scores stop counting edges into a dead vertex.
+            for n in members {
+                if let Some(ext) = self.external_adj.get_mut(&n) {
+                    if let Some(pos) = ext.iter().position(|&u| u == id) {
+                        ext.swap_remove(pos);
+                    }
+                }
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Delete one edge from the window's bookkeeping (both-in-window,
+    /// window-to-external, or absent). Returns `true` if an edge occurrence
+    /// was dropped.
+    pub fn remove_edge(&mut self, a: VertexId, b: VertexId) -> bool {
+        match (self.contains(a), self.contains(b)) {
+            (true, true) => {
+                let mut removed = false;
+                if let Some(adj) = self.window_adj.get_mut(&a) {
+                    if let Some(pos) = adj.iter().position(|&u| u == b) {
+                        adj.swap_remove(pos);
+                        removed = true;
+                    }
+                }
+                if let Some(adj) = self.window_adj.get_mut(&b) {
+                    if let Some(pos) = adj.iter().position(|&u| u == a) {
+                        adj.swap_remove(pos);
+                    }
+                }
+                removed
+            }
+            (true, false) => self.remove_external_edge(a, b),
+            (false, true) => self.remove_external_edge(b, a),
+            (false, false) => false,
+        }
+    }
+
+    fn remove_external_edge(&mut self, inside: VertexId, outside: VertexId) -> bool {
+        let Some(ext) = self.external_adj.get_mut(&inside) else {
+            return false;
+        };
+        let Some(pos) = ext.iter().position(|&u| u == outside) else {
+            return false;
+        };
+        ext.swap_remove(pos);
+        if let Some(rev) = self.external_rev.get_mut(&outside) {
+            if let Some(p) = rev.iter().position(|&m| m == inside) {
+                rev.swap_remove(p);
+            }
+            if rev.is_empty() {
+                self.external_rev.remove(&outside);
+            }
+        }
+        true
+    }
+
+    /// Change a buffered vertex's label in place. Returns `true` if the
+    /// vertex was buffered.
+    pub fn relabel(&mut self, id: VertexId, label: Label) -> bool {
+        match self.labels.get_mut(&id) {
+            Some(slot) => {
+                *slot = label;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Drain the whole window in arrival order (used at end of stream).
     pub fn drain(&mut self) -> Vec<EvictedVertex> {
         let mut evicted = Vec::with_capacity(self.order.len());
@@ -387,6 +491,72 @@ mod tests {
             .map(|e| e.window_neighbours.len() + e.external_neighbours.len())
             .sum();
         assert_eq!(degree_sum, 2 * 3, "each edge counted once per side");
+    }
+
+    #[test]
+    fn deletion_drops_edges_instead_of_externalising_them() {
+        let mut w = StreamWindow::new(6);
+        for i in 1..=3 {
+            w.push_vertex(v(i), l(0));
+        }
+        w.push_edge(v(1), v(2));
+        w.push_edge(v(2), v(3));
+        assert!(w.delete(v(2)));
+        // Unlike eviction, the neighbours gain NO external edges.
+        assert!(w.external_neighbours(v(1)).is_empty());
+        assert!(w.external_neighbours(v(3)).is_empty());
+        assert!(w.window_neighbours(v(1)).is_empty());
+        assert_eq!(w.len(), 2, "capacity slot reclaimed");
+        assert!(!w.delete(v(2)), "second delete is a no-op");
+        // The id can re-enter later as a fresh vertex.
+        w.push_vertex(v(2), l(5));
+        assert_eq!(w.label_of(v(2)), Some(l(5)));
+        assert!(w.window_neighbours(v(2)).is_empty());
+    }
+
+    #[test]
+    fn deleting_an_evicted_vertex_purges_external_edges() {
+        let mut w = StreamWindow::new(4);
+        w.push_vertex(v(1), l(0));
+        w.push_vertex(v(2), l(1));
+        w.push_edge(v(1), v(2));
+        w.remove(v(1)).unwrap(); // eviction: 2 now sees 1 externally
+        assert_eq!(w.external_neighbours(v(2)), &[v(1)]);
+        assert!(w.delete(v(1)));
+        assert!(w.external_neighbours(v(2)).is_empty());
+        // Re-entry of the deleted id must NOT resurrect the dropped edge.
+        w.push_vertex(v(1), l(0));
+        assert!(w.window_neighbours(v(1)).is_empty());
+        assert!(w.window_neighbours(v(2)).is_empty());
+    }
+
+    #[test]
+    fn remove_edge_covers_window_and_external_cases() {
+        let mut w = StreamWindow::new(4);
+        w.push_vertex(v(1), l(0));
+        w.push_vertex(v(2), l(1));
+        w.push_edge(v(1), v(2));
+        assert!(w.remove_edge(v(2), v(1)), "endpoint order is irrelevant");
+        assert!(w.window_neighbours(v(1)).is_empty());
+        assert!(w.window_neighbours(v(2)).is_empty());
+        assert!(!w.remove_edge(v(1), v(2)), "already gone");
+
+        w.push_edge(v(2), v(99)); // external edge
+        assert!(w.remove_edge(v(99), v(2)));
+        assert!(w.external_neighbours(v(2)).is_empty());
+        // Re-entry of 99 finds no stale reverse entry to reclaim.
+        w.push_vertex(v(99), l(0));
+        assert!(w.window_neighbours(v(99)).is_empty());
+        assert!(!w.remove_edge(v(50), v(51)), "unknown endpoints");
+    }
+
+    #[test]
+    fn relabel_updates_buffered_labels_only() {
+        let mut w = StreamWindow::new(4);
+        w.push_vertex(v(1), l(0));
+        assert!(w.relabel(v(1), l(9)));
+        assert_eq!(w.label_of(v(1)), Some(l(9)));
+        assert!(!w.relabel(v(2), l(1)));
     }
 
     #[test]

@@ -28,9 +28,11 @@ const UNASSIGNED: u32 = u32::MAX;
 
 /// Build one shard's label index, boundary and halo by scanning its slice of
 /// the partition-major arena. Shared by the full build
-/// ([`ShardedStore::from_parts`]) and the incremental migration rebuild
-/// ([`ShardedStore::apply_migration`]), which invokes it only for shards a
-/// move actually touched.
+/// ([`ShardedStore::from_parts`]), the incremental migration rebuild
+/// ([`ShardedStore::apply_migration`]) and the epoch-compaction rebuild
+/// ([`ShardedStore::compact`]), which invoke it only for shards actually
+/// touched. Tombstoned vertices are skipped entirely and only the live
+/// prefix of each adjacency slice is scanned.
 #[allow(clippy::too_many_arguments)]
 fn build_shard(
     p: u32,
@@ -40,16 +42,21 @@ fn build_shard(
     partition: &[u32],
     offsets: &[usize],
     targets: &[VertexId],
+    live_degree: &[u32],
+    dead: &[bool],
     position_of: &FxHashMap<VertexId, u32>,
 ) -> Shard {
     let mut label_index: FxHashMap<Label, Vec<VertexId>> = FxHashMap::default();
     let mut boundary = Vec::new();
     let mut halo = Vec::new();
     for pos in range.clone() {
+        if dead[pos] {
+            continue;
+        }
         let v = order[pos];
         label_index.entry(labels[pos]).or_default().push(v);
         let mut is_boundary = false;
-        for &u in &targets[offsets[pos]..offsets[pos + 1]] {
+        for &u in &targets[offsets[pos]..offsets[pos] + live_degree[pos] as usize] {
             let u_part = position_of
                 .get(&u)
                 .map(|&q| partition[q as usize])
@@ -158,11 +165,49 @@ pub struct ShardedStore {
     partition: Vec<u32>,
     /// Label per position.
     labels: Vec<Label>,
-    /// Global label index: label → vertices, sorted by id.
+    /// Global label index: label → *live* vertices, sorted by id.
     by_label: FxHashMap<Label, Vec<VertexId>>,
+    /// Live adjacency length per position:
+    /// `targets[offsets[pos]..offsets[pos] + live_degree[pos]]` is the live
+    /// neighbourhood; the rest of the slice up to `offsets[pos + 1]` holds
+    /// slots vacated by removals — tombstoned slots every query skips.
+    live_degree: Vec<u32>,
+    /// Vertex tombstone flag per position: marked dead by
+    /// [`ShardedStore::apply_mutations`], physically removed by
+    /// [`ShardedStore::compact`].
+    dead: Vec<bool>,
+    /// Tombstoned home vertices per shard.
+    dead_vertices: Vec<usize>,
+    /// Tombstoned adjacency slots per shard.
+    dead_slots: Vec<usize>,
     shards: Vec<Shard>,
     edge_count: usize,
     epoch: u64,
+}
+
+/// Per-shard tombstone counters recomputed after a structural rebuild
+/// (migration or compaction reshuffles which positions belong to which
+/// shard, so the incremental counters must be re-derived).
+fn dead_counters(
+    k: usize,
+    partition: &[u32],
+    dead: &[bool],
+    offsets: &[usize],
+    live_degree: &[u32],
+) -> (Vec<usize>, Vec<usize>) {
+    let mut dead_vertices = vec![0usize; k];
+    let mut dead_slots = vec![0usize; k];
+    for pos in 0..partition.len() {
+        let p = partition[pos];
+        if p == UNASSIGNED {
+            continue;
+        }
+        if dead[pos] {
+            dead_vertices[p as usize] += 1;
+        }
+        dead_slots[p as usize] += (offsets[pos + 1] - offsets[pos]) - live_degree[pos] as usize;
+    }
+    (dead_vertices, dead_slots)
 }
 
 impl ShardedStore {
@@ -192,17 +237,21 @@ impl ShardedStore {
         let mut targets = Vec::with_capacity(2 * graph.edge_count());
         let mut partition = Vec::with_capacity(n);
         let mut labels = Vec::with_capacity(n);
+        let mut live_degree = Vec::with_capacity(n);
         offsets.push(0);
         for &v in &order {
-            targets.extend_from_slice(graph.neighbors(v));
+            let neighbors = graph.neighbors(v);
+            targets.extend_from_slice(neighbors);
             offsets.push(targets.len());
             partition.push(part_key(&v));
             labels.push(graph.label(v).expect("vertex present in snapshot"));
+            live_degree.push(neighbors.len() as u32);
         }
         let mut targets_sorted = targets.clone();
         for i in 0..n {
             targets_sorted[offsets[i]..offsets[i + 1]].sort_unstable();
         }
+        let dead = vec![false; n];
 
         let mut by_label: FxHashMap<Label, Vec<VertexId>> = FxHashMap::default();
         for (v, l) in graph.labelled_vertices() {
@@ -228,6 +277,8 @@ impl ShardedStore {
                 &partition,
                 &offsets,
                 &targets,
+                &live_degree,
+                &dead,
                 &position_of,
             ));
         }
@@ -241,6 +292,10 @@ impl ShardedStore {
             partition,
             labels,
             by_label,
+            live_degree,
+            dead,
+            dead_vertices: vec![0; k as usize],
+            dead_slots: vec![0; k as usize],
             shards,
             edge_count: graph.edge_count(),
             epoch: 0,
@@ -279,7 +334,10 @@ impl ShardedStore {
             let Some(&pos) = self.position_of.get(&v) else {
                 continue;
             };
-            if self.partition[pos as usize] == UNASSIGNED {
+            // Tombstoned vertices cannot be moved: the planner must not plan
+            // moves for dead vertices, and ignoring them here keeps a stale
+            // plan harmless.
+            if self.partition[pos as usize] == UNASSIGNED || self.dead[pos as usize] {
                 continue;
             }
             dest.insert(v, to.0);
@@ -334,6 +392,8 @@ impl ShardedStore {
         let mut targets = Vec::with_capacity(self.targets.len());
         let mut targets_sorted = Vec::with_capacity(self.targets_sorted.len());
         let mut labels = Vec::with_capacity(n);
+        let mut live_degree = Vec::with_capacity(n);
+        let mut dead = Vec::with_capacity(n);
         offsets.push(0);
         for (i, &v) in order.iter().enumerate() {
             let old_pos = self.position_of[&v] as usize;
@@ -343,11 +403,15 @@ impl ShardedStore {
             targets_sorted.extend_from_slice(&self.targets_sorted[slice]);
             offsets.push(targets.len());
             labels.push(self.labels[old_pos]);
+            live_degree.push(self.live_degree[old_pos]);
+            dead.push(self.dead[old_pos]);
         }
         let mut partition = vec![UNASSIGNED; n];
         for (p, range) in ranges.iter().enumerate() {
             partition[range.clone()].fill(p as u32);
         }
+        let (dead_vertices, dead_slots) =
+            dead_counters(k, &partition, &dead, &offsets, &live_degree);
 
         // Shards: rebuild the touched ones, rebase the rest onto their
         // (possibly shifted) new ranges with their indexes reused.
@@ -363,6 +427,8 @@ impl ShardedStore {
                     &partition,
                     &offsets,
                     &targets,
+                    &live_degree,
+                    &dead,
                     &position_of,
                 ));
             } else {
@@ -396,6 +462,354 @@ impl ShardedStore {
                 partition,
                 labels,
                 by_label: self.by_label.clone(),
+                live_degree,
+                dead,
+                dead_vertices,
+                dead_slots,
+                shards,
+                edge_count: self.edge_count,
+                epoch: 0,
+            },
+        }
+    }
+
+    /// The live adjacency range of a position (the physical slice minus its
+    /// tombstoned tail).
+    fn live_range(&self, pos: usize) -> Range<usize> {
+        let start = self.offsets[pos];
+        start..start + self.live_degree[pos] as usize
+    }
+
+    /// Tombstone the directed occurrence of `to` in `from_pos`'s adjacency:
+    /// shift it out of the live prefix of both the traversal-ordered and the
+    /// sorted arena (preserving the relative order of the survivors, which is
+    /// what keeps match-limited metrics identical to a from-scratch build of
+    /// the mutated graph) and grow the owning shard's dead-slot count.
+    fn tombstone_arc(&mut self, from_pos: usize, to: VertexId) -> bool {
+        let live = self.live_range(from_pos);
+        let Some(occ) = self.targets[live.clone()].iter().position(|&u| u == to) else {
+            return false;
+        };
+        self.targets[live.start + occ..live.end].rotate_left(1);
+        if let Ok(sorted_occ) = self.targets_sorted[live.clone()].binary_search(&to) {
+            self.targets_sorted[live.start + sorted_occ..live.end].rotate_left(1);
+        }
+        self.live_degree[from_pos] -= 1;
+        let p = self.partition[from_pos];
+        if p != UNASSIGNED {
+            self.dead_slots[p as usize] += 1;
+        }
+        true
+    }
+
+    /// Remove `v` from a sorted id list, if present.
+    fn remove_sorted(list: &mut Vec<VertexId>, v: VertexId) {
+        if let Ok(pos) = list.binary_search(&v) {
+            list.remove(pos);
+        }
+    }
+
+    /// Drop `v` from the global and home-shard label indexes under `label`.
+    fn unindex_label(&mut self, v: VertexId, label: Label, shard: u32) {
+        if let Some(members) = self.by_label.get_mut(&label) {
+            Self::remove_sorted(members, v);
+            if members.is_empty() {
+                self.by_label.remove(&label);
+            }
+        }
+        if shard != UNASSIGNED {
+            if let Some(members) = self.shards[shard as usize].label_index.get_mut(&label) {
+                Self::remove_sorted(members, v);
+                if members.is_empty() {
+                    self.shards[shard as usize].label_index.remove(&label);
+                }
+            }
+        }
+    }
+
+    /// Tombstone a vertex: drop all incident live edges, mark the vertex
+    /// dead and remove it from every label index. Queries skip it without a
+    /// rebuild; [`ShardedStore::compact`] removes it physically.
+    fn tombstone_vertex(&mut self, v: VertexId) -> bool {
+        let Some(&pos) = self.position_of.get(&v) else {
+            return false;
+        };
+        let pos = pos as usize;
+        if self.dead[pos] {
+            return false;
+        }
+        let neighbours: Vec<VertexId> = self.targets[self.live_range(pos)].to_vec();
+        for &u in &neighbours {
+            let u_pos = self.position_of[&u] as usize;
+            self.tombstone_arc(u_pos, v);
+        }
+        self.edge_count -= neighbours.len();
+        let p = self.partition[pos];
+        if p != UNASSIGNED {
+            self.dead_slots[p as usize] += self.live_degree[pos] as usize;
+            self.dead_vertices[p as usize] += 1;
+        }
+        self.live_degree[pos] = 0;
+        self.dead[pos] = true;
+        self.unindex_label(v, self.labels[pos], p);
+        true
+    }
+
+    /// Tombstone one undirected edge in both adjacency directions.
+    fn tombstone_edge(&mut self, a: VertexId, b: VertexId) -> bool {
+        let (Some(&pa), Some(&pb)) = (self.position_of.get(&a), self.position_of.get(&b)) else {
+            return false;
+        };
+        let (pa, pb) = (pa as usize, pb as usize);
+        if self.dead[pa] || self.dead[pb] {
+            return false;
+        }
+        if !self.tombstone_arc(pa, b) {
+            return false;
+        }
+        self.tombstone_arc(pb, a);
+        self.edge_count -= 1;
+        true
+    }
+
+    /// Re-label a live vertex in place, keeping both label indexes sorted.
+    fn relabel_in_place(&mut self, v: VertexId, label: Label) -> bool {
+        let Some(&pos) = self.position_of.get(&v) else {
+            return false;
+        };
+        let pos = pos as usize;
+        if self.dead[pos] {
+            return false;
+        }
+        let old = self.labels[pos];
+        if old == label {
+            return true;
+        }
+        let p = self.partition[pos];
+        self.unindex_label(v, old, p);
+        self.labels[pos] = label;
+        let members = self.by_label.entry(label).or_default();
+        if let Err(at) = members.binary_search(&v) {
+            members.insert(at, v);
+        }
+        if p != UNASSIGNED {
+            let members = self.shards[p as usize]
+                .label_index
+                .entry(label)
+                .or_default();
+            if let Err(at) = members.binary_search(&v) {
+                members.insert(at, v);
+            }
+        }
+        true
+    }
+
+    /// Apply the delete/relabel slice of a mutation batch to a *clone* of
+    /// this snapshot, marking tombstones queries skip without any rebuild.
+    ///
+    /// Additions are ignored: growing the arena needs a rebuild, so callers
+    /// republish additions from the authoritative graph and use this fast
+    /// path for the destructive elements only. Mutations naming unknown or
+    /// already-dead vertices are ignored (deletes are idempotent). The
+    /// result carries epoch 0 — publish it through an
+    /// [`crate::epoch::EpochStore`] to stamp it, exactly like a migration.
+    pub fn apply_mutations(&self, mutations: &[loom_graph::StreamElement]) -> MutatedStore {
+        let mut store = self.clone();
+        store.epoch = 0;
+        let (mut removed_vertices, mut removed_edges, mut relabelled) = (0usize, 0usize, 0usize);
+        for element in mutations {
+            match *element {
+                loom_graph::StreamElement::RemoveVertex { id } => {
+                    if store.tombstone_vertex(id) {
+                        removed_vertices += 1;
+                    }
+                }
+                loom_graph::StreamElement::RemoveEdge { source, target } => {
+                    if store.tombstone_edge(source, target) {
+                        removed_edges += 1;
+                    }
+                }
+                loom_graph::StreamElement::Relabel { id, label } => {
+                    if store.relabel_in_place(id, label) {
+                        relabelled += 1;
+                    }
+                }
+                loom_graph::StreamElement::AddVertex { .. }
+                | loom_graph::StreamElement::AddEdge { .. } => {}
+            }
+        }
+        MutatedStore {
+            store,
+            removed_vertices,
+            removed_edges,
+            relabelled,
+        }
+    }
+
+    /// The fraction of a shard's physical slots (home vertices + adjacency
+    /// entries) occupied by tombstones. 0.0 for unknown or empty shards.
+    pub fn tombstone_fraction(&self, p: PartitionId) -> f64 {
+        let Some(shard) = self.shards.get(p.index()) else {
+            return 0.0;
+        };
+        let slots = self.offsets[shard.range.end] - self.offsets[shard.range.start];
+        let total = shard.range.len() + slots;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.dead_vertices[p.index()] + self.dead_slots[p.index()]) as f64 / total as f64
+    }
+
+    /// Total tombstoned vertices across the snapshot.
+    pub fn tombstoned_vertices(&self) -> usize {
+        self.dead.iter().filter(|&&d| d).count()
+    }
+
+    /// Epoch compaction: physically rewrite every shard whose
+    /// [`ShardedStore::tombstone_fraction`] reaches `threshold` (and holds at
+    /// least one tombstone), dropping dead vertices and reclaiming dead
+    /// adjacency slots. Shards below the threshold keep their slices —
+    /// including their tombstones — verbatim and only get rebased onto
+    /// shifted ranges; dead vertices in the unassigned tail are always
+    /// purged. `compact(0.0)` therefore rewrites exactly the shards with any
+    /// tombstone at all.
+    ///
+    /// The result is semantically identical to a from-scratch build of the
+    /// mutated graph for the rewritten shards and carries epoch 0 — publish
+    /// it through an [`crate::epoch::EpochStore`] exactly like a migration.
+    pub fn compact(&self, threshold: f64) -> CompactedStore {
+        let k = self.shards.len();
+        let crossing: Vec<bool> = (0..k)
+            .map(|p| {
+                (self.dead_vertices[p] + self.dead_slots[p]) > 0
+                    && self.tombstone_fraction(PartitionId::new(p as u32)) >= threshold
+            })
+            .collect();
+        let assigned_end = self.shards.last().map(|s| s.range.end).unwrap_or(0);
+        let tail_dead = self.dead[assigned_end..].iter().any(|&d| d);
+        if !tail_dead && crossing.iter().all(|&c| !c) {
+            return CompactedStore {
+                store: self.clone(),
+                compacted_shards: Vec::new(),
+                purged_vertices: 0,
+                purged_slots: 0,
+            };
+        }
+
+        // New partition-major order: crossing shards and the unassigned tail
+        // drop their dead vertices; everything else keeps its slice verbatim.
+        let n = self.order.len();
+        let mut order: Vec<VertexId> = Vec::with_capacity(n);
+        let mut ranges: Vec<Range<usize>> = Vec::with_capacity(k);
+        for (p, &cross) in crossing.iter().enumerate() {
+            let start = order.len();
+            let old = self.shards[p].range.clone();
+            if cross {
+                order.extend(
+                    old.filter(|&pos| !self.dead[pos])
+                        .map(|pos| self.order[pos]),
+                );
+            } else {
+                order.extend_from_slice(&self.order[old]);
+            }
+            ranges.push(start..order.len());
+        }
+        order.extend(
+            (assigned_end..n)
+                .filter(|&pos| !self.dead[pos])
+                .map(|pos| self.order[pos]),
+        );
+
+        // Rebuild the positional arrays: vertices of rewritten shards (and
+        // the tail) keep only their live adjacency prefix; vertices of
+        // rebased shards keep their physical slice, tombstoned tail included.
+        let mut position_of: FxHashMap<VertexId, u32> = FxHashMap::default();
+        position_of.reserve(order.len());
+        let mut offsets = Vec::with_capacity(order.len() + 1);
+        let mut targets = Vec::with_capacity(self.targets.len());
+        let mut targets_sorted = Vec::with_capacity(self.targets_sorted.len());
+        let mut labels = Vec::with_capacity(order.len());
+        let mut live_degree = Vec::with_capacity(order.len());
+        let mut dead = Vec::with_capacity(order.len());
+        offsets.push(0);
+        for (i, &v) in order.iter().enumerate() {
+            let old_pos = self.position_of[&v] as usize;
+            position_of.insert(v, i as u32);
+            let p = self.partition[old_pos];
+            let rewritten = p == UNASSIGNED || crossing[p as usize];
+            let slice = if rewritten {
+                self.live_range(old_pos)
+            } else {
+                self.offsets[old_pos]..self.offsets[old_pos + 1]
+            };
+            targets.extend_from_slice(&self.targets[slice.clone()]);
+            targets_sorted.extend_from_slice(&self.targets_sorted[slice]);
+            offsets.push(targets.len());
+            labels.push(self.labels[old_pos]);
+            live_degree.push(self.live_degree[old_pos]);
+            dead.push(self.dead[old_pos] && !rewritten);
+        }
+        let mut partition = vec![UNASSIGNED; order.len()];
+        for (p, range) in ranges.iter().enumerate() {
+            partition[range.clone()].fill(p as u32);
+        }
+        let (dead_vertices, dead_slots) =
+            dead_counters(k, &partition, &dead, &offsets, &live_degree);
+
+        let mut shards = Vec::with_capacity(k);
+        for (p, &cross) in crossing.iter().enumerate() {
+            let range = ranges[p].clone();
+            if cross {
+                shards.push(build_shard(
+                    p as u32,
+                    range,
+                    &order,
+                    &labels,
+                    &partition,
+                    &offsets,
+                    &targets,
+                    &live_degree,
+                    &dead,
+                    &position_of,
+                ));
+            } else {
+                let old = &self.shards[p];
+                debug_assert_eq!(range.len(), old.range.len());
+                shards.push(Shard {
+                    id: old.id,
+                    range,
+                    label_index: old.label_index.clone(),
+                    boundary: old.boundary.clone(),
+                    halo: old.halo.clone(),
+                });
+            }
+        }
+
+        let compacted_shards: Vec<PartitionId> = crossing
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c)
+            .map(|(p, _)| PartitionId::new(p as u32))
+            .collect();
+        let purged_vertices = n - order.len();
+        let purged_slots = self.targets.len() - targets.len();
+        CompactedStore {
+            compacted_shards,
+            purged_vertices,
+            purged_slots,
+            store: Self {
+                order,
+                position_of,
+                offsets,
+                targets,
+                targets_sorted,
+                partition,
+                labels,
+                by_label: self.by_label.clone(),
+                live_degree,
+                dead,
+                dead_vertices,
+                dead_slots,
                 shards,
                 edge_count: self.edge_count,
                 epoch: 0,
@@ -449,9 +863,12 @@ impl ShardedStore {
             .unwrap_or(&[])
     }
 
-    /// The shard hosting a vertex, if the vertex is assigned.
+    /// The shard hosting a vertex, if the vertex is assigned and live.
     pub fn home_shard(&self, v: VertexId) -> Option<PartitionId> {
         let pos = *self.position_of.get(&v)?;
+        if self.dead[pos as usize] {
+            return None;
+        }
         match self.partition[pos as usize] {
             UNASSIGNED => None,
             p => Some(PartitionId::new(p)),
@@ -528,17 +945,17 @@ impl<'a> ArenaSlice<'a> {
         &self.store.labels[self.range.clone()]
     }
 
-    /// Adjacency of the `i`-th vertex of the slice, in the data graph's
+    /// Live adjacency of the `i`-th vertex of the slice, in the data graph's
     /// stable iteration order (the order the arena stores and traversals
-    /// follow).
+    /// follow). Tombstoned slots are excluded, so checkpoint blobs never
+    /// carry dead edges.
     ///
     /// # Panics
     ///
     /// Panics if `i >= len()`.
     pub fn neighbors(&self, i: usize) -> &'a [VertexId] {
         assert!(i < self.range.len(), "slice index out of range");
-        let pos = self.range.start + i;
-        &self.store.targets[self.store.offsets[pos]..self.store.offsets[pos + 1]]
+        &self.store.targets[self.store.live_range(self.range.start + i)]
     }
 }
 
@@ -555,14 +972,59 @@ pub struct MigratedStore {
     pub moved: usize,
 }
 
+/// The result of a tombstoning pass ([`ShardedStore::apply_mutations`]).
+#[derive(Debug, Clone)]
+pub struct MutatedStore {
+    /// The marked snapshot (epoch 0 — stamped on publication).
+    pub store: ShardedStore,
+    /// Vertices newly tombstoned by the batch.
+    pub removed_vertices: usize,
+    /// Edges newly tombstoned by the batch.
+    pub removed_edges: usize,
+    /// Vertices whose label changed.
+    pub relabelled: usize,
+}
+
+/// The result of an epoch-compaction pass ([`ShardedStore::compact`]).
+#[derive(Debug, Clone)]
+pub struct CompactedStore {
+    /// The compacted snapshot (epoch 0 — stamped on publication).
+    pub store: ShardedStore,
+    /// Shards physically rewritten, in id order; every other shard was
+    /// rebased without a rebuild.
+    pub compacted_shards: Vec<PartitionId>,
+    /// Tombstoned vertices physically removed.
+    pub purged_vertices: usize,
+    /// Tombstoned adjacency slots physically reclaimed.
+    pub purged_slots: usize,
+}
+
+/// Publish every shard's tombstone fraction to the `store.tombstone_fraction`
+/// gauge family (one series per shard, labelled `shard=<index>`). Gauges are
+/// integer levels, so the fraction is reported in basis points (0..=10_000).
+pub fn record_tombstone_gauges(store: &ShardedStore, telemetry: &loom_obs::Telemetry) {
+    for shard in store.shards() {
+        let basis_points = (store.tombstone_fraction(shard.id()) * 10_000.0).round() as i64;
+        telemetry
+            .registry()
+            .gauge(
+                "store.tombstone_fraction",
+                &[("shard", shard.id().index().to_string())],
+            )
+            .set(basis_points);
+    }
+}
+
 impl PatternStore for ShardedStore {
     fn label(&self, v: VertexId) -> Option<Label> {
-        self.position(v).map(|p| self.labels[p])
+        self.position(v)
+            .filter(|&p| !self.dead[p])
+            .map(|p| self.labels[p])
     }
 
     fn neighbors(&self, v: VertexId) -> &[VertexId] {
         match self.position(v) {
-            Some(p) => &self.targets[self.offsets[p]..self.offsets[p + 1]],
+            Some(p) => &self.targets[self.live_range(p)],
             None => &[],
         }
     }
@@ -571,14 +1033,14 @@ impl PatternStore for ShardedStore {
         let Some(p) = self.position(a) else {
             return false;
         };
-        self.targets_sorted[self.offsets[p]..self.offsets[p + 1]]
+        self.targets_sorted[self.live_range(p)]
             .binary_search(&b)
             .is_ok()
     }
 
     fn is_remote_traversal(&self, from: VertexId, to: VertexId) -> bool {
         match (self.position(from), self.position(to)) {
-            (Some(a), Some(b)) => {
+            (Some(a), Some(b)) if !self.dead[a] && !self.dead[b] => {
                 let (pa, pb) = (self.partition[a], self.partition[b]);
                 pa == UNASSIGNED || pb == UNASSIGNED || pa != pb
             }
@@ -811,6 +1273,152 @@ mod tests {
         assert_eq!(migrated.moved, 1);
         part.move_vertex(vs[4], PartitionId::new(2)).unwrap();
         assert_stores_equal(&migrated.store, &ShardedStore::from_parts(&g, &part), &vs);
+    }
+
+    #[test]
+    fn tombstones_hide_vertices_and_edges_without_a_rebuild() {
+        use loom_graph::StreamElement;
+        let (g, part) = migration_fixture();
+        let vs = g.vertices_sorted();
+        let store = ShardedStore::from_parts(&g, &part);
+        let mutated = store
+            .apply_mutations(&[
+                StreamElement::RemoveEdge {
+                    source: vs[1],
+                    target: vs[2],
+                },
+                StreamElement::RemoveVertex { id: vs[4] },
+                StreamElement::Relabel {
+                    id: vs[0],
+                    label: Label::new(2),
+                },
+                // Unknown / repeated mutations are ignored.
+                StreamElement::RemoveVertex { id: vs[4] },
+                StreamElement::RemoveVertex {
+                    id: VertexId::new(10_000),
+                },
+            ])
+            .store;
+
+        // Apply the same mutations to the graph and compare PatternStore
+        // answers against a from-scratch build.
+        let mut mutated_graph = g.clone();
+        mutated_graph.remove_edge(vs[1], vs[2]);
+        mutated_graph.remove_vertex(vs[4]);
+        mutated_graph.set_label(vs[0], Label::new(2)).unwrap();
+        let mut live_part = part.clone();
+        live_part.unassign(vs[4]);
+        let rebuilt = ShardedStore::from_parts(&mutated_graph, &live_part);
+
+        for &v in &vs {
+            assert_eq!(
+                PatternStore::label(&mutated, v),
+                PatternStore::label(&rebuilt, v),
+                "label({v})"
+            );
+            assert_eq!(
+                PatternStore::neighbors(&mutated, v),
+                PatternStore::neighbors(&rebuilt, v),
+                "neighbors({v})"
+            );
+            for &u in &vs {
+                assert_eq!(
+                    PatternStore::contains_edge(&mutated, v, u),
+                    PatternStore::contains_edge(&rebuilt, v, u),
+                    "contains_edge({v},{u})"
+                );
+            }
+        }
+        for l in [Label::new(0), Label::new(1), Label::new(2)] {
+            assert_eq!(
+                PatternStore::vertices_with_label(&mutated, l),
+                PatternStore::vertices_with_label(&rebuilt, l),
+                "by_label({l:?})"
+            );
+        }
+        assert_eq!(mutated.edge_count(), mutated_graph.edge_count());
+        assert_eq!(mutated.home_shard(vs[4]), None);
+        assert_eq!(mutated.tombstoned_vertices(), 1);
+        // Vertex 4 lives on shard 1: its tombstone fraction is positive,
+        // shard 0 lost adjacency slots to the edge removal and vertex death.
+        assert!(mutated.tombstone_fraction(PartitionId::new(1)) > 0.0);
+        assert_eq!(mutated.tombstone_fraction(PartitionId::new(9)), 0.0);
+    }
+
+    #[test]
+    fn compaction_purges_tombstones_and_matches_a_fresh_build() {
+        use loom_graph::StreamElement;
+        let (g, part) = migration_fixture();
+        let vs = g.vertices_sorted();
+        let store = ShardedStore::from_parts(&g, &part);
+        let mutated = store
+            .apply_mutations(&[
+                StreamElement::RemoveVertex { id: vs[4] },
+                StreamElement::RemoveEdge {
+                    source: vs[7],
+                    target: vs[8],
+                },
+            ])
+            .store;
+
+        // Threshold 0.0: every shard holding any tombstone is rewritten.
+        let compacted = mutated.compact(0.0);
+        assert_eq!(compacted.purged_vertices, 1);
+        assert!(
+            compacted.purged_slots >= 2,
+            "both edge directions reclaimed"
+        );
+        assert!(!compacted.compacted_shards.is_empty());
+        let store = &compacted.store;
+        assert_eq!(store.tombstoned_vertices(), 0);
+        for p in 0..store.shard_count() {
+            assert_eq!(store.tombstone_fraction(PartitionId::new(p)), 0.0);
+        }
+
+        let mut mutated_graph = g.clone();
+        mutated_graph.remove_vertex(vs[4]);
+        mutated_graph.remove_edge(vs[7], vs[8]);
+        let mut live_part = part.clone();
+        live_part.unassign(vs[4]);
+        let rebuilt = ShardedStore::from_parts(&mutated_graph, &live_part);
+        let live: Vec<VertexId> = vs.iter().copied().filter(|&v| v != vs[4]).collect();
+        assert_stores_equal(store, &rebuilt, &live);
+        // A second compaction has nothing to do and rewrites nothing.
+        assert!(store.compact(0.0).compacted_shards.is_empty());
+    }
+
+    #[test]
+    fn compaction_threshold_spares_lightly_tombstoned_shards() {
+        use loom_graph::StreamElement;
+        let (g, part) = migration_fixture();
+        let vs = g.vertices_sorted();
+        let store = ShardedStore::from_parts(&g, &part);
+        // Kill both interior vertices of shard 1 (heavy churn there) but only
+        // one edge touching shard 2 (light churn).
+        let mutated = store
+            .apply_mutations(&[
+                StreamElement::RemoveVertex { id: vs[3] },
+                StreamElement::RemoveVertex { id: vs[4] },
+                StreamElement::RemoveEdge {
+                    source: vs[7],
+                    target: vs[8],
+                },
+            ])
+            .store;
+        let heavy = mutated.tombstone_fraction(PartitionId::new(1));
+        let light = mutated.tombstone_fraction(PartitionId::new(2));
+        assert!(heavy > light && light > 0.0);
+
+        // A threshold between the two fractions rewrites only shard 1.
+        let threshold = (heavy + light) / 2.0;
+        let compacted = mutated.compact(threshold);
+        assert_eq!(compacted.compacted_shards, vec![PartitionId::new(1)]);
+        let store = &compacted.store;
+        assert_eq!(store.tombstone_fraction(PartitionId::new(1)), 0.0);
+        // The spared shard keeps its tombstoned slots (still hidden from
+        // queries) until its own fraction crosses the threshold.
+        assert!(store.tombstone_fraction(PartitionId::new(2)) > 0.0);
+        assert!(!PatternStore::contains_edge(store, vs[7], vs[8]));
     }
 
     #[test]

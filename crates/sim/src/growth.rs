@@ -211,13 +211,25 @@ fn segment_bounds(len: usize, checkpoints: usize) -> Vec<usize> {
     (1..=checkpoints).map(|i| len * i / checkpoints).collect()
 }
 
-fn apply_element(graph: &mut LabelledGraph, element: &StreamElement) {
+/// Apply one stream element to a materialised graph (the same idempotent
+/// semantics as `GraphStream::materialise`). Shared with the deletion-churn
+/// scenario, which replays a mutation stream onto a grown graph.
+pub(crate) fn apply_element(graph: &mut LabelledGraph, element: &StreamElement) {
     match *element {
         StreamElement::AddVertex { id, label } => {
             graph.insert_vertex(id, label);
         }
         StreamElement::AddEdge { source, target } => {
             let _ = graph.add_edge_idempotent(source, target);
+        }
+        StreamElement::RemoveVertex { id } => {
+            graph.remove_vertex(id);
+        }
+        StreamElement::RemoveEdge { source, target } => {
+            graph.remove_edge(source, target);
+        }
+        StreamElement::Relabel { id, label } => {
+            let _ = graph.set_label(id, label);
         }
     }
 }

@@ -35,6 +35,9 @@
 //!   deadline or a fired token unwinds a search mid-backtrack;
 //! * [`drift`] — the two-phase drifting-workload scenario (disjoint hot
 //!   motif families per phase) driving the `loom-adapt` adaptation story;
+//! * [`churn`] — the deletion-churn scenario (grow, then dissolve planted
+//!   instances through removals and relabels) driving the tombstone and
+//!   epoch-compaction story;
 //! * [`runner`] — the experiment driver: generate graph + workload, stream
 //!   the graph through each partitioner under test, execute a sampled query
 //!   mix against each resulting partitioning, and collect quality +
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod churn;
 pub mod context;
 pub mod drift;
 pub mod engine;
@@ -56,6 +60,7 @@ pub mod report;
 pub mod runner;
 pub mod store;
 
+pub use churn::{ChurnRun, DeletionChurnScenario};
 pub use context::{CancelToken, RequestContext};
 pub use drift::DriftScenario;
 pub use engine::{MatchCursor, QueryEngine, QueryRequest, QueryResponse, QueryTarget};
@@ -68,6 +73,7 @@ pub use store::PartitionedStore;
 
 /// Convenient re-exports for the experiment binary and examples.
 pub mod prelude {
+    pub use crate::churn::{ChurnRun, DeletionChurnScenario};
     pub use crate::context::{CancelToken, RequestContext};
     pub use crate::drift::DriftScenario;
     pub use crate::engine::{

@@ -28,6 +28,12 @@ const KIND_TAIL: u32 = 1;
 const EL_VERTEX: u8 = 0;
 /// WAL element tag: `StreamElement::AddEdge`.
 const EL_EDGE: u8 = 1;
+/// WAL element tag: `StreamElement::RemoveVertex`.
+const EL_REMOVE_VERTEX: u8 = 2;
+/// WAL element tag: `StreamElement::RemoveEdge`.
+const EL_REMOVE_EDGE: u8 = 3;
+/// WAL element tag: `StreamElement::Relabel`.
+const EL_RELABEL: u8 = 4;
 
 /// A decoded checkpoint blob: one shard's contiguous view of the CSR arena
 /// (home vertices with labels and adjacency in arena order), plus the
@@ -266,6 +272,20 @@ pub fn encode_elements(batch: &[StreamElement]) -> Bytes {
                 buf.put_u64_le(source.raw());
                 buf.put_u64_le(target.raw());
             }
+            StreamElement::RemoveVertex { id } => {
+                buf.put_u8(EL_REMOVE_VERTEX);
+                buf.put_u64_le(id.raw());
+            }
+            StreamElement::RemoveEdge { source, target } => {
+                buf.put_u8(EL_REMOVE_EDGE);
+                buf.put_u64_le(source.raw());
+                buf.put_u64_le(target.raw());
+            }
+            StreamElement::Relabel { id, label } => {
+                buf.put_u8(EL_RELABEL);
+                buf.put_u64_le(id.raw());
+                buf.put_u32_le(label.raw());
+            }
         }
     }
     buf.freeze()
@@ -275,7 +295,7 @@ pub fn encode_elements(batch: &[StreamElement]) -> Bytes {
 pub fn decode_elements(bytes: Bytes, path: &Path) -> Result<Vec<StreamElement>> {
     let mut r = Reader::new(bytes, path);
     let count = r.u32("element count")? as usize;
-    // Smallest element is 9 bytes (tag + two u32s would be 9; vertex is 13).
+    // Smallest element is 9 bytes (RemoveVertex: tag + u64 id).
     if count.saturating_mul(9) > r.bytes.remaining() + 9 {
         return Err(StoreError::corrupt(
             path,
@@ -292,6 +312,17 @@ pub fn decode_elements(bytes: Bytes, path: &Path) -> Result<Vec<StreamElement>> 
             EL_EDGE => batch.push(StreamElement::AddEdge {
                 source: VertexId::new(r.u64("edge source")?),
                 target: VertexId::new(r.u64("edge target")?),
+            }),
+            EL_REMOVE_VERTEX => batch.push(StreamElement::RemoveVertex {
+                id: VertexId::new(r.u64("removed vertex id")?),
+            }),
+            EL_REMOVE_EDGE => batch.push(StreamElement::RemoveEdge {
+                source: VertexId::new(r.u64("removed edge source")?),
+                target: VertexId::new(r.u64("removed edge target")?),
+            }),
+            EL_RELABEL => batch.push(StreamElement::Relabel {
+                id: VertexId::new(r.u64("relabelled vertex id")?),
+                label: Label::new(r.u32("new label")?),
             }),
             other => {
                 return Err(StoreError::corrupt(
@@ -388,6 +419,44 @@ mod tests {
         let rebuilt = loom_graph::GraphStream::from_elements(decoded).materialise();
         assert_eq!(rebuilt.vertex_count(), g.vertex_count());
         assert_eq!(rebuilt.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn mutation_elements_roundtrip() {
+        let path = Path::new("wal.log");
+        let batch = vec![
+            StreamElement::AddVertex {
+                id: VertexId::new(1),
+                label: Label::new(0),
+            },
+            StreamElement::AddVertex {
+                id: VertexId::new(2),
+                label: Label::new(1),
+            },
+            StreamElement::AddEdge {
+                source: VertexId::new(1),
+                target: VertexId::new(2),
+            },
+            StreamElement::Relabel {
+                id: VertexId::new(2),
+                label: Label::new(3),
+            },
+            StreamElement::RemoveEdge {
+                source: VertexId::new(1),
+                target: VertexId::new(2),
+            },
+            StreamElement::RemoveVertex {
+                id: VertexId::new(1),
+            },
+        ];
+        let decoded = decode_elements(encode_elements(&batch), path).unwrap();
+        assert_eq!(decoded, batch);
+        // Replaying the decoded batch applies the mutations: only vertex 2
+        // survives, relabelled, with no edges.
+        let replayed = loom_graph::GraphStream::from_elements(decoded).materialise();
+        assert_eq!(replayed.vertex_count(), 1);
+        assert_eq!(replayed.edge_count(), 0);
+        assert_eq!(replayed.label(VertexId::new(2)), Some(Label::new(3)));
     }
 
     #[test]

@@ -146,6 +146,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                                 .add_edge_idempotent(source, target)
                                 .map_err(|e| Box::new(e) as Box<dyn std::error::Error + Send>)?;
                         }
+                        // `from_graph` streams are insert-only.
+                        _ => unreachable!("graph streams carry no mutations"),
                     }
                 }
                 epochs_ref.publish(ShardedStore::from_parts(&grown, &partitioner.snapshot()));

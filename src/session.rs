@@ -376,6 +376,15 @@ impl DurableState {
                 StreamElement::AddEdge { source, target } => {
                     let _ = self.graph.add_edge_idempotent(source, target);
                 }
+                StreamElement::RemoveVertex { id } => {
+                    self.graph.remove_vertex(id);
+                }
+                StreamElement::RemoveEdge { source, target } => {
+                    self.graph.remove_edge(source, target);
+                }
+                StreamElement::Relabel { id, label } => {
+                    let _ = self.graph.set_label(id, label);
+                }
             }
         }
     }
@@ -395,6 +404,7 @@ impl Drop for DurableState {
 struct IngestSpans {
     wal_append: Arc<Histogram>,
     partition: Arc<Histogram>,
+    apply_delete: Arc<Histogram>,
 }
 
 impl IngestSpans {
@@ -402,6 +412,7 @@ impl IngestSpans {
         Self {
             wal_append: telemetry.stage_histogram(stage::INGEST_WAL_APPEND),
             partition: telemetry.stage_histogram(stage::INGEST_PARTITION),
+            apply_delete: telemetry.stage_histogram(stage::INGEST_APPLY_DELETE),
         }
     }
 }
@@ -496,7 +507,16 @@ impl Session {
         drop(span);
         ingested?;
         if let Some(durable) = self.durable.as_mut() {
+            // Batches carrying destructive elements charge the mirror
+            // application to `ingest.apply_delete`; insert-only batches stay
+            // off that series so its count is the number of mutating batches.
+            let span = if batch.iter().any(|e| e.is_mutation()) {
+                SpanTimer::start(self.ingest_spans.as_ref().map(|s| &*s.apply_delete))
+            } else {
+                SpanTimer::start(None)
+            };
             durable.apply(batch);
+            drop(span);
         }
         Ok(())
     }
@@ -702,6 +722,15 @@ impl Session {
                     }
                     StreamElement::AddEdge { source, target } => {
                         let _ = graph.add_edge_idempotent(source, target);
+                    }
+                    StreamElement::RemoveVertex { id } => {
+                        graph.remove_vertex(id);
+                    }
+                    StreamElement::RemoveEdge { source, target } => {
+                        graph.remove_edge(source, target);
+                    }
+                    StreamElement::Relabel { id, label } => {
+                        let _ = graph.set_label(id, label);
                     }
                 }
             }

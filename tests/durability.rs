@@ -11,9 +11,15 @@
 //! * **restart-and-serve parity** — kill mid-ingest, `Session::recover`,
 //!   serve the same workload: identical match counts and aggregate metrics
 //!   to an uninterrupted session at the same checkpoint boundary, with the
-//!   pre-crash `epoch_seq` flowing into the serve report.
+//!   pre-crash `epoch_seq` flowing into the serve report;
+//! * **mutation durability** — kill mid-churn (deletes and relabels in
+//!   flight): the recovered state is bit-identical to an uncrashed run,
+//!   deletes included, and a compacted store's checkpoint round-trips with
+//!   every tombstone physically removed.
 
-use loom::loom_store::checkpoint::{CHECKPOINT_DIR, MANIFEST_FILE};
+use loom::loom_store::checkpoint::{
+    load_checkpoint, write_checkpoint, CHECKPOINT_DIR, MANIFEST_FILE,
+};
 use loom::loom_store::codec::{encode_shard, encode_tail};
 use loom::prelude::*;
 use loom_graph::generators::{barabasi_albert, GeneratorConfig};
@@ -180,6 +186,161 @@ fn kill_mid_ingest_recover_and_serve_identically() {
     assert_eq!(session.checkpoint().unwrap(), 2);
     assert_eq!(session.sync_durability(Duration::from_secs(30)).unwrap(), 2);
     drop(session);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// A session for the deletion-churn scenario: LOOM partitioning the grown
+/// graph, serving the scenario's `abc` workload.
+fn churn_builder(graph: &LabelledGraph) -> SessionBuilder {
+    Session::builder(PartitionerSpec::Loom(
+        LoomConfig::new(3, graph.vertex_count()).with_window_size(8),
+    ))
+    .workload(DeletionChurnScenario::workload())
+    .chunk_size(40)
+}
+
+#[test]
+fn kill_mid_churn_recovers_deletes_bit_identically() {
+    let root = tmproot("churn");
+    let scenario = DeletionChurnScenario {
+        background_vertices: 150,
+        instances: 12,
+        dissolve_fraction: 0.5,
+        relabel_fraction: 0.2,
+        seed: 17,
+    };
+    let run = scenario.build().unwrap();
+    let build = run.build_stream.elements();
+    let mid = run.dissolve.len() / 2;
+    assert!(mid > 0, "scenario must produce a two-batch dissolve stream");
+
+    // Durable run: grow, start dissolving, checkpoint mid-churn, finish the
+    // dissolve, then "crash" with a torn WAL tail.
+    let mut session = churn_builder(&run.graph)
+        .with_durability(&root)
+        .build()
+        .unwrap();
+    session.ingest_batch(build).unwrap();
+    session.ingest_batch(&run.dissolve[..mid]).unwrap();
+    assert_eq!(session.checkpoint().unwrap(), 1);
+    assert_eq!(session.sync_durability(Duration::from_secs(30)).unwrap(), 1);
+    session.ingest_batch(&run.dissolve[mid..]).unwrap();
+    let acknowledged = session.wal_records().unwrap();
+    drop(session);
+    let wal_path = root.join("wal.log");
+    let mut raw = std::fs::read(&wal_path).unwrap();
+    raw.extend_from_slice(&[0xBE, 0xEF, 0x00]);
+    std::fs::write(&wal_path, &raw).unwrap();
+
+    // Uncrashed control at the same mid-churn checkpoint boundary.
+    let mut control = churn_builder(&run.graph).build().unwrap();
+    control.ingest_batch(build).unwrap();
+    control.ingest_batch(&run.dissolve[..mid]).unwrap();
+    let mut mid_elements = build.to_vec();
+    mid_elements.extend(run.dissolve[..mid].iter().cloned());
+    let mid_graph = GraphStream::from_elements(mid_elements).materialise();
+    assert!(
+        mid_graph.vertex_count() < run.graph.vertex_count(),
+        "the checkpoint boundary must already contain deletes"
+    );
+    let control_store = ShardedStore::from_parts(&mid_graph, &control.snapshot());
+
+    // The mid-churn checkpoint is bit-identical to the uncrashed control —
+    // deletes applied physically, never as tombstones.
+    let recovered = churn_builder(&run.graph)
+        .with_durability(&root)
+        .recover()
+        .unwrap();
+    let report = recovered.report();
+    assert_eq!(report.epoch_seq, 1);
+    assert_eq!(report.wal_records, acknowledged);
+    assert_eq!(report.wal_records_in_checkpoint, 2);
+    assert_eq!(report.wal_truncated_bytes, 3);
+    assert_bit_identical(recovered.store(), &control_store);
+
+    // Restart-and-serve parity on the scenario workload.
+    let samples = 150;
+    let workload = DeletionChurnScenario::workload();
+    let recovered_report = recovered.sharded(2).serve(&workload, samples, 7);
+    let stats = GraphStatistics::from_graph(&mid_graph);
+    let plans = Arc::new(PlanCache::compile(
+        &QueryPlanner::new(PlanStrategy::default()),
+        &workload,
+        &stats,
+    ));
+    let executor = QueryExecutor::new(LatencyModel::default());
+    let control_engine = ServeEngine::new(
+        ServeConfig::new(2)
+            .with_mode(executor.mode())
+            .with_latency(executor.latency_model())
+            .with_match_limit(executor.match_limit()),
+    )
+    .with_plan_cache(plans);
+    let control_report =
+        control_engine.serve_batch(&Arc::new(control_store), &workload, samples, 7);
+    assert_eq!(recovered_report.aggregate, control_report.aggregate);
+    assert!(recovered_report.aggregate.matches_found > 0);
+
+    // Recovery replayed the *entire* acknowledged history — including the
+    // post-checkpoint dissolve batch — so the next checkpoint equals an
+    // uncrashed session's view of the fully dissolved graph.
+    let mut session = recovered.into_session();
+    assert_eq!(session.checkpoint().unwrap(), 2);
+    assert_eq!(session.sync_durability(Duration::from_secs(30)).unwrap(), 2);
+    drop(session);
+    control.ingest_batch(&run.dissolve[mid..]).unwrap();
+    // Materialise the control graph from the stream itself so its adjacency
+    // order matches what both sessions ingested (`run.final_graph` is the
+    // same graph but in generator order).
+    let mut all_elements = build.to_vec();
+    all_elements.extend(run.dissolve.iter().cloned());
+    let final_graph = GraphStream::from_elements(all_elements).materialise();
+    let final_store = ShardedStore::from_parts(&final_graph, &control.snapshot());
+    let healed = churn_builder(&run.graph)
+        .with_durability(&root)
+        .recover()
+        .unwrap();
+    assert_eq!(healed.epoch_seq(), 2);
+    assert_bit_identical(healed.store(), &final_store);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn compacted_store_checkpoints_with_tombstones_physically_removed() {
+    let root = tmproot("compact-ckpt");
+    std::fs::create_dir_all(&root).unwrap();
+    let run = DeletionChurnScenario {
+        background_vertices: 150,
+        instances: 12,
+        dissolve_fraction: 0.5,
+        relabel_fraction: 0.2,
+        seed: 23,
+    }
+    .build()
+    .unwrap();
+    let mut ldg = LdgPartitioner::new(LdgConfig::new(3, run.graph.vertex_count())).unwrap();
+    let partitioning = partition_stream(&mut ldg, &run.build_stream).unwrap();
+    let store = ShardedStore::from_parts(&run.graph, &partitioning);
+    let tombstoned = store.apply_mutations(&run.dissolve).store;
+    assert!(tombstoned.tombstoned_vertices() > 0);
+    let compacted = tombstoned.compact(0.0).store.with_epoch(5);
+    assert_eq!(compacted.tombstoned_vertices(), 0);
+    assert_eq!(compacted.vertex_count(), run.final_graph.vertex_count());
+
+    // Round-trip through the checkpoint codec: the image loads, verifies,
+    // and re-encodes bit-identically — the dead slots are physically gone,
+    // and what comes back is exactly the from-scratch final graph.
+    let meta = write_checkpoint(&root, &compacted, 3, "test-spec").unwrap();
+    assert_eq!(meta.vertices, run.final_graph.vertex_count() as u64);
+    let dir = root.join(CHECKPOINT_DIR).join(format!("{:010}", 5));
+    let loaded = load_checkpoint(&dir).unwrap();
+    assert_bit_identical(&loaded.store, &compacted);
+    assert_eq!(loaded.graph.vertex_count(), run.final_graph.vertex_count());
+    assert_eq!(loaded.graph.edges_sorted(), run.final_graph.edges_sorted());
+    // Relabels survive the round trip too.
+    for v in run.final_graph.vertices_sorted() {
+        assert_eq!(loaded.graph.label(v), run.final_graph.label(v));
+    }
     std::fs::remove_dir_all(&root).unwrap();
 }
 

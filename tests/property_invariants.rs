@@ -107,6 +107,8 @@ proptest! {
                 StreamElement::AddEdge { source, target } => {
                     prop_assert!(seen.contains(&source) && seen.contains(&target));
                 }
+                // `from_graph` streams are insert-only.
+                _ => prop_assert!(false, "graph streams carry no mutations"),
             }
         }
     }
@@ -207,5 +209,281 @@ proptest! {
         // Communication volume is at most twice the cut edge count
         // (each cut edge contributes at most one remote partition per side).
         prop_assert!(report.communication_volume <= 2 * report.cut_edges);
+    }
+}
+
+// ───────────────── mutation-stream interleaving parity ─────────────────
+
+/// One raw mutation op before interpretation: `(kind, a, b, label)`. The
+/// interpreter maps it onto whatever is valid for the current shadow graph
+/// (indices are taken modulo the live population), so every generated
+/// sequence realises into a legal mutation stream.
+type RawOp = (u8, usize, usize, u32);
+
+/// Interprets [`RawOp`]s into a [`StreamElement`] sequence while maintaining
+/// the reference graph the stream must converge to. Removed vertices go to a
+/// graveyard so a later op can re-add the *same* id (the remove-then-readd
+/// path the distinct counters and tombstone machinery must survive).
+struct MutationScript {
+    graph: LabelledGraph,
+    alive: Vec<VertexId>,
+    graveyard: Vec<(VertexId, Label)>,
+    next_id: u64,
+    elements: Vec<StreamElement>,
+}
+
+impl MutationScript {
+    fn new() -> Self {
+        Self {
+            graph: LabelledGraph::new(),
+            alive: Vec::new(),
+            graveyard: Vec::new(),
+            next_id: 0,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Apply one raw op. `destructive_only` restricts the op to the
+    /// remove/relabel kinds (the dissolve phase of a churn workload).
+    fn apply(&mut self, op: RawOp, destructive_only: bool) {
+        let (kind, a, b, label) = op;
+        let kind = if destructive_only {
+            2 + kind % 3
+        } else {
+            kind % 6
+        };
+        match kind {
+            0 => {
+                // Add a fresh vertex.
+                let id = VertexId::new(self.next_id);
+                self.next_id += 1;
+                let lbl = Label::new(label % 4);
+                self.graph.insert_vertex(id, lbl);
+                self.alive.push(id);
+                self.elements
+                    .push(StreamElement::AddVertex { id, label: lbl });
+            }
+            1 => {
+                // Add an edge between two distinct live vertices.
+                if self.alive.len() >= 2 {
+                    let u = self.alive[a % self.alive.len()];
+                    let v = self.alive[b % self.alive.len()];
+                    if u != v {
+                        let _ = self.graph.add_edge_idempotent(u, v);
+                        self.elements.push(StreamElement::AddEdge {
+                            source: u,
+                            target: v,
+                        });
+                    }
+                }
+            }
+            2 => {
+                // Remove a live vertex (implicitly drops incident edges).
+                if !self.alive.is_empty() {
+                    let v = self.alive.swap_remove(a % self.alive.len());
+                    let lbl = self.graph.label(v).expect("live vertex is labelled");
+                    self.graph.remove_vertex(v);
+                    self.graveyard.push((v, lbl));
+                    self.elements.push(StreamElement::RemoveVertex { id: v });
+                }
+            }
+            3 => {
+                // Remove an existing edge.
+                let edges = self.graph.edges_sorted();
+                if !edges.is_empty() {
+                    let e = edges[a % edges.len()];
+                    self.graph.remove_edge(e.lo, e.hi);
+                    self.elements.push(StreamElement::RemoveEdge {
+                        source: e.lo,
+                        target: e.hi,
+                    });
+                }
+            }
+            4 => {
+                // Relabel a live vertex.
+                if !self.alive.is_empty() {
+                    let v = self.alive[a % self.alive.len()];
+                    let lbl = Label::new(label % 4);
+                    let _ = self.graph.set_label(v, lbl);
+                    self.elements
+                        .push(StreamElement::Relabel { id: v, label: lbl });
+                }
+            }
+            _ => {
+                // Re-add a previously removed vertex under its old id.
+                if !self.graveyard.is_empty() {
+                    let (v, lbl) = self.graveyard.swap_remove(a % self.graveyard.len());
+                    self.graph.insert_vertex(v, lbl);
+                    self.alive.push(v);
+                    self.elements
+                        .push(StreamElement::AddVertex { id: v, label: lbl });
+                }
+            }
+        }
+    }
+
+    /// Drain the elements realised so far (the phase boundary).
+    fn take_elements(&mut self) -> Vec<StreamElement> {
+        std::mem::take(&mut self.elements)
+    }
+}
+
+/// Monotonic counter giving each WAL-leg proptest case a private temp dir.
+static WAL_CASE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// The fixed two-query workload for the parity checks (labels inside the
+/// interpreter's 0..4 alphabet, so relabels move matches in and out).
+fn parity_workload() -> Workload {
+    Workload::uniform(vec![
+        PatternQuery::path(
+            QueryId::new(0),
+            &[Label::new(0), Label::new(1), Label::new(2)],
+        )
+        .expect("valid abc query"),
+        PatternQuery::path(QueryId::new(1), &[Label::new(2), Label::new(1)]).expect("valid query"),
+    ])
+    .expect("valid parity workload")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any valid interleaving of adds, removes, relabels and re-adds,
+    /// streamed through each partitioner, yields a partitioning of exactly
+    /// the surviving vertices — and the workload's match counts are
+    /// identical whether the final graph is (1) queried sequentially from a
+    /// from-scratch build, (2) served from a from-scratch sharded store,
+    /// (3) served from a pre-dissolve store that reached the final state
+    /// through tombstoning, or (4) rebuilt from a WAL round-trip of the
+    /// full mutation history.
+    #[test]
+    fn mutation_interleavings_preserve_match_parity(
+        build_ops in proptest::collection::vec((0u8..6, 0usize..64, 0usize..64, 0u32..4), 6..40),
+        destroy_ops in proptest::collection::vec((0u8..3, 0usize..64, 0usize..64, 0u32..4), 1..16),
+        seed in 0u64..1000,
+    ) {
+        let mut script = MutationScript::new();
+        for op in build_ops {
+            script.apply(op, false);
+        }
+        let build = script.take_elements();
+        let pre_destroy = script.graph.clone();
+        for op in destroy_ops {
+            script.apply(op, true);
+        }
+        let destroy = script.take_elements();
+        let final_graph = script.graph;
+
+        // The stream is faithful: materialising the full history rebuilds
+        // the shadow graph exactly (vertices, edges, labels).
+        let mut all = build.clone();
+        all.extend(destroy.iter().cloned());
+        let replayed = GraphStream::from_elements(all.clone()).materialise();
+        prop_assert_eq!(replayed.vertices_sorted(), final_graph.vertices_sorted());
+        prop_assert_eq!(replayed.edges_sorted(), final_graph.edges_sorted());
+        for v in final_graph.vertices_sorted() {
+            prop_assert_eq!(replayed.label(v), final_graph.label(v));
+        }
+
+        let workload = parity_workload();
+        let n = final_graph.vertex_count();
+        // Capacity must cover the high-water mark of live vertices, which is
+        // bounded by the total number of AddVertex elements.
+        let adds = all
+            .iter()
+            .filter(|e| matches!(e, StreamElement::AddVertex { .. }))
+            .count()
+            .max(1);
+        let edges = pre_destroy.edge_count().max(1);
+        let tpstry = MotifMiner::default().mine(&workload).expect("mines");
+        let executor = QueryExecutor::new(LatencyModel::default());
+        let engine = ServeEngine::new(ServeConfig::new(2));
+        let samples = 8usize;
+
+        let registry = loom_core::workload_registry(&tpstry);
+        let specs = [
+            PartitionerSpec::Hash(HashConfig::new(2, adds)),
+            PartitionerSpec::Ldg(LdgConfig::new(2, adds)),
+            PartitionerSpec::Fennel(FennelConfig::new(2, adds, edges)),
+            PartitionerSpec::Loom(LoomConfig::new(2, adds).with_window_size(4)),
+        ];
+        let mut reference: Option<usize> = None;
+        for spec in &specs {
+            // Leg 1 (sequential, from scratch): stream the full history.
+            let mut partitioner = registry.build(spec).expect("builds");
+            partitioner.ingest_batch(&build).expect("build batch ingests");
+            partitioner.ingest_batch(&destroy).expect("destroy batch ingests");
+            let partitioning = partitioner.finish().expect("finishes");
+            prop_assert_eq!(partitioning.assigned_count(), n);
+            for v in final_graph.vertices_sorted() {
+                prop_assert!(partitioning.partition_of(v).is_some());
+            }
+            let seq = executor
+                .execute_workload(
+                    &PartitionedStore::new(final_graph.clone(), partitioning.clone()),
+                    &workload,
+                    samples,
+                    seed,
+                )
+                .matches_found;
+            // Every partitioner sees the same matches on the same graph.
+            if let Some(reference) = reference {
+                prop_assert_eq!(seq, reference);
+            }
+            reference = Some(seq);
+
+            // Leg 2 (sharded, from scratch): same partitioning, frozen into
+            // the concurrent store.
+            let sharded = engine
+                .serve_batch(
+                    &std::sync::Arc::new(ShardedStore::from_parts(&final_graph, &partitioning)),
+                    &workload,
+                    samples,
+                    seed,
+                )
+                .aggregate;
+            prop_assert_eq!(sharded.matches_found, seq);
+
+            // Leg 3 (tombstoned): build the pre-dissolve store from scratch,
+            // then apply the destroy stream as tombstones — matches must be
+            // those of the final graph without any rebuild.
+            let mut pre_partitioner = registry.build(spec).expect("builds");
+            pre_partitioner.ingest_batch(&build).expect("build batch ingests");
+            let pre_partitioning = pre_partitioner.finish().expect("finishes");
+            let tombstoned = ShardedStore::from_parts(&pre_destroy, &pre_partitioning)
+                .apply_mutations(&destroy)
+                .store;
+            let tomb = engine
+                .serve_batch(&std::sync::Arc::new(tombstoned), &workload, samples, seed)
+                .aggregate;
+            prop_assert_eq!(tomb.matches_found, seq);
+        }
+
+        // Leg 4 (recovered from WAL): the full mutation history round-trips
+        // bit-for-bit and its replay equals the final graph.
+        let case = WAL_CASE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let root = std::env::temp_dir().join(format!(
+            "loom-prop-mutations-{}-{case}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&root).expect("temp root");
+        {
+            let mut wal = loom::loom_store::Wal::create(&root.join(loom::loom_store::WAL_FILE))
+                .expect("wal creates");
+            let mut expected = Vec::new();
+            for batch in [&build, &destroy] {
+                if !batch.is_empty() {
+                    wal.append(batch).expect("wal appends");
+                    expected.push(batch.clone());
+                }
+            }
+            let recovered = loom::loom_store::recover(&root).expect("recovers");
+            prop_assert_eq!(&recovered.batches, &expected);
+            let rebuilt =
+                GraphStream::from_elements(recovered.batches.concat()).materialise();
+            prop_assert_eq!(rebuilt.vertices_sorted(), final_graph.vertices_sorted());
+            prop_assert_eq!(rebuilt.edges_sorted(), final_graph.edges_sorted());
+        }
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

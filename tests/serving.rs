@@ -196,6 +196,8 @@ fn queries_survive_epoch_swaps_without_torn_reads() {
                         StreamElement::AddEdge { source, target } => {
                             grown.add_edge_idempotent(source, target).unwrap();
                         }
+                        // `from_graph` streams are insert-only.
+                        _ => unreachable!("graph streams carry no mutations"),
                     }
                 }
                 epochs_ref.publish(ShardedStore::from_parts(&grown, &partitioner.snapshot()));

@@ -178,6 +178,94 @@ fn durable_observed_pipeline_records_store_stages_and_checkpoint_seals() {
 }
 
 #[test]
+fn mutating_batches_charge_apply_delete_and_compaction_observes() {
+    let (graph, workload) = fixture();
+
+    // Durable session: only batches carrying deletes/relabels charge the
+    // `ingest.apply_delete` span (its count is the number of mutating
+    // batches, not elements).
+    let root = std::env::temp_dir().join(format!("loom-obs-churn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let telemetry = Telemetry::new();
+    let mut durable = session(&graph, &workload)
+        .telemetry(Arc::clone(&telemetry))
+        .with_durability(&root)
+        .build()
+        .unwrap();
+    durable
+        .ingest_stream(&GraphStream::from_graph(&graph, &StreamOrder::Bfs))
+        .unwrap();
+    let count = |telemetry: &Telemetry, name: &str| {
+        telemetry
+            .snapshot()
+            .registry
+            .histograms
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, h)| h.count)
+            .sum::<u64>()
+    };
+    assert_eq!(
+        count(&telemetry, stage::INGEST_APPLY_DELETE),
+        0,
+        "insert-only ingest stays off the delete span"
+    );
+    let victims = graph.vertices_sorted();
+    durable
+        .ingest_batch(&[StreamElement::RemoveVertex { id: victims[0] }])
+        .unwrap();
+    durable
+        .ingest_batch(&[
+            StreamElement::AddVertex {
+                id: VertexId::new(900_000),
+                label: l(0),
+            },
+            StreamElement::Relabel {
+                id: victims[1],
+                label: l(2),
+            },
+        ])
+        .unwrap();
+    assert_eq!(count(&telemetry, stage::INGEST_APPLY_DELETE), 2);
+    drop(durable);
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Adapt layer: a mutation tombstones the published store (the gauge
+    // rises), compaction reclaims it (gauge back to zero, `Compacted` in
+    // the flight recorder, `serve.compaction` charged).
+    let telemetry = Telemetry::new();
+    let serving = serve_through(
+        session(&graph, &workload).telemetry(Arc::clone(&telemetry)),
+        &graph,
+    );
+    let mut adaptive = serving.adaptive(2, AdaptConfig::default()).unwrap();
+    let tombstone_level = |telemetry: &Telemetry| {
+        telemetry
+            .snapshot()
+            .registry
+            .gauges
+            .iter()
+            .filter(|(k, _)| k.name == "store.tombstone_fraction")
+            .map(|(_, v)| *v)
+            .sum::<i64>()
+    };
+    adaptive.apply_mutations(&[StreamElement::RemoveVertex { id: victims[3] }]);
+    assert!(
+        tombstone_level(&telemetry) > 0,
+        "a tombstoned shard must raise its gauge"
+    );
+    let outcome = adaptive.compact_now(0.0);
+    assert_eq!(outcome.purged_vertices, 1);
+    assert_eq!(tombstone_level(&telemetry), 0);
+    assert!(count(&telemetry, stage::SERVE_COMPACTION) >= 1);
+    let dump = telemetry.flight().dump("test probe");
+    assert!(dump.events.iter().any(|e| matches!(
+        e.kind,
+        FlightKind::Compacted { purged: 1, epoch, .. } if epoch == outcome.epoch
+    )));
+}
+
+#[test]
 fn adaptation_charges_plan_and_migrate_spans_and_flight_events() {
     let (graph, workload) = fixture();
     let telemetry = Telemetry::new();
