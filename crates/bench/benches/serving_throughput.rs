@@ -26,6 +26,11 @@
 //! the amortized compile-once path the engine runs in production — not
 //! per-query order derivation.
 //!
+//! The QPS recorded here is **modelled** (deterministic latency-model cost
+//! of the executed work) — the *measured* wall-clock capacity of the same
+//! stack, driven open-loop to its saturation knee, lives in
+//! `BENCH_capacity.json`, emitted by the `capacity` bench.
+//!
 //! Since `loom-obs` landed, every engine here runs **with telemetry
 //! attached** — the numbers include the instrumented hot path. In full mode
 //! the sweep asserts the modelled QPS of every cell stays within 2% of the

@@ -215,6 +215,30 @@ impl TelemetryDelta {
             .find(|(k, _)| k == key)
             .map_or(0.0, |(_, delta)| *delta as f64 / self.interval_secs())
     }
+
+    /// Sum of a counter's interval deltas across every labelled series of
+    /// `name` (e.g. total `serve.rejected` over all shards in this ramp
+    /// step).
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, delta)| *delta)
+            .sum()
+    }
+
+    /// Every labelled series of histogram `name` merged into one interval
+    /// snapshot — the per-step cross-shard distribution an open-loop ramp
+    /// reads its queue-wait and latency quantiles from.
+    pub fn histogram_merged(&self, name: &str) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for (key, hist) in &self.histograms {
+            if key.name == name {
+                merged.merge(hist);
+            }
+        }
+        merged
+    }
 }
 
 impl fmt::Display for TelemetryDelta {
@@ -386,5 +410,34 @@ mod tests {
         let text = delta.to_string();
         assert!(text.contains("+20"));
         assert!(text.contains("p99=5us"));
+    }
+
+    #[test]
+    fn delta_sums_and_merges_across_labelled_series() {
+        let reg = MetricRegistry::new();
+        for shard in 0..3u32 {
+            reg.counter("serve.rejected", &[("shard", shard.to_string())])
+                .add(u64::from(shard) + 1);
+            let h = reg.histogram("serve.queue_wait", &[("shard", shard.to_string())]);
+            h.record(10 * (u64::from(shard) + 1));
+        }
+        let early = TelemetrySnapshot {
+            at_us: 0,
+            registry: RegistrySnapshot::default(),
+        };
+        let late = TelemetrySnapshot {
+            at_us: 1_000_000,
+            registry: reg.snapshot(),
+        };
+        let delta = late.since(&early);
+        // 1 + 2 + 3 rejections across the three shard series.
+        assert_eq!(delta.counter_sum("serve.rejected"), 6);
+        assert_eq!(delta.counter_sum("serve.admitted"), 0);
+        let merged = delta.histogram_merged("serve.queue_wait");
+        assert_eq!(merged.count, 3);
+        // The merged p99 is the largest shard's sample (log-linear bucket
+        // upper bound, ≤ 1/32 above 30).
+        assert!(merged.quantile(0.99) >= 30);
+        assert_eq!(delta.histogram_merged("missing").count, 0);
     }
 }

@@ -33,7 +33,7 @@
 //!   p50/p99, remote-hop fraction, queue depth, queue-wait p99, rejects).
 
 use crate::epoch::EpochStore;
-use crate::metrics::{sort_samples, sorted_quantile, ServeReport, ShardServeMetrics};
+use crate::metrics::{sort_samples, sorted_quantile, ErrorBudget, ServeReport, ShardServeMetrics};
 use crate::router::QueryRouter;
 use crate::shard::ShardedStore;
 use crate::transport::{
@@ -91,6 +91,14 @@ pub struct ServeConfig {
     /// run, so per-query metrics under tight match limits can differ from
     /// the single-execution path.
     pub halo_handoff: bool,
+    /// Service-time emulation for capacity runs: when set, each worker
+    /// sleeps `estimated_latency_us × scale` wall-clock microseconds after
+    /// executing a query, converting the modelled latency into real shard
+    /// occupancy so an open-loop driver measures a genuine saturation knee.
+    /// Sleeping (not spinning) lets shards overlap even on a single core.
+    /// `None` (the default) leaves the serving path bit-identical to an
+    /// engine without the knob.
+    pub service_hold: Option<f64>,
 }
 
 impl ServeConfig {
@@ -105,6 +113,7 @@ impl ServeConfig {
             match_limit: 10_000,
             latency: LatencyModel::default(),
             halo_handoff: false,
+            service_hold: None,
         }
     }
 
@@ -150,6 +159,14 @@ impl ServeConfig {
         self.halo_handoff = enabled;
         self
     }
+
+    /// Builder-style service-time emulation (see
+    /// [`ServeConfig::service_hold`]); negative scales clamp to zero.
+    #[must_use]
+    pub fn with_service_hold(mut self, scale: f64) -> Self {
+        self.service_hold = Some(scale.max(0.0));
+        self
+    }
 }
 
 impl Default for ServeConfig {
@@ -167,6 +184,7 @@ pub(crate) struct RunOptions {
     pub(crate) traversal_budget: Option<usize>,
     pub(crate) latency: LatencyModel,
     pub(crate) collect: bool,
+    pub(crate) hold_scale: Option<f64>,
 }
 
 /// Where workers pin their snapshots from.
@@ -196,6 +214,9 @@ struct CoordLog {
     latencies: Vec<f64>,
     epochs: Vec<u64>,
     rejected: usize,
+    /// Completed executions flagged `deadline_exceeded` (disjoint from
+    /// `rejected`, which never reach a worker).
+    deadline_expired: usize,
     /// Run-local latency histogram, present only when the run is observed:
     /// the report's quantiles read from it, and it merges into the
     /// registry's cumulative `serve.latency{shard}` series at assembly — so
@@ -206,6 +227,9 @@ struct CoordLog {
 impl CoordLog {
     fn record(&mut self, metrics: ExecutionMetrics, epoch: u64) {
         self.queries += 1;
+        if metrics.deadline_exceeded {
+            self.deadline_expired += 1;
+        }
         self.latencies.push(metrics.estimated_latency_us);
         if let Some(hist) = &self.hist {
             hist.record_f64(metrics.estimated_latency_us);
@@ -226,6 +250,41 @@ struct PendingQuery {
     received: u32,
     epoch: u64,
     acc: ExecutionMetrics,
+}
+
+/// Outcome of one open-loop injection attempt (see
+/// [`OpenLoopInjector::inject_next`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The request was enqueued on its home worker's inbox.
+    Admitted {
+        /// The request's run-global sequence number.
+        seq: u64,
+        /// The worker shard it was routed to.
+        shard: usize,
+    },
+    /// The home worker's inbox was full; the request was rejected on the
+    /// spot (counted in the shard's `rejected`, never retried).
+    Rejected {
+        /// The request's run-global sequence number.
+        seq: u64,
+        /// The worker shard it was routed to.
+        shard: usize,
+    },
+    /// The scheduled load is exhausted — nothing left to inject.
+    Exhausted,
+}
+
+/// One completed request as observed by the open-loop coordinator: when the
+/// `Done` message was consumed, which is the client-visible completion time.
+#[derive(Debug, Clone, Copy)]
+pub struct Completion {
+    /// The request's run-global sequence number (admission order).
+    pub seq: u64,
+    /// When the coordinator consumed the completion.
+    pub at: Instant,
+    /// Whether the execution came back flagged `deadline_exceeded`.
+    pub deadline_exceeded: bool,
 }
 
 /// The run coordinator: owns the coordinator-side transport endpoints and
@@ -254,6 +313,10 @@ struct Coordinator<'a> {
     outstanding: usize,
     forwarded_epoch: u64,
     cancel_sent: bool,
+    /// Completion sink, present only on open-loop runs: every consumed
+    /// `Done` is timestamped here for the driver to drain. `None` keeps the
+    /// closed-loop paths free of per-completion clock reads.
+    completions: Option<Vec<Completion>>,
 }
 
 impl<'a> Coordinator<'a> {
@@ -301,6 +364,51 @@ impl<'a> Coordinator<'a> {
             outstanding: 0,
             forwarded_epoch: 0,
             cancel_sent: false,
+            completions: None,
+        }
+    }
+
+    /// Send one routed query to its home worker **without blocking**: a full
+    /// inbox rejects the request immediately (same accounting as a
+    /// deadline-expired admission) instead of applying backpressure. This is
+    /// the open-loop admission primitive — injection timing never depends on
+    /// the engine keeping up. Returns whether the request was enqueued.
+    fn admit_open(&mut self, worker: usize, task: QueryTaskMsg, epoch: u64) -> bool {
+        if self.handoff {
+            self.meta.insert(task.seq, (worker, task.query as usize));
+        }
+        let seq = task.seq;
+        if let Some(t) = self.telemetry {
+            t.flight().record(FlightKind::Admitted {
+                request: seq,
+                shard: worker as u32,
+                epoch,
+            });
+        }
+        match self.links[worker].try_send(ShardMsg::Query(task)) {
+            Ok(()) => {
+                self.outstanding += 1;
+                if let Some(ctr) = self.admitted_ctr.get(worker) {
+                    ctr.inc();
+                }
+                true
+            }
+            Err(err) => {
+                if let ShardMsg::Query(task) = err.into_msg() {
+                    if let Some(t) = self.telemetry {
+                        t.flight().record(FlightKind::Rejected {
+                            request: seq,
+                            shard: worker as u32,
+                            epoch,
+                        });
+                    }
+                    self.reject(worker, &task, epoch);
+                    if let Some(t) = self.telemetry {
+                        t.flight().latch("admission rejected");
+                    }
+                }
+                false
+            }
         }
     }
 
@@ -487,6 +595,13 @@ impl<'a> Coordinator<'a> {
             }
         } else {
             self.observe_done(worker as usize, seq, epoch, &metrics);
+            if let Some(sink) = self.completions.as_mut() {
+                sink.push(Completion {
+                    seq,
+                    at: Instant::now(),
+                    deadline_exceeded: metrics.deadline_exceeded,
+                });
+            }
             self.logs[worker as usize].record(metrics, epoch);
             self.outstanding -= 1;
         }
@@ -526,6 +641,13 @@ impl<'a> Coordinator<'a> {
             plan: self.plans[query].as_ref().map(|p| p.id()),
         };
         self.observe_done(worker, seq, pending.epoch, &metrics);
+        if let Some(sink) = self.completions.as_mut() {
+            sink.push(Completion {
+                seq,
+                at: Instant::now(),
+                deadline_exceeded: metrics.deadline_exceeded,
+            });
+        }
         self.logs[worker].record(metrics, pending.epoch);
         self.outstanding -= 1;
     }
@@ -581,6 +703,135 @@ impl<'a> Coordinator<'a> {
                 Err(RecvError::Disconnected) => break,
             }
         }
+    }
+}
+
+/// Driver-side handle for one open-loop run (see
+/// [`ServeEngine::open_loop`]). The load is pre-scheduled exactly like a
+/// closed-loop run; the driver injects it one arrival at a time with
+/// **non-blocking** admission ([`OpenLoopInjector::inject_next`]), so
+/// injection timing is a pure function of the driver's clock — never of the
+/// engine keeping up. A full inbox rejects on the spot; a late arrival can
+/// be shed ([`OpenLoopInjector::shed_next`]); both land in the same
+/// per-shard `rejected` accounting the blocking path uses, so every issued
+/// request appears in the final [`ServeReport`].
+pub struct OpenLoopInjector<'a> {
+    coordinator: Coordinator<'a>,
+    router: &'a QueryRouter,
+    snapshot: Arc<ShardedStore>,
+    tasks: &'a [QueryTaskMsg],
+    workers: usize,
+    next: usize,
+    issued: usize,
+    query_counts: Vec<usize>,
+    run_start: Instant,
+}
+
+impl OpenLoopInjector<'_> {
+    /// When the run (and its relative-µs deadline clock) started.
+    pub fn run_start(&self) -> Instant {
+        self.run_start
+    }
+
+    /// Scheduled arrivals not yet issued.
+    pub fn remaining(&self) -> usize {
+        self.tasks.len() - self.next
+    }
+
+    /// Requests issued so far (admitted + rejected + shed).
+    pub fn issued(&self) -> usize {
+        self.issued
+    }
+
+    /// Admitted requests whose completion has not been consumed yet — the
+    /// open-loop in-flight count (queued plus executing).
+    pub fn outstanding(&self) -> usize {
+        self.coordinator.outstanding
+    }
+
+    /// Issue the next scheduled arrival with non-blocking admission. An
+    /// explicit `deadline` overrides the request-level one for this arrival
+    /// (the natural choice is `arrival + SLO timeout`). Never blocks: a full
+    /// home-worker inbox means [`Admission::Rejected`], charged to that
+    /// shard's error budget.
+    pub fn inject_next(&mut self, deadline: Option<Instant>) -> Admission {
+        let tasks = self.tasks;
+        let Some(task) = tasks.get(self.next) else {
+            return Admission::Exhausted;
+        };
+        self.next += 1;
+        self.issued += 1;
+        self.query_counts[task.query as usize] += 1;
+        let mut task = task.clone();
+        if let Some(d) = deadline {
+            task.deadline_us = Some(d.saturating_duration_since(self.run_start).as_micros() as u64);
+        }
+        let plans = self.coordinator.plans;
+        let plan = plans[task.query as usize].as_ref().expect("scheduled plan");
+        let shard = self
+            .router
+            .home_shard_planned(&self.snapshot, plan, task.root_seed);
+        let worker = shard.index() % self.workers;
+        let seq = task.seq;
+        if self
+            .coordinator
+            .admit_open(worker, task, self.snapshot.epoch())
+        {
+            Admission::Admitted { seq, shard: worker }
+        } else {
+            Admission::Rejected { seq, shard: worker }
+        }
+    }
+
+    /// Drop the next scheduled arrival without offering it to its worker —
+    /// the driver's move when an arrival is already hopelessly late (an
+    /// open-loop generator sheds, it never retries). Accounted exactly like
+    /// an admission rejection on the arrival's home shard. Returns the shed
+    /// sequence number, or `None` when the schedule is exhausted.
+    pub fn shed_next(&mut self) -> Option<u64> {
+        let tasks = self.tasks;
+        let task = tasks.get(self.next)?;
+        self.next += 1;
+        self.issued += 1;
+        self.query_counts[task.query as usize] += 1;
+        let plans = self.coordinator.plans;
+        let plan = plans[task.query as usize].as_ref().expect("scheduled plan");
+        let shard = self
+            .router
+            .home_shard_planned(&self.snapshot, plan, task.root_seed);
+        let worker = shard.index() % self.workers;
+        let epoch = self.snapshot.epoch();
+        self.coordinator.reject(worker, task, epoch);
+        Some(task.seq)
+    }
+
+    /// Consume everything currently on the inbox without blocking.
+    pub fn pump(&mut self) {
+        self.coordinator.drain();
+    }
+
+    /// Consume inbox messages until `deadline` — this is how the driver
+    /// paces arrivals: sleep-with-work until the next scheduled injection
+    /// instant, timestamping completions as they land.
+    pub fn pump_until(&mut self, deadline: Instant) {
+        loop {
+            self.coordinator.poll_cancel();
+            self.coordinator.flush_relays();
+            match self.coordinator.links[0].recv(Some(deadline)) {
+                Ok(msg) => self.coordinator.handle(msg),
+                Err(RecvError::Timeout) | Err(RecvError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Take every completion consumed since the last call, in consumption
+    /// order, each timestamped at the instant the coordinator observed it.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        self.coordinator
+            .completions
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 }
 
@@ -736,6 +987,148 @@ impl ServeEngine {
         self.run(Source::Epochs(epochs), workload, request, ctx)
     }
 
+    /// Run an **open-loop** load against one pinned snapshot: the engine
+    /// spins up the same workers, router, and transport as
+    /// [`ServeEngine::run_request`], then hands control to `driver`, which
+    /// owns *when* each pre-scheduled arrival is issued via the
+    /// [`OpenLoopInjector`]. Admission never blocks — a full inbox rejects
+    /// immediately — so the driver's injection timing is independent of the
+    /// engine's completion timing; that independence is what makes measured
+    /// saturation honest (a closed-loop driver self-throttles at the knee).
+    ///
+    /// The request's sampled load and root seeds are exactly those of the
+    /// closed-loop path; arrivals the driver never issues are simply not
+    /// run. After `driver` returns, the engine awaits outstanding
+    /// completions, tears the run down, and returns the [`ServeReport`]
+    /// (whose [`ErrorBudget`] covers every
+    /// issued request) alongside the driver's own result.
+    pub fn open_loop<R>(
+        &self,
+        store: &Arc<ShardedStore>,
+        workload: &Workload,
+        request: QueryRequest,
+        driver: impl FnOnce(&mut OpenLoopInjector<'_>) -> R,
+    ) -> (ServeReport, R) {
+        let started = Instant::now();
+        let options = self.options_for(&request);
+        let workers = self.config.workers.max(1);
+        let router = QueryRouter::new(options.mode);
+        let effective = RequestContext::unbounded().tightened_by(request.deadline);
+        let handoff = self.config.halo_handoff;
+        let deadline_us = effective
+            .deadline
+            .map(|d| d.saturating_duration_since(started).as_micros() as u64);
+
+        let schedule = request_schedule(workload, &request);
+        let tasks: Vec<QueryTaskMsg> = schedule
+            .iter()
+            .enumerate()
+            .map(|(seq, &(query, root_seed))| QueryTaskMsg {
+                seq: seq as u64,
+                query: query as u32,
+                root_seed,
+                deadline_us,
+            })
+            .collect();
+        let plans = resolve_schedule_plans(self.plans.as_ref(), workload, &schedule);
+
+        let hub = InProcTransport::hub_observed(
+            workers,
+            self.config.queue_capacity,
+            self.telemetry.as_deref(),
+        );
+        let source = Source::Pinned(store);
+
+        let (logs, reports, embeddings, issued, query_counts, value) =
+            std::thread::scope(|scope| {
+                for (w, endpoint) in hub.workers.iter().enumerate() {
+                    let source = &source;
+                    let plans = &plans;
+                    let cancel = effective.cancel.clone();
+                    let exec_hist = self
+                        .telemetry
+                        .as_ref()
+                        .map(|t| t.shard_histogram(stage::SERVE_EXECUTE, w as u32));
+                    let halo_hist = self
+                        .telemetry
+                        .as_ref()
+                        .map(|t| t.shard_histogram(stage::SERVE_HALO_HANDOFF, w as u32));
+                    scope.spawn(move || {
+                        worker_loop(
+                            endpoint,
+                            source,
+                            WorkerSetup {
+                                worker: w as u32,
+                                workers: workers as u32,
+                                options,
+                                handoff,
+                                plans,
+                                run_start: started,
+                                cancel,
+                                exec_hist,
+                                halo_hist,
+                            },
+                        );
+                    });
+                }
+
+                let mut coordinator = Coordinator::new(
+                    &hub.coordinator,
+                    &plans,
+                    &effective.cancel,
+                    handoff,
+                    self.telemetry.as_deref(),
+                );
+                coordinator.completions = Some(Vec::new());
+                let mut injector = OpenLoopInjector {
+                    coordinator,
+                    router: &router,
+                    snapshot: Arc::clone(store),
+                    tasks: &tasks,
+                    workers,
+                    next: 0,
+                    issued: 0,
+                    query_counts: vec![0usize; workload.len()],
+                    run_start: started,
+                };
+                let value = driver(&mut injector);
+                let OpenLoopInjector {
+                    mut coordinator,
+                    issued,
+                    query_counts,
+                    ..
+                } = injector;
+                coordinator.await_completion();
+                coordinator.finish();
+                hub.coordinator[0].shutdown();
+                (
+                    coordinator.logs,
+                    coordinator.reports,
+                    coordinator.embeddings,
+                    issued,
+                    query_counts,
+                    value,
+                )
+            });
+
+        let depths: Vec<usize> = hub
+            .coordinator
+            .iter()
+            .map(|l| l.peer_inbox_depth())
+            .collect();
+        let (report, _) = self.assemble(
+            logs,
+            reports,
+            depths,
+            embeddings,
+            issued,
+            query_counts,
+            started,
+            &request,
+        );
+        (report, value)
+    }
+
     /// The effective run options for one request (engine config plus
     /// overrides).
     fn options_for(&self, request: &QueryRequest) -> RunOptions {
@@ -745,6 +1138,7 @@ impl ServeEngine {
             traversal_budget: request.traversal_budget,
             latency: self.config.latency,
             collect: request.collect_matches,
+            hold_scale: self.config.service_hold,
         }
     }
 
@@ -950,6 +1344,7 @@ impl ServeEngine {
                     .and_then(Option::as_ref)
                     .map_or(0.0, |r| r.queue_wait_p99_us),
                 rejected: log.rejected,
+                deadline_expired: log.deadline_expired,
                 epoch_seq: log.epochs.iter().copied().max(),
             });
         }
@@ -977,16 +1372,29 @@ impl ServeEngine {
                 )
             }
         };
+        let error_budget = ErrorBudget {
+            requests: samples,
+            rejected: shards.iter().map(|s| s.rejected).sum(),
+            deadline_expired: shards.iter().map(|s| s.deadline_expired).sum(),
+        };
+        let wall_clock_us = started.elapsed().as_secs_f64() * 1e6;
+        let wall_clock_qps = if wall_clock_us <= 0.0 {
+            0.0
+        } else {
+            samples as f64 / (wall_clock_us / 1e6)
+        };
         let report = ServeReport {
             shards,
             aggregate,
             queries: samples,
             makespan_us,
-            wall_clock_us: started.elapsed().as_secs_f64() * 1e6,
+            wall_clock_us,
+            wall_clock_qps,
             p50_latency_us: p50,
             p99_latency_us: p99,
             epochs_observed,
             query_counts,
+            error_budget,
         };
         let response = QueryResponse::from_engine(
             aggregate,
@@ -1262,6 +1670,88 @@ mod tests {
         assert!(a.p99_latency_us <= b.p99_latency_us.mul_add(1.0 + 1.0 / 32.0, 1.0));
         // No trigger fired: nothing latched.
         assert!(telemetry.flight().last_dump().is_none());
+    }
+
+    #[test]
+    fn open_loop_never_blocks_and_accounts_rejections() {
+        let (store, workload) = fixture();
+        // One worker held ~1ms per query behind a 2-deep queue: a burst of 30
+        // back-to-back injections must reject most arrivals immediately
+        // instead of blocking the driver.
+        let config = ServeConfig::new(1)
+            .with_queue_capacity(2)
+            .with_service_hold(50.0);
+        let engine = ServeEngine::new(config);
+        let request = QueryRequest::workload(30).with_seed(5);
+        let (report, admitted) = engine.open_loop(&store, &workload, request, |inj| {
+            let mut admitted = 0usize;
+            loop {
+                match inj.inject_next(None) {
+                    Admission::Admitted { .. } => admitted += 1,
+                    Admission::Rejected { .. } => {}
+                    Admission::Exhausted => break,
+                }
+            }
+            admitted
+        });
+        assert_eq!(report.queries, 30);
+        assert_eq!(report.error_budget.requests, 30);
+        assert_eq!(report.error_budget.rejected, 30 - admitted);
+        // Every issued request appears in the aggregate, executed or not.
+        assert_eq!(report.aggregate.queries_executed, 30);
+        assert!(
+            report.error_budget.rejected > 0,
+            "a 2-deep queue must reject under a 30-request burst"
+        );
+    }
+
+    #[test]
+    fn open_loop_completions_and_shed_accounting() {
+        let (store, workload) = fixture();
+        let engine = ServeEngine::new(ServeConfig::new(2));
+        let request = QueryRequest::workload(20).with_seed(7);
+        let (report, (completed, shed)) = engine.open_loop(&store, &workload, request, |inj| {
+            for _ in 0..10 {
+                assert!(matches!(inj.inject_next(None), Admission::Admitted { .. }));
+            }
+            let mut shed = 0usize;
+            while inj.shed_next().is_some() {
+                shed += 1;
+            }
+            assert!(matches!(inj.inject_next(None), Admission::Exhausted));
+            while inj.outstanding() > 0 {
+                inj.pump_until(Instant::now() + Duration::from_millis(5));
+            }
+            (inj.drain_completions().len(), shed)
+        });
+        assert_eq!(shed, 10);
+        assert_eq!(completed, 10);
+        assert_eq!(report.queries, 20);
+        assert_eq!(report.error_budget.requests, 20);
+        assert_eq!(report.error_budget.rejected, 10);
+        assert_eq!(report.aggregate.queries_executed, 20);
+        assert_eq!(report.query_counts.iter().sum::<usize>(), 20);
+    }
+
+    #[test]
+    fn service_hold_changes_wall_clock_only() {
+        let (store, workload) = fixture();
+        let plain = ServeEngine::new(ServeConfig::new(2)).serve_batch(&store, &workload, 40, 3);
+        let held = ServeEngine::new(ServeConfig::new(2).with_service_hold(5.0))
+            .serve_batch(&store, &workload, 40, 3);
+        // The hold occupies the shard in wall-clock time but must not perturb
+        // the modelled execution or its accounting.
+        assert_eq!(plain.aggregate, held.aggregate);
+        assert_eq!(plain.queries, held.queries);
+        assert_eq!(plain.error_budget, held.error_budget);
+    }
+
+    #[test]
+    fn report_carries_wall_clock_qps() {
+        let (store, workload) = fixture();
+        let report = ServeEngine::new(ServeConfig::new(2)).serve_batch(&store, &workload, 30, 1);
+        assert!(report.wall_clock_qps > 0.0);
+        assert!((report.wall_clock_qps - report.wall_clock_qps()).abs() < 1e-9);
     }
 
     #[test]

@@ -79,9 +79,9 @@ pub mod shard;
 pub mod transport;
 mod worker;
 
-pub use engine::{ServeConfig, ServeEngine};
+pub use engine::{Admission, Completion, OpenLoopInjector, ServeConfig, ServeEngine};
 pub use epoch::{EpochSink, EpochStore, SubscriptionId};
-pub use metrics::{ServeReport, ShardServeMetrics};
+pub use metrics::{ErrorBudget, ServeReport, ShardServeMetrics};
 pub use queue::ShardQueue;
 pub use router::QueryRouter;
 pub use shard::{MigratedStore, Shard, ShardedStore};
@@ -92,9 +92,9 @@ pub use transport::{
 
 /// Convenient re-exports for examples, tests and the umbrella crate.
 pub mod prelude {
-    pub use crate::engine::{ServeConfig, ServeEngine};
+    pub use crate::engine::{Admission, Completion, OpenLoopInjector, ServeConfig, ServeEngine};
     pub use crate::epoch::{EpochSink, EpochStore};
-    pub use crate::metrics::{ServeReport, ShardServeMetrics};
+    pub use crate::metrics::{ErrorBudget, ServeReport, ShardServeMetrics};
     pub use crate::queue::ShardQueue;
     pub use crate::router::QueryRouter;
     pub use crate::shard::{MigratedStore, Shard, ShardedStore};

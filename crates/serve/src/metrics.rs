@@ -40,6 +40,12 @@ pub struct ShardServeMetrics {
     /// traversals); this counter says the *queue*, not the matcher, spent
     /// their budget.
     pub rejected: usize,
+    /// Completed executions on this shard whose metrics came back flagged
+    /// `deadline_exceeded` — the matcher's pre-flight short-circuit or a
+    /// mid-run deadline unwind. Disjoint from `rejected` (those never reach
+    /// a worker), so `rejected + deadline_expired` is the shard's full
+    /// dropped-request count.
+    pub deadline_expired: usize,
     /// The highest epoch sequence number this shard's queries were pinned to,
     /// or `None` for a shard that served nothing (an idle shard is thereby
     /// distinguishable from one genuinely pinned at epoch 0). Epoch sequences
@@ -66,6 +72,43 @@ impl ShardServeMetrics {
     }
 }
 
+/// Per-run dropped-request accounting: how many of the run's requests were
+/// rejected at admission or completed past their deadline. Open-loop
+/// capacity steps assert against this ("≤ X% dropped") instead of scraping
+/// per-shard counters or telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorBudget {
+    /// Requests the run issued (admitted + rejected + shed).
+    pub requests: usize,
+    /// Requests rejected at admission (full queue, or shed by an open-loop
+    /// driver as hopelessly late) — they never reached a worker.
+    pub rejected: usize,
+    /// Requests that reached a worker but completed flagged
+    /// `deadline_exceeded` (pre-flight short-circuit or mid-run unwind).
+    pub deadline_expired: usize,
+}
+
+impl ErrorBudget {
+    /// Total requests that did not complete a full execution in time.
+    pub fn dropped(&self) -> usize {
+        self.rejected + self.deadline_expired
+    }
+
+    /// Dropped requests as a fraction of issued requests (0.0 when idle).
+    pub fn dropped_fraction(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.dropped() as f64 / self.requests as f64
+        }
+    }
+
+    /// Whether the run stayed within a budget of `max_fraction` dropped.
+    pub fn within(&self, max_fraction: f64) -> bool {
+        self.dropped_fraction() <= max_fraction
+    }
+}
+
 /// The aggregate report one serving run produces.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
@@ -80,6 +123,12 @@ pub struct ServeReport {
     pub makespan_us: f64,
     /// Wall-clock duration of the run in this process, µs.
     pub wall_clock_us: f64,
+    /// Wall-clock aggregate throughput (queries ÷ wall-clock seconds),
+    /// carried on the report so callers stop re-deriving it. Populated at
+    /// assembly; reports built by hand can leave it 0.0 and use
+    /// [`ServeReport::wall_clock_qps`], which always derives from
+    /// `wall_clock_us`.
+    pub wall_clock_qps: f64,
     /// Median per-query modelled latency across all shards, µs.
     pub p50_latency_us: f64,
     /// 99th-percentile per-query modelled latency across all shards, µs.
@@ -92,6 +141,9 @@ pub struct ServeReport {
     /// mix — the signal the `loom-adapt` workload tracker compares against
     /// the mix the partitioning was mined for to detect drift.
     pub query_counts: Vec<usize>,
+    /// Dropped-request accounting for the whole run (admission rejections +
+    /// deadline-expired completions, summed across shards).
+    pub error_budget: ErrorBudget,
 }
 
 impl ServeReport {
@@ -232,5 +284,21 @@ mod tests {
         assert!((report.aggregate_qps() - 200.0).abs() < 1e-9);
         assert!((report.wall_clock_qps() - 100.0).abs() < 1e-9);
         assert_eq!(ServeReport::default().aggregate_qps(), 0.0);
+    }
+
+    #[test]
+    fn error_budget_fractions() {
+        let budget = ErrorBudget {
+            requests: 200,
+            rejected: 6,
+            deadline_expired: 4,
+        };
+        assert_eq!(budget.dropped(), 10);
+        assert!((budget.dropped_fraction() - 0.05).abs() < 1e-12);
+        assert!(budget.within(0.05));
+        assert!(!budget.within(0.049));
+        // An idle run dropped nothing and fits any budget, including zero.
+        assert_eq!(ErrorBudget::default().dropped_fraction(), 0.0);
+        assert!(ErrorBudget::default().within(0.0));
     }
 }

@@ -29,6 +29,13 @@
 //!   a manifest-written-last atomicity rule, and restart-and-serve recovery
 //!   ([`SessionBuilder::with_durability`](session::SessionBuilder::with_durability)
 //!   / [`Session::recover`](session::Session::recover));
+//! * [`loom_load`] — the open-loop capacity harness: seeded Poisson /
+//!   constant-interval arrival schedules that never block on backpressure,
+//!   `initial_rps → increment_rps → max_rps` ramp sweeps over the serving
+//!   engine, per-step offered-vs-achieved tables with wall-clock sojourn
+//!   quantiles, and saturation-knee detection
+//!   ([`Session::capacity`](session::Session::capacity) /
+//!   [`ShardedServing::capacity`](session::ShardedServing::capacity));
 //! * [`loom_obs`] — the telemetry subsystem: a lock-free metric registry
 //!   (counters, gauges, mergeable log-linear histograms with re-sort-free
 //!   quantiles), zero-alloc scoped spans charging stage wall-clock, a
@@ -96,6 +103,7 @@ pub mod session;
 pub use loom_adapt;
 pub use loom_core;
 pub use loom_graph;
+pub use loom_load;
 pub use loom_motif;
 pub use loom_obs;
 pub use loom_partition;
@@ -113,6 +121,7 @@ pub mod prelude {
     pub use loom_adapt::prelude::*;
     pub use loom_core::prelude::*;
     pub use loom_graph::prelude::*;
+    pub use loom_load::prelude::*;
     pub use loom_motif::prelude::*;
     pub use loom_obs::{stage, FlightKind, SpanTimer, Telemetry, TelemetrySnapshot};
     pub use loom_serve::prelude::*;

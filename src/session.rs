@@ -42,6 +42,7 @@
 
 use loom_adapt::adaptive::{AdaptConfig, AdaptiveServing};
 use loom_graph::{GraphStream, LabelledGraph, StreamElement};
+use loom_load::{run_capacity, CapacityRun, LoadConfig};
 use loom_motif::mining::MotifMiner;
 use loom_motif::workload::Workload;
 use loom_motif::MotifError;
@@ -652,6 +653,24 @@ impl Session {
         })
     }
 
+    /// Finish partitioning and run an open-loop capacity measurement in one
+    /// call: `serve(graph)` → [`Serving::sharded`]`(workers)` →
+    /// [`ShardedServing::capacity`]. The returned [`CapacityRun`] carries the
+    /// per-step offered/achieved table and the detected saturation knee.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioner assignment errors from the final flush, and
+    /// fails when the session has no workload (there is nothing to offer).
+    pub fn capacity(
+        self,
+        graph: LabelledGraph,
+        workers: usize,
+        config: &LoadConfig,
+    ) -> SessionResult<CapacityRun> {
+        self.serve(graph)?.sharded(workers).capacity(config)
+    }
+
     /// Bring a crashed (or cleanly stopped) durable session back: load the
     /// newest valid checkpoint under the builder's durability root —
     /// bit-verified against its manifest — truncate the WAL's torn tail,
@@ -1082,6 +1101,40 @@ impl ShardedServing {
                 ),
             ),
         }
+    }
+
+    /// Drive this serving stack **open-loop** through `loom-load`: pace the
+    /// config's seeded arrival schedule against a fresh engine cloned from
+    /// this one (same worker count, mode, latency model, match limit, plan
+    /// cache and telemetry), never blocking on backpressure, and return the
+    /// per-step capacity table with its detected saturation knee.
+    ///
+    /// When the config carries a [`LoadConfig::service_hold`] scale, the
+    /// measurement engine emulates service time by holding each worker for
+    /// the query's modelled latency × scale — the closed-loop engine behind
+    /// [`ShardedServing::serve_request`] is left untouched, so its
+    /// sequential-parity guarantees are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the session was built without a workload — the arrival
+    /// schedule needs queries to offer.
+    pub fn capacity(&self, config: &LoadConfig) -> SessionResult<CapacityRun> {
+        let Some(workload) = &self.workload else {
+            return Err(SessionError::MissingWorkload("capacity measurement"));
+        };
+        let mut serve = *self.engine.config();
+        if let Some(scale) = config.service_hold {
+            serve = serve.with_service_hold(scale);
+        }
+        let mut engine = ServeEngine::new(serve);
+        if let Some(plans) = self.engine.plan_cache() {
+            engine = engine.with_plan_cache(Arc::clone(plans));
+        }
+        if let Some(telemetry) = self.engine.telemetry() {
+            engine = engine.with_telemetry(Arc::clone(telemetry));
+        }
+        Ok(run_capacity(&engine, &self.store, workload, config))
     }
 }
 
